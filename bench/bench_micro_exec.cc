@@ -1,0 +1,103 @@
+// Micro-benchmarks of the database substrate: filter evaluation, exact
+// join cardinality counting (the ground-truth oracle), and the two
+// join-order DP variants (estimated cards = "PostgreSQL", true cards =
+// the ECQO-style optimal oracle).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "datagen/imdb_like.h"
+#include "exec/filter_eval.h"
+#include "exec/join_counter.h"
+#include "optimizer/baseline_card_est.h"
+#include "optimizer/join_order.h"
+#include "workload/generator.h"
+#include "workload/labeler.h"
+
+using namespace mtmlf;  // NOLINT
+
+namespace {
+
+struct Env {
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<optimizer::BaselineCardEstimator> baseline;
+  std::vector<query::Query> queries;
+
+  Env() {
+    Rng rng(1);
+    db = datagen::BuildImdbLike({.scale = 0.5}, &rng).take();
+    baseline = std::make_unique<optimizer::BaselineCardEstimator>(db.get());
+    workload::WorkloadGenerator gen(db.get(), 2);
+    queries = gen.Generate({.min_tables = 4, .max_tables = 8}, 64);
+  }
+};
+
+Env& GetEnv() {
+  static Env* env = new Env();
+  return *env;
+}
+
+}  // namespace
+
+static void BM_FilterEval(benchmark::State& state) {
+  Env& env = GetEnv();
+  const auto& q = env.queries[0];
+  int table = q.tables[0];
+  auto filters = q.FiltersOf(table);
+  for (auto _ : state) {
+    auto rows = exec::EvalFilters(env.db->table(table), filters);
+    benchmark::DoNotOptimize(rows.size());
+  }
+}
+BENCHMARK(BM_FilterEval);
+
+static void BM_ExactJoinCardinality(benchmark::State& state) {
+  Env& env = GetEnv();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& q = env.queries[i++ % env.queries.size()];
+    exec::TrueCardinalityCache cache(env.db.get(), &q);
+    auto card = cache.CardinalityOfTables(q.tables);
+    benchmark::DoNotOptimize(card.ok() ? card.value() : -1.0);
+  }
+}
+BENCHMARK(BM_ExactJoinCardinality);
+
+static void BM_JoinOrderDpEstimated(benchmark::State& state) {
+  Env& env = GetEnv();
+  exec::CostModel cm;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& q = env.queries[i++ % env.queries.size()];
+    auto card_fn = [&](uint32_t mask) {
+      std::vector<int> subset;
+      for (size_t p = 0; p < q.tables.size(); ++p) {
+        if (mask & (1u << p)) subset.push_back(q.tables[p]);
+      }
+      return env.baseline->EstimateSubset(q, subset);
+    };
+    auto r = optimizer::BestLeftDeepOrder(q, *env.db, cm, card_fn);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_JoinOrderDpEstimated);
+
+static void BM_JoinOrderDpTrueCards(benchmark::State& state) {
+  Env& env = GetEnv();
+  exec::CostModel cm;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& q = env.queries[i++ % env.queries.size()];
+    exec::TrueCardinalityCache cache(env.db.get(), &q);
+    auto card_fn = [&](uint32_t mask) {
+      auto r = cache.CardinalityOfMask(mask);
+      return r.ok() ? r.value() : 1.0;
+    };
+    auto r = optimizer::BestLeftDeepOrder(q, *env.db, cm, card_fn);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_JoinOrderDpTrueCards);
+
+BENCHMARK_MAIN();

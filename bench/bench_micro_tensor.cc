@@ -1,0 +1,56 @@
+// Micro-benchmarks of the tensor/NN substrate: matmul, transformer
+// encoder forward, and forward+backward — the per-example costs that
+// bound MTMLF-QO training throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "nn/optimizer.h"
+#include "nn/transformer.h"
+#include "tensor/tensor.h"
+
+using namespace mtmlf;  // NOLINT
+
+static void BM_MatMul(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  auto a = tensor::Tensor::Randn(n, n, 1.0f, &rng);
+  auto b = tensor::Tensor::Randn(n, n, 1.0f, &rng);
+  for (auto _ : state) {
+    auto c = tensor::MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * int64_t{2} * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(16)->Arg(48)->Arg(96);
+
+static void BM_TransformerEncoderForward(benchmark::State& state) {
+  int seq = static_cast<int>(state.range(0));
+  Rng rng(1);
+  nn::TransformerEncoder enc(2, 48, 4, 96, &rng);
+  tensor::NoGradGuard guard;
+  auto x = tensor::Tensor::Randn(seq, 48, 1.0f, &rng);
+  for (auto _ : state) {
+    auto y = enc.Forward(x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_TransformerEncoderForward)->Arg(4)->Arg(15);
+
+static void BM_TransformerTrainStep(benchmark::State& state) {
+  int seq = static_cast<int>(state.range(0));
+  Rng rng(1);
+  nn::TransformerEncoder enc(2, 48, 4, 96, &rng);
+  nn::Adam adam(enc.Parameters(), {});
+  auto x = tensor::Tensor::Randn(seq, 48, 1.0f, &rng);
+  for (auto _ : state) {
+    auto y = enc.Forward(x);
+    auto loss = tensor::MeanAll(tensor::Mul(y, y));
+    loss.Backward();
+    adam.Step();
+    benchmark::DoNotOptimize(loss.item());
+  }
+}
+BENCHMARK(BM_TransformerTrainStep)->Arg(15);
+
+BENCHMARK_MAIN();

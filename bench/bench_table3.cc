@@ -1,0 +1,161 @@
+// Reproduces the paper's Table 3: cross-DB transferability of MTMLF-QO.
+//
+// Procedure (Section 6.3): generate N+1 synthetic databases with the
+// Section 6.2 pipeline; train MTMLF-QO on the first N with the
+// meta-learning algorithm (Algorithm 1); on the held-out database, train
+// ONLY the featurization module (single-table encoders) plus a light
+// fine-tune on a small number of queries, then compare join-order quality:
+//   PostgreSQL          — the baseline optimizer on the new DB;
+//   MTMLF-QO (MLA)      — pre-trained (S)/(T) + new featurizer;
+//   MTMLF-QO (single)   — trained from scratch on the new DB's full split.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/harness.h"
+#include "common/string_util.h"
+#include "common/logging.h"
+#include "datagen/pipeline.h"
+#include "train/meta_learning.h"
+
+using namespace mtmlf;          // NOLINT
+using namespace mtmlf::bench;   // NOLINT
+
+namespace {
+
+struct DbBundle {
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<optimizer::BaselineCardEstimator> baseline;
+  workload::Dataset dataset;
+  std::unique_ptr<workload::QueryLabeler> labeler;
+};
+
+DbBundle MakeDb(const ScaleConfig& scale, uint64_t seed) {
+  DbBundle b;
+  Rng rng(seed);
+  datagen::PipelineOptions popts;
+  auto db = datagen::GenerateDatabase(StrFormat("synth_db_%lu",
+                                                static_cast<unsigned long>(
+                                                    seed)),
+                                      popts, &rng);
+  MTMLF_CHECK(db.ok(), db.status().ToString().c_str());
+  b.db = db.take();
+  b.baseline =
+      std::make_unique<optimizer::BaselineCardEstimator>(b.db.get());
+  workload::DatasetOptions dopts;
+  dopts.num_queries = scale.meta_queries_per_db;
+  dopts.single_table_queries_per_table = scale.single_table_per_table;
+  dopts.generator.min_tables = 3;
+  dopts.generator.max_tables = 7;
+  dopts.seed = seed * 31 + 5;
+  auto ds = workload::BuildDataset(b.db.get(), b.baseline.get(), dopts);
+  MTMLF_CHECK(ds.ok(), ds.status().ToString().c_str());
+  b.dataset = ds.take();
+  b.labeler = std::make_unique<workload::QueryLabeler>(
+      b.db.get(), b.baseline.get(), dopts.labeler);
+  return b;
+}
+
+double JoinSelTotal(const model::MtmlfQo& m, int dbi, const DbBundle& b,
+                    double* match, double* joeu) {
+  model::BeamSearchOptions beam;
+  beam.rerank_by_cost = true;
+  auto ev = train::EvaluateJoinSel(m, dbi, b.dataset, b.dataset.split.test,
+                                   b.labeler.get(), beam);
+  MTMLF_CHECK(ev.ok(), ev.status().ToString().c_str());
+  if (match != nullptr) *match = ev.value().exact_match_rate;
+  if (joeu != nullptr) *joeu = ev.value().mean_joeu;
+  return ev.value().total_latency_ms;
+}
+
+}  // namespace
+
+int main() {
+  SetLogLevel(1);
+  ScaleConfig scale = ScaleFromEnv();
+  std::printf("[bench_table3] scale=%s: %d training DBs + 1 transfer DB\n",
+              scale.name.c_str(), scale.num_meta_dbs);
+
+  std::vector<DbBundle> train_dbs;
+  for (int i = 0; i < scale.num_meta_dbs; ++i) {
+    train_dbs.push_back(MakeDb(scale, /*seed=*/100 + i));
+    std::printf("[bench_table3] training DB %d: %zu tables, %zu rows, "
+                "%zu queries\n",
+                i, train_dbs.back().db->num_tables(),
+                train_dbs.back().db->TotalRows(),
+                train_dbs.back().dataset.queries.size());
+  }
+  DbBundle target = MakeDb(scale, /*seed=*/500);
+  std::printf("[bench_table3] transfer DB: %zu tables, %zu rows\n",
+              target.db->num_tables(), target.db->TotalRows());
+
+  // ---- MTMLF-QO (MLA): Algorithm 1 over the training DBs ------------------
+  featurize::ModelConfig cfg;
+  model::MtmlfQo meta_model(cfg, 42);
+  std::vector<std::pair<int, const workload::Dataset*>> pool;
+  for (auto& b : train_dbs) {
+    int dbi = meta_model.AddDatabase(b.db.get(), b.baseline.get());
+    pool.emplace_back(dbi, &b.dataset);
+  }
+  train::TrainOptions mla_opts;
+  mla_opts.enc_pretrain_epochs = scale.enc_epochs;
+  mla_opts.joint_epochs = scale.meta_joint_epochs;
+  Status st = train::RunMetaLearning(&meta_model, pool, mla_opts);
+  MTMLF_CHECK(st.ok(), st.ToString().c_str());
+
+  // Deploy on the new DB: featurizer training + small fine-tune.
+  int target_dbi = meta_model.AddDatabase(target.db.get(),
+                                          target.baseline.get());
+  st = train::AdaptToNewDatabase(&meta_model, target_dbi, target.dataset,
+                                 mla_opts, scale.finetune_examples);
+  MTMLF_CHECK(st.ok(), st.ToString().c_str());
+
+  // ---- MTMLF-QO (single): from scratch on the target DB -------------------
+  model::MtmlfQo single_model(cfg, 43);
+  int single_dbi = single_model.AddDatabase(target.db.get(),
+                                            target.baseline.get());
+  train::TrainOptions single_opts = mla_opts;
+  single_opts.joint_epochs = scale.joint_epochs;
+  train::Trainer single_trainer(&single_model);
+  st = single_trainer.PretrainFeaturizer(single_dbi, target.dataset,
+                                         single_opts);
+  MTMLF_CHECK(st.ok(), st.ToString().c_str());
+  st = single_trainer.TrainJoint({{single_dbi, &target.dataset}},
+                                 single_opts);
+  MTMLF_CHECK(st.ok(), st.ToString().c_str());
+
+  // ---- Evaluation on the target DB's test split ----------------------------
+  double pg_total = 0.0, opt_total = 0.0;
+  for (size_t i : target.dataset.split.test) {
+    const auto& lq = target.dataset.queries[i];
+    if (lq.optimal_order.size() < 2) continue;
+    pg_total += lq.postgres_latency_ms;
+    opt_total += lq.optimal_latency_ms;
+  }
+  double mla_match = 0, mla_joeu = 0, single_match = 0, single_joeu = 0;
+  double mla_total = JoinSelTotal(meta_model, target_dbi, target, &mla_match,
+                                  &mla_joeu);
+  double single_total = JoinSelTotal(single_model, single_dbi, target,
+                                     &single_match, &single_joeu);
+
+  PrintTableHeader("Table 3: Cross-DB transfer (execution time on new DB)",
+                   {"JoinOrder", "Total Time", "Overall Improvement"});
+  std::printf("%-18s %12.1f s %20s\n", "PostgreSQL", pg_total / 1000.0,
+              "\\");
+  auto improvement = [&](double t) {
+    return 100.0 * (pg_total - t) / pg_total;
+  };
+  std::printf("%-18s %12.1f s %19.1f%%\n", "MTMLF-QO (MLA)",
+              mla_total / 1000.0, improvement(mla_total));
+  std::printf("%-18s %12.1f s %19.1f%%\n", "MTMLF-QO (single)",
+              single_total / 1000.0, improvement(single_total));
+  std::printf("%-18s %12.1f s %19.1f%%\n", "(oracle optimal)",
+              opt_total / 1000.0, improvement(opt_total));
+  std::printf("\nMLA: match=%.2f joeu=%.2f | single: match=%.2f joeu=%.2f\n",
+              mla_match, mla_joeu, single_match, single_joeu);
+  std::printf(
+      "\n(paper Table 3: PostgreSQL 393.9 min; MTMLF-QO (MLA) -40.6%%; "
+      "MTMLF-QO (single) -44.3%%)\n");
+  return 0;
+}

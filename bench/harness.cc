@@ -1,0 +1,104 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace mtmlf::bench {
+
+ScaleConfig ScaleFromEnv() {
+  ScaleConfig cfg;
+  const char* env = std::getenv("MTMLF_SCALE");
+  if (env != nullptr && std::strcmp(env, "smoke") == 0) {
+    cfg.name = "smoke";
+    cfg.imdb_scale = 0.25;
+    cfg.num_queries = 150;
+    cfg.single_table_per_table = 30;
+    cfg.enc_epochs = 2;
+    cfg.joint_epochs = 3;
+    cfg.num_meta_dbs = 2;
+    cfg.meta_queries_per_db = 80;
+    cfg.meta_joint_epochs = 3;
+    cfg.finetune_examples = 24;
+  } else if (env != nullptr && std::strcmp(env, "full") == 0) {
+    cfg.name = "full";
+    cfg.imdb_scale = 1.5;
+    cfg.num_queries = 3000;
+    cfg.single_table_per_table = 200;
+    cfg.enc_epochs = 4;
+    cfg.joint_epochs = 16;
+    cfg.num_meta_dbs = 8;
+    cfg.meta_queries_per_db = 800;
+    cfg.meta_joint_epochs = 10;
+    cfg.finetune_examples = 128;
+  }
+  return cfg;
+}
+
+ImdbSetup BuildImdbSetup(const ScaleConfig& scale, uint64_t seed) {
+  ImdbSetup setup;
+  Rng rng(seed);
+  datagen::ImdbLikeOptions db_opts;
+  db_opts.scale = scale.imdb_scale;
+  auto db = datagen::BuildImdbLike(db_opts, &rng);
+  MTMLF_CHECK(db.ok(), db.status().ToString().c_str());
+  setup.db = db.take();
+  setup.baseline = std::make_unique<optimizer::BaselineCardEstimator>(
+      setup.db.get());
+
+  workload::DatasetOptions ds_opts;
+  ds_opts.num_queries = scale.num_queries;
+  ds_opts.single_table_queries_per_table = scale.single_table_per_table;
+  ds_opts.generator.min_tables = 3;
+  ds_opts.generator.max_tables = 8;
+  ds_opts.seed = seed + 7;
+  auto ds = workload::BuildDataset(setup.db.get(), setup.baseline.get(),
+                                   ds_opts);
+  MTMLF_CHECK(ds.ok(), ds.status().ToString().c_str());
+  setup.dataset = ds.take();
+  setup.labeler = std::make_unique<workload::QueryLabeler>(
+      setup.db.get(), setup.baseline.get(), ds_opts.labeler);
+  return setup;
+}
+
+std::unique_ptr<model::MtmlfQo> TrainSingleDbModel(
+    const ImdbSetup& setup, const ScaleConfig& scale,
+    const model::TaskWeights& weights, uint64_t seed, bool sequence_loss) {
+  featurize::ModelConfig cfg;
+  auto mtmlf = std::make_unique<model::MtmlfQo>(cfg, seed);
+  int dbi = mtmlf->AddDatabase(setup.db.get(), setup.baseline.get());
+  train::Trainer trainer(mtmlf.get());
+  train::TrainOptions opts;
+  opts.enc_pretrain_epochs = scale.enc_epochs;
+  opts.joint_epochs = scale.joint_epochs;
+  opts.weights = weights;
+  opts.seed = seed;
+  if (sequence_loss) {
+    opts.sequence_loss_from_epoch = scale.joint_epochs * 3 / 4;
+  }
+  Status st = trainer.PretrainFeaturizer(dbi, setup.dataset, opts);
+  MTMLF_CHECK(st.ok(), st.ToString().c_str());
+  st = trainer.TrainJoint({{dbi, &setup.dataset}}, opts);
+  MTMLF_CHECK(st.ok(), st.ToString().c_str());
+  return mtmlf;
+}
+
+void PrintTableHeader(const std::string& title,
+                      const std::vector<std::string>& columns) {
+  std::printf("\n== %s ==\n", title.c_str());
+  for (const auto& c : columns) std::printf("%-14s", c.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < columns.size(); ++i) std::printf("--------------");
+  std::printf("\n");
+}
+
+void PrintQErrorRow(const std::string& method, const SummaryStats& card,
+                    const SummaryStats& cost) {
+  std::printf("%-16s %10.2f %12.2f %10.2f   | %8.2f %10.2f %8.2f\n",
+              method.c_str(), card.median, card.max, card.mean, cost.median,
+              cost.max, cost.mean);
+}
+
+}  // namespace mtmlf::bench

@@ -1,0 +1,62 @@
+#ifndef MTMLF_BENCH_HARNESS_H_
+#define MTMLF_BENCH_HARNESS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "datagen/imdb_like.h"
+#include "model/mtmlf_qo.h"
+#include "train/evaluate.h"
+#include "train/trainer.h"
+#include "workload/dataset.h"
+
+namespace mtmlf::bench {
+
+/// Experiment scale selected via the MTMLF_SCALE environment variable:
+///   smoke   — seconds-level sanity run;
+///   default — the calibrated configuration EXPERIMENTS.md reports;
+///   full    — larger workloads and longer training.
+struct ScaleConfig {
+  std::string name = "default";
+  double imdb_scale = 1.0;
+  int num_queries = 1200;
+  int single_table_per_table = 120;
+  int enc_epochs = 3;
+  int joint_epochs = 12;
+  // Cross-DB experiment (Table 3).
+  int num_meta_dbs = 5;  // training DBs; one extra DB is the transfer target
+  int meta_queries_per_db = 400;
+  int meta_joint_epochs = 8;
+  int finetune_examples = 64;
+};
+
+ScaleConfig ScaleFromEnv();
+
+/// One fully prepared single-DB experiment environment (Tables 1 and 2).
+struct ImdbSetup {
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<optimizer::BaselineCardEstimator> baseline;
+  workload::Dataset dataset;
+  std::unique_ptr<workload::QueryLabeler> labeler;
+};
+
+ImdbSetup BuildImdbSetup(const ScaleConfig& scale, uint64_t seed = 1);
+
+/// Builds + trains one MTMLF-QO on the setup with the given task weights
+/// (joint model: {1,1,1}; ablations zero out tasks). Returns the model with
+/// the database registered at index 0.
+std::unique_ptr<model::MtmlfQo> TrainSingleDbModel(
+    const ImdbSetup& setup, const ScaleConfig& scale,
+    const model::TaskWeights& weights, uint64_t seed,
+    bool sequence_loss = false);
+
+/// Paper-table printing helpers.
+void PrintTableHeader(const std::string& title,
+                      const std::vector<std::string>& columns);
+void PrintQErrorRow(const std::string& method, const SummaryStats& card,
+                    const SummaryStats& cost);
+
+}  // namespace mtmlf::bench
+
+#endif  // MTMLF_BENCH_HARNESS_H_

@@ -1,0 +1,131 @@
+#include "baselines/tree_lstm.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "nn/optimizer.h"
+
+namespace mtmlf::baselines {
+
+using query::PlanNode;
+using query::Query;
+using tensor::Tensor;
+
+TreeLstmEstimator::TreeLstmEstimator(const featurize::PlanEncoder* encoder,
+                                     int hidden_dim, uint64_t seed)
+    : encoder_(encoder) {
+  Rng rng(seed);
+  cell_ = std::make_unique<nn::BinaryTreeLstmCell>(encoder->input_dim(),
+                                                   hidden_dim, &rng);
+  card_head_ = std::make_unique<nn::Mlp>(
+      std::vector<int>{hidden_dim, hidden_dim, 1}, &rng);
+  cost_head_ = std::make_unique<nn::Mlp>(
+      std::vector<int>{hidden_dim, hidden_dim, 1}, &rng);
+}
+
+TreeLstmEstimator::Forward TreeLstmEstimator::Run(
+    const Query& q, const PlanNode& plan) const {
+  Forward fwd;
+  Tensor inputs = encoder_->EncodePlan(q, plan, &fwd.nodes);
+  std::unordered_map<const PlanNode*, int> row_of;
+  for (size_t i = 0; i < fwd.nodes.size(); ++i) {
+    row_of[fwd.nodes[i]] = static_cast<int>(i);
+  }
+  std::unordered_map<const PlanNode*, nn::BinaryTreeLstmCell::State> states;
+  // Bottom-up composition: children of a pre-order node appear later in
+  // the vector, so process in reverse pre-order.
+  for (auto it = fwd.nodes.rbegin(); it != fwd.nodes.rend(); ++it) {
+    const PlanNode* node = *it;
+    Tensor x = tensor::SliceRows(inputs, row_of[node], 1);
+    const nn::BinaryTreeLstmCell::State* left = nullptr;
+    const nn::BinaryTreeLstmCell::State* right = nullptr;
+    if (!node->IsLeaf()) {
+      left = &states.at(node->left.get());
+      right = &states.at(node->right.get());
+    }
+    states.emplace(node, cell_->Forward(x, left, right));
+  }
+  std::vector<Tensor> hs;
+  hs.reserve(fwd.nodes.size());
+  for (const PlanNode* node : fwd.nodes) hs.push_back(states.at(node).h);
+  Tensor h = tensor::ConcatRows(hs);  // (L, hidden)
+  fwd.log_card = card_head_->Forward(h);
+  fwd.log_cost = cost_head_->Forward(h);
+  return fwd;
+}
+
+Tensor TreeLstmEstimator::Loss(const Forward& fwd) const {
+  std::vector<float> card_t, cost_t;
+  card_t.reserve(fwd.nodes.size());
+  cost_t.reserve(fwd.nodes.size());
+  for (const PlanNode* n : fwd.nodes) {
+    card_t.push_back(
+        static_cast<float>(std::log1p(std::max(n->true_cardinality, 0.0))));
+    cost_t.push_back(
+        static_cast<float>(std::log1p(std::max(n->true_cost, 0.0))));
+  }
+  int rows = static_cast<int>(fwd.nodes.size());
+  Tensor tc = Tensor::FromVector(rows, 1, std::move(card_t));
+  Tensor tk = Tensor::FromVector(rows, 1, std::move(cost_t));
+  return tensor::Add(
+      tensor::MeanAll(tensor::Abs(tensor::Sub(fwd.log_card, tc))),
+      tensor::MeanAll(tensor::Abs(tensor::Sub(fwd.log_cost, tk))));
+}
+
+void TreeLstmEstimator::CollectParameters(std::vector<Tensor>* out) {
+  cell_->CollectParameters(out);
+  card_head_->CollectParameters(out);
+  cost_head_->CollectParameters(out);
+}
+
+Status TreeLstmEstimator::Train(const workload::Dataset& dataset, int epochs,
+                                float lr, int batch_size, uint64_t seed) {
+  nn::Adam::Options opts;
+  opts.learning_rate = lr;
+  nn::Adam adam(Parameters(), opts);
+  std::vector<size_t> order = dataset.split.train;
+  if (order.empty()) return Status::FailedPrecondition("empty train split");
+  Rng rng(seed);
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    rng.Shuffle(&order);
+    double epoch_loss = 0.0;
+    int in_batch = 0;
+    for (size_t idx : order) {
+      const auto& lq = dataset.queries[idx];
+      Forward fwd = Run(lq.query, *lq.plan);
+      Tensor loss = Loss(fwd);
+      epoch_loss += loss.item();
+      loss.Backward();
+      if (++in_batch == batch_size) {
+        adam.Step(1.0f / static_cast<float>(in_batch));
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) adam.Step(1.0f / static_cast<float>(in_batch));
+    MTMLF_LOG(1, "tree-lstm epoch %d/%d mean loss=%.4f", epoch + 1, epochs,
+              epoch_loss / static_cast<double>(order.size()));
+  }
+  return Status::OK();
+}
+
+TreeLstmEstimator::Eval TreeLstmEstimator::Evaluate(
+    const workload::Dataset& dataset,
+    const std::vector<size_t>& indices) const {
+  tensor::NoGradGuard guard;
+  std::vector<double> card_err, cost_err;
+  for (size_t idx : indices) {
+    const auto& lq = dataset.queries[idx];
+    Forward fwd = Run(lq.query, *lq.plan);
+    double pred_card = std::expm1(
+        std::min(static_cast<double>(fwd.log_card.at(0, 0)), 30.0));
+    double pred_cost = std::expm1(
+        std::min(static_cast<double>(fwd.log_cost.at(0, 0)), 30.0));
+    card_err.push_back(QError(pred_card, lq.true_card));
+    cost_err.push_back(QError(pred_cost, lq.latency_ms));
+  }
+  return Eval{Summarize(std::move(card_err)), Summarize(std::move(cost_err))};
+}
+
+}  // namespace mtmlf::baselines

@@ -1,0 +1,63 @@
+#ifndef MTMLF_BASELINES_TREE_LSTM_H_
+#define MTMLF_BASELINES_TREE_LSTM_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "featurize/plan_encoder.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/tree_lstm.h"
+#include "workload/dataset.h"
+
+namespace mtmlf::baselines {
+
+/// The previous-SOTA baseline of the paper's Table 1: an end-to-end
+/// tree-LSTM cost/cardinality estimator in the style of Sun & Li (VLDB'19,
+/// the paper's reference [32]). Plan nodes are composed bottom-up with a
+/// binary tree-LSTM; per-node card/cost heads read the node's hidden
+/// state. It consumes the same featurized node inputs as MTMLF-QO (same
+/// (F) module) but has no cross-node attention, no join-order task, and no
+/// multi-task coupling beyond card+cost.
+class TreeLstmEstimator : public nn::Module {
+ public:
+  TreeLstmEstimator(const featurize::PlanEncoder* encoder, int hidden_dim,
+                    uint64_t seed);
+
+  struct Forward {
+    std::vector<const query::PlanNode*> nodes;  // pre-order
+    tensor::Tensor log_card;                    // (L, 1)
+    tensor::Tensor log_cost;                    // (L, 1)
+  };
+  Forward Run(const query::Query& q, const query::PlanNode& plan) const;
+
+  /// Log-space q-error loss over all nodes, card + cost (Sun & Li train
+  /// both heads jointly as well).
+  tensor::Tensor Loss(const Forward& fwd) const;
+
+  void CollectParameters(std::vector<tensor::Tensor>* out) override;
+
+  /// Trains on the dataset's train split.
+  Status Train(const workload::Dataset& dataset, int epochs, float lr,
+               int batch_size, uint64_t seed);
+
+  /// Root-node q-error summaries over `indices`.
+  struct Eval {
+    SummaryStats card_qerror;
+    SummaryStats cost_qerror;
+  };
+  Eval Evaluate(const workload::Dataset& dataset,
+                const std::vector<size_t>& indices) const;
+
+ private:
+  const featurize::PlanEncoder* encoder_;
+  std::unique_ptr<nn::BinaryTreeLstmCell> cell_;
+  std::unique_ptr<nn::Mlp> card_head_;
+  std::unique_ptr<nn::Mlp> cost_head_;
+};
+
+}  // namespace mtmlf::baselines
+
+#endif  // MTMLF_BASELINES_TREE_LSTM_H_

@@ -1,0 +1,11 @@
+#include "common/logging.h"
+
+namespace mtmlf {
+namespace {
+int g_log_level = 1;
+}  // namespace
+
+int GetLogLevel() { return g_log_level; }
+void SetLogLevel(int level) { g_log_level = level; }
+
+}  // namespace mtmlf

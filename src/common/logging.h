@@ -1,0 +1,37 @@
+#ifndef MTMLF_COMMON_LOGGING_H_
+#define MTMLF_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mtmlf {
+
+/// Global verbosity switch. 0 = quiet (tests), 1 = progress lines
+/// (benches/examples default), 2 = per-epoch training detail.
+int GetLogLevel();
+void SetLogLevel(int level);
+
+}  // namespace mtmlf
+
+/// Progress logging used by the trainers and benches. printf-style.
+#define MTMLF_LOG(level, ...)                         \
+  do {                                                \
+    if (::mtmlf::GetLogLevel() >= (level)) {          \
+      std::fprintf(stderr, "[mtmlf] " __VA_ARGS__);   \
+      std::fprintf(stderr, "\n");                     \
+    }                                                 \
+  } while (0)
+
+/// Invariant check that stays on in release builds. These guard internal
+/// invariants (programmer errors), not user input -- user input errors are
+/// reported via Status.
+#define MTMLF_CHECK(cond, msg)                                            \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "MTMLF_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, (msg));                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#endif  // MTMLF_COMMON_LOGGING_H_

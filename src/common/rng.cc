@@ -1,0 +1,52 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace mtmlf {
+
+int64_t Rng::Zipf(int64_t n, double skew) {
+  if (n <= 1) return 0;
+  if (skew <= 0.0) return UniformInt(0, n - 1);
+  // Inverse-CDF on the harmonic weights. n in this codebase is at most a few
+  // million but typically <= 100k; a linear scan would be too slow for hot
+  // loops, so we sample by inverting the continuous approximation and clamp.
+  // For the sizes we use (domain sizes <= ~1e6) the approximation error is
+  // irrelevant to downstream statistics.
+  double u = Uniform(1e-12, 1.0);
+  // F(x) ~ (x^(1-s) - 1) / (n^(1-s) - 1) for s != 1, F(x) ~ ln(x)/ln(n) for
+  // s == 1.
+  double x;
+  if (std::abs(skew - 1.0) < 1e-9) {
+    x = std::exp(u * std::log(static_cast<double>(n)));
+  } else {
+    double one_minus_s = 1.0 - skew;
+    double nn = std::pow(static_cast<double>(n), one_minus_s);
+    x = std::pow(u * (nn - 1.0) + 1.0, 1.0 / one_minus_s);
+  }
+  int64_t rank = static_cast<int64_t>(x) - 1;
+  if (rank < 0) rank = 0;
+  if (rank >= n) rank = n - 1;
+  return rank;
+}
+
+size_t Rng::Categorical(const std::vector<double>& weights) {
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  double u = Uniform(0.0, total);
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return i;
+  }
+  return weights.empty() ? 0 : weights.size() - 1;
+}
+
+std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  std::vector<size_t> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  Shuffle(&all);
+  all.resize(k);
+  return all;
+}
+
+}  // namespace mtmlf

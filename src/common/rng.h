@@ -1,0 +1,69 @@
+#ifndef MTMLF_COMMON_RNG_H_
+#define MTMLF_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace mtmlf {
+
+/// Deterministic random source shared by the data generator, the workload
+/// generator, and model initialization. Every experiment in this repo is
+/// reproducible given the seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    std::uniform_int_distribution<int64_t> d(lo, hi);
+    return d(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    std::uniform_real_distribution<double> d(lo, hi);
+    return d(engine_);
+  }
+
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    std::normal_distribution<double> d(mean, stddev);
+    return d(engine_);
+  }
+
+  bool Bernoulli(double p) {
+    std::bernoulli_distribution d(p);
+    return d(engine_);
+  }
+
+  /// Zipf-distributed rank in [0, n). skew=0 degenerates to uniform;
+  /// skew around 1.0-1.5 produces the heavy-tailed distributions the paper's
+  /// IMDB workload exhibits. Uses inverse-CDF sampling over precomputable
+  /// weights for small n, rejection-free.
+  int64_t Zipf(int64_t n, double skew);
+
+  /// Samples an index in [0, weights.size()) proportional to weights.
+  /// Weights need not be normalized; all must be >= 0 with a positive sum.
+  size_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Picks k distinct indices from [0, n). Requires k <= n.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace mtmlf
+
+#endif  // MTMLF_COMMON_RNG_H_

@@ -1,0 +1,51 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace mtmlf {
+
+double QError(double predicted, double truth) {
+  double p = std::max(predicted, 1.0);
+  double t = std::max(truth, 1.0);
+  return std::max(p / t, t / p);
+}
+
+double QuantileSorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted[0];
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(pos));
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+SummaryStats Summarize(std::vector<double> values) {
+  SummaryStats s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.mean = std::accumulate(values.begin(), values.end(), 0.0) /
+           static_cast<double>(values.size());
+  s.median = QuantileSorted(values, 0.5);
+  s.p90 = QuantileSorted(values, 0.9);
+  s.p95 = QuantileSorted(values, 0.95);
+  s.p99 = QuantileSorted(values, 0.99);
+  s.min = values.front();
+  s.max = values.back();
+  return s;
+}
+
+std::string SummaryStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu median=%.2f mean=%.2f p90=%.2f p95=%.2f p99=%.2f "
+                "max=%.2f",
+                count, median, mean, p90, p95, p99, max);
+  return buf;
+}
+
+}  // namespace mtmlf

@@ -1,0 +1,39 @@
+#ifndef MTMLF_COMMON_STATS_H_
+#define MTMLF_COMMON_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mtmlf {
+
+/// Q-error between a prediction and a truth value, the metric used by the
+/// paper's Table 1: max(pred/truth, truth/pred), both clamped to >= 1 tuple
+/// so that empty results do not divide by zero (the standard convention in
+/// the CardEst literature).
+double QError(double predicted, double truth);
+
+/// Summary statistics over a sample, matching the columns of the paper's
+/// Table 1 (median / max / mean) plus extra percentiles for EXPERIMENTS.md.
+struct SummaryStats {
+  size_t count = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+  double min = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Computes SummaryStats; the input vector is copied (callers keep order).
+SummaryStats Summarize(std::vector<double> values);
+
+/// Linear-interpolated quantile of a *sorted* vector, q in [0, 1].
+double QuantileSorted(const std::vector<double>& sorted, double q);
+
+}  // namespace mtmlf
+
+#endif  // MTMLF_COMMON_STATS_H_

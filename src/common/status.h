@@ -1,0 +1,95 @@
+#ifndef MTMLF_COMMON_STATUS_H_
+#define MTMLF_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mtmlf {
+
+/// Error categories used across the library. Modeled after the
+/// RocksDB/Arrow convention: no C++ exceptions, all fallible operations
+/// return a Status (or Result<T> below).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Lightweight success/error value. Cheap to copy when OK (no allocation).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>" for logs and test failure output.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Usage:
+///   Result<Table> r = LoadTable(...);
+///   if (!r.ok()) return r.status();
+///   Table& t = r.value();
+template <typename T>
+class Result {
+ public:
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : repr_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(repr_);
+  }
+  T& value() { return std::get<T>(repr_); }
+  const T& value() const { return std::get<T>(repr_); }
+  T&& take() { return std::move(std::get<T>(repr_)); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates a non-OK Status from an expression, RocksDB-style.
+#define MTMLF_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::mtmlf::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+}  // namespace mtmlf
+
+#endif  // MTMLF_COMMON_STATUS_H_

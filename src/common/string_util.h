@@ -1,0 +1,25 @@
+#ifndef MTMLF_COMMON_STRING_UTIL_H_
+#define MTMLF_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mtmlf {
+
+/// Joins elements with a separator: Join({"a","b"}, ", ") == "a, b".
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// SQL LIKE pattern match with '%' (any run) and '_' (any single char)
+/// wildcards. Case-sensitive, as in PostgreSQL. Iterative two-pointer
+/// algorithm, O(len(text) * len(pattern)) worst case.
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace mtmlf
+
+#endif  // MTMLF_COMMON_STRING_UTIL_H_

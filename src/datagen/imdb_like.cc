@@ -1,0 +1,279 @@
+#include "datagen/imdb_like.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/string_util.h"
+#include "datagen/pipeline.h"
+
+namespace mtmlf::datagen {
+
+using storage::Column;
+using storage::Database;
+using storage::DataType;
+using storage::Table;
+
+namespace {
+
+// Builds a vocabulary of distinct synthetic words.
+std::vector<std::string> MakeVocab(size_t size, Rng* rng) {
+  std::vector<std::string> vocab;
+  vocab.reserve(size);
+  for (size_t i = 0; i < size; ++i) {
+    vocab.push_back(SynthWord(rng) + StrFormat("%zu", i % 97));
+  }
+  return vocab;
+}
+
+struct Dim {
+  Table* table = nullptr;
+  int64_t rows = 0;
+};
+
+// Adds a small dimension table `name(pk=id, <col>=word)`.
+Result<Dim> AddSmallDim(Database* db, const std::string& name,
+                        const std::string& col, int64_t rows, Rng* rng) {
+  auto tr = db->AddTable(name);
+  if (!tr.ok()) return tr.status();
+  Table* t = tr.value();
+  auto id = t->AddColumn("id", DataType::kInt64);
+  if (!id.ok()) return id.status();
+  auto word = t->AddColumn(col, DataType::kString);
+  if (!word.ok()) return word.status();
+  auto vocab = MakeVocab(static_cast<size_t>(rows), rng);
+  for (int64_t r = 0; r < rows; ++r) {
+    id.value()->AppendInt64(r + 1);
+    word.value()->AppendString(vocab[static_cast<size_t>(r)]);
+  }
+  return Dim{t, rows};
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Database>> BuildImdbLike(const ImdbLikeOptions& options,
+                                                Rng* rng) {
+  auto db = std::make_unique<Database>("imdb_like");
+  const double sc = options.scale;
+  const double corr = options.correlation;
+
+  const int64_t n_title = std::max<int64_t>(500, static_cast<int64_t>(6000 * sc));
+  const int64_t n_name = std::max<int64_t>(500, static_cast<int64_t>(8000 * sc));
+  const int64_t n_company = std::max<int64_t>(200, static_cast<int64_t>(2000 * sc));
+  const int64_t n_keyword = std::max<int64_t>(200, static_cast<int64_t>(2000 * sc));
+  const int64_t n_movie_info = static_cast<int64_t>(18000 * sc);
+  const int64_t n_cast_info = static_cast<int64_t>(24000 * sc);
+  const int64_t n_movie_companies = static_cast<int64_t>(9000 * sc);
+  const int64_t n_movie_keyword = static_cast<int64_t>(12000 * sc);
+
+  // ---- Dimensions -------------------------------------------------------
+  auto kind_type = AddSmallDim(db.get(), "kind_type", "kind", 7, rng);
+  if (!kind_type.ok()) return kind_type.status();
+  auto info_type = AddSmallDim(db.get(), "info_type", "info", 40, rng);
+  if (!info_type.ok()) return info_type.status();
+  auto role_type = AddSmallDim(db.get(), "role_type", "role", 11, rng);
+  if (!role_type.ok()) return role_type.status();
+  auto company_type = AddSmallDim(db.get(), "company_type", "kind", 4, rng);
+  if (!company_type.ok()) return company_type.status();
+  auto keyword = AddSmallDim(db.get(), "keyword", "keyword", n_keyword, rng);
+  if (!keyword.ok()) return keyword.status();
+
+  // company_name(id, name, country_code): country correlated with id.
+  {
+    auto tr = db->AddTable("company_name");
+    if (!tr.ok()) return tr.status();
+    Table* t = tr.value();
+    Column* id = t->AddColumn("id", DataType::kInt64).value();
+    Column* name = t->AddColumn("name", DataType::kString).value();
+    Column* cc = t->AddColumn("country_code", DataType::kString).value();
+    auto names = MakeVocab(static_cast<size_t>(n_company), rng);
+    auto countries = MakeVocab(40, rng);
+    for (int64_t r = 0; r < n_company; ++r) {
+      id->AppendInt64(r + 1);
+      name->AppendString(names[static_cast<size_t>(r)]);
+      // Popular (low-id) companies cluster in few countries.
+      double mix = corr * (static_cast<double>(r) / n_company) +
+                   (1.0 - corr) * rng->Uniform();
+      size_t cidx = static_cast<size_t>(std::pow(mix, 2.0) * 40.0);
+      cc->AppendString(countries[std::min<size_t>(cidx, 39)]);
+    }
+  }
+
+  // name(id, name, gender): gender skewed.
+  {
+    auto tr = db->AddTable("name");
+    if (!tr.ok()) return tr.status();
+    Table* t = tr.value();
+    Column* id = t->AddColumn("id", DataType::kInt64).value();
+    Column* nm = t->AddColumn("name", DataType::kString).value();
+    Column* gender = t->AddColumn("gender", DataType::kString).value();
+    auto names = MakeVocab(static_cast<size_t>(n_name), rng);
+    for (int64_t r = 0; r < n_name; ++r) {
+      id->AppendInt64(r + 1);
+      nm->AppendString(names[static_cast<size_t>(r)]);
+      gender->AppendString(rng->Bernoulli(0.64) ? "m"
+                           : rng->Bernoulli(0.9) ? "f"
+                                                 : "");
+    }
+  }
+
+  // ---- Hub: title --------------------------------------------------------
+  // Low ids are "popular" titles: recent years, certain kinds, and (below)
+  // far more fact-table references — the correlation that breaks the
+  // independence assumption.
+  {
+    auto tr = db->AddTable("title");
+    if (!tr.ok()) return tr.status();
+    Table* t = tr.value();
+    Column* id = t->AddColumn("id", DataType::kInt64).value();
+    Column* kind_id = t->AddColumn("kind_id", DataType::kInt64).value();
+    Column* year = t->AddColumn("production_year", DataType::kInt64).value();
+    Column* phon = t->AddColumn("phonetic_code", DataType::kString).value();
+    Column* episode = t->AddColumn("episode_nr", DataType::kInt64).value();
+    auto codes = MakeVocab(static_cast<size_t>(n_title / 6 + 8), rng);
+    for (int64_t r = 0; r < n_title; ++r) {
+      id->AppendInt64(r + 1);
+      double pop = static_cast<double>(r) / n_title;  // 0 = most popular
+      double mix = corr * pop + (1.0 - corr) * rng->Uniform();
+      kind_id->AppendInt64(1 + std::min<int64_t>(6, static_cast<int64_t>(
+                                                        std::pow(mix, 1.6) * 7)));
+      // Popular titles skew recent.
+      year->AppendInt64(2025 - static_cast<int64_t>(std::pow(mix, 0.8) * 95));
+      phon->AppendString(
+          codes[static_cast<size_t>(rng->Zipf(
+              static_cast<int64_t>(codes.size()), 1.1))]);
+      episode->AppendInt64(rng->Bernoulli(0.3) ? rng->UniformInt(1, 50) : 0);
+    }
+  }
+
+  // ---- Fact-like satellites ----------------------------------------------
+  auto movie_pick = [&](double* pop_out) {
+    // Zipf over titles: low ids picked heavily.
+    int64_t m = rng->Zipf(n_title, options.popularity_skew);
+    *pop_out = static_cast<double>(m) / n_title;
+    return m + 1;
+  };
+
+  {
+    auto tr = db->AddTable("movie_info");
+    if (!tr.ok()) return tr.status();
+    Table* t = tr.value();
+    Column* id = t->AddColumn("id", DataType::kInt64).value();
+    Column* movie_id = t->AddColumn("movie_id", DataType::kInt64).value();
+    Column* it_id = t->AddColumn("info_type_id", DataType::kInt64).value();
+    Column* info = t->AddColumn("info", DataType::kString).value();
+    // Vocabulary partitioned by info type: filters on `info` implicitly
+    // select info types (cross-column correlation).
+    auto vocab = MakeVocab(1200, rng);
+    for (int64_t r = 0; r < n_movie_info; ++r) {
+      id->AppendInt64(r + 1);
+      double pop;
+      movie_id->AppendInt64(movie_pick(&pop));
+      double mix = corr * pop + (1.0 - corr) * rng->Uniform();
+      int64_t ty = 1 + std::min<int64_t>(39,
+                                         static_cast<int64_t>(mix * 40.0));
+      it_id->AppendInt64(ty);
+      size_t base = static_cast<size_t>((ty - 1) * 30);
+      size_t off = static_cast<size_t>(rng->Zipf(30, 1.2));
+      info->AppendString(vocab[(base + off) % vocab.size()]);
+    }
+  }
+
+  {
+    auto tr = db->AddTable("cast_info");
+    if (!tr.ok()) return tr.status();
+    Table* t = tr.value();
+    Column* id = t->AddColumn("id", DataType::kInt64).value();
+    Column* movie_id = t->AddColumn("movie_id", DataType::kInt64).value();
+    Column* person_id = t->AddColumn("person_id", DataType::kInt64).value();
+    Column* role_id = t->AddColumn("role_id", DataType::kInt64).value();
+    Column* nr_order = t->AddColumn("nr_order", DataType::kInt64).value();
+    for (int64_t r = 0; r < n_cast_info; ++r) {
+      id->AppendInt64(r + 1);
+      double pop;
+      movie_id->AppendInt64(movie_pick(&pop));
+      // Popular movies employ popular actors.
+      double mix = corr * pop + (1.0 - corr) * rng->Uniform();
+      person_id->AppendInt64(
+          1 + std::min<int64_t>(n_name - 1,
+                                static_cast<int64_t>(std::pow(mix, 1.8) *
+                                                     static_cast<double>(n_name))));
+      role_id->AppendInt64(1 + rng->Zipf(11, 1.3));
+      nr_order->AppendInt64(rng->Zipf(60, 1.0) + 1);
+    }
+  }
+
+  {
+    auto tr = db->AddTable("movie_companies");
+    if (!tr.ok()) return tr.status();
+    Table* t = tr.value();
+    Column* id = t->AddColumn("id", DataType::kInt64).value();
+    Column* movie_id = t->AddColumn("movie_id", DataType::kInt64).value();
+    Column* company_id = t->AddColumn("company_id", DataType::kInt64).value();
+    Column* ct_id = t->AddColumn("company_type_id", DataType::kInt64).value();
+    for (int64_t r = 0; r < n_movie_companies; ++r) {
+      id->AppendInt64(r + 1);
+      double pop;
+      movie_id->AppendInt64(movie_pick(&pop));
+      double mix = corr * pop + (1.0 - corr) * rng->Uniform();
+      company_id->AppendInt64(
+          1 + std::min<int64_t>(n_company - 1,
+                                static_cast<int64_t>(std::pow(mix, 2.0) *
+                                                     static_cast<double>(n_company))));
+      ct_id->AppendInt64(1 + rng->Zipf(4, 1.0));
+    }
+  }
+
+  {
+    auto tr = db->AddTable("movie_keyword");
+    if (!tr.ok()) return tr.status();
+    Table* t = tr.value();
+    Column* id = t->AddColumn("id", DataType::kInt64).value();
+    Column* movie_id = t->AddColumn("movie_id", DataType::kInt64).value();
+    Column* keyword_id = t->AddColumn("keyword_id", DataType::kInt64).value();
+    for (int64_t r = 0; r < n_movie_keyword; ++r) {
+      id->AppendInt64(r + 1);
+      double pop;
+      movie_id->AppendInt64(movie_pick(&pop));
+      double mix = corr * pop + (1.0 - corr) * rng->Uniform();
+      keyword_id->AppendInt64(
+          1 + std::min<int64_t>(n_keyword - 1,
+                                static_cast<int64_t>(std::pow(mix, 1.5) *
+                                                     static_cast<double>(n_keyword))));
+    }
+  }
+
+  // ---- Join schema ---------------------------------------------------------
+  for (const char* fact : {"title", "movie_info", "cast_info",
+                           "movie_companies", "movie_keyword"}) {
+    db->MarkFactTable(db->TableIndex(fact));
+  }
+  struct EdgeSpec {
+    const char* fk_table;
+    const char* fk_col;
+    const char* pk_table;
+  };
+  const EdgeSpec edges[] = {
+      {"title", "kind_id", "kind_type"},
+      {"movie_info", "movie_id", "title"},
+      {"movie_info", "info_type_id", "info_type"},
+      {"cast_info", "movie_id", "title"},
+      {"cast_info", "person_id", "name"},
+      {"cast_info", "role_id", "role_type"},
+      {"movie_companies", "movie_id", "title"},
+      {"movie_companies", "company_id", "company_name"},
+      {"movie_companies", "company_type_id", "company_type"},
+      {"movie_keyword", "movie_id", "title"},
+      {"movie_keyword", "keyword_id", "keyword"},
+  };
+  for (const auto& e : edges) {
+    MTMLF_RETURN_IF_ERROR(db->AddJoinEdge(e.fk_table, e.fk_col, e.pk_table,
+                                          "id"));
+  }
+  for (size_t i = 0; i < db->num_tables(); ++i) {
+    MTMLF_RETURN_IF_ERROR(db->table(i).Validate());
+  }
+  return db;
+}
+
+}  // namespace mtmlf::datagen

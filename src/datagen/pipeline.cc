@@ -1,0 +1,191 @@
+#include "datagen/pipeline.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace mtmlf::datagen {
+
+using storage::Database;
+using storage::DataType;
+using storage::Table;
+
+namespace {
+
+const char* const kSyllables[] = {"ba", "ko", "ri", "ta", "mu", "zen", "lor",
+                                  "vi", "sha", "ne", "gal", "dro", "pim",
+                                  "qua", "xi", "fer", "ul", "hem", "os", "ja"};
+constexpr int kNumSyllables = 20;
+
+}  // namespace
+
+std::string SynthWord(Rng* rng) {
+  int syllables = static_cast<int>(rng->UniformInt(2, 4));
+  std::string w;
+  for (int i = 0; i < syllables; ++i) {
+    w += kSyllables[rng->UniformInt(0, kNumSyllables - 1)];
+  }
+  return w;
+}
+
+namespace {
+
+// Mixes the row's latent with fresh noise: corr=1 -> fully determined by
+// the latent, corr=0 -> independent. This is what couples attributes and
+// foreign keys within a row (pipeline step S3).
+double MixLatent(double latent, double correlation, Rng* rng) {
+  return correlation * latent + (1.0 - correlation) * rng->Uniform();
+}
+
+// Maps a mix value in [0,1] to a skewed rank in [0, domain): small ranks
+// are heavy. gamma > 1 increases skew.
+int64_t SkewedRank(double mix, double gamma, int64_t domain) {
+  double x = std::pow(std::clamp(mix, 0.0, 1.0), gamma);
+  int64_t r = static_cast<int64_t>(x * static_cast<double>(domain));
+  return std::clamp<int64_t>(r, 0, domain - 1);
+}
+
+struct ColumnPlan {
+  std::string name;
+  DataType type;
+  int64_t domain;     // distinct value budget
+  double skew_gamma;  // rank-skew exponent
+  bool correlated;    // tied to the row latent or independent
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Database>> GenerateDatabase(
+    const std::string& name, const PipelineOptions& options, Rng* rng) {
+  auto db = std::make_unique<Database>(name);
+
+  // ---- S1: join schema -----------------------------------------------
+  int n = static_cast<int>(
+      rng->UniformInt(options.min_tables, options.max_tables));
+  int num_facts = static_cast<int>(rng->UniformInt(
+      options.num_fact_tables_min,
+      std::min(options.num_fact_tables_max, n - 1)));
+  std::vector<std::string> table_names;
+  for (int i = 0; i < n; ++i) {
+    std::string tname = StrFormat("t%02d_%s", i, SynthWord(rng).c_str());
+    table_names.push_back(tname);
+    auto r = db->AddTable(tname);
+    if (!r.ok()) return r.status();
+  }
+  for (int i = 0; i < num_facts; ++i) db->MarkFactTable(i);
+
+  // fk_targets[i] = fact tables that table i references.
+  std::vector<std::vector<int>> fk_targets(n);
+  // Fact chain: fact i references fact i-1 ("T2's FK joins T1's PK").
+  for (int i = 1; i < num_facts; ++i) fk_targets[i].push_back(i - 1);
+  // Each dimension references one or two fact tables.
+  for (int i = num_facts; i < n; ++i) {
+    int refs = (num_facts >= 2 && rng->Bernoulli(0.3)) ? 2 : 1;
+    auto picks = rng->SampleWithoutReplacement(num_facts, refs);
+    for (size_t p : picks) fk_targets[i].push_back(static_cast<int>(p));
+  }
+
+  // ---- S2/S3: fill tables (facts first so PK domains are known) -------
+  std::vector<int64_t> table_rows(n);
+  for (int i = 0; i < n; ++i) {
+    bool is_fact = i < num_facts;
+    // Fact tables get the larger row budgets.
+    int64_t lo = options.min_rows;
+    int64_t hi = options.max_rows;
+    int64_t rows = is_fact ? rng->UniformInt((lo + hi) / 2, hi)
+                           : rng->UniformInt(lo, (lo + hi) / 2);
+    table_rows[i] = rows;
+  }
+
+  for (int i = 0; i < n; ++i) {
+    Table* table = db->GetTable(table_names[i]);
+    int64_t rows = table_rows[i];
+
+    // Plan the attribute columns.
+    int num_attrs = static_cast<int>(
+        rng->UniformInt(options.min_attr_cols, options.max_attr_cols));
+    std::vector<ColumnPlan> plans;
+    for (int c = 0; c < num_attrs; ++c) {
+      ColumnPlan p;
+      bool is_string = rng->Bernoulli(options.string_col_fraction);
+      p.type = is_string ? DataType::kString : DataType::kInt64;
+      p.name = StrFormat("%s%d", is_string ? "s" : "a", c);
+      p.domain = rng->UniformInt(8, std::max<int64_t>(16, rows / 4));
+      if (is_string) p.domain = std::min<int64_t>(p.domain, 4000);
+      p.skew_gamma =
+          1.0 + rng->Uniform(options.min_skew, options.max_skew) * 2.0;
+      p.correlated = rng->Bernoulli(0.7);
+      plans.push_back(std::move(p));
+    }
+
+    // Create columns: pk, fk*, then attributes.
+    auto pk = table->AddColumn("pk", DataType::kInt64);
+    if (!pk.ok()) return pk.status();
+    std::vector<storage::Column*> fk_cols;
+    for (size_t f = 0; f < fk_targets[i].size(); ++f) {
+      auto fk = table->AddColumn(StrFormat("fk%d", fk_targets[i][f]),
+                                 DataType::kInt64);
+      if (!fk.ok()) return fk.status();
+      fk_cols.push_back(fk.value());
+    }
+    std::vector<storage::Column*> attr_cols;
+    for (const auto& p : plans) {
+      auto c = table->AddColumn(p.name, p.type);
+      if (!c.ok()) return c.status();
+      attr_cols.push_back(c.value());
+    }
+
+    // String vocabularies per string column (shared prefixes make LIKE
+    // matches overlap interestingly).
+    std::vector<std::vector<std::string>> vocabs(plans.size());
+    for (size_t c = 0; c < plans.size(); ++c) {
+      if (plans[c].type != DataType::kString) continue;
+      vocabs[c].reserve(static_cast<size_t>(plans[c].domain));
+      for (int64_t v = 0; v < plans[c].domain; ++v) {
+        vocabs[c].push_back(SynthWord(rng));
+      }
+    }
+
+    double fk_gamma =
+        1.0 + rng->Uniform(options.min_skew, options.max_skew) * 2.0;
+    for (int64_t r = 0; r < rows; ++r) {
+      double latent = rng->Uniform();
+      pk.value()->AppendInt64(r + 1);
+      for (size_t f = 0; f < fk_cols.size(); ++f) {
+        int target = fk_targets[i][f];
+        double mix = MixLatent(latent, options.correlation, rng);
+        // Skewed, attribute-correlated references into the fact PK domain.
+        fk_cols[f]->AppendInt64(
+            1 + SkewedRank(mix, fk_gamma, table_rows[target]));
+      }
+      for (size_t c = 0; c < plans.size(); ++c) {
+        const auto& p = plans[c];
+        double mix = p.correlated ? MixLatent(latent, options.correlation, rng)
+                                  : rng->Uniform();
+        int64_t rank = SkewedRank(mix, p.skew_gamma, p.domain);
+        if (p.type == DataType::kString) {
+          attr_cols[c]->AppendString(vocabs[c][static_cast<size_t>(rank)]);
+        } else {
+          attr_cols[c]->AppendInt64(rank);
+        }
+      }
+    }
+  }
+
+  // Register the join edges (PK side = referenced fact table).
+  for (int i = 0; i < n; ++i) {
+    for (int target : fk_targets[i]) {
+      MTMLF_RETURN_IF_ERROR(db->AddJoinEdge(table_names[i],
+                                            StrFormat("fk%d", target),
+                                            table_names[target], "pk"));
+    }
+  }
+  for (size_t i = 0; i < db->num_tables(); ++i) {
+    MTMLF_RETURN_IF_ERROR(db->table(i).Validate());
+  }
+  return db;
+}
+
+}  // namespace mtmlf::datagen

@@ -1,0 +1,56 @@
+#ifndef MTMLF_DATAGEN_PIPELINE_H_
+#define MTMLF_DATAGEN_PIPELINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "storage/database.h"
+
+namespace mtmlf::datagen {
+
+/// Parameters of the paper's data generation pipeline (Section 6.2),
+/// scaled down by default so the cross-DB experiments run in minutes.
+/// The structure follows the paper steps exactly:
+///   S1: sample a join schema — n tables (min/max_tables), 2–3 fact
+///       tables, each dimension joins one or two fact tables (PK–FK);
+///       dimensions joining the same fact form transitive FK–FK pairs.
+///   S2: per table, sample row count and attribute columns with varied
+///       skew, correlation and domain size.
+///   S3: add a PK (1..r) and FK columns whose values correlate with the
+///       table's attributes (the correlation the paper cites from [18]).
+struct PipelineOptions {
+  int min_tables = 6;
+  int max_tables = 11;
+  int num_fact_tables_min = 2;
+  int num_fact_tables_max = 3;
+  /// Paper: 50K–10M rows. Default here: 1K–8K (shape-preserving scale).
+  int64_t min_rows = 1000;
+  int64_t max_rows = 8000;
+  /// Paper: 2–20 attribute columns. Default here: 2–6.
+  int min_attr_cols = 2;
+  int max_attr_cols = 6;
+  /// Zipf skew range of attribute/key distributions.
+  double min_skew = 0.4;
+  double max_skew = 1.4;
+  /// Strength in [0,1] of the latent correlation between a row's
+  /// attributes and its foreign keys.
+  double correlation = 0.75;
+  /// Fraction of attribute columns that are strings (with LIKE-able
+  /// synthetic words); the rest are Int64.
+  double string_col_fraction = 0.4;
+};
+
+/// Generates one database with the pipeline above. Deterministic in *rng.
+Result<std::unique_ptr<storage::Database>> GenerateDatabase(
+    const std::string& name, const PipelineOptions& options, Rng* rng);
+
+/// Generates a synthetic pseudo-word (2–4 syllables). Used for string
+/// columns so LIKE '%sub%' predicates have non-trivial selectivity.
+std::string SynthWord(Rng* rng);
+
+}  // namespace mtmlf::datagen
+
+#endif  // MTMLF_DATAGEN_PIPELINE_H_

@@ -1,0 +1,135 @@
+#include "exec/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mtmlf::exec {
+
+using query::PhysicalOp;
+using query::PlanNode;
+using query::Query;
+
+double CostModel::ScanCost(PhysicalOp op, double table_rows, double out_card,
+                           int num_filters) const {
+  const auto& o = options_;
+  table_rows = std::max(table_rows, 1.0);
+  out_card = std::max(out_card, 0.0);
+  double pages = std::ceil(table_rows / o.rows_per_page);
+  switch (op) {
+    case PhysicalOp::kSeqScan:
+      return pages * o.seq_page_cost + table_rows * o.cpu_tuple_cost +
+             table_rows * num_filters * o.cpu_operator_cost;
+    case PhysicalOp::kIndexScan: {
+      // B-tree descent + fetching matching heap pages at random.
+      double descent = std::log2(table_rows + 1.0) * o.cpu_operator_cost * 8.0;
+      double fetch = out_card * (o.cpu_index_tuple_cost + o.cpu_tuple_cost) +
+                     std::min(out_card, pages) * o.random_page_cost;
+      // Residual filters are re-checked on fetched tuples.
+      double recheck = out_card * std::max(num_filters - 1, 0) *
+                       o.cpu_operator_cost;
+      return descent + fetch + recheck;
+    }
+    default:
+      MTMLF_CHECK(false, "ScanCost: not a scan operator");
+  }
+  return 0.0;
+}
+
+double CostModel::BestScanCost(double table_rows, double out_card,
+                               int num_filters) const {
+  double seq = ScanCost(PhysicalOp::kSeqScan, table_rows, out_card,
+                        num_filters);
+  if (num_filters == 0) return seq;  // no predicate, no index benefit
+  double idx = ScanCost(PhysicalOp::kIndexScan, table_rows, out_card,
+                        num_filters);
+  return std::min(seq, idx);
+}
+
+double CostModel::JoinStepCost(PhysicalOp op, double left_card,
+                               double right_card, double out_card) const {
+  const auto& o = options_;
+  left_card = std::max(left_card, 1.0);
+  right_card = std::max(right_card, 1.0);
+  out_card = std::max(out_card, 0.0);
+  double emit = out_card * o.cpu_tuple_cost;
+  switch (op) {
+    case PhysicalOp::kHashJoin:
+      // Build on the right (inner) input, probe with the left.
+      return right_card * o.cpu_operator_cost * o.hash_build_factor +
+             right_card * o.cpu_tuple_cost +
+             left_card * o.cpu_operator_cost * 2.0 + emit;
+    case PhysicalOp::kMergeJoin: {
+      auto sort_cost = [&](double n) {
+        return n * std::log2(n + 2.0) * o.cpu_operator_cost * 2.0;
+      };
+      return sort_cost(left_card) + sort_cost(right_card) +
+             (left_card + right_card) * o.cpu_operator_cost + emit;
+    }
+    case PhysicalOp::kNestedLoopJoin:
+      // Materialized inner: each outer row scans the inner once.
+      return left_card * right_card * o.cpu_operator_cost + emit;
+    default:
+      MTMLF_CHECK(false, "JoinStepCost: not a join operator");
+  }
+  return 0.0;
+}
+
+double CostModel::BestJoinStepCost(double left_card, double right_card,
+                                   double out_card) const {
+  return JoinStepCost(BestJoinOp(left_card, right_card, out_card), left_card,
+                      right_card, out_card);
+}
+
+PhysicalOp CostModel::BestJoinOp(double left_card, double right_card,
+                                 double out_card) const {
+  PhysicalOp best = PhysicalOp::kHashJoin;
+  double best_cost = JoinStepCost(best, left_card, right_card, out_card);
+  for (PhysicalOp op : {PhysicalOp::kMergeJoin, PhysicalOp::kNestedLoopJoin}) {
+    double c = JoinStepCost(op, left_card, right_card, out_card);
+    if (c < best_cost) {
+      best_cost = c;
+      best = op;
+    }
+  }
+  return best;
+}
+
+double CostModel::PlanCost(const PlanNode& root, const Query& q,
+                           const storage::Database& db,
+                           const CardFn& card_of) const {
+  if (root.IsLeaf()) {
+    double rows = static_cast<double>(db.table(root.table).num_rows());
+    int nf = static_cast<int>(q.FiltersOf(root.table).size());
+    return ScanCost(root.op, rows, card_of(root), nf);
+  }
+  double left = PlanCost(*root.left, q, db, card_of);
+  double right = PlanCost(*root.right, q, db, card_of);
+  return left + right +
+         JoinStepCost(root.op, card_of(*root.left), card_of(*root.right),
+                      card_of(root));
+}
+
+void CostModel::AssignPhysicalOps(PlanNode* root, const Query& q,
+                                  const storage::Database& db,
+                                  const CardFn& card_of) const {
+  if (root->IsLeaf()) {
+    double rows = static_cast<double>(db.table(root->table).num_rows());
+    int nf = static_cast<int>(q.FiltersOf(root->table).size());
+    if (nf > 0 &&
+        ScanCost(PhysicalOp::kIndexScan, rows, card_of(*root), nf) <
+            ScanCost(PhysicalOp::kSeqScan, rows, card_of(*root), nf)) {
+      root->op = PhysicalOp::kIndexScan;
+    } else {
+      root->op = PhysicalOp::kSeqScan;
+    }
+    return;
+  }
+  AssignPhysicalOps(root->left.get(), q, db, card_of);
+  AssignPhysicalOps(root->right.get(), q, db, card_of);
+  root->op = BestJoinOp(card_of(*root->left), card_of(*root->right),
+                        card_of(*root));
+}
+
+}  // namespace mtmlf::exec

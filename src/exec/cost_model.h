@@ -1,0 +1,73 @@
+#ifndef MTMLF_EXEC_COST_MODEL_H_
+#define MTMLF_EXEC_COST_MODEL_H_
+
+#include <functional>
+
+#include "query/plan.h"
+#include "query/query.h"
+#include "storage/database.h"
+
+namespace mtmlf::exec {
+
+/// Callback supplying the output cardinality of a sub-plan. Wired to true
+/// cardinalities (labeling, execution simulation) or estimated ones
+/// (baseline optimizer).
+using CardFn = std::function<double(const query::PlanNode&)>;
+
+/// PostgreSQL-flavoured analytic cost model. The constants mirror the
+/// classic postgresql.conf defaults (seq_page_cost=1, random_page_cost=4,
+/// cpu_tuple_cost=0.01, ...). Costs are abstract units; the execution
+/// simulator converts them to milliseconds.
+struct CostModelOptions {
+  double seq_page_cost = 1.0;
+  double random_page_cost = 4.0;
+  double cpu_tuple_cost = 0.01;
+  double cpu_operator_cost = 0.0025;
+  double cpu_index_tuple_cost = 0.005;
+  double rows_per_page = 100.0;
+  /// Per-tuple hash table build factor (relative to cpu_operator_cost).
+  double hash_build_factor = 1.5;
+};
+
+class CostModel {
+ public:
+  explicit CostModel(CostModelOptions options = {}) : options_(options) {}
+
+  /// Total cost of the plan rooted at `root`, including children.
+  /// `num_filters_of(table)` is derived from the query.
+  double PlanCost(const query::PlanNode& root, const query::Query& q,
+                  const storage::Database& db, const CardFn& card_of) const;
+
+  /// Cost of a single join step combining inputs of the given cardinalities
+  /// into `out_card` rows, minimized over physical join operators. Used by
+  /// the join-order DP, which reasons over cardinalities rather than plan
+  /// nodes.
+  double BestJoinStepCost(double left_card, double right_card,
+                          double out_card) const;
+  double JoinStepCost(query::PhysicalOp op, double left_card,
+                      double right_card, double out_card) const;
+  query::PhysicalOp BestJoinOp(double left_card, double right_card,
+                               double out_card) const;
+
+  /// Scan cost of a base table emitting `out_card` rows after
+  /// `num_filters` predicates, minimized over seq/index scan.
+  double BestScanCost(double table_rows, double out_card,
+                      int num_filters) const;
+  double ScanCost(query::PhysicalOp op, double table_rows, double out_card,
+                  int num_filters) const;
+
+  /// Rewrites each node's physical operator in place to the cheapest choice
+  /// under `card_of` (what an optimizer's final physical planning does).
+  void AssignPhysicalOps(query::PlanNode* root, const query::Query& q,
+                         const storage::Database& db,
+                         const CardFn& card_of) const;
+
+  const CostModelOptions& options() const { return options_; }
+
+ private:
+  CostModelOptions options_;
+};
+
+}  // namespace mtmlf::exec
+
+#endif  // MTMLF_EXEC_COST_MODEL_H_

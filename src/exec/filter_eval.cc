@@ -1,0 +1,132 @@
+#include "exec/filter_eval.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mtmlf::exec {
+
+using query::CompareOp;
+using query::FilterPredicate;
+using storage::Column;
+using storage::DataType;
+using storage::Table;
+
+namespace {
+
+bool CompareNumeric(double lhs, CompareOp op, double rhs) {
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+    case CompareOp::kLike:
+      return false;  // LIKE on numerics is rejected upstream
+  }
+  return false;
+}
+
+bool CompareString(const std::string& lhs, CompareOp op,
+                   const std::string& rhs) {
+  switch (op) {
+    case CompareOp::kEq:
+      return lhs == rhs;
+    case CompareOp::kNe:
+      return lhs != rhs;
+    case CompareOp::kLt:
+      return lhs < rhs;
+    case CompareOp::kLe:
+      return lhs <= rhs;
+    case CompareOp::kGt:
+      return lhs > rhs;
+    case CompareOp::kGe:
+      return lhs >= rhs;
+    case CompareOp::kLike:
+      return LikeMatch(lhs, rhs);
+  }
+  return false;
+}
+
+// For string columns, decide the predicate once per dictionary entry and
+// then test codes. Returns a bitmap over dictionary codes.
+std::vector<bool> DictMatches(const Column& col, const FilterPredicate& f) {
+  const auto& dict = col.dict();
+  std::vector<bool> match(dict.size(), false);
+  const std::string& rhs = f.value.AsString();
+  for (size_t i = 0; i < dict.size(); ++i) {
+    match[i] = CompareString(dict[i], f.op, rhs);
+  }
+  return match;
+}
+
+}  // namespace
+
+bool EvalPredicateOnRow(const Table& table, const FilterPredicate& pred,
+                        size_t row) {
+  const Column* col = table.GetColumn(pred.column);
+  MTMLF_CHECK(col != nullptr, "EvalPredicateOnRow: unknown column");
+  if (col->type() == DataType::kString) {
+    return CompareString(col->StringAt(row), pred.op, pred.value.AsString());
+  }
+  return CompareNumeric(col->NumericAt(row), pred.op, pred.value.AsNumeric());
+}
+
+std::vector<uint32_t> EvalFilters(const Table& table,
+                                  const std::vector<FilterPredicate>& filters) {
+  const size_t n = table.num_rows();
+  std::vector<uint32_t> selected;
+  if (filters.empty()) {
+    selected.resize(n);
+    for (size_t i = 0; i < n; ++i) selected[i] = static_cast<uint32_t>(i);
+    return selected;
+  }
+  // Resolve columns and precompute dictionary bitmaps once.
+  struct Prepared {
+    const Column* col;
+    const FilterPredicate* pred;
+    std::vector<bool> dict_match;  // string columns only
+  };
+  std::vector<Prepared> prepared;
+  prepared.reserve(filters.size());
+  for (const auto& f : filters) {
+    const Column* col = table.GetColumn(f.column);
+    MTMLF_CHECK(col != nullptr, "EvalFilters: unknown column");
+    Prepared p{col, &f, {}};
+    if (col->type() == DataType::kString) {
+      p.dict_match = DictMatches(*col, f);
+    }
+    prepared.push_back(std::move(p));
+  }
+  selected.reserve(n / 4 + 1);
+  for (size_t row = 0; row < n; ++row) {
+    bool keep = true;
+    for (const auto& p : prepared) {
+      if (p.col->type() == DataType::kString) {
+        if (!p.dict_match[static_cast<size_t>(p.col->StringCodeAt(row))]) {
+          keep = false;
+          break;
+        }
+      } else if (!CompareNumeric(p.col->NumericAt(row), p.pred->op,
+                                 p.pred->value.AsNumeric())) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) selected.push_back(static_cast<uint32_t>(row));
+  }
+  return selected;
+}
+
+double FilterCardinality(const Table& table,
+                         const std::vector<FilterPredicate>& filters) {
+  return static_cast<double>(EvalFilters(table, filters).size());
+}
+
+}  // namespace mtmlf::exec

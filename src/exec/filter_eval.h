@@ -1,0 +1,32 @@
+#ifndef MTMLF_EXEC_FILTER_EVAL_H_
+#define MTMLF_EXEC_FILTER_EVAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "query/predicate.h"
+#include "storage/table.h"
+
+namespace mtmlf::exec {
+
+/// Evaluates one predicate against one row. Exposed for testing; the bulk
+/// entry point below is what the pipeline uses.
+bool EvalPredicateOnRow(const storage::Table& table,
+                        const query::FilterPredicate& pred, size_t row);
+
+/// Returns the indices of rows in `table` satisfying every predicate in
+/// `filters` (conjunction). Predicates whose table index differs are the
+/// caller's bug and are checked. LIKE evaluation is accelerated by matching
+/// each dictionary entry once.
+std::vector<uint32_t> EvalFilters(
+    const storage::Table& table,
+    const std::vector<query::FilterPredicate>& filters);
+
+/// Number of rows satisfying the conjunction (single-table true
+/// cardinality, the training signal for the paper's Enc_i encoders).
+double FilterCardinality(const storage::Table& table,
+                         const std::vector<query::FilterPredicate>& filters);
+
+}  // namespace mtmlf::exec
+
+#endif  // MTMLF_EXEC_FILTER_EVAL_H_

@@ -1,0 +1,223 @@
+#include "exec/join_counter.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "exec/filter_eval.h"
+
+namespace mtmlf::exec {
+
+using query::JoinPredicate;
+using query::Query;
+using storage::Column;
+using storage::DataType;
+using storage::Database;
+
+namespace {
+
+/// Count accumulator keyed by int64 join-key values. Dense when the value
+/// range is compact (our PK/FK domains are), sparse otherwise.
+class CountMap {
+ public:
+  static CountMap Dense(int64_t min_key, int64_t max_key) {
+    CountMap m;
+    m.dense_ = true;
+    m.offset_ = min_key;
+    m.vec_.assign(static_cast<size_t>(max_key - min_key + 1), 0.0);
+    return m;
+  }
+  static CountMap Sparse() {
+    CountMap m;
+    m.dense_ = false;
+    return m;
+  }
+
+  void Add(int64_t key, double w) {
+    if (dense_) {
+      vec_[static_cast<size_t>(key - offset_)] += w;
+    } else {
+      map_[key] += w;
+    }
+  }
+
+  double Get(int64_t key) const {
+    if (dense_) {
+      int64_t idx = key - offset_;
+      if (idx < 0 || idx >= static_cast<int64_t>(vec_.size())) return 0.0;
+      return vec_[static_cast<size_t>(idx)];
+    }
+    auto it = map_.find(key);
+    return it == map_.end() ? 0.0 : it->second;
+  }
+
+ private:
+  bool dense_ = false;
+  int64_t offset_ = 0;
+  std::vector<double> vec_;
+  std::unordered_map<int64_t, double> map_;
+};
+
+constexpr int64_t kMaxDenseRange = int64_t{1} << 23;  // 8M doubles = 64MB cap
+
+struct NeighborEdge {
+  int neighbor;               // database table index
+  const std::string* my_col;  // column on this table's side
+  const std::string* nb_col;  // column on the neighbor's side
+};
+
+}  // namespace
+
+Result<double> JoinCardinalityEvaluator::Cardinality(
+    const Query& q, const std::vector<int>& subset,
+    const std::unordered_map<int, std::vector<uint32_t>>& filtered_rows)
+    const {
+  if (subset.empty()) {
+    return Status::InvalidArgument("empty subset");
+  }
+  for (int t : subset) {
+    if (filtered_rows.find(t) == filtered_rows.end()) {
+      return Status::InvalidArgument("missing filtered rows for table " +
+                                     db_->table(t).name());
+    }
+  }
+  if (subset.size() == 1) {
+    return static_cast<double>(filtered_rows.at(subset[0]).size());
+  }
+
+  std::vector<JoinPredicate> edges = q.JoinsWithin(subset);
+  if (edges.size() != subset.size() - 1) {
+    return Status::InvalidArgument(
+        "join predicates within subset do not form a tree");
+  }
+  // Adjacency lists keyed by database table index.
+  std::unordered_map<int, std::vector<NeighborEdge>> adj;
+  for (const auto& e : edges) {
+    adj[e.left_table].push_back(
+        NeighborEdge{e.right_table, &e.left_column, &e.right_column});
+    adj[e.right_table].push_back(
+        NeighborEdge{e.left_table, &e.right_column, &e.left_column});
+  }
+
+  // Message passing: ComputeMessage(t, parent, key_col) returns counts of
+  // join results of t's subtree grouped by t.key_col value.
+  // Implemented with an explicit recursion over the (<=11 node) tree.
+  Status error = Status::OK();
+  auto compute =
+      [&](auto&& self, int t, int parent,
+          const std::string* key_col) -> CountMap {
+    const auto& rows = filtered_rows.at(t);
+    const storage::Table& table = db_->table(t);
+
+    // Gather child messages and the columns used to look them up.
+    std::vector<CountMap> child_msgs;
+    std::vector<const Column*> child_cols;
+    for (const auto& nb : adj[t]) {
+      if (nb.neighbor == parent) continue;
+      child_msgs.push_back(self(self, nb.neighbor, t, nb.nb_col));
+      const Column* c = table.GetColumn(*nb.my_col);
+      if (c == nullptr || c->type() != DataType::kInt64) {
+        error = Status::InvalidArgument("join column must be Int64: " +
+                                        table.name() + "." + *nb.my_col);
+        return CountMap::Sparse();
+      }
+      child_cols.push_back(c);
+    }
+    if (!error.ok()) return CountMap::Sparse();
+
+    const Column* out_col = nullptr;
+    if (key_col != nullptr) {
+      out_col = table.GetColumn(*key_col);
+      if (out_col == nullptr || out_col->type() != DataType::kInt64) {
+        error = Status::InvalidArgument("join column must be Int64: " +
+                                        table.name() + "." +
+                                        (key_col ? *key_col : "?"));
+        return CountMap::Sparse();
+      }
+    }
+
+    // Decide dense vs sparse from the key range over filtered rows.
+    CountMap out = CountMap::Sparse();
+    if (out_col != nullptr) {
+      int64_t mn = std::numeric_limits<int64_t>::max();
+      int64_t mx = std::numeric_limits<int64_t>::min();
+      for (uint32_t r : rows) {
+        int64_t v = out_col->Int64At(r);
+        mn = std::min(mn, v);
+        mx = std::max(mx, v);
+      }
+      if (!rows.empty() && mx - mn + 1 <= kMaxDenseRange) {
+        out = CountMap::Dense(mn, mx);
+      }
+    }
+
+    double root_total = 0.0;
+    for (uint32_t r : rows) {
+      double w = 1.0;
+      for (size_t ci = 0; ci < child_msgs.size(); ++ci) {
+        w *= child_msgs[ci].Get(child_cols[ci]->Int64At(r));
+        if (w == 0.0) break;
+      }
+      if (w == 0.0) continue;
+      if (out_col != nullptr) {
+        out.Add(out_col->Int64At(r), w);
+      } else {
+        root_total += w;
+      }
+    }
+    if (out_col == nullptr) {
+      // Root node: smuggle the total out through a 1-entry map.
+      CountMap total = CountMap::Dense(0, 0);
+      total.Add(0, root_total);
+      return total;
+    }
+    return out;
+  };
+
+  CountMap root = compute(compute, subset[0], /*parent=*/-1,
+                          /*key_col=*/nullptr);
+  if (!error.ok()) return error;
+  return root.Get(0);
+}
+
+TrueCardinalityCache::TrueCardinalityCache(const Database* db, const Query* q)
+    : db_(db), q_(q), evaluator_(db) {
+  for (int t : q->tables) {
+    filtered_rows_[t] = EvalFilters(db->table(t), q->FiltersOf(t));
+  }
+}
+
+Result<double> TrueCardinalityCache::CardinalityOfMask(uint32_t mask) {
+  auto it = memo_.find(mask);
+  if (it != memo_.end()) return it->second;
+  std::vector<int> subset;
+  for (size_t i = 0; i < q_->tables.size(); ++i) {
+    if (mask & (1u << i)) subset.push_back(q_->tables[i]);
+  }
+  Result<double> r = evaluator_.Cardinality(*q_, subset, filtered_rows_);
+  if (!r.ok()) return r;
+  memo_.emplace(mask, r.value());
+  return r;
+}
+
+Result<double> TrueCardinalityCache::CardinalityOfTables(
+    const std::vector<int>& tables) {
+  uint32_t mask = 0;
+  for (int t : tables) {
+    int pos = q_->PositionOf(t);
+    if (pos < 0) {
+      return Status::InvalidArgument("table not in query");
+    }
+    mask |= 1u << pos;
+  }
+  return CardinalityOfMask(mask);
+}
+
+double TrueCardinalityCache::FilteredCard(int table) const {
+  auto it = filtered_rows_.find(table);
+  return it == filtered_rows_.end()
+             ? 0.0
+             : static_cast<double>(it->second.size());
+}
+
+}  // namespace mtmlf::exec

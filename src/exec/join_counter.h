@@ -1,0 +1,73 @@
+#ifndef MTMLF_EXEC_JOIN_COUNTER_H_
+#define MTMLF_EXEC_JOIN_COUNTER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "query/query.h"
+#include "storage/database.h"
+
+namespace mtmlf::exec {
+
+/// Exact cardinality of acyclic multi-way equi-joins by message passing
+/// over the query's join tree — the stand-in for executing the query in
+/// PostgreSQL to obtain true cardinalities (Section 6.1). Runs in
+/// O(sum of filtered rows + key domain) per call instead of materializing
+/// the join, which is what makes exhaustive DP labeling (the ECQO oracle)
+/// affordable.
+///
+/// Requirements: join columns are Int64, and the join predicates restricted
+/// to the requested subset form a tree (checked, returns InvalidArgument
+/// otherwise). Our workload generator only emits tree-shaped join queries,
+/// mirroring the acyclic JOB joins.
+class JoinCardinalityEvaluator {
+ public:
+  explicit JoinCardinalityEvaluator(const storage::Database* db) : db_(db) {}
+
+  /// Cardinality of joining `subset` (database table indices, must be a
+  /// connected sub-tree of q's join graph) with q's filters applied.
+  /// `filtered_rows[t]` must hold the filtered row indices for every table
+  /// t in the subset (keyed by database table index).
+  Result<double> Cardinality(
+      const query::Query& q, const std::vector<int>& subset,
+      const std::unordered_map<int, std::vector<uint32_t>>& filtered_rows)
+      const;
+
+ private:
+  const storage::Database* db_;
+};
+
+/// Convenience wrapper caching per-table filtered rows and per-subset
+/// cardinalities for one query. Used by the labeler and the exact-DP
+/// join-order oracle, which probe many overlapping subsets.
+class TrueCardinalityCache {
+ public:
+  TrueCardinalityCache(const storage::Database* db, const query::Query* q);
+
+  /// Cardinality of the connected subset given as a bitmask over positions
+  /// in q->tables. Memoized.
+  Result<double> CardinalityOfMask(uint32_t mask);
+
+  /// Cardinality of a subset of database table indices.
+  Result<double> CardinalityOfTables(const std::vector<int>& tables);
+
+  /// Filtered single-table cardinality by database table index.
+  double FilteredCard(int table) const;
+
+  const std::unordered_map<int, std::vector<uint32_t>>& filtered_rows() const {
+    return filtered_rows_;
+  }
+
+ private:
+  const storage::Database* db_;
+  const query::Query* q_;
+  JoinCardinalityEvaluator evaluator_;
+  std::unordered_map<int, std::vector<uint32_t>> filtered_rows_;
+  std::unordered_map<uint32_t, double> memo_;
+};
+
+}  // namespace mtmlf::exec
+
+#endif  // MTMLF_EXEC_JOIN_COUNTER_H_

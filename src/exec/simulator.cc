@@ -1,0 +1,21 @@
+#include "exec/simulator.h"
+
+#include <cmath>
+
+namespace mtmlf::exec {
+
+double ExecutionSimulator::SimulateMs(const query::PlanNode& root,
+                                      const query::Query& q,
+                                      const storage::Database& db,
+                                      const CardFn& card_of,
+                                      const CostModel& cost_model) {
+  (void)cost_model;
+  double cost = hardware_model_.PlanCost(root, q, db, card_of);
+  double noise = 1.0;
+  if (options_.noise_sigma > 0.0) {
+    noise = std::exp(rng_.Normal(0.0, options_.noise_sigma));
+  }
+  return options_.startup_ms + cost * options_.ms_per_cost_unit * noise;
+}
+
+}  // namespace mtmlf::exec

@@ -1,0 +1,49 @@
+#ifndef MTMLF_FEATURIZE_CONFIG_H_
+#define MTMLF_FEATURIZE_CONFIG_H_
+
+namespace mtmlf::featurize {
+
+/// Hyper-parameters of MTMLF-QO. The paper (Section 6.1) uses transformers
+/// with 3 blocks and 4 heads for each Enc_i, Trans_Share, and Trans_JO, and
+/// two-layer MLPs for M_CardEst / M_CostEst. The default here is slightly
+/// smaller so CPU training finishes in minutes; `PaperScale()` restores the
+/// paper's depths.
+struct ModelConfig {
+  /// Width of the featurization module's outputs (Enc_i, embeddings).
+  int d_feat = 32;
+  /// Width of the shared representation (Trans_Share, Trans_JO).
+  int d_model = 48;
+  int d_ff = 96;
+
+  int enc_layers = 2;
+  int enc_heads = 4;
+  int share_layers = 2;
+  int share_heads = 4;
+  int jo_layers = 2;
+  int jo_heads = 4;
+
+  /// MLP hidden width of the card/cost heads.
+  int head_hidden = 48;
+
+  /// Maximum tree depth covered by the learned tree positional encodings.
+  int max_tree_depth = 12;
+
+  /// Hash buckets for string n-gram value embeddings.
+  int string_hash_buckets = 128;
+
+  static ModelConfig PaperScale() {
+    ModelConfig c;
+    c.enc_layers = 3;
+    c.share_layers = 3;
+    c.jo_layers = 3;
+    c.d_feat = 64;
+    c.d_model = 96;
+    c.d_ff = 192;
+    c.head_hidden = 96;
+    return c;
+  }
+};
+
+}  // namespace mtmlf::featurize
+
+#endif  // MTMLF_FEATURIZE_CONFIG_H_

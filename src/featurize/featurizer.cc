@@ -1,0 +1,141 @@
+#include "featurize/featurizer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mtmlf::featurize {
+
+using query::CompareOp;
+using query::FilterPredicate;
+using storage::DataType;
+using tensor::Tensor;
+
+Featurizer::Featurizer(const storage::Database* db,
+                       const optimizer::BaselineCardEstimator* stats,
+                       const ModelConfig& config, uint64_t seed)
+    : db_(db), stats_(stats), config_(config) {
+  Rng rng(seed);
+  int num_tables = static_cast<int>(db->num_tables());
+  int num_columns = 0;
+  for (int t = 0; t < num_tables; ++t) {
+    const auto& table = db->table(t);
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      column_ids_.emplace(table.name() + "." + table.column(c).name(),
+                          num_columns++);
+    }
+  }
+  table_emb_ = std::make_unique<nn::Embedding>(num_tables, config.d_feat,
+                                               &rng);
+  column_emb_ = std::make_unique<nn::Embedding>(std::max(num_columns, 1),
+                                                config.d_feat, &rng);
+  op_emb_ = std::make_unique<nn::Embedding>(8, config.d_feat, &rng);
+  trigram_emb_ = std::make_unique<nn::Embedding>(config.string_hash_buckets,
+                                                 config.d_feat, &rng);
+  numeric_proj_ = std::make_unique<nn::Linear>(2, config.d_feat, &rng);
+  cls_ = Tensor::Randn(1, config.d_feat, 0.1f, &rng, /*requires_grad=*/true);
+  for (int t = 0; t < num_tables; ++t) {
+    encoders_.push_back(std::make_unique<nn::TransformerEncoder>(
+        config.enc_layers, config.d_feat, config.enc_heads, config.d_ff,
+        &rng));
+    enc_card_heads_.push_back(std::make_unique<nn::Mlp>(
+        std::vector<int>{config.d_feat, config.head_hidden, 1}, &rng));
+  }
+}
+
+int Featurizer::GlobalColumnId(int table, const std::string& column) const {
+  auto it = column_ids_.find(db_->table(table).name() + "." + column);
+  MTMLF_CHECK(it != column_ids_.end(), "Featurizer: unknown column");
+  return it->second;
+}
+
+Tensor Featurizer::EmbedValue(const FilterPredicate& f) const {
+  const auto& col = *db_->table(f.table).GetColumn(f.column);
+  if (col.type() == DataType::kString || f.op == CompareOp::kLike) {
+    // Hashed character trigrams of the literal (wildcards stripped).
+    const std::string& s = f.value.AsString();
+    std::string lit;
+    for (char c : s) {
+      if (c != '%' && c != '_') lit += c;
+    }
+    std::vector<int> ids;
+    if (lit.size() < 3) {
+      ids.push_back(static_cast<int>(
+          std::hash<std::string>{}(lit) % config_.string_hash_buckets));
+    } else {
+      for (size_t i = 0; i + 3 <= lit.size(); ++i) {
+        ids.push_back(static_cast<int>(
+            std::hash<std::string>{}(lit.substr(i, 3)) %
+            config_.string_hash_buckets));
+      }
+    }
+    return tensor::MeanRows(trigram_emb_->Forward(ids));
+  }
+  // Numeric: [min-max normalized value, distinct-fraction] through a
+  // learned projection. Stats come from the ANALYZE pass.
+  const auto* cs = stats_->StatsOf(f.table, f.column);
+  double v = f.value.AsNumeric();
+  double norm = 0.5;
+  if (cs != nullptr && cs->max_value() > cs->min_value()) {
+    norm = (v - cs->min_value()) / (cs->max_value() - cs->min_value());
+  }
+  float ndv_frac =
+      cs == nullptr ? 0.0f
+                    : static_cast<float>(
+                          std::log1p(cs->num_distinct()) / 16.0);
+  return numeric_proj_->Forward(Tensor::FromVector(
+      1, 2, {static_cast<float>(norm), ndv_frac}));
+}
+
+Tensor Featurizer::EmbedPredicate(const FilterPredicate& f) const {
+  std::vector<int> col_id = {GlobalColumnId(f.table, f.column)};
+  std::vector<int> op_id = {static_cast<int>(f.op)};
+  Tensor token = tensor::Add(column_emb_->Forward(col_id),
+                             op_emb_->Forward(op_id));
+  return tensor::Add(token, EmbedValue(f));
+}
+
+Featurizer::TableEncoding Featurizer::EncodeTableFilters(
+    int table, const std::vector<FilterPredicate>& filters) const {
+  std::vector<Tensor> rows = {cls_};
+  for (const auto& f : filters) {
+    MTMLF_CHECK(f.table == table, "EncodeTableFilters: wrong table");
+    rows.push_back(EmbedPredicate(f));
+  }
+  Tensor seq = tensor::ConcatRows(rows);
+  Tensor enc = encoders_[table]->Forward(seq);
+  Tensor repr = tensor::SliceRows(enc, 0, 1);
+  Tensor log_card = enc_card_heads_[table]->Forward(repr);
+  return {repr, log_card};
+}
+
+Tensor Featurizer::TableEmbedding(int table) const {
+  return table_emb_->Forward({table});
+}
+
+Tensor Featurizer::SingleTableLoss(const workload::SingleTableQuery& q) const {
+  TableEncoding enc = EncodeTableFilters(q.table, q.filters);
+  float target = static_cast<float>(std::log1p(q.true_card));
+  return tensor::MeanAll(
+      tensor::Abs(tensor::AddScalar(enc.log_card, -target)));
+}
+
+double Featurizer::PredictFilterCard(
+    int table, const std::vector<FilterPredicate>& filters) const {
+  tensor::NoGradGuard guard;
+  TableEncoding enc = EncodeTableFilters(table, filters);
+  return std::expm1(static_cast<double>(enc.log_card.item()));
+}
+
+void Featurizer::CollectParameters(std::vector<Tensor>* out) {
+  table_emb_->CollectParameters(out);
+  column_emb_->CollectParameters(out);
+  op_emb_->CollectParameters(out);
+  trigram_emb_->CollectParameters(out);
+  numeric_proj_->CollectParameters(out);
+  out->push_back(cls_);
+  for (auto& e : encoders_) e->CollectParameters(out);
+  for (auto& h : enc_card_heads_) h->CollectParameters(out);
+}
+
+}  // namespace mtmlf::featurize

@@ -1,0 +1,91 @@
+#ifndef MTMLF_FEATURIZE_FEATURIZER_H_
+#define MTMLF_FEATURIZE_FEATURIZER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "featurize/config.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/transformer.h"
+#include "optimizer/baseline_card_est.h"
+#include "query/predicate.h"
+#include "storage/database.h"
+#include "tensor/tensor.h"
+#include "workload/generator.h"
+
+namespace mtmlf::featurize {
+
+/// The paper's (F) featurization-and-encoding module for ONE database.
+/// Everything database-specific lives here: table/column/value embeddings
+/// and one transformer encoder Enc per table that summarizes the table's
+/// distribution under a filter predicate (Section 3.2 F.i/F.ii). Each Enc
+/// is pre-trained on single-table cardinality estimation, exactly as the
+/// paper trains Enc_i, and its predicted log-cardinality is exported as a
+/// numeric feature (the distilled ANALYZE-style statistic that lets the
+/// database-agnostic (S)/(T) modules transfer across DBs).
+class Featurizer : public nn::Module {
+ public:
+  Featurizer(const storage::Database* db,
+             const optimizer::BaselineCardEstimator* stats,
+             const ModelConfig& config, uint64_t seed);
+
+  struct TableEncoding {
+    /// E(f(T)): (1, d_feat) distribution summary of the filtered table.
+    tensor::Tensor repr;
+    /// Enc's own log1p(cardinality) prediction, (1, 1).
+    tensor::Tensor log_card;
+  };
+
+  /// Encodes the filter predicates applied to `table` (possibly none).
+  TableEncoding EncodeTableFilters(
+      int table, const std::vector<query::FilterPredicate>& filters) const;
+
+  /// Learned per-table embedding, (1, d_feat).
+  tensor::Tensor TableEmbedding(int table) const;
+
+  /// Pre-training loss for one single-table query: |pred - log1p(card)|
+  /// (log-space q-error, Section 3.2 L).
+  tensor::Tensor SingleTableLoss(const workload::SingleTableQuery& q) const;
+
+  /// Enc's predicted cardinality (not log) for filters on a table;
+  /// inference-only helper.
+  double PredictFilterCard(
+      int table, const std::vector<query::FilterPredicate>& filters) const;
+
+  void CollectParameters(std::vector<tensor::Tensor>* out) override;
+
+  const storage::Database* db() const { return db_; }
+  const optimizer::BaselineCardEstimator* stats() const { return stats_; }
+  const ModelConfig& config() const { return config_; }
+
+ private:
+  /// Embeds one predicate as col_emb + op_emb + value_emb, (1, d_feat).
+  tensor::Tensor EmbedPredicate(const query::FilterPredicate& f) const;
+  /// Value embedding: numeric -> CDF-normalized scalar through a learned
+  /// projection; string/pattern -> mean of hashed character-trigram
+  /// embeddings.
+  tensor::Tensor EmbedValue(const query::FilterPredicate& f) const;
+  int GlobalColumnId(int table, const std::string& column) const;
+
+  const storage::Database* db_;
+  const optimizer::BaselineCardEstimator* stats_;
+  ModelConfig config_;
+
+  std::unique_ptr<nn::Embedding> table_emb_;
+  std::unique_ptr<nn::Embedding> column_emb_;
+  std::unique_ptr<nn::Embedding> op_emb_;
+  std::unique_ptr<nn::Embedding> trigram_emb_;
+  std::unique_ptr<nn::Linear> numeric_proj_;
+  tensor::Tensor cls_;  // learned [CLS] row prepended to predicate tokens
+  std::vector<std::unique_ptr<nn::TransformerEncoder>> encoders_;  // Enc_i
+  std::vector<std::unique_ptr<nn::Mlp>> enc_card_heads_;
+  std::unordered_map<std::string, int> column_ids_;  // "table.column" -> id
+};
+
+}  // namespace mtmlf::featurize
+
+#endif  // MTMLF_FEATURIZE_FEATURIZER_H_

@@ -1,0 +1,134 @@
+#include "featurize/plan_encoder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mtmlf::featurize {
+
+using query::PlanNode;
+using query::Query;
+using tensor::Tensor;
+
+std::vector<float> PlanEncoder::NodeStats(const Query& q,
+                                          const PlanNode& node) const {
+  const auto* db = featurizer_->db();
+  const auto* stats = featurizer_->stats();
+  std::vector<int> tables = node.BaseTables();
+
+  double raw_rows = 0.0;
+  int num_filters = 0;
+  double enc_log_sum = 0.0;
+  double enc_log_min = 1e30;
+  for (int t : tables) {
+    raw_rows += static_cast<double>(db->table(t).num_rows());
+    auto fs = q.FiltersOf(t);
+    num_filters += static_cast<int>(fs.size());
+    double enc_card = featurizer_->PredictFilterCard(t, fs);
+    double lc = std::log1p(std::max(enc_card, 0.0));
+    enc_log_sum += lc;
+    enc_log_min = std::min(enc_log_min, lc);
+  }
+  double est_card = stats->EstimateSubset(q, tables);
+  auto joins = q.JoinsWithin(tables);
+  double ndv_max = 1.0, ndv_min = 1e30;
+  for (const auto& j : joins) {
+    const auto* ls = stats->StatsOf(j.left_table, j.left_column);
+    const auto* rs = stats->StatsOf(j.right_table, j.right_column);
+    double ndv = std::max(ls ? ls->num_distinct() : 1.0,
+                          rs ? rs->num_distinct() : 1.0);
+    ndv_max = std::max(ndv_max, ndv);
+    ndv_min = std::min(ndv_min, ndv);
+  }
+  if (joins.empty()) ndv_min = 1.0;
+
+  std::vector<float> s(kNumStats, 0.0f);
+  s[0] = node.IsLeaf() ? 0.0f : 1.0f;
+  s[1] = static_cast<float>(std::log1p(raw_rows)) / kLogNorm;
+  s[2] = static_cast<float>(std::log1p(est_card)) / kLogNorm;
+  s[3] = static_cast<float>(enc_log_sum) / kLogNorm;
+  s[4] = static_cast<float>(std::log1p(num_filters));
+  s[5] = static_cast<float>(tables.size()) / 12.0f;
+  s[6] = static_cast<float>(enc_log_min) / kLogNorm;
+  s[7] = static_cast<float>(std::log1p(static_cast<double>(joins.size())));
+  s[8] = static_cast<float>(std::log1p(ndv_max)) / kLogNorm;
+  s[9] = static_cast<float>(std::log1p(ndv_min)) / kLogNorm;
+  return s;
+}
+
+Tensor PlanEncoder::EncodeNode(const Query& q, const PlanNode& node,
+                               const std::vector<int>& path) const {
+  const auto& cfg = featurizer_->config();
+  std::vector<int> tables = node.BaseTables();
+
+  // Table-set embedding: mean of per-table embeddings.
+  std::vector<Tensor> tabs;
+  tabs.reserve(tables.size());
+  for (int t : tables) tabs.push_back(featurizer_->TableEmbedding(t));
+  Tensor table_repr = tabs.size() == 1
+                          ? tabs[0]
+                          : tensor::MeanRows(tensor::ConcatRows(tabs));
+
+  // Filter encoding: Enc_i output for scans; zeros for joins.
+  Tensor filter_enc;
+  if (node.IsLeaf()) {
+    filter_enc =
+        featurizer_->EncodeTableFilters(node.table, q.FiltersOf(node.table))
+            .repr;
+  } else {
+    filter_enc = Tensor::Zeros(1, cfg.d_feat);
+  }
+
+  // Physical-op one-hot + stats + tree path, as one constant row.
+  std::vector<float> tail(static_cast<size_t>(query::kNumPhysicalOps) +
+                              kNumStats + 2 * cfg.max_tree_depth,
+                          0.0f);
+  tail[static_cast<size_t>(node.op)] = 1.0f;
+  std::vector<float> stats = NodeStats(q, node);
+  std::copy(stats.begin(), stats.end(),
+            tail.begin() + query::kNumPhysicalOps);
+  size_t path_off = static_cast<size_t>(query::kNumPhysicalOps) + kNumStats;
+  for (size_t d = 0; d < path.size() &&
+                     d < static_cast<size_t>(cfg.max_tree_depth);
+       ++d) {
+    tail[path_off + 2 * d + static_cast<size_t>(path[d])] = 1.0f;
+  }
+  const int tail_cols = static_cast<int>(tail.size());
+  Tensor tail_t = Tensor::FromVector(1, tail_cols, std::move(tail));
+  return tensor::ConcatCols({table_repr, filter_enc, tail_t});
+}
+
+namespace {
+
+void Walk(const PlanEncoder& enc, const Query& q, const PlanNode& node,
+          std::vector<int>* path, std::vector<Tensor>* rows,
+          std::vector<const PlanNode*>* nodes,
+          const std::function<Tensor(const PlanNode&,
+                                     const std::vector<int>&)>& encode) {
+  rows->push_back(encode(node, *path));
+  if (nodes != nullptr) nodes->push_back(&node);
+  if (!node.IsLeaf()) {
+    path->push_back(0);
+    Walk(enc, q, *node.left, path, rows, nodes, encode);
+    path->back() = 1;
+    Walk(enc, q, *node.right, path, rows, nodes, encode);
+    path->pop_back();
+  }
+}
+
+}  // namespace
+
+Tensor PlanEncoder::EncodePlan(const Query& q, const PlanNode& root,
+                               std::vector<const PlanNode*>* nodes_out)
+    const {
+  std::vector<Tensor> rows;
+  std::vector<int> path;
+  auto encode = [this, &q](const PlanNode& n, const std::vector<int>& p) {
+    return EncodeNode(q, n, p);
+  };
+  Walk(*this, q, root, &path, &rows, nodes_out, encode);
+  return tensor::ConcatRows(rows);
+}
+
+}  // namespace mtmlf::featurize

@@ -1,0 +1,64 @@
+#ifndef MTMLF_FEATURIZE_PLAN_ENCODER_H_
+#define MTMLF_FEATURIZE_PLAN_ENCODER_H_
+
+#include <vector>
+
+#include "featurize/featurizer.h"
+#include "query/plan.h"
+#include "query/query.h"
+#include "tensor/tensor.h"
+
+namespace mtmlf::featurize {
+
+/// The paper's serializer (F.iii): converts the tree-structured plan P
+/// into the sequence E(P) = (E(N_1), E(N_2), ...) in pre-order, using tree
+/// positional embeddings (root-to-node left/right path vectors, after Shiv
+/// & Quirk [30]).
+///
+/// Each node row has a FIXED, database-agnostic layout — this is what makes
+/// the downstream (S)/(T) modules transferable across databases:
+///   [ table-set embedding (d_feat)   — mean of (F) table embeddings
+///   | filter encoding E(f(T)) (d_feat) — Enc_i output for scans, zeros for joins
+///   | physical-op one-hot (5)
+///   | numeric statistics (kNumStats) — log-scaled rows / estimated cards /
+///       key NDVs from the ANALYZE pass and the pre-trained Enc_i heads
+///   | tree position (2 * max_tree_depth) — left/right path indicators ]
+class PlanEncoder {
+ public:
+  static constexpr int kNumStats = 10;
+  /// log1p values are divided by this to land roughly in [0, 1].
+  static constexpr float kLogNorm = 13.8155f;  // log(1e6)
+
+  explicit PlanEncoder(const Featurizer* featurizer)
+      : featurizer_(featurizer) {}
+
+  int input_dim() const {
+    const auto& c = featurizer_->config();
+    return 2 * c.d_feat + query::kNumPhysicalOps + kNumStats +
+           2 * c.max_tree_depth;
+  }
+
+  /// Encodes the plan; returns (L, input_dim) with L = #nodes in pre-order.
+  /// `nodes_out`, if non-null, receives the matching pre-order node list.
+  tensor::Tensor EncodePlan(
+      const query::Query& q, const query::PlanNode& root,
+      std::vector<const query::PlanNode*>* nodes_out) const;
+
+  /// The numeric statistics slice for one node (exposed for tests and for
+  /// the Tree-LSTM baseline, which consumes the same features).
+  std::vector<float> NodeStats(const query::Query& q,
+                               const query::PlanNode& node) const;
+
+  const Featurizer* featurizer() const { return featurizer_; }
+
+ private:
+  tensor::Tensor EncodeNode(const query::Query& q,
+                            const query::PlanNode& node,
+                            const std::vector<int>& path) const;
+
+  const Featurizer* featurizer_;
+};
+
+}  // namespace mtmlf::featurize
+
+#endif  // MTMLF_FEATURIZE_PLAN_ENCODER_H_

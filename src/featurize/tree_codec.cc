@@ -1,0 +1,118 @@
+#include "featurize/tree_codec.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace mtmlf::featurize {
+
+using query::PlanNode;
+using query::PlanPtr;
+
+namespace {
+
+int MaxLeafDepth(const PlanNode& node, int depth) {
+  if (node.IsLeaf()) return depth;
+  return std::max(MaxLeafDepth(*node.left, depth + 1),
+                  MaxLeafDepth(*node.right, depth + 1));
+}
+
+void FillEmbeddings(const PlanNode& node, int lo, int hi,
+                    std::vector<TreeDecodingEmbedding>* out, int total) {
+  if (node.IsLeaf()) {
+    TreeDecodingEmbedding e;
+    e.table = node.table;
+    e.positions.assign(static_cast<size_t>(total), 0);
+    for (int i = lo; i < hi; ++i) e.positions[static_cast<size_t>(i)] = 1;
+    out->push_back(std::move(e));
+    return;
+  }
+  int mid = lo + (hi - lo) / 2;
+  FillEmbeddings(*node.left, lo, mid, out, total);
+  FillEmbeddings(*node.right, mid, hi, out, total);
+}
+
+}  // namespace
+
+Result<std::vector<TreeDecodingEmbedding>> TreeDecodingEmbeddings(
+    const PlanNode& root) {
+  auto tables = root.BaseTables();
+  std::unordered_set<int> distinct(tables.begin(), tables.end());
+  if (distinct.size() != tables.size()) {
+    return Status::InvalidArgument("plan has duplicate base tables");
+  }
+  int depth = MaxLeafDepth(root, 0);
+  int total = 1 << depth;
+  std::vector<TreeDecodingEmbedding> out;
+  out.reserve(tables.size());
+  FillEmbeddings(root, 0, total, &out, total);
+  return out;
+}
+
+namespace {
+
+// Recursive inverse: builds the subtree covering complete-tree leaves
+// [lo, hi) from per-leaf table labels. Collapses ranges uniformly labeled
+// with one table into a single scan, as in the paper's "if two siblings
+// are noted the same, their parent will be denoted the same".
+Result<PlanPtr> BuildFromLabels(const std::vector<int>& labels, int lo,
+                                int hi) {
+  bool uniform = true;
+  for (int i = lo + 1; i < hi; ++i) {
+    if (labels[static_cast<size_t>(i)] != labels[static_cast<size_t>(lo)]) {
+      uniform = false;
+      break;
+    }
+  }
+  if (uniform) return query::MakeScan(labels[static_cast<size_t>(lo)]);
+  int mid = lo + (hi - lo) / 2;
+  auto left = BuildFromLabels(labels, lo, mid);
+  if (!left.ok()) return left.status();
+  auto right = BuildFromLabels(labels, mid, hi);
+  if (!right.ok()) return right.status();
+  // A table must not straddle the midpoint without covering the range.
+  auto lt = left.value()->BaseTables();
+  auto rt = right.value()->BaseTables();
+  std::unordered_set<int> seen(lt.begin(), lt.end());
+  for (int t : rt) {
+    if (seen.count(t) > 0) {
+      return Status::InvalidArgument(
+          "inconsistent decoding embeddings: table straddles subtrees");
+    }
+  }
+  return query::MakeJoin(left.take(), right.take());
+}
+
+}  // namespace
+
+Result<PlanPtr> TreeFromDecodingEmbeddings(
+    const std::vector<TreeDecodingEmbedding>& embeddings) {
+  if (embeddings.empty()) {
+    return Status::InvalidArgument("no decoding embeddings");
+  }
+  size_t total = embeddings[0].positions.size();
+  if (total == 0 || (total & (total - 1)) != 0) {
+    return Status::InvalidArgument(
+        "embedding length must be a power of two");
+  }
+  std::vector<int> labels(total, -1);
+  for (const auto& e : embeddings) {
+    if (e.positions.size() != total) {
+      return Status::InvalidArgument("embedding length mismatch");
+    }
+    for (size_t i = 0; i < total; ++i) {
+      if (e.positions[i] == 0) continue;
+      if (labels[i] != -1) {
+        return Status::InvalidArgument("overlapping decoding embeddings");
+      }
+      labels[i] = e.table;
+    }
+  }
+  for (int l : labels) {
+    if (l < 0) {
+      return Status::InvalidArgument("decoding embeddings do not cover tree");
+    }
+  }
+  return BuildFromLabels(labels, 0, static_cast<int>(total));
+}
+
+}  // namespace mtmlf::featurize

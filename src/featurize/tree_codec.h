@@ -1,0 +1,38 @@
+#ifndef MTMLF_FEATURIZE_TREE_CODEC_H_
+#define MTMLF_FEATURIZE_TREE_CODEC_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "query/plan.h"
+
+namespace mtmlf::featurize {
+
+/// The paper's tree-to-seq / seq-to-tree conversion (Section 4.1, Figures
+/// 3-4). A plan tree (left-deep or bushy) is expanded into a complete
+/// binary tree; each base table's *decoding embedding* is the 0/1 vector
+/// over the complete tree's leaves marking the leaves covered by that
+/// table's position. The conversion is invertible: the paper's example,
+/// a 4-table left-deep tree, maps to
+///   T1=[1,0,0,0,0,0,0,0], T2=[0,1,0,0,0,0,0,0],
+///   T3=[0,0,1,1,0,0,0,0], T4=[0,0,0,0,1,1,1,1].
+struct TreeDecodingEmbedding {
+  int table = -1;                // database table index
+  std::vector<int> positions;   // 0/1 vector over complete-tree leaves
+};
+
+/// Computes the decoding embeddings of all leaves of `root`, in leaf order
+/// (left to right). The vector length is 2^depth where depth is the
+/// maximum leaf depth. Fails if the tree has duplicate base tables.
+Result<std::vector<TreeDecodingEmbedding>> TreeDecodingEmbeddings(
+    const query::PlanNode& root);
+
+/// Reverts decoding embeddings to the unique plan tree they encode
+/// (scan/join structure only; physical operators default to hash join).
+/// Fails if the embeddings are inconsistent (overlapping or non-covering).
+Result<query::PlanPtr> TreeFromDecodingEmbeddings(
+    const std::vector<TreeDecodingEmbedding>& embeddings);
+
+}  // namespace mtmlf::featurize
+
+#endif  // MTMLF_FEATURIZE_TREE_CODEC_H_

@@ -1,0 +1,125 @@
+#include "model/beam_search.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mtmlf::model {
+
+namespace {
+
+struct Beam {
+  std::vector<int> positions;
+  double log_prob = 0.0;
+};
+
+// Log-softmax of a logits row restricted to `allowed`; entries outside
+// `allowed` get -inf.
+std::vector<double> MaskedLogSoftmax(const tensor::Tensor& logits,
+                                     const std::vector<bool>& allowed) {
+  int m = logits.cols();
+  double mx = -1e30;
+  for (int j = 0; j < m; ++j) {
+    if (allowed[j]) mx = std::max(mx, static_cast<double>(logits.at(0, j)));
+  }
+  double denom = 0.0;
+  for (int j = 0; j < m; ++j) {
+    if (allowed[j]) denom += std::exp(static_cast<double>(logits.at(0, j)) - mx);
+  }
+  double log_denom = std::log(std::max(denom, 1e-30)) + mx;
+  std::vector<double> out(m, -1e30);
+  for (int j = 0; j < m; ++j) {
+    if (allowed[j]) out[j] = static_cast<double>(logits.at(0, j)) - log_denom;
+  }
+  return out;
+}
+
+bool IsLegalOrder(const std::vector<int>& positions,
+                  const std::vector<std::vector<bool>>& adjacency) {
+  for (size_t i = 1; i < positions.size(); ++i) {
+    bool connected = false;
+    for (size_t s = 0; s < i && !connected; ++s) {
+      if (adjacency[positions[i]][positions[s]]) connected = true;
+    }
+    if (!connected) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<ScoredOrder> BeamSearchJoinOrder(
+    const TransJo& trans_jo, const tensor::Tensor& memory,
+    const std::vector<std::vector<bool>>& adjacency,
+    const BeamSearchOptions& options) {
+  tensor::NoGradGuard guard;
+  const int m = memory.rows();
+  std::vector<Beam> beams = {Beam{}};
+  for (int step = 0; step < m; ++step) {
+    std::vector<Beam> expanded;
+    for (const Beam& b : beams) {
+      // Allowed next tables: unused, and (if legality is on) joined with
+      // the current set via the adjacency matrix.
+      std::vector<bool> allowed(m, true);
+      for (int p : b.positions) allowed[p] = false;
+      if (options.legality && !b.positions.empty()) {
+        for (int j = 0; j < m; ++j) {
+          if (!allowed[j]) continue;
+          bool connected = false;
+          for (int p : b.positions) {
+            if (adjacency[j][p]) {
+              connected = true;
+              break;
+            }
+          }
+          if (!connected) allowed[j] = false;
+        }
+      }
+      bool any = false;
+      for (int j = 0; j < m; ++j) any = any || allowed[j];
+      if (!any) continue;  // dead end (disconnected under legality)
+      tensor::Tensor logits = trans_jo.NextLogits(memory, b.positions);
+      std::vector<double> lp = MaskedLogSoftmax(logits, allowed);
+      // Top beam_width extensions of this beam.
+      std::vector<int> cand;
+      for (int j = 0; j < m; ++j) {
+        if (allowed[j]) cand.push_back(j);
+      }
+      std::sort(cand.begin(), cand.end(),
+                [&lp](int a, int b2) { return lp[a] > lp[b2]; });
+      int take = std::min<int>(options.beam_width,
+                               static_cast<int>(cand.size()));
+      for (int k = 0; k < take; ++k) {
+        Beam nb = b;
+        nb.positions.push_back(cand[k]);
+        nb.log_prob += lp[cand[k]];
+        expanded.push_back(std::move(nb));
+      }
+    }
+    std::sort(expanded.begin(), expanded.end(),
+              [](const Beam& a, const Beam& b) {
+                return a.log_prob > b.log_prob;
+              });
+    if (static_cast<int>(expanded.size()) > options.max_candidates) {
+      expanded.resize(static_cast<size_t>(options.max_candidates));
+    }
+    beams = std::move(expanded);
+    if (beams.empty()) break;
+  }
+  std::vector<ScoredOrder> out;
+  out.reserve(beams.size());
+  for (auto& b : beams) {
+    if (static_cast<int>(b.positions.size()) != m) continue;
+    ScoredOrder so;
+    so.legal = IsLegalOrder(b.positions, adjacency);
+    so.positions = std::move(b.positions);
+    so.log_prob = b.log_prob;
+    out.push_back(std::move(so));
+  }
+  std::sort(out.begin(), out.end(), [](const ScoredOrder& a,
+                                       const ScoredOrder& b) {
+    return a.log_prob > b.log_prob;
+  });
+  return out;
+}
+
+}  // namespace mtmlf::model

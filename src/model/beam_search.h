@@ -1,0 +1,54 @@
+#ifndef MTMLF_MODEL_BEAM_SEARCH_H_
+#define MTMLF_MODEL_BEAM_SEARCH_H_
+
+#include <vector>
+
+#include "model/trans_jo.h"
+#include "tensor/tensor.h"
+
+namespace mtmlf::model {
+
+/// Options of the paper's join-order beam search (Section 4.3).
+struct BeamSearchOptions {
+  int beam_width = 4;
+  /// Upper bound on the candidate set ("we typically set the upper limit
+  /// due to the excessive number" — Section 4.3).
+  int max_candidates = 32;
+  /// Restrict expansion to tables adjacent (per the query's join-predicate
+  /// adjacency matrix) to the already-joined set, guaranteeing executable
+  /// orders. Turning this off yields the unconstrained candidates whose
+  /// illegal members the sequence-level loss (Eq. 3) penalizes.
+  bool legality = true;
+  /// Multi-task re-ranking (MtmlfQo::PredictJoinOrder only): instead of
+  /// returning the max-probability candidate, score the top candidates —
+  /// plus the initial plan's order as a regression guard — with the
+  /// analytic cost model fed by the model's own predicted cardinalities
+  /// (floored by the ANALYZE estimates), and return the cheapest that the
+  /// traditional estimator does not veto. This is the paper's cross-task
+  /// consistency at inference ("the inference of each task can effectively
+  /// take others into consideration", Section 2.3) and is unavailable to
+  /// the single-task MTMLF-JoinSel ablation.
+  bool rerank_by_cost = false;
+  int rerank_top_k = 3;
+};
+
+/// One candidate join order: memory-row positions (indices into q.tables),
+/// its accumulated log-probability, and whether it is executable.
+struct ScoredOrder {
+  std::vector<int> positions;
+  double log_prob = 0.0;
+  bool legal = true;
+};
+
+/// Runs beam search with Trans_JO over `memory` (m table representations).
+/// `adjacency` is the m x m join-legality matrix of the query. Returns all
+/// finished candidates sorted by descending log-probability; the first one
+/// is the predicted join order. Runs under NoGradGuard (inference only).
+std::vector<ScoredOrder> BeamSearchJoinOrder(
+    const TransJo& trans_jo, const tensor::Tensor& memory,
+    const std::vector<std::vector<bool>>& adjacency,
+    const BeamSearchOptions& options);
+
+}  // namespace mtmlf::model
+
+#endif  // MTMLF_MODEL_BEAM_SEARCH_H_

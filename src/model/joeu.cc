@@ -1,0 +1,17 @@
+#include "model/joeu.h"
+
+#include <cstddef>
+
+namespace mtmlf::model {
+
+double Joeu(const std::vector<int>& generated,
+            const std::vector<int>& optimal) {
+  if (generated.size() != optimal.size() || generated.empty()) return 0.0;
+  std::size_t prefix = 0;
+  while (prefix < generated.size() && generated[prefix] == optimal[prefix]) {
+    ++prefix;
+  }
+  return static_cast<double>(prefix) / static_cast<double>(generated.size());
+}
+
+}  // namespace mtmlf::model

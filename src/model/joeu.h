@@ -1,0 +1,18 @@
+#ifndef MTMLF_MODEL_JOEU_H_
+#define MTMLF_MODEL_JOEU_H_
+
+#include <vector>
+
+namespace mtmlf::model {
+
+/// Join Order Evaluation Understudy (paper Section 5): the length of the
+/// common prefix of a generated join order and the optimal one, divided by
+/// the sequence length. 1.0 iff the orders are identical; the rationale is
+/// that once a prefix diverges from the optimal order, the remainder cannot
+/// repair it. Both orders must have the same length; returns 0 otherwise.
+double Joeu(const std::vector<int>& generated,
+            const std::vector<int>& optimal);
+
+}  // namespace mtmlf::model
+
+#endif  // MTMLF_MODEL_JOEU_H_

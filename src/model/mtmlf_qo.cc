@@ -1,0 +1,324 @@
+#include "model/mtmlf_qo.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <cmath>
+
+#include "common/logging.h"
+#include "model/joeu.h"
+
+namespace mtmlf::model {
+
+using query::PlanNode;
+using query::Query;
+using tensor::Tensor;
+using workload::LabeledQuery;
+
+MtmlfQo::MtmlfQo(const featurize::ModelConfig& config, uint64_t seed)
+    : config_(config), rng_(seed) {
+  // Input width of (S) is fixed by the config, not by any database — the
+  // PlanEncoder's node layout is database-agnostic.
+  int input_dim = 2 * config.d_feat + query::kNumPhysicalOps +
+                  featurize::PlanEncoder::kNumStats +
+                  2 * config.max_tree_depth;
+  input_proj_ = std::make_unique<nn::Linear>(input_dim, config.d_model, &rng_);
+  trans_share_ = std::make_unique<nn::TransformerEncoder>(
+      config.share_layers, config.d_model, config.share_heads, config.d_ff,
+      &rng_);
+  card_head_ = std::make_unique<nn::Mlp>(
+      std::vector<int>{config.d_model, config.head_hidden, 1}, &rng_);
+  cost_head_ = std::make_unique<nn::Mlp>(
+      std::vector<int>{config.d_model, config.head_hidden, 1}, &rng_);
+  trans_jo_ = std::make_unique<TransJo>(config, &rng_);
+}
+
+int MtmlfQo::AddDatabase(const storage::Database* db,
+                         const optimizer::BaselineCardEstimator* stats) {
+  featurizers_.push_back(std::make_unique<featurize::Featurizer>(
+      db, stats, config_, rng_.UniformInt(1, 1 << 30)));
+  plan_encoders_.push_back(
+      std::make_unique<featurize::PlanEncoder>(featurizers_.back().get()));
+  return static_cast<int>(featurizers_.size()) - 1;
+}
+
+MtmlfQo::Forward MtmlfQo::Run(int db_index, const Query& q,
+                              const PlanNode& plan) const {
+  Forward fwd;
+  Tensor inputs =
+      plan_encoders_[db_index]->EncodePlan(q, plan, &fwd.nodes);
+  Tensor projected = input_proj_->Forward(inputs);
+  fwd.shared = trans_share_->Forward(projected);  // (L, d_model)
+  fwd.log_card = card_head_->Forward(fwd.shared);
+  fwd.log_cost = cost_head_->Forward(fwd.shared);
+
+  // Join-order memory: the leaf rows of the shared representation, one per
+  // query table, in q.tables order.
+  std::vector<Tensor> mem_rows;
+  mem_rows.reserve(q.tables.size());
+  for (int t : q.tables) {
+    int row = -1;
+    for (size_t i = 0; i < fwd.nodes.size(); ++i) {
+      if (fwd.nodes[i]->IsLeaf() && fwd.nodes[i]->table == t) {
+        row = static_cast<int>(i);
+        break;
+      }
+    }
+    MTMLF_CHECK(row >= 0, "Run: plan does not cover a query table");
+    mem_rows.push_back(tensor::SliceRows(fwd.shared, row, 1));
+  }
+  fwd.jo_memory = tensor::ConcatRows(mem_rows);
+  return fwd;
+}
+
+namespace {
+
+// Mean |prediction - log1p(target)| over plan nodes: the log-space
+// q-error loss L_card / L_cost (Section 3.2 (L)).
+Tensor LogQErrorLoss(const Tensor& predictions,
+                     const std::vector<const PlanNode*>& nodes,
+                     bool use_cost) {
+  std::vector<float> targets;
+  targets.reserve(nodes.size());
+  for (const PlanNode* n : nodes) {
+    double v = use_cost ? n->true_cost : n->true_cardinality;
+    targets.push_back(static_cast<float>(std::log1p(std::max(v, 0.0))));
+  }
+  const int rows = static_cast<int>(targets.size());
+  Tensor target = Tensor::FromVector(rows, 1, std::move(targets));
+  return tensor::MeanAll(tensor::Abs(tensor::Sub(predictions, target)));
+}
+
+// Maps a join order of database table ids to memory-row positions.
+std::vector<int> OrderToPositions(const Query& q,
+                                  const std::vector<int>& order) {
+  std::vector<int> positions;
+  positions.reserve(order.size());
+  for (int t : order) {
+    int pos = q.PositionOf(t);
+    MTMLF_CHECK(pos >= 0, "order references table outside query");
+    positions.push_back(pos);
+  }
+  return positions;
+}
+
+}  // namespace
+
+Tensor MtmlfQo::MultiTaskLoss(const Forward& fwd, const LabeledQuery& lq,
+                              const TaskWeights& weights) const {
+  Tensor loss = Tensor::Zeros(1, 1);
+  if (weights.card > 0.0f) {
+    loss = tensor::Add(loss, tensor::Scale(LogQErrorLoss(fwd.log_card,
+                                                         fwd.nodes,
+                                                         /*use_cost=*/false),
+                                           weights.card));
+  }
+  if (weights.cost > 0.0f) {
+    loss = tensor::Add(loss, tensor::Scale(LogQErrorLoss(fwd.log_cost,
+                                                         fwd.nodes,
+                                                         /*use_cost=*/true),
+                                           weights.cost));
+  }
+  if (weights.jo > 0.0f && lq.optimal_order.size() >= 2) {
+    std::vector<int> target = OrderToPositions(lq.query, lq.optimal_order);
+    Tensor logits = trans_jo_->TeacherForcedLogits(fwd.jo_memory, target);
+    Tensor jo_loss = tensor::CrossEntropyWithLogits(logits, target);
+    loss = tensor::Add(loss, tensor::Scale(jo_loss, weights.jo));
+  }
+  return loss;
+}
+
+Tensor MtmlfQo::SequenceLevelJoLoss(const Forward& fwd,
+                                    const LabeledQuery& lq,
+                                    const BeamSearchOptions& beam_options,
+                                    float lambda_illegal) const {
+  if (lq.optimal_order.size() < 2) return Tensor::Zeros(1, 1);
+  std::vector<int> optimal = OrderToPositions(lq.query, lq.optimal_order);
+  auto adjacency = lq.query.AdjacencyMatrix();
+
+  // Candidate sets from beam search (no gradients inside the search).
+  BeamSearchOptions legal_opts = beam_options;
+  legal_opts.legality = true;
+  auto legal = BeamSearchJoinOrder(*trans_jo_, fwd.jo_memory, adjacency,
+                                   legal_opts);
+  BeamSearchOptions free_opts = beam_options;
+  free_opts.legality = false;
+  auto unconstrained = BeamSearchJoinOrder(*trans_jo_, fwd.jo_memory,
+                                           adjacency, free_opts);
+
+  // Term 1: -log p(u* | x).
+  Tensor optimal_lp = trans_jo_->SequenceLogProb(fwd.jo_memory, optimal);
+  Tensor loss = tensor::Neg(optimal_lp);
+  // Term 2: sum over legal candidates of (1 - JOEU) * log p(u | x).
+  // Eq. 3 as written is unbounded below (log p(u) can be driven to -inf),
+  // which destabilizes training; we only demote candidates that actually
+  // COMPETE with the optimal order (log-prob within a margin of it), which
+  // preserves the intent — lower the likelihood of high-ranked non-optimal
+  // orders — while keeping the loss bounded.
+  constexpr double kCompeteMargin = 2.0;  // nats
+  double optimal_lp_value = static_cast<double>(optimal_lp.item());
+  for (const auto& cand : legal) {
+    if (cand.positions == optimal) continue;
+    if (cand.log_prob < optimal_lp_value - kCompeteMargin) continue;
+    float w = 1.0f - static_cast<float>(Joeu(cand.positions, optimal));
+    if (w <= 0.0f) continue;
+    loss = tensor::Add(
+        loss, tensor::Scale(
+                  trans_jo_->SequenceLogProb(fwd.jo_memory, cand.positions),
+                  w));
+  }
+  // Term 3: lambda * log sum over illegal candidates of p(u | x).
+  std::vector<Tensor> illegal_lps;
+  double max_lp = -1e30;
+  for (const auto& cand : unconstrained) {
+    if (cand.legal) continue;
+    Tensor lp = trans_jo_->SequenceLogProb(fwd.jo_memory, cand.positions);
+    max_lp = std::max(max_lp, static_cast<double>(lp.item()));
+    illegal_lps.push_back(lp);
+  }
+  if (!illegal_lps.empty()) {
+    Tensor acc = Tensor::Zeros(1, 1);
+    for (const auto& lp : illegal_lps) {
+      acc = tensor::Add(acc,
+                        tensor::Exp(tensor::AddScalar(
+                            lp, -static_cast<float>(max_lp))));
+    }
+    Tensor lse = tensor::AddScalar(tensor::Log(acc),
+                                   static_cast<float>(max_lp));
+    loss = tensor::Add(loss, tensor::Scale(lse, lambda_illegal));
+  }
+  return loss;
+}
+
+std::vector<double> MtmlfQo::NodeCardPredictions(const Forward& fwd) const {
+  std::vector<double> out;
+  out.reserve(fwd.nodes.size());
+  for (int i = 0; i < fwd.log_card.rows(); ++i) {
+    out.push_back(std::expm1(
+        std::min(static_cast<double>(fwd.log_card.at(i, 0)), 30.0)));
+  }
+  return out;
+}
+
+std::vector<double> MtmlfQo::NodeCostPredictions(const Forward& fwd) const {
+  std::vector<double> out;
+  out.reserve(fwd.nodes.size());
+  for (int i = 0; i < fwd.log_cost.rows(); ++i) {
+    out.push_back(std::expm1(
+        std::min(static_cast<double>(fwd.log_cost.at(i, 0)), 30.0)));
+  }
+  return out;
+}
+
+Result<std::vector<int>> MtmlfQo::PredictJoinOrder(
+    int db_index, const LabeledQuery& lq,
+    const BeamSearchOptions& options) const {
+  tensor::NoGradGuard guard;
+  if (lq.query.tables.size() == 1) {
+    return std::vector<int>{lq.query.tables[0]};
+  }
+  Forward fwd = Run(db_index, lq.query, *lq.plan);
+  auto adjacency = lq.query.AdjacencyMatrix();
+  auto candidates =
+      BeamSearchJoinOrder(*trans_jo_, fwd.jo_memory, adjacency, options);
+  std::vector<std::vector<int>> legal_orders;
+  for (const auto& cand : candidates) {
+    if (!cand.legal) continue;
+    std::vector<int> order;
+    order.reserve(cand.positions.size());
+    for (int p : cand.positions) order.push_back(lq.query.tables[p]);
+    legal_orders.push_back(std::move(order));
+    if (!options.rerank_by_cost) break;  // highest-probability candidate
+    if (static_cast<int>(legal_orders.size()) >= options.rerank_top_k) break;
+  }
+  if (legal_orders.empty()) {
+    return Status::Internal("beam search produced no legal order");
+  }
+  if (!options.rerank_by_cost) {
+    return legal_orders.front();
+  }
+  // Regression guard: the initial plan's own order competes in the rerank
+  // pool, so the learned optimizer never does much worse than the plan it
+  // was given (the safety net production learned optimizers employ).
+  int initial_index = -1;
+  std::vector<int> initial_order = query::LeftDeepOrderOf(*lq.plan);
+  if (initial_order.size() == lq.query.tables.size()) {
+    initial_index = static_cast<int>(legal_orders.size());
+    legal_orders.push_back(std::move(initial_order));
+  }
+  // Multi-task re-ranking: estimate every candidate plan's cost by feeding
+  // per-node cardinalities into the analytic cost model, and keep the
+  // cheapest. This is the cross-task-consistent inference of Section 2.3
+  // (CardEst serving JoinSel). The cardinality used per node is
+  // max(model prediction, traditional estimate): the traditional estimate
+  // floors the model's occasional tail underestimates on plan shapes it
+  // rarely saw, and because the initial plan is optimal UNDER the
+  // traditional estimates, no candidate that the baseline already
+  // considers explosive can win — the learned signal only overrides the
+  // baseline where it predicts HIGHER cardinalities (the correlated-join
+  // blowups the baseline misses), which bounds the downside.
+  const exec::CostModel cost_model;
+  const storage::Database* db = featurizers_[db_index]->db();
+  const auto* stats = featurizers_[db_index]->stats();
+  double best_cost = 0.0;
+  size_t best = 0;
+  for (size_t i = 0; i < legal_orders.size(); ++i) {
+    query::PlanPtr plan = query::MakeLeftDeepPlan(legal_orders[i]);
+    Forward cand_fwd = Run(db_index, lq.query, *plan);
+    std::vector<double> cards = NodeCardPredictions(cand_fwd);
+    std::unordered_map<const PlanNode*, double> card_of_node;
+    for (size_t n = 0; n < cand_fwd.nodes.size(); ++n) {
+      card_of_node[cand_fwd.nodes[n]] =
+          std::max(cards[n],
+                   stats->EstimateSubset(lq.query,
+                                         cand_fwd.nodes[n]->BaseTables()));
+    }
+    exec::CardFn card_fn = [&card_of_node](const PlanNode& node) {
+      auto it = card_of_node.find(&node);
+      return it == card_of_node.end() ? 1.0 : it->second;
+    };
+    double cost = cost_model.PlanCost(*plan, lq.query, *db, card_fn);
+    if (i == 0 || cost < best_cost) {
+      best_cost = cost;
+      best = i;
+    }
+  }
+  // Final veto anchored on the traditional estimator alone: if ANALYZE
+  // statistics consider the chosen order several times worse than the
+  // initial plan, keep the initial plan. Learned cardinalities decide
+  // among orders the baseline deems comparable; they are not allowed to
+  // overrule the baseline by a large factor, which bounds regressions to
+  // the baseline's own relative-ranking error (the guard deployed learned
+  // optimizers use in practice).
+  if (initial_index >= 0 &&
+      best != static_cast<size_t>(initial_index)) {
+    const std::vector<int>& initial =
+        legal_orders[static_cast<size_t>(initial_index)];
+    exec::CardFn est_fn = [&](const PlanNode& node) {
+      return stats->EstimateSubset(lq.query, node.BaseTables());
+    };
+    query::PlanPtr chosen = query::MakeLeftDeepPlan(legal_orders[best]);
+    query::PlanPtr init_plan = query::MakeLeftDeepPlan(initial);
+    double est_chosen = cost_model.PlanCost(*chosen, lq.query, *db, est_fn);
+    double est_initial =
+        cost_model.PlanCost(*init_plan, lq.query, *db, est_fn);
+    if (est_chosen > 3.0 * est_initial) {
+      return initial;
+    }
+  }
+  return legal_orders[best];
+}
+
+void MtmlfQo::CollectSharedTaskParameters(std::vector<Tensor>* out) {
+  input_proj_->CollectParameters(out);
+  trans_share_->CollectParameters(out);
+  card_head_->CollectParameters(out);
+  cost_head_->CollectParameters(out);
+  trans_jo_->CollectParameters(out);
+}
+
+void MtmlfQo::CollectParameters(std::vector<Tensor>* out) {
+  CollectSharedTaskParameters(out);
+  for (auto& f : featurizers_) f->CollectParameters(out);
+}
+
+}  // namespace mtmlf::model

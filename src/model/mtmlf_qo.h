@@ -1,0 +1,116 @@
+#ifndef MTMLF_MODEL_MTMLF_QO_H_
+#define MTMLF_MODEL_MTMLF_QO_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "featurize/featurizer.h"
+#include "featurize/plan_encoder.h"
+#include "model/beam_search.h"
+#include "model/trans_jo.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/transformer.h"
+#include "workload/labeler.h"
+
+namespace mtmlf::model {
+
+/// Task-enable flags; single-task ablations (MTMLF-CardEst / -CostEst /
+/// -JoinSel of Tables 1-2) disable the other heads.
+struct TaskWeights {
+  float card = 1.0f;
+  float cost = 1.0f;
+  float jo = 1.0f;
+};
+
+/// The full MTMLF-QO model (paper Section 3.2, Figure 2):
+///   (F) one Featurizer per registered database (database-specific);
+///   (S) an input projection + Trans_Share transformer encoder over the
+///       serialized plan (database-agnostic);
+///   (T) M_CardEst / M_CostEst MLP heads and the Trans_JO decoder
+///       (database-agnostic).
+/// The (S)/(T) parameter group is exposed separately so the meta-learning
+/// algorithm (Section 3.3) can train it across databases while featurizers
+/// stay per-database, and so joint training can update (S)/(T) only, as the
+/// paper specifies.
+class MtmlfQo : public nn::Module {
+ public:
+  MtmlfQo(const featurize::ModelConfig& config, uint64_t seed);
+
+  /// Registers a database: creates its (F) featurizer. Returns the db
+  /// index used by the forward/predict calls.
+  int AddDatabase(const storage::Database* db,
+                  const optimizer::BaselineCardEstimator* stats);
+
+  featurize::Featurizer* featurizer(int db_index) {
+    return featurizers_[db_index].get();
+  }
+  const featurize::PlanEncoder& plan_encoder(int db_index) const {
+    return *plan_encoders_[db_index];
+  }
+  int num_databases() const { return static_cast<int>(featurizers_.size()); }
+
+  /// One forward pass over a query + its initial plan.
+  struct Forward {
+    tensor::Tensor shared;    // (L, d_model) — S_i per pre-order plan node
+    tensor::Tensor log_card;  // (L, 1) — M_CardEst output (log1p space)
+    tensor::Tensor log_cost;  // (L, 1) — M_CostEst output (log1p ms)
+    std::vector<const query::PlanNode*> nodes;  // pre-order
+    tensor::Tensor jo_memory;  // (m, d_model) — leaf rows, q.tables order
+  };
+  Forward Run(int db_index, const query::Query& q,
+              const query::PlanNode& plan) const;
+
+  /// The joint loss of Eq. 1: w_card*L_card + w_cost*L_cost + w_jo*L_jo.
+  /// Card/cost losses are log-space q-error (|pred - log1p(truth)|,
+  /// averaged over all plan nodes); the join-order loss is the token-level
+  /// cross entropy against lq.optimal_order (skipped when absent).
+  tensor::Tensor MultiTaskLoss(const Forward& fwd,
+                               const workload::LabeledQuery& lq,
+                               const TaskWeights& weights) const;
+
+  /// The sequence-level join-order loss of Section 5 (Eq. 3), built from
+  /// beam-search candidates:
+  ///   -log p(u*) + sum_legal (1-JOEU(u,u*)) log p(u)
+  ///             + lambda * logsumexp_illegal log p(u).
+  tensor::Tensor SequenceLevelJoLoss(const Forward& fwd,
+                                     const workload::LabeledQuery& lq,
+                                     const BeamSearchOptions& beam_options,
+                                     float lambda_illegal) const;
+
+  /// Per-node predicted cardinalities / costs (inference helpers).
+  std::vector<double> NodeCardPredictions(const Forward& fwd) const;
+  std::vector<double> NodeCostPredictions(const Forward& fwd) const;
+
+  /// Predicts a join order (database table indices) with the legality-
+  /// constrained beam search; guaranteed executable.
+  Result<std::vector<int>> PredictJoinOrder(
+      int db_index, const workload::LabeledQuery& lq,
+      const BeamSearchOptions& options) const;
+
+  /// Parameters of (S) + (T) only (what joint training and MLA update).
+  void CollectSharedTaskParameters(std::vector<tensor::Tensor>* out);
+  /// All parameters including featurizers.
+  void CollectParameters(std::vector<tensor::Tensor>* out) override;
+
+  const featurize::ModelConfig& config() const { return config_; }
+  const TransJo& trans_jo() const { return *trans_jo_; }
+
+ private:
+  featurize::ModelConfig config_;
+  Rng rng_;
+  std::vector<std::unique_ptr<featurize::Featurizer>> featurizers_;
+  std::vector<std::unique_ptr<featurize::PlanEncoder>> plan_encoders_;
+  // (S)
+  std::unique_ptr<nn::Linear> input_proj_;
+  std::unique_ptr<nn::TransformerEncoder> trans_share_;
+  // (T)
+  std::unique_ptr<nn::Mlp> card_head_;
+  std::unique_ptr<nn::Mlp> cost_head_;
+  std::unique_ptr<TransJo> trans_jo_;
+};
+
+}  // namespace mtmlf::model
+
+#endif  // MTMLF_MODEL_MTMLF_QO_H_

@@ -1,0 +1,72 @@
+#include "model/trans_jo.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mtmlf::model {
+
+using tensor::Tensor;
+
+TransJo::TransJo(const featurize::ModelConfig& config, Rng* rng)
+    : d_model_(config.d_model),
+      decoder_(config.jo_layers, config.d_model, config.jo_heads, config.d_ff,
+               rng),
+      ptr_proj_(config.d_model, config.d_model, rng),
+      bos_(Tensor::Randn(1, config.d_model, 0.1f, rng,
+                         /*requires_grad=*/true)) {}
+
+Tensor TransJo::DecoderInputs(const Tensor& memory,
+                              const std::vector<int>& prefix,
+                              int num_rows) const {
+  std::vector<Tensor> rows = {bos_};
+  for (int i = 0; i < num_rows - 1; ++i) {
+    MTMLF_CHECK(prefix[i] >= 0 && prefix[i] < memory.rows(),
+                "TransJo: prefix position out of range");
+    rows.push_back(tensor::SliceRows(memory, prefix[i], 1));
+  }
+  Tensor x = tensor::ConcatRows(rows);
+  Tensor pos = nn::SinusoidalPositionalEncoding(num_rows, d_model_);
+  return tensor::Add(x, pos);
+}
+
+Tensor TransJo::TeacherForcedLogits(const Tensor& memory,
+                                    const std::vector<int>& target) const {
+  int m = static_cast<int>(target.size());
+  MTMLF_CHECK(m >= 1, "TransJo: empty target");
+  Tensor x = DecoderInputs(memory, target, m);
+  Tensor h = decoder_.Forward(x, memory);  // (m, d_model)
+  Tensor keys = ptr_proj_.Forward(memory);  // (m_mem, d_model)
+  Tensor logits = tensor::Scale(
+      tensor::MatMul(h, tensor::Transpose(keys)),
+      1.0f / std::sqrt(static_cast<float>(d_model_)));
+  return logits;  // (m, m_mem)
+}
+
+Tensor TransJo::NextLogits(const Tensor& memory,
+                           const std::vector<int>& prefix) const {
+  int rows = static_cast<int>(prefix.size()) + 1;
+  Tensor x = DecoderInputs(memory, prefix, rows);
+  Tensor h = decoder_.Forward(x, memory);
+  Tensor last = tensor::SliceRows(h, rows - 1, 1);
+  Tensor keys = ptr_proj_.Forward(memory);
+  return tensor::Scale(tensor::MatMul(last, tensor::Transpose(keys)),
+                       1.0f / std::sqrt(static_cast<float>(d_model_)));
+}
+
+Tensor TransJo::SequenceLogProb(const Tensor& memory,
+                                const std::vector<int>& order) const {
+  Tensor logits = TeacherForcedLogits(memory, order);
+  // CrossEntropyWithLogits returns the MEAN negative log-likelihood;
+  // the sequence log-probability is -m * that.
+  Tensor ce = tensor::CrossEntropyWithLogits(logits, order);
+  return tensor::Scale(ce, -static_cast<float>(order.size()));
+}
+
+void TransJo::CollectParameters(std::vector<Tensor>* out) {
+  decoder_.CollectParameters(out);
+  ptr_proj_.CollectParameters(out);
+  out->push_back(bos_);
+}
+
+}  // namespace mtmlf::model

@@ -1,0 +1,66 @@
+#ifndef MTMLF_MODEL_TRANS_JO_H_
+#define MTMLF_MODEL_TRANS_JO_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "featurize/config.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "nn/transformer.h"
+#include "tensor/tensor.h"
+
+namespace mtmlf::model {
+
+/// The paper's Trans_JO (Section 4): a transformer decoder that generates
+/// the join order as a sequence, conditioned on the shared table
+/// representations (S_1..S_m) from Trans_Share.
+///
+/// One deliberate refinement over the paper's description: the paper fixes
+/// the output P_t to a length-n multinoulli over the n tables of one
+/// database. We instead produce pointer logits over the m tables of the
+/// query — logit(t, j) = <h_t W, S_j> — which is equivalent for a single
+/// database but has no dimension tied to a particular schema, so the same
+/// (T) module transfers across databases unchanged (the property Section
+/// 3.3's MLA needs). DESIGN.md documents this substitution.
+class TransJo : public nn::Module {
+ public:
+  TransJo(const featurize::ModelConfig& config, Rng* rng);
+
+  /// Teacher-forced pass: `target` holds memory-row positions of the true
+  /// order (length m). Returns logits (m, m); row t is the distribution
+  /// over tables for step t, conditioned on the true prefix target[0..t-1]
+  /// ("teacher forcing", Section 4.2).
+  tensor::Tensor TeacherForcedLogits(const tensor::Tensor& memory,
+                                     const std::vector<int>& target) const;
+
+  /// Incremental decode for beam search: logits (1, m) for the next table
+  /// given the chosen prefix (memory-row positions).
+  tensor::Tensor NextLogits(const tensor::Tensor& memory,
+                            const std::vector<int>& prefix) const;
+
+  /// Differentiable log p(order | memory): the sum over steps of the
+  /// log-softmax probability of the order's table. Used by both the
+  /// token-level loss and the sequence-level loss of Section 5.
+  tensor::Tensor SequenceLogProb(const tensor::Tensor& memory,
+                                 const std::vector<int>& order) const;
+
+  void CollectParameters(std::vector<tensor::Tensor>* out) override;
+
+ private:
+  /// Builds decoder input rows for a (possibly partial) order prefix:
+  /// row 0 is the learned BOS, row t+1 embeds the table chosen at step t,
+  /// all with sinusoidal positions added.
+  tensor::Tensor DecoderInputs(const tensor::Tensor& memory,
+                               const std::vector<int>& prefix,
+                               int num_rows) const;
+
+  int d_model_;
+  nn::TransformerDecoder decoder_;
+  nn::Linear ptr_proj_;
+  tensor::Tensor bos_;
+};
+
+}  // namespace mtmlf::model
+
+#endif  // MTMLF_MODEL_TRANS_JO_H_

@@ -1,0 +1,72 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mtmlf::nn {
+
+using tensor::Tensor;
+
+Linear::Linear(int in_features, int out_features, Rng* rng)
+    : weight_(Tensor::Randn(
+          in_features, out_features,
+          std::sqrt(2.0f / static_cast<float>(in_features + out_features)),
+          rng, /*requires_grad=*/true)),
+      bias_(Tensor::Zeros(1, out_features, /*requires_grad=*/true)) {}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  return tensor::Add(tensor::MatMul(x, weight_), bias_);
+}
+
+void Linear::CollectParameters(std::vector<Tensor>* out) {
+  out->push_back(weight_);
+  out->push_back(bias_);
+}
+
+LayerNorm::LayerNorm(int features)
+    : gamma_(Tensor::Full(1, features, 1.0f, /*requires_grad=*/true)),
+      beta_(Tensor::Zeros(1, features, /*requires_grad=*/true)) {}
+
+Tensor LayerNorm::Forward(const Tensor& x) const {
+  return tensor::LayerNormRows(x, gamma_, beta_);
+}
+
+void LayerNorm::CollectParameters(std::vector<Tensor>* out) {
+  out->push_back(gamma_);
+  out->push_back(beta_);
+}
+
+Embedding::Embedding(int vocab_size, int dim, Rng* rng)
+    : table_(Tensor::Randn(vocab_size, dim, 0.1f, rng,
+                           /*requires_grad=*/true)) {}
+
+Tensor Embedding::Forward(const std::vector<int>& ids) const {
+  return tensor::EmbedRows(table_, ids);
+}
+
+void Embedding::CollectParameters(std::vector<Tensor>* out) {
+  out->push_back(table_);
+}
+
+Mlp::Mlp(const std::vector<int>& dims, Rng* rng) {
+  MTMLF_CHECK(dims.size() >= 2, "Mlp needs at least in and out dims");
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.emplace_back(dims[i], dims[i + 1], rng);
+  }
+}
+
+Tensor Mlp::Forward(const Tensor& x) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i].Forward(h);
+    if (i + 1 < layers_.size()) h = tensor::Relu(h);
+  }
+  return h;
+}
+
+void Mlp::CollectParameters(std::vector<Tensor>* out) {
+  for (auto& l : layers_) l.CollectParameters(out);
+}
+
+}  // namespace mtmlf::nn

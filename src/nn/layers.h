@@ -1,0 +1,78 @@
+#ifndef MTMLF_NN_LAYERS_H_
+#define MTMLF_NN_LAYERS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace mtmlf::nn {
+
+/// Affine map y = x W + b with Xavier-uniform-equivalent Gaussian init.
+class Linear : public Module {
+ public:
+  Linear(int in_features, int out_features, Rng* rng);
+
+  /// x: (L, in) -> (L, out).
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  void CollectParameters(std::vector<tensor::Tensor>* out) override;
+
+  const tensor::Tensor& weight() const { return weight_; }
+  const tensor::Tensor& bias() const { return bias_; }
+
+ private:
+  tensor::Tensor weight_;  // (in, out)
+  tensor::Tensor bias_;    // (1, out)
+};
+
+/// Per-row layer normalization with learned scale/shift.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int features);
+
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  void CollectParameters(std::vector<tensor::Tensor>* out) override;
+
+ private:
+  tensor::Tensor gamma_;  // (1, features), init 1
+  tensor::Tensor beta_;   // (1, features), init 0
+};
+
+/// Learned embedding table: ids -> (|ids|, dim).
+class Embedding : public Module {
+ public:
+  Embedding(int vocab_size, int dim, Rng* rng);
+
+  tensor::Tensor Forward(const std::vector<int>& ids) const;
+
+  void CollectParameters(std::vector<tensor::Tensor>* out) override;
+
+  int vocab_size() const { return table_.rows(); }
+  int dim() const { return table_.cols(); }
+
+ private:
+  tensor::Tensor table_;
+};
+
+/// Multi-layer perceptron with ReLU between hidden layers and a linear
+/// output layer. Implements the paper's M_CardEst / M_CostEst heads
+/// ("two-layer MLPs", Section 6.1).
+class Mlp : public Module {
+ public:
+  /// dims = {in, hidden..., out}.
+  Mlp(const std::vector<int>& dims, Rng* rng);
+
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  void CollectParameters(std::vector<tensor::Tensor>* out) override;
+
+ private:
+  std::vector<Linear> layers_;
+};
+
+}  // namespace mtmlf::nn
+
+#endif  // MTMLF_NN_LAYERS_H_

@@ -1,0 +1,38 @@
+#ifndef MTMLF_NN_MODULE_H_
+#define MTMLF_NN_MODULE_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mtmlf::nn {
+
+/// Base interface for anything holding trainable parameters. Modules
+/// expose their parameters so the optimizer can update them and the
+/// meta-learning code can freeze/copy module groups (the paper's (F) vs.
+/// (S)/(T) split).
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Appends every trainable tensor of this module (and submodules).
+  virtual void CollectParameters(std::vector<tensor::Tensor>* out) = 0;
+
+  /// Convenience: all parameters as a fresh vector.
+  std::vector<tensor::Tensor> Parameters() {
+    std::vector<tensor::Tensor> out;
+    CollectParameters(&out);
+    return out;
+  }
+
+  /// Total number of scalar parameters.
+  size_t NumParameters() {
+    size_t n = 0;
+    for (const auto& p : Parameters()) n += p.size();
+    return n;
+  }
+};
+
+}  // namespace mtmlf::nn
+
+#endif  // MTMLF_NN_MODULE_H_

@@ -1,0 +1,58 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace mtmlf::nn {
+
+Adam::Adam(std::vector<tensor::Tensor> parameters, Options options)
+    : params_(std::move(parameters)), options_(options) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (auto& p : params_) {
+    m_.emplace_back(p.size(), 0.0f);
+    v_.emplace_back(p.size(), 0.0f);
+    p.ZeroGrad();
+  }
+}
+
+void Adam::Step(float scale) {
+  ++t_;
+  float bias1 = 1.0f - std::pow(options_.beta1, static_cast<float>(t_));
+  float bias2 = 1.0f - std::pow(options_.beta2, static_cast<float>(t_));
+  for (size_t pi = 0; pi < params_.size(); ++pi) {
+    auto& p = params_[pi];
+    auto& g = p.grad();
+    if (g.empty()) continue;  // parameter unused in this step's graphs
+    float clip_factor = scale;
+    if (options_.grad_clip_norm > 0.0f) {
+      double norm_sq = 0.0;
+      for (float gv : g) {
+        double s = static_cast<double>(gv) * scale;
+        norm_sq += s * s;
+      }
+      double norm = std::sqrt(norm_sq);
+      if (norm > options_.grad_clip_norm) {
+        clip_factor =
+            scale * static_cast<float>(options_.grad_clip_norm / norm);
+      }
+    }
+    float* data = p.data();
+    for (size_t i = 0; i < g.size(); ++i) {
+      float gv = g[i] * clip_factor;
+      m_[pi][i] = options_.beta1 * m_[pi][i] + (1.0f - options_.beta1) * gv;
+      v_[pi][i] =
+          options_.beta2 * v_[pi][i] + (1.0f - options_.beta2) * gv * gv;
+      float mhat = m_[pi][i] / bias1;
+      float vhat = v_[pi][i] / bias2;
+      data[i] -=
+          options_.learning_rate * mhat / (std::sqrt(vhat) + options_.eps);
+    }
+  }
+  ZeroGrad();
+}
+
+void Adam::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+}  // namespace mtmlf::nn

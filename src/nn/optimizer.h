@@ -1,0 +1,46 @@
+#ifndef MTMLF_NN_OPTIMIZER_H_
+#define MTMLF_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mtmlf::nn {
+
+/// Adam optimizer (Kingma & Ba, the paper's reference [14]); the paper
+/// trains MTMLF-QO with Adam at lr = 1e-4. Gradients accumulate across
+/// Backward() calls until Step()/ZeroGrad().
+class Adam {
+ public:
+  struct Options {
+    float learning_rate = 1e-3f;
+    float beta1 = 0.9f;
+    float beta2 = 0.999f;
+    float eps = 1e-8f;
+    /// Clip each parameter's gradient L2 norm (0 disables clipping).
+    float grad_clip_norm = 5.0f;
+  };
+
+  Adam(std::vector<tensor::Tensor> parameters, Options options);
+
+  /// Applies one Adam update from the accumulated gradients, then clears
+  /// them. `scale` divides the gradients first (use 1/batch_size when
+  /// accumulating per-example losses).
+  void Step(float scale = 1.0f);
+
+  void ZeroGrad();
+
+  void set_learning_rate(float lr) { options_.learning_rate = lr; }
+  float learning_rate() const { return options_.learning_rate; }
+
+ private:
+  std::vector<tensor::Tensor> params_;
+  Options options_;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+  int64_t t_ = 0;
+};
+
+}  // namespace mtmlf::nn
+
+#endif  // MTMLF_NN_OPTIMIZER_H_

@@ -1,0 +1,181 @@
+#include "nn/transformer.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mtmlf::nn {
+
+using tensor::Tensor;
+
+MultiHeadAttention::MultiHeadAttention(int d_model, int num_heads, Rng* rng)
+    : d_model_(d_model),
+      num_heads_(num_heads),
+      d_head_(d_model / num_heads),
+      wq_(d_model, d_model, rng),
+      wk_(d_model, d_model, rng),
+      wv_(d_model, d_model, rng),
+      wo_(d_model, d_model, rng) {
+  MTMLF_CHECK(d_model % num_heads == 0,
+              "MultiHeadAttention: d_model must be divisible by num_heads");
+}
+
+Tensor MultiHeadAttention::Forward(const Tensor& query,
+                                   const Tensor& key_value,
+                                   bool causal) const {
+  const int lq = query.rows();
+  const int lk = key_value.rows();
+  if (causal) {
+    MTMLF_CHECK(lq == lk, "causal attention requires square score matrix");
+  }
+  Tensor q = wq_.Forward(query);      // (Lq, d)
+  Tensor k = wk_.Forward(key_value);  // (Lk, d)
+  Tensor v = wv_.Forward(key_value);  // (Lk, d)
+
+  // Additive causal mask shared by all heads.
+  std::vector<float> mask;
+  if (causal) {
+    mask.assign(static_cast<size_t>(lq) * lk, 0.0f);
+    for (int i = 0; i < lq; ++i) {
+      for (int j = i + 1; j < lk; ++j) {
+        mask[static_cast<size_t>(i) * lk + j] = -1e9f;
+      }
+    }
+  }
+
+  float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(d_head_));
+  std::vector<Tensor> heads;
+  heads.reserve(num_heads_);
+  for (int h = 0; h < num_heads_; ++h) {
+    Tensor qh = tensor::SliceCols(q, h * d_head_, d_head_);
+    Tensor kh = tensor::SliceCols(k, h * d_head_, d_head_);
+    Tensor vh = tensor::SliceCols(v, h * d_head_, d_head_);
+    Tensor scores =
+        tensor::Scale(tensor::MatMul(qh, tensor::Transpose(kh)), inv_sqrt);
+    Tensor attn = tensor::SoftmaxRows(scores, causal ? &mask : nullptr);
+    heads.push_back(tensor::MatMul(attn, vh));  // (Lq, d_head)
+  }
+  Tensor concat = tensor::ConcatCols(heads);  // (Lq, d)
+  return wo_.Forward(concat);
+}
+
+void MultiHeadAttention::CollectParameters(std::vector<Tensor>* out) {
+  wq_.CollectParameters(out);
+  wk_.CollectParameters(out);
+  wv_.CollectParameters(out);
+  wo_.CollectParameters(out);
+}
+
+TransformerEncoderLayer::TransformerEncoderLayer(int d_model, int num_heads,
+                                                 int d_ff, Rng* rng)
+    : mha_(d_model, num_heads, rng),
+      ff1_(d_model, d_ff, rng),
+      ff2_(d_ff, d_model, rng),
+      ln1_(d_model),
+      ln2_(d_model) {}
+
+Tensor TransformerEncoderLayer::Forward(const Tensor& x) const {
+  Tensor h = ln1_.Forward(x);
+  Tensor attn = mha_.Forward(h, h, /*causal=*/false);
+  Tensor x1 = tensor::Add(x, attn);
+  Tensor h2 = ln2_.Forward(x1);
+  Tensor ff = ff2_.Forward(tensor::Relu(ff1_.Forward(h2)));
+  return tensor::Add(x1, ff);
+}
+
+void TransformerEncoderLayer::CollectParameters(std::vector<Tensor>* out) {
+  mha_.CollectParameters(out);
+  ff1_.CollectParameters(out);
+  ff2_.CollectParameters(out);
+  ln1_.CollectParameters(out);
+  ln2_.CollectParameters(out);
+}
+
+TransformerEncoder::TransformerEncoder(int num_layers, int d_model,
+                                       int num_heads, int d_ff, Rng* rng)
+    : d_model_(d_model), final_ln_(d_model) {
+  for (int i = 0; i < num_layers; ++i) {
+    layers_.push_back(std::make_unique<TransformerEncoderLayer>(
+        d_model, num_heads, d_ff, rng));
+  }
+}
+
+Tensor TransformerEncoder::Forward(const Tensor& x) const {
+  Tensor h = x;
+  for (const auto& layer : layers_) h = layer->Forward(h);
+  return final_ln_.Forward(h);
+}
+
+void TransformerEncoder::CollectParameters(std::vector<Tensor>* out) {
+  for (auto& l : layers_) l->CollectParameters(out);
+  final_ln_.CollectParameters(out);
+}
+
+TransformerDecoderLayer::TransformerDecoderLayer(int d_model, int num_heads,
+                                                 int d_ff, Rng* rng)
+    : self_mha_(d_model, num_heads, rng),
+      cross_mha_(d_model, num_heads, rng),
+      ff1_(d_model, d_ff, rng),
+      ff2_(d_ff, d_model, rng),
+      ln1_(d_model),
+      ln2_(d_model),
+      ln3_(d_model) {}
+
+Tensor TransformerDecoderLayer::Forward(const Tensor& x,
+                                        const Tensor& memory) const {
+  Tensor h1 = ln1_.Forward(x);
+  Tensor x1 = tensor::Add(x, self_mha_.Forward(h1, h1, /*causal=*/true));
+  Tensor h2 = ln2_.Forward(x1);
+  Tensor x2 =
+      tensor::Add(x1, cross_mha_.Forward(h2, memory, /*causal=*/false));
+  Tensor h3 = ln3_.Forward(x2);
+  Tensor ff = ff2_.Forward(tensor::Relu(ff1_.Forward(h3)));
+  return tensor::Add(x2, ff);
+}
+
+void TransformerDecoderLayer::CollectParameters(std::vector<Tensor>* out) {
+  self_mha_.CollectParameters(out);
+  cross_mha_.CollectParameters(out);
+  ff1_.CollectParameters(out);
+  ff2_.CollectParameters(out);
+  ln1_.CollectParameters(out);
+  ln2_.CollectParameters(out);
+  ln3_.CollectParameters(out);
+}
+
+TransformerDecoder::TransformerDecoder(int num_layers, int d_model,
+                                       int num_heads, int d_ff, Rng* rng)
+    : final_ln_(d_model) {
+  for (int i = 0; i < num_layers; ++i) {
+    layers_.push_back(std::make_unique<TransformerDecoderLayer>(
+        d_model, num_heads, d_ff, rng));
+  }
+}
+
+Tensor TransformerDecoder::Forward(const Tensor& x,
+                                   const Tensor& memory) const {
+  Tensor h = x;
+  for (const auto& layer : layers_) h = layer->Forward(h, memory);
+  return final_ln_.Forward(h);
+}
+
+void TransformerDecoder::CollectParameters(std::vector<Tensor>* out) {
+  for (auto& l : layers_) l->CollectParameters(out);
+  final_ln_.CollectParameters(out);
+}
+
+Tensor SinusoidalPositionalEncoding(int length, int d_model) {
+  std::vector<float> data(static_cast<size_t>(length) * d_model);
+  for (int pos = 0; pos < length; ++pos) {
+    for (int i = 0; i < d_model; ++i) {
+      double angle =
+          pos / std::pow(10000.0, 2.0 * (i / 2) / static_cast<double>(d_model));
+      data[static_cast<size_t>(pos) * d_model + i] =
+          (i % 2 == 0) ? static_cast<float>(std::sin(angle))
+                       : static_cast<float>(std::cos(angle));
+    }
+  }
+  return Tensor::FromVector(length, d_model, std::move(data));
+}
+
+}  // namespace mtmlf::nn

@@ -1,0 +1,110 @@
+#ifndef MTMLF_NN_TRANSFORMER_H_
+#define MTMLF_NN_TRANSFORMER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace mtmlf::nn {
+
+/// Scaled dot-product multi-head attention (Vaswani et al., the paper's
+/// reference [35]). Operates on single sequences: query (Lq, d), key/value
+/// (Lk, d). A causal mask restricts position i to attend to j <= i.
+class MultiHeadAttention : public Module {
+ public:
+  MultiHeadAttention(int d_model, int num_heads, Rng* rng);
+
+  /// Self- or cross-attention. If `causal` is true, Lq must equal Lk.
+  tensor::Tensor Forward(const tensor::Tensor& query,
+                         const tensor::Tensor& key_value, bool causal) const;
+
+  void CollectParameters(std::vector<tensor::Tensor>* out) override;
+
+ private:
+  int d_model_;
+  int num_heads_;
+  int d_head_;
+  Linear wq_, wk_, wv_, wo_;
+};
+
+/// Pre-LayerNorm transformer encoder layer:
+///   x = x + MHA(LN(x)); x = x + FFN(LN(x)).
+class TransformerEncoderLayer : public Module {
+ public:
+  TransformerEncoderLayer(int d_model, int num_heads, int d_ff, Rng* rng);
+
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  void CollectParameters(std::vector<tensor::Tensor>* out) override;
+
+ private:
+  MultiHeadAttention mha_;
+  Linear ff1_, ff2_;
+  LayerNorm ln1_, ln2_;
+};
+
+/// Stack of encoder layers with a final LayerNorm. This is the shape of the
+/// paper's Enc_i single-table encoders and the Trans_Share module.
+class TransformerEncoder : public Module {
+ public:
+  TransformerEncoder(int num_layers, int d_model, int num_heads, int d_ff,
+                     Rng* rng);
+
+  /// (L, d) -> (L, d).
+  tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  void CollectParameters(std::vector<tensor::Tensor>* out) override;
+
+  int d_model() const { return d_model_; }
+
+ private:
+  int d_model_;
+  std::vector<std::unique_ptr<TransformerEncoderLayer>> layers_;
+  LayerNorm final_ln_;
+};
+
+/// Pre-LN transformer decoder layer with causal self-attention and cross
+/// attention over the encoder memory (the paper's Trans_JO building block).
+class TransformerDecoderLayer : public Module {
+ public:
+  TransformerDecoderLayer(int d_model, int num_heads, int d_ff, Rng* rng);
+
+  tensor::Tensor Forward(const tensor::Tensor& x,
+                         const tensor::Tensor& memory) const;
+
+  void CollectParameters(std::vector<tensor::Tensor>* out) override;
+
+ private:
+  MultiHeadAttention self_mha_, cross_mha_;
+  Linear ff1_, ff2_;
+  LayerNorm ln1_, ln2_, ln3_;
+};
+
+/// Stack of decoder layers with a final LayerNorm.
+class TransformerDecoder : public Module {
+ public:
+  TransformerDecoder(int num_layers, int d_model, int num_heads, int d_ff,
+                     Rng* rng);
+
+  /// x: (Lt, d) target-side inputs; memory: (Ls, d) encoder outputs.
+  tensor::Tensor Forward(const tensor::Tensor& x,
+                         const tensor::Tensor& memory) const;
+
+  void CollectParameters(std::vector<tensor::Tensor>* out) override;
+
+ private:
+  std::vector<std::unique_ptr<TransformerDecoderLayer>> layers_;
+  LayerNorm final_ln_;
+};
+
+/// Classic sinusoidal positional encoding rows (L, d), added to sequence
+/// embeddings where order matters (the decoder's generated prefix).
+tensor::Tensor SinusoidalPositionalEncoding(int length, int d_model);
+
+}  // namespace mtmlf::nn
+
+#endif  // MTMLF_NN_TRANSFORMER_H_

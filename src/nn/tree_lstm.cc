@@ -1,0 +1,63 @@
+#include "nn/tree_lstm.h"
+
+namespace mtmlf::nn {
+
+using tensor::Tensor;
+
+BinaryTreeLstmCell::BinaryTreeLstmCell(int input_dim, int hidden_dim, Rng* rng)
+    : hidden_dim_(hidden_dim),
+      wi_(input_dim, hidden_dim, rng),
+      wo_(input_dim, hidden_dim, rng),
+      wu_(input_dim, hidden_dim, rng),
+      wf_left_(input_dim, hidden_dim, rng),
+      wf_right_(input_dim, hidden_dim, rng),
+      ui_left_(hidden_dim, hidden_dim, rng),
+      ui_right_(hidden_dim, hidden_dim, rng),
+      uo_left_(hidden_dim, hidden_dim, rng),
+      uo_right_(hidden_dim, hidden_dim, rng),
+      uu_left_(hidden_dim, hidden_dim, rng),
+      uu_right_(hidden_dim, hidden_dim, rng),
+      uf_ll_(hidden_dim, hidden_dim, rng),
+      uf_lr_(hidden_dim, hidden_dim, rng),
+      uf_rl_(hidden_dim, hidden_dim, rng),
+      uf_rr_(hidden_dim, hidden_dim, rng) {}
+
+BinaryTreeLstmCell::State BinaryTreeLstmCell::ZeroState() const {
+  return {Tensor::Zeros(1, hidden_dim_), Tensor::Zeros(1, hidden_dim_)};
+}
+
+BinaryTreeLstmCell::State BinaryTreeLstmCell::Forward(
+    const Tensor& x, const State* left, const State* right) const {
+  State zero;
+  if (left == nullptr || right == nullptr) {
+    zero = ZeroState();
+    if (left == nullptr) left = &zero;
+    if (right == nullptr) right = &zero;
+  }
+  auto gate3 = [&](const Linear& wx, const Linear& ul, const Linear& ur) {
+    return tensor::Add(
+        tensor::Add(wx.Forward(x), ul.Forward(left->h)),
+        ur.Forward(right->h));
+  };
+  Tensor i = tensor::Sigmoid(gate3(wi_, ui_left_, ui_right_));
+  Tensor o = tensor::Sigmoid(gate3(wo_, uo_left_, uo_right_));
+  Tensor u = tensor::Tanh(gate3(wu_, uu_left_, uu_right_));
+  Tensor fl = tensor::Sigmoid(gate3(wf_left_, uf_ll_, uf_lr_));
+  Tensor fr = tensor::Sigmoid(gate3(wf_right_, uf_rl_, uf_rr_));
+  Tensor c = tensor::Add(
+      tensor::Add(tensor::Mul(i, u), tensor::Mul(fl, left->c)),
+      tensor::Mul(fr, right->c));
+  Tensor h = tensor::Mul(o, tensor::Tanh(c));
+  return {h, c};
+}
+
+void BinaryTreeLstmCell::CollectParameters(std::vector<Tensor>* out) {
+  for (Linear* l :
+       {&wi_, &wo_, &wu_, &wf_left_, &wf_right_, &ui_left_, &ui_right_,
+        &uo_left_, &uo_right_, &uu_left_, &uu_right_, &uf_ll_, &uf_lr_,
+        &uf_rl_, &uf_rr_}) {
+    l->CollectParameters(out);
+  }
+}
+
+}  // namespace mtmlf::nn

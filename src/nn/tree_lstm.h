@@ -1,0 +1,49 @@
+#ifndef MTMLF_NN_TREE_LSTM_H_
+#define MTMLF_NN_TREE_LSTM_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace mtmlf::nn {
+
+/// Binary tree-LSTM cell (Tai et al. style, as used by the end-to-end
+/// learned cost estimator of Sun & Li — the paper's Tree-LSTM baseline,
+/// reference [32]). Each plan node combines its input features with the
+/// (h, c) states of its left/right children; leaves use zero child states.
+class BinaryTreeLstmCell : public Module {
+ public:
+  struct State {
+    tensor::Tensor h;  // (1, hidden)
+    tensor::Tensor c;  // (1, hidden)
+  };
+
+  BinaryTreeLstmCell(int input_dim, int hidden_dim, Rng* rng);
+
+  /// Computes the state of a node from its input feature row (1, input_dim)
+  /// and child states. Pass nullptr for absent children (leaves / unary).
+  State Forward(const tensor::Tensor& x, const State* left,
+                const State* right) const;
+
+  void CollectParameters(std::vector<tensor::Tensor>* out) override;
+
+  int hidden_dim() const { return hidden_dim_; }
+
+  /// Zero state used for absent children.
+  State ZeroState() const;
+
+ private:
+  int hidden_dim_;
+  // Gates: input, output, update, and one forget gate per child slot.
+  Linear wi_, wo_, wu_, wf_left_, wf_right_;
+  // Child-state projections (left/right share structure, separate weights).
+  Linear ui_left_, ui_right_, uo_left_, uo_right_, uu_left_, uu_right_,
+      uf_ll_, uf_lr_, uf_rl_, uf_rr_;
+};
+
+}  // namespace mtmlf::nn
+
+#endif  // MTMLF_NN_TREE_LSTM_H_

@@ -1,0 +1,69 @@
+#include "optimizer/baseline_card_est.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace mtmlf::optimizer {
+
+using query::FilterPredicate;
+using query::JoinPredicate;
+using query::Query;
+using storage::Database;
+
+BaselineCardEstimator::BaselineCardEstimator(const Database* db) : db_(db) {
+  stats_.resize(db->num_tables());
+  for (size_t t = 0; t < db->num_tables(); ++t) {
+    const auto& table = db->table(t);
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      stats_[t].emplace(table.column(c).name(),
+                        ColumnStats::Build(table.column(c)));
+    }
+  }
+}
+
+const ColumnStats* BaselineCardEstimator::StatsOf(
+    int table, const std::string& column) const {
+  auto it = stats_[table].find(column);
+  return it == stats_[table].end() ? nullptr : &it->second;
+}
+
+double BaselineCardEstimator::FilterSelectivity(
+    int table, const std::vector<FilterPredicate>& filters) const {
+  double sel = 1.0;
+  for (const auto& f : filters) {
+    const ColumnStats* cs = StatsOf(table, f.column);
+    MTMLF_CHECK(cs != nullptr, "FilterSelectivity: unknown column");
+    sel *= cs->Selectivity(f.op, f.value);  // independence assumption
+  }
+  return sel;
+}
+
+double BaselineCardEstimator::EstimateScan(
+    int table, const std::vector<FilterPredicate>& filters) const {
+  double rows = static_cast<double>(db_->table(table).num_rows());
+  return std::max(1.0, rows * FilterSelectivity(table, filters));
+}
+
+double BaselineCardEstimator::EstimateSubset(
+    const Query& q, const std::vector<int>& subset) const {
+  // Cross product of filtered inputs ...
+  double card = 1.0;
+  for (int t : subset) {
+    card *= EstimateScan(t, q.FiltersOf(t));
+  }
+  // ... reduced by each join predicate's selectivity 1/max(ndv, ndv),
+  // assuming predicate independence (PostgreSQL's clauselist behaviour).
+  for (const JoinPredicate& j : q.JoinsWithin(subset)) {
+    const ColumnStats* ls = StatsOf(j.left_table, j.left_column);
+    const ColumnStats* rs = StatsOf(j.right_table, j.right_column);
+    MTMLF_CHECK(ls != nullptr && rs != nullptr,
+                "EstimateSubset: missing join column stats");
+    double ndv = std::max({ls->num_distinct(), rs->num_distinct(), 1.0});
+    card /= ndv;
+  }
+  return std::max(card, 1.0);
+}
+
+}  // namespace mtmlf::optimizer

@@ -1,0 +1,54 @@
+#ifndef MTMLF_OPTIMIZER_BASELINE_CARD_EST_H_
+#define MTMLF_OPTIMIZER_BASELINE_CARD_EST_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "optimizer/histogram.h"
+#include "query/query.h"
+#include "storage/database.h"
+
+namespace mtmlf::optimizer {
+
+/// The traditional ("PostgreSQL") cardinality estimator baseline of the
+/// paper's Table 1:
+///   * single tables: histogram/MCV selectivities multiplied under the
+///     attribute-value-independence assumption;
+///   * joins: |L JOIN R| = |L| * |R| / max(ndv(L.key), ndv(R.key)) under
+///     join-key uniformity, composed over the query's join tree.
+/// ANALYZE is performed once per database at construction.
+class BaselineCardEstimator {
+ public:
+  explicit BaselineCardEstimator(const storage::Database* db);
+
+  /// Estimated cardinality of scanning `table` under the given filters.
+  double EstimateScan(int table,
+                      const std::vector<query::FilterPredicate>& filters) const;
+
+  /// Estimated selectivity product for filters on one table.
+  double FilterSelectivity(
+      int table, const std::vector<query::FilterPredicate>& filters) const;
+
+  /// Estimated cardinality of joining `subset` (database table indices,
+  /// a connected sub-tree of q's join graph) with q's filters.
+  double EstimateSubset(const query::Query& q,
+                        const std::vector<int>& subset) const;
+
+  /// Estimated cardinality of the full query.
+  double EstimateQuery(const query::Query& q) const {
+    return EstimateSubset(q, q.tables);
+  }
+
+  const ColumnStats* StatsOf(int table, const std::string& column) const;
+
+ private:
+  const storage::Database* db_;
+  // stats_[table][column]
+  std::vector<std::unordered_map<std::string, ColumnStats>> stats_;
+};
+
+}  // namespace mtmlf::optimizer
+
+#endif  // MTMLF_OPTIMIZER_BASELINE_CARD_EST_H_

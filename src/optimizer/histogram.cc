@@ -1,0 +1,156 @@
+#include "optimizer/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace mtmlf::optimizer {
+
+using query::CompareOp;
+using storage::Column;
+using storage::DataType;
+using storage::Value;
+
+ColumnStats ColumnStats::Build(const Column& column, int num_buckets,
+                               int num_mcvs) {
+  ColumnStats s;
+  s.type_ = column.type();
+  s.num_rows_ = static_cast<double>(column.size());
+  s.num_distinct_ = std::max<double>(1.0, column.NumDistinct());
+  if (column.size() == 0) return s;
+
+  if (column.type() == DataType::kString) {
+    // MCVs from dictionary code frequencies.
+    std::vector<double> freq(column.dict().size(), 0.0);
+    for (int32_t code : column.string_codes()) freq[code] += 1.0;
+    std::vector<int> order(freq.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+    std::sort(order.begin(), order.end(),
+              [&](int a, int b) { return freq[a] > freq[b]; });
+    int take = std::min<int>(num_mcvs, static_cast<int>(order.size()));
+    for (int i = 0; i < take; ++i) {
+      s.string_mcvs_.emplace_back(column.dict()[order[i]],
+                                  freq[order[i]] / s.num_rows_);
+    }
+    return s;
+  }
+
+  // Numeric: collect values, sort, derive equi-depth bounds and MCVs.
+  std::vector<double> values;
+  values.reserve(column.size());
+  for (size_t r = 0; r < column.size(); ++r) values.push_back(
+      column.NumericAt(r));
+  std::sort(values.begin(), values.end());
+  s.min_ = values.front();
+  s.max_ = values.back();
+  int buckets = std::min<int>(num_buckets, static_cast<int>(values.size()));
+  s.bucket_bounds_.reserve(buckets);
+  for (int b = 1; b <= buckets; ++b) {
+    size_t idx = std::min(values.size() - 1,
+                          values.size() * static_cast<size_t>(b) / buckets);
+    if (idx > 0) idx -= (b == buckets) ? 0 : 0;
+    s.bucket_bounds_.push_back(values[std::min(idx, values.size() - 1)]);
+  }
+  // MCVs by exact frequency.
+  std::map<double, double> counts;
+  for (double v : values) counts[v] += 1.0;
+  std::vector<std::pair<double, double>> freq(counts.begin(), counts.end());
+  std::sort(freq.begin(), freq.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  int take = std::min<int>(num_mcvs, static_cast<int>(freq.size()));
+  for (int i = 0; i < take; ++i) {
+    s.numeric_mcvs_.emplace_back(freq[i].first, freq[i].second / s.num_rows_);
+  }
+  return s;
+}
+
+double ColumnStats::CdfLe(double v) const {
+  if (bucket_bounds_.empty()) return 0.5;
+  if (v < min_) return 0.0;
+  if (v >= max_) return 1.0;
+  // Find the first bucket bound >= v; interpolate within the bucket.
+  size_t b = std::lower_bound(bucket_bounds_.begin(), bucket_bounds_.end(), v) -
+             bucket_bounds_.begin();
+  double lo = (b == 0) ? min_ : bucket_bounds_[b - 1];
+  double hi = bucket_bounds_[std::min(b, bucket_bounds_.size() - 1)];
+  double frac = (hi > lo) ? (v - lo) / (hi - lo) : 1.0;
+  frac = std::clamp(frac, 0.0, 1.0);
+  return (static_cast<double>(b) + frac) /
+         static_cast<double>(bucket_bounds_.size());
+}
+
+double ColumnStats::SelectivityNumeric(CompareOp op, double v) const {
+  double eq_sel = 1.0 / num_distinct_;
+  for (const auto& [mv, f] : numeric_mcvs_) {
+    if (mv == v) {
+      eq_sel = f;
+      break;
+    }
+  }
+  switch (op) {
+    case CompareOp::kEq:
+      return eq_sel;
+    case CompareOp::kNe:
+      return 1.0 - eq_sel;
+    case CompareOp::kLt:
+      return std::max(0.0, CdfLe(v) - eq_sel);
+    case CompareOp::kLe:
+      return CdfLe(v);
+    case CompareOp::kGt:
+      return std::max(0.0, 1.0 - CdfLe(v));
+    case CompareOp::kGe:
+      return std::min(1.0, 1.0 - CdfLe(v) + eq_sel);
+    case CompareOp::kLike:
+      return 0.005;  // numeric LIKE cannot happen; PG-style default guess
+  }
+  return 0.1;
+}
+
+double ColumnStats::SelectivityString(CompareOp op,
+                                      const std::string& v) const {
+  double eq_sel = 1.0 / num_distinct_;
+  for (const auto& [mv, f] : string_mcvs_) {
+    if (mv == v) {
+      eq_sel = f;
+      break;
+    }
+  }
+  switch (op) {
+    case CompareOp::kEq:
+      return eq_sel;
+    case CompareOp::kNe:
+      return 1.0 - eq_sel;
+    case CompareOp::kLike: {
+      // PostgreSQL's patternsel-style magic guess: selectivity decays with
+      // the number of literal (non-wildcard) characters. Non-anchored
+      // patterns get the FULL_WILDCARD penalty. This is exactly the kind
+      // of heuristic the paper's learned models beat.
+      double sel = 1.0;
+      bool anchored = !v.empty() && v.front() != '%' && v.front() != '_';
+      for (char c : v) {
+        if (c == '%') {
+          sel *= 1.0;  // wildcard: no information
+        } else if (c == '_') {
+          sel *= 0.9;
+        } else {
+          sel *= anchored ? 0.5 : 0.7;
+        }
+      }
+      return std::clamp(sel, 1e-6, 1.0);
+    }
+    default:
+      // Range comparison on strings: no histogram kept; PG-ish default.
+      return 1.0 / 3.0;
+  }
+}
+
+double ColumnStats::Selectivity(CompareOp op, const Value& value) const {
+  if (num_rows_ == 0) return 0.0;
+  if (type_ == DataType::kString) {
+    return std::clamp(SelectivityString(op, value.AsString()), 0.0, 1.0);
+  }
+  return std::clamp(SelectivityNumeric(op, value.AsNumeric()), 0.0, 1.0);
+}
+
+}  // namespace mtmlf::optimizer

@@ -1,0 +1,56 @@
+#ifndef MTMLF_OPTIMIZER_HISTOGRAM_H_
+#define MTMLF_OPTIMIZER_HISTOGRAM_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "query/predicate.h"
+#include "storage/column.h"
+
+namespace mtmlf::optimizer {
+
+/// Per-column statistics in the style of PostgreSQL's ANALYZE: an
+/// equi-depth histogram over numeric values, a most-common-values list,
+/// distinct counts, and min/max. This is the entire statistical knowledge
+/// of the baseline ("PostgreSQL") cardinality estimator — deliberately
+/// subject to the attribute-value-independence and uniformity assumptions
+/// whose failure on skewed, correlated data drives the paper's Table 1.
+class ColumnStats {
+ public:
+  /// Builds stats from a column. `num_buckets` bounds the histogram size,
+  /// `num_mcvs` the most-common-value list.
+  static ColumnStats Build(const storage::Column& column, int num_buckets = 32,
+                           int num_mcvs = 16);
+
+  /// Estimated selectivity (fraction of rows) of `column op value`.
+  /// LIKE patterns use PostgreSQL-style pattern guesses.
+  double Selectivity(query::CompareOp op, const storage::Value& value) const;
+
+  double num_rows() const { return num_rows_; }
+  double num_distinct() const { return num_distinct_; }
+  double min_value() const { return min_; }
+  double max_value() const { return max_; }
+
+ private:
+  double SelectivityNumeric(query::CompareOp op, double v) const;
+  double SelectivityString(query::CompareOp op, const std::string& v) const;
+  /// Fraction of rows with numeric value <= v, from the histogram.
+  double CdfLe(double v) const;
+
+  storage::DataType type_ = storage::DataType::kInt64;
+  double num_rows_ = 0;
+  double num_distinct_ = 1;
+  double min_ = 0;
+  double max_ = 0;
+  // Equi-depth bucket upper bounds (numeric columns); each bucket holds
+  // ~num_rows/buckets rows.
+  std::vector<double> bucket_bounds_;
+  // MCVs: numeric value or string -> frequency (fraction of rows).
+  std::vector<std::pair<double, double>> numeric_mcvs_;
+  std::vector<std::pair<std::string, double>> string_mcvs_;
+};
+
+}  // namespace mtmlf::optimizer
+
+#endif  // MTMLF_OPTIMIZER_HISTOGRAM_H_

@@ -1,0 +1,135 @@
+#include "optimizer/join_order.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mtmlf::optimizer {
+
+using exec::CostModel;
+using query::Query;
+using storage::Database;
+
+namespace {
+
+// Scan cost of the table at position `pos` in q.tables.
+double ScanCostOf(const Query& q, const Database& db,
+                  const CostModel& cost_model, const SubsetCardFn& card_of,
+                  int pos) {
+  int table = q.tables[pos];
+  double rows = static_cast<double>(db.table(table).num_rows());
+  double out = card_of(1u << pos);
+  int nf = static_cast<int>(q.FiltersOf(table).size());
+  return cost_model.BestScanCost(rows, out, nf);
+}
+
+}  // namespace
+
+Result<JoinOrderResult> BestLeftDeepOrder(const Query& q, const Database& db,
+                                          const CostModel& cost_model,
+                                          const SubsetCardFn& card_of) {
+  const size_t m = q.tables.size();
+  if (m == 0) return Status::InvalidArgument("query touches no table");
+  if (m > 20) return Status::InvalidArgument("too many tables for exact DP");
+  if (!q.IsConnected()) {
+    return Status::InvalidArgument("join graph is disconnected");
+  }
+  auto adj = q.AdjacencyMatrix();
+  const uint32_t full = (m == 32) ? 0xffffffffu : ((1u << m) - 1);
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dp(full + 1, kInf);
+  std::vector<int> last(full + 1, -1);  // last table position added
+
+  for (size_t i = 0; i < m; ++i) {
+    uint32_t mask = 1u << i;
+    dp[mask] = ScanCostOf(q, db, cost_model, card_of, static_cast<int>(i));
+    last[mask] = static_cast<int>(i);
+  }
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    if (dp[mask] == kInf) continue;
+    if (mask == full) break;
+    double left_card = card_of(mask);
+    for (size_t t = 0; t < m; ++t) {
+      if (mask & (1u << t)) continue;
+      // Legality: t must join with some table already in the set.
+      bool adjacent = false;
+      for (size_t s = 0; s < m && !adjacent; ++s) {
+        if ((mask & (1u << s)) && adj[t][s]) adjacent = true;
+      }
+      if (!adjacent) continue;
+      uint32_t nm = mask | (1u << t);
+      double right_card = card_of(1u << t);
+      double out_card = card_of(nm);
+      double step =
+          cost_model.BestJoinStepCost(left_card, right_card, out_card) +
+          ScanCostOf(q, db, cost_model, card_of, static_cast<int>(t));
+      if (dp[mask] + step < dp[nm]) {
+        dp[nm] = dp[mask] + step;
+        last[nm] = static_cast<int>(t);
+      }
+    }
+  }
+  if (dp[full] == kInf) {
+    return Status::Internal("DP failed to reach the full table set");
+  }
+  JoinOrderResult result;
+  result.cost = dp[full];
+  uint32_t mask = full;
+  std::vector<int> positions;
+  while (mask != 0) {
+    int t = last[mask];
+    positions.push_back(t);
+    mask &= ~(1u << t);
+  }
+  std::reverse(positions.begin(), positions.end());
+  for (int p : positions) result.order.push_back(q.tables[p]);
+  return result;
+}
+
+Result<double> LeftDeepOrderCost(const Query& q, const Database& db,
+                                 const CostModel& cost_model,
+                                 const SubsetCardFn& card_of,
+                                 const std::vector<int>& order) {
+  if (order.size() != q.tables.size()) {
+    return Status::InvalidArgument("order length mismatch");
+  }
+  if (!IsExecutableOrder(q, order)) {
+    return Status::InvalidArgument("order is not executable");
+  }
+  uint32_t mask = 0;
+  double total = 0.0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    int pos = q.PositionOf(order[i]);
+    if (pos < 0) return Status::InvalidArgument("order table not in query");
+    total += ScanCostOf(q, db, cost_model, card_of, pos);
+    if (i > 0) {
+      uint32_t nm = mask | (1u << pos);
+      total += cost_model.BestJoinStepCost(card_of(mask), card_of(1u << pos),
+                                           card_of(nm));
+      mask = nm;
+    } else {
+      mask = 1u << pos;
+    }
+  }
+  return total;
+}
+
+bool IsExecutableOrder(const Query& q, const std::vector<int>& order) {
+  if (order.empty() || order.size() != q.tables.size()) return false;
+  auto adj = q.AdjacencyMatrix();
+  std::vector<bool> in_set(q.tables.size(), false);
+  for (size_t i = 0; i < order.size(); ++i) {
+    int pos = q.PositionOf(order[i]);
+    if (pos < 0 || in_set[pos]) return false;
+    if (i > 0) {
+      bool connected = false;
+      for (size_t s = 0; s < q.tables.size() && !connected; ++s) {
+        if (in_set[s] && adj[pos][s]) connected = true;
+      }
+      if (!connected) return false;
+    }
+    in_set[pos] = true;
+  }
+  return true;
+}
+
+}  // namespace mtmlf::optimizer

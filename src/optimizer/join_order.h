@@ -1,0 +1,55 @@
+#ifndef MTMLF_OPTIMIZER_JOIN_ORDER_H_
+#define MTMLF_OPTIMIZER_JOIN_ORDER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/cost_model.h"
+#include "query/query.h"
+#include "storage/database.h"
+
+namespace mtmlf::optimizer {
+
+/// Cardinality oracle over subsets of q.tables, encoded as a bitmask over
+/// positions in q.tables. Two implementations exist:
+///   * true cardinalities via exec::TrueCardinalityCache — together with
+///     the DP below this is our stand-in for the ECQO optimal-join-order
+///     program the paper uses as ground truth;
+///   * estimated cardinalities via BaselineCardEstimator — together with
+///     the DP this is the "PostgreSQL" baseline optimizer.
+using SubsetCardFn = std::function<double(uint32_t mask)>;
+
+struct JoinOrderResult {
+  std::vector<int> order;  // database table indices, build order
+  double cost = 0.0;       // plan cost under the supplied cardinalities
+};
+
+/// Exact dynamic programming over connected subsets for the cheapest
+/// left-deep join order (Selinger-style, restricted to left-deep as the
+/// paper's Trans_JO is). Queries have at most ~11 tables, so the 2^m state
+/// space is small. Returns InvalidArgument if the query's join graph is
+/// disconnected.
+Result<JoinOrderResult> BestLeftDeepOrder(const query::Query& q,
+                                          const storage::Database& db,
+                                          const exec::CostModel& cost_model,
+                                          const SubsetCardFn& card_of);
+
+/// Cost of one specific left-deep order under the given cardinalities
+/// (scan costs + per-step best join operator costs). Used to score
+/// model-generated orders with either true or estimated cards.
+Result<double> LeftDeepOrderCost(const query::Query& q,
+                                 const storage::Database& db,
+                                 const exec::CostModel& cost_model,
+                                 const SubsetCardFn& card_of,
+                                 const std::vector<int>& order);
+
+/// True if `order` is executable: each table after the first joins with at
+/// least one earlier table per the query's join predicates (the legality
+/// notion of the paper's Section 4.3).
+bool IsExecutableOrder(const query::Query& q, const std::vector<int>& order);
+
+}  // namespace mtmlf::optimizer
+
+#endif  // MTMLF_OPTIMIZER_JOIN_ORDER_H_

@@ -1,0 +1,141 @@
+#include "query/plan.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mtmlf::query {
+
+const char* PhysicalOpName(PhysicalOp op) {
+  switch (op) {
+    case PhysicalOp::kSeqScan:
+      return "SeqScan";
+    case PhysicalOp::kIndexScan:
+      return "IndexScan";
+    case PhysicalOp::kHashJoin:
+      return "HashJoin";
+    case PhysicalOp::kMergeJoin:
+      return "MergeJoin";
+    case PhysicalOp::kNestedLoopJoin:
+      return "NestedLoopJoin";
+  }
+  return "?";
+}
+
+bool IsJoinOp(PhysicalOp op) {
+  return op == PhysicalOp::kHashJoin || op == PhysicalOp::kMergeJoin ||
+         op == PhysicalOp::kNestedLoopJoin;
+}
+
+std::vector<int> PlanNode::BaseTables() const {
+  std::vector<int> out;
+  if (IsLeaf()) {
+    out.push_back(table);
+    return out;
+  }
+  auto l = left->BaseTables();
+  auto r = right->BaseTables();
+  out.reserve(l.size() + r.size());
+  out.insert(out.end(), l.begin(), l.end());
+  out.insert(out.end(), r.begin(), r.end());
+  return out;
+}
+
+int PlanNode::TreeSize() const {
+  if (IsLeaf()) return 1;
+  return 1 + left->TreeSize() + right->TreeSize();
+}
+
+std::string PlanNode::ToString(const storage::Database& db,
+                               int indent) const {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  std::string s = pad + PhysicalOpName(op);
+  if (IsLeaf()) {
+    s += " " + db.table(table).name();
+  }
+  if (true_cardinality >= 0) {
+    s += StrFormat(" (card=%.0f)", true_cardinality);
+  }
+  s += "\n";
+  if (!IsLeaf()) {
+    s += left->ToString(db, indent + 1);
+    s += right->ToString(db, indent + 1);
+  }
+  return s;
+}
+
+std::unique_ptr<PlanNode> PlanNode::Clone() const {
+  auto n = std::make_unique<PlanNode>();
+  n->op = op;
+  n->table = table;
+  n->true_cardinality = true_cardinality;
+  n->true_cost = true_cost;
+  n->estimated_cardinality = estimated_cardinality;
+  if (left) n->left = left->Clone();
+  if (right) n->right = right->Clone();
+  return n;
+}
+
+PlanPtr MakeScan(int table, PhysicalOp op) {
+  auto n = std::make_unique<PlanNode>();
+  n->op = op;
+  n->table = table;
+  return n;
+}
+
+PlanPtr MakeJoin(PlanPtr left, PlanPtr right, PhysicalOp op) {
+  MTMLF_CHECK(IsJoinOp(op), "MakeJoin: not a join operator");
+  auto n = std::make_unique<PlanNode>();
+  n->op = op;
+  n->left = std::move(left);
+  n->right = std::move(right);
+  return n;
+}
+
+PlanPtr MakeLeftDeepPlan(const std::vector<int>& order) {
+  MTMLF_CHECK(!order.empty(), "MakeLeftDeepPlan: empty order");
+  PlanPtr plan = MakeScan(order[0]);
+  for (size_t i = 1; i < order.size(); ++i) {
+    plan = MakeJoin(std::move(plan), MakeScan(order[i]));
+  }
+  return plan;
+}
+
+namespace {
+
+template <typename NodeT>
+void PreOrderImpl(NodeT* node, std::vector<NodeT*>* out) {
+  if (node == nullptr) return;
+  out->push_back(node);
+  if (!node->IsLeaf()) {
+    PreOrderImpl<NodeT>(node->left.get(), out);
+    PreOrderImpl<NodeT>(node->right.get(), out);
+  }
+}
+
+}  // namespace
+
+std::vector<PlanNode*> PreOrder(PlanNode* root) {
+  std::vector<PlanNode*> out;
+  PreOrderImpl(root, &out);
+  return out;
+}
+
+std::vector<const PlanNode*> PreOrder(const PlanNode* root) {
+  std::vector<const PlanNode*> out;
+  PreOrderImpl<const PlanNode>(root, &out);
+  return out;
+}
+
+std::vector<int> LeftDeepOrderOf(const PlanNode& root) {
+  std::vector<int> reversed;
+  const PlanNode* node = &root;
+  while (!node->IsLeaf()) {
+    if (!node->right->IsLeaf()) return {};  // bushy
+    reversed.push_back(node->right->table);
+    node = node->left.get();
+  }
+  reversed.push_back(node->table);
+  return std::vector<int>(reversed.rbegin(), reversed.rend());
+}
+
+}  // namespace mtmlf::query

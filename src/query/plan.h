@@ -1,0 +1,81 @@
+#ifndef MTMLF_QUERY_PLAN_H_
+#define MTMLF_QUERY_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+#include "storage/database.h"
+
+namespace mtmlf::query {
+
+/// Physical operators. As in the paper (Section 3.1) we model scans
+/// (sequential / index) and joins (hash / merge / nested loop) and omit
+/// other operators.
+enum class PhysicalOp {
+  kSeqScan = 0,
+  kIndexScan = 1,
+  kHashJoin = 2,
+  kMergeJoin = 3,
+  kNestedLoopJoin = 4,
+};
+inline constexpr int kNumPhysicalOps = 5;
+
+const char* PhysicalOpName(PhysicalOp op);
+bool IsJoinOp(PhysicalOp op);
+
+/// A node of a physical plan tree. Leaves scan one base table; inner nodes
+/// join their two children. Nodes carry the label annotations the trainer
+/// needs (true cardinality / true cost of the sub-plan rooted here).
+struct PlanNode {
+  PhysicalOp op = PhysicalOp::kSeqScan;
+
+  // Scan fields.
+  int table = -1;  // database table index (leaves only)
+
+  // Join fields.
+  std::unique_ptr<PlanNode> left;
+  std::unique_ptr<PlanNode> right;
+
+  // Annotations filled by the labeler / optimizer. Negative = unset.
+  double true_cardinality = -1.0;
+  double true_cost = -1.0;
+  double estimated_cardinality = -1.0;
+
+  bool IsLeaf() const { return table >= 0; }
+
+  /// Base tables under this node, in leaf order (left to right).
+  std::vector<int> BaseTables() const;
+
+  /// Number of nodes in this subtree.
+  int TreeSize() const;
+
+  std::string ToString(const storage::Database& db, int indent = 0) const;
+
+  std::unique_ptr<PlanNode> Clone() const;
+};
+
+using PlanPtr = std::unique_ptr<PlanNode>;
+
+PlanPtr MakeScan(int table, PhysicalOp op = PhysicalOp::kSeqScan);
+PlanPtr MakeJoin(PlanPtr left, PlanPtr right,
+                 PhysicalOp op = PhysicalOp::kHashJoin);
+
+/// Builds a left-deep plan joining `order` (database table indices) front
+/// to back: ((T0 ⋈ T1) ⋈ T2) ⋈ ... Scan/join operators default to
+/// seq-scan/hash-join; the cost model refines them separately.
+PlanPtr MakeLeftDeepPlan(const std::vector<int>& order);
+
+/// Collects pointers to all nodes in pre-order (node, left, right). The
+/// serializer and the labeler both rely on this order.
+std::vector<PlanNode*> PreOrder(PlanNode* root);
+std::vector<const PlanNode*> PreOrder(const PlanNode* root);
+
+/// The join order of a left-deep plan (leaf tables, build-first). Returns
+/// an empty vector if the plan is not left-deep.
+std::vector<int> LeftDeepOrderOf(const PlanNode& root);
+
+}  // namespace mtmlf::query
+
+#endif  // MTMLF_QUERY_PLAN_H_

@@ -1,0 +1,35 @@
+#include "query/predicate.h"
+
+namespace mtmlf::query {
+
+const char* CompareOpSymbol(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kLike:
+      return "LIKE";
+  }
+  return "?";
+}
+
+std::string FilterPredicate::ToString(const storage::Database& db) const {
+  return db.table(table).name() + "." + column + " " + CompareOpSymbol(op) +
+         " " + value.ToString();
+}
+
+std::string JoinPredicate::ToString(const storage::Database& db) const {
+  return db.table(left_table).name() + "." + left_column + " = " +
+         db.table(right_table).name() + "." + right_column;
+}
+
+}  // namespace mtmlf::query

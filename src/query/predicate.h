@@ -1,0 +1,54 @@
+#ifndef MTMLF_QUERY_PREDICATE_H_
+#define MTMLF_QUERY_PREDICATE_H_
+
+#include <string>
+
+#include "storage/database.h"
+#include "storage/value.h"
+
+namespace mtmlf::query {
+
+/// Comparison operators supported in filter predicates. kLike implements
+/// SQL LIKE with % and _ wildcards (the JOB workload's string predicates).
+enum class CompareOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kLike,
+};
+
+const char* CompareOpSymbol(CompareOp op);
+
+/// A filter predicate f(T): `table.column op literal`.
+struct FilterPredicate {
+  int table = -1;  // table index within the Database
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  storage::Value value;
+
+  std::string ToString(const storage::Database& db) const;
+};
+
+/// An equi-join predicate j(Ta, Tb): `left.column = right.column`.
+struct JoinPredicate {
+  int left_table = -1;
+  std::string left_column;
+  int right_table = -1;
+  std::string right_column;
+
+  std::string ToString(const storage::Database& db) const;
+
+  /// True if this predicate connects the two given tables (in either
+  /// orientation).
+  bool Connects(int a, int b) const {
+    return (left_table == a && right_table == b) ||
+           (left_table == b && right_table == a);
+  }
+};
+
+}  // namespace mtmlf::query
+
+#endif  // MTMLF_QUERY_PREDICATE_H_

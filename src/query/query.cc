@@ -1,0 +1,84 @@
+#include "query/query.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace mtmlf::query {
+
+std::vector<FilterPredicate> Query::FiltersOf(int table) const {
+  std::vector<FilterPredicate> out;
+  for (const auto& f : filters) {
+    if (f.table == table) out.push_back(f);
+  }
+  return out;
+}
+
+int Query::PositionOf(int table) const {
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (tables[i] == table) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<std::vector<bool>> Query::AdjacencyMatrix() const {
+  size_t m = tables.size();
+  std::vector<std::vector<bool>> adj(m, std::vector<bool>(m, false));
+  for (const auto& j : joins) {
+    int a = PositionOf(j.left_table);
+    int b = PositionOf(j.right_table);
+    if (a >= 0 && b >= 0) {
+      adj[a][b] = true;
+      adj[b][a] = true;
+    }
+  }
+  return adj;
+}
+
+bool Query::IsConnected() const {
+  if (tables.empty()) return false;
+  auto adj = AdjacencyMatrix();
+  std::vector<bool> seen(tables.size(), false);
+  std::vector<int> stack = {0};
+  seen[0] = true;
+  size_t count = 1;
+  while (!stack.empty()) {
+    int u = stack.back();
+    stack.pop_back();
+    for (size_t v = 0; v < tables.size(); ++v) {
+      if (adj[u][v] && !seen[v]) {
+        seen[v] = true;
+        ++count;
+        stack.push_back(static_cast<int>(v));
+      }
+    }
+  }
+  return count == tables.size();
+}
+
+std::vector<JoinPredicate> Query::JoinsWithin(
+    const std::vector<int>& subset) const {
+  auto contains = [&subset](int t) {
+    return std::find(subset.begin(), subset.end(), t) != subset.end();
+  };
+  std::vector<JoinPredicate> out;
+  for (const auto& j : joins) {
+    if (contains(j.left_table) && contains(j.right_table)) out.push_back(j);
+  }
+  return out;
+}
+
+std::string Query::ToSql(const storage::Database& db) const {
+  std::vector<std::string> from;
+  from.reserve(tables.size());
+  for (int t : tables) from.push_back(db.table(t).name());
+  std::vector<std::string> where;
+  for (const auto& j : joins) where.push_back(j.ToString(db));
+  for (const auto& f : filters) where.push_back(f.ToString(db));
+  std::string sql = "SELECT COUNT(*) FROM " + Join(from, ", ");
+  if (!where.empty()) sql += " WHERE " + Join(where, " AND ");
+  sql += ";";
+  return sql;
+}
+
+}  // namespace mtmlf::query

@@ -1,0 +1,45 @@
+#ifndef MTMLF_QUERY_QUERY_H_
+#define MTMLF_QUERY_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "query/predicate.h"
+#include "storage/database.h"
+
+namespace mtmlf::query {
+
+/// A join query Q = (T_Q, j_Q, f_Q) in the paper's notation (Section 3.2):
+/// the touched tables, the equi-join predicates, and the filter predicates.
+/// Join predicates are required to form a connected graph over `tables`
+/// (the workload generator emits spanning trees, matching the JOB-style
+/// acyclic join queries of the evaluation).
+struct Query {
+  std::vector<int> tables;  // Database table indices, no duplicates
+  std::vector<JoinPredicate> joins;
+  std::vector<FilterPredicate> filters;
+
+  /// Filters that apply to one table.
+  std::vector<FilterPredicate> FiltersOf(int table) const;
+
+  /// Position of a database table index inside `tables`, or -1.
+  int PositionOf(int table) const;
+
+  /// m x m adjacency over positions in `tables`, from the join predicates.
+  /// This is the matrix the paper's beam search consults for legality
+  /// (Section 4.3).
+  std::vector<std::vector<bool>> AdjacencyMatrix() const;
+
+  /// True if the join predicates connect all tables (single component).
+  bool IsConnected() const;
+
+  /// Join predicates connecting tables inside `subset` (database indices).
+  std::vector<JoinPredicate> JoinsWithin(const std::vector<int>& subset) const;
+
+  /// SQL-ish rendering: SELECT COUNT(*) FROM ... WHERE ...
+  std::string ToSql(const storage::Database& db) const;
+};
+
+}  // namespace mtmlf::query
+
+#endif  // MTMLF_QUERY_QUERY_H_

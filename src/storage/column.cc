@@ -1,0 +1,95 @@
+#include "storage/column.h"
+
+#include <unordered_set>
+
+namespace mtmlf::storage {
+
+size_t Column::size() const {
+  switch (type_) {
+    case DataType::kInt64:
+      return int_data_.size();
+    case DataType::kDouble:
+      return double_data_.size();
+    case DataType::kString:
+      return string_codes_.size();
+  }
+  return 0;
+}
+
+void Column::AppendInt64(int64_t v) {
+  int_data_.push_back(v);
+  distinct_valid_ = false;
+}
+
+void Column::AppendDouble(double v) {
+  double_data_.push_back(v);
+  distinct_valid_ = false;
+}
+
+void Column::AppendString(const std::string& v) {
+  auto it = dict_index_.find(v);
+  int32_t code;
+  if (it == dict_index_.end()) {
+    code = static_cast<int32_t>(dict_.size());
+    dict_.push_back(v);
+    dict_index_.emplace(v, code);
+  } else {
+    code = it->second;
+  }
+  string_codes_.push_back(code);
+  distinct_valid_ = false;
+}
+
+Status Column::AppendValue(const Value& v) {
+  if (v.type() != type_) {
+    return Status::InvalidArgument("value type does not match column " +
+                                   name_);
+  }
+  switch (type_) {
+    case DataType::kInt64:
+      AppendInt64(v.AsInt64());
+      break;
+    case DataType::kDouble:
+      AppendDouble(v.AsDouble());
+      break;
+    case DataType::kString:
+      AppendString(v.AsString());
+      break;
+  }
+  return Status::OK();
+}
+
+Value Column::ValueAt(size_t row) const {
+  switch (type_) {
+    case DataType::kInt64:
+      return Value(int_data_[row]);
+    case DataType::kDouble:
+      return Value(double_data_[row]);
+    case DataType::kString:
+      return Value(dict_[string_codes_[row]]);
+  }
+  return Value();
+}
+
+size_t Column::NumDistinct() const {
+  if (distinct_valid_) return cached_distinct_;
+  switch (type_) {
+    case DataType::kInt64: {
+      std::unordered_set<int64_t> s(int_data_.begin(), int_data_.end());
+      cached_distinct_ = s.size();
+      break;
+    }
+    case DataType::kDouble: {
+      std::unordered_set<double> s(double_data_.begin(), double_data_.end());
+      cached_distinct_ = s.size();
+      break;
+    }
+    case DataType::kString:
+      cached_distinct_ = dict_.size();
+      break;
+  }
+  distinct_valid_ = true;
+  return cached_distinct_;
+}
+
+}  // namespace mtmlf::storage

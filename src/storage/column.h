@@ -1,0 +1,71 @@
+#ifndef MTMLF_STORAGE_COLUMN_H_
+#define MTMLF_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace mtmlf::storage {
+
+/// A typed in-memory column. Int64/Double columns store raw vectors;
+/// String columns are dictionary-encoded (codes index into dict()).
+/// Columns are append-only.
+class Column {
+ public:
+  Column(std::string name, DataType type)
+      : name_(std::move(name)), type_(type) {}
+
+  const std::string& name() const { return name_; }
+  DataType type() const { return type_; }
+  size_t size() const;
+
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(const std::string& v);
+  /// Typed dispatch; the value type must match the column type.
+  Status AppendValue(const Value& v);
+
+  int64_t Int64At(size_t row) const { return int_data_[row]; }
+  double DoubleAt(size_t row) const { return double_data_[row]; }
+  /// Dictionary code of a string cell (stable across the column's life).
+  int32_t StringCodeAt(size_t row) const { return string_codes_[row]; }
+  const std::string& StringAt(size_t row) const {
+    return dict_[string_codes_[row]];
+  }
+
+  Value ValueAt(size_t row) const;
+
+  /// Numeric view of any non-string cell.
+  double NumericAt(size_t row) const {
+    return type_ == DataType::kInt64 ? static_cast<double>(int_data_[row])
+                                     : double_data_[row];
+  }
+
+  /// Dictionary of distinct strings (String columns only).
+  const std::vector<std::string>& dict() const { return dict_; }
+  const std::vector<int32_t>& string_codes() const { return string_codes_; }
+  const std::vector<int64_t>& int_data() const { return int_data_; }
+  const std::vector<double>& double_data() const { return double_data_; }
+
+  /// Number of distinct values (exact; computed on demand and cached).
+  size_t NumDistinct() const;
+
+ private:
+  std::string name_;
+  DataType type_;
+  std::vector<int64_t> int_data_;
+  std::vector<double> double_data_;
+  std::vector<int32_t> string_codes_;
+  std::vector<std::string> dict_;
+  std::unordered_map<std::string, int32_t> dict_index_;
+  mutable size_t cached_distinct_ = 0;
+  mutable bool distinct_valid_ = false;
+};
+
+}  // namespace mtmlf::storage
+
+#endif  // MTMLF_STORAGE_COLUMN_H_

@@ -1,0 +1,85 @@
+#include "storage/database.h"
+
+namespace mtmlf::storage {
+
+Result<Table*> Database::AddTable(const std::string& table_name) {
+  if (GetTable(table_name) != nullptr) {
+    return Status::InvalidArgument("duplicate table " + table_name);
+  }
+  tables_.push_back(std::make_unique<Table>(table_name));
+  is_fact_.push_back(false);
+  return tables_.back().get();
+}
+
+Table* Database::GetTable(const std::string& table_name) {
+  int idx = TableIndex(table_name);
+  return idx < 0 ? nullptr : tables_[idx].get();
+}
+
+const Table* Database::GetTable(const std::string& table_name) const {
+  int idx = TableIndex(table_name);
+  return idx < 0 ? nullptr : tables_[idx].get();
+}
+
+int Database::TableIndex(const std::string& table_name) const {
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (tables_[i]->name() == table_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Database::AddJoinEdge(const std::string& fk_table,
+                             const std::string& fk_column,
+                             const std::string& pk_table,
+                             const std::string& pk_column) {
+  int fk_idx = TableIndex(fk_table);
+  int pk_idx = TableIndex(pk_table);
+  if (fk_idx < 0 || pk_idx < 0) {
+    return Status::NotFound("join edge references unknown table: " + fk_table +
+                            " -> " + pk_table);
+  }
+  if (tables_[fk_idx]->GetColumn(fk_column) == nullptr) {
+    return Status::NotFound("unknown column " + fk_table + "." + fk_column);
+  }
+  if (tables_[pk_idx]->GetColumn(pk_column) == nullptr) {
+    return Status::NotFound("unknown column " + pk_table + "." + pk_column);
+  }
+  join_edges_.push_back(JoinEdge{fk_idx, fk_column, pk_idx, pk_column});
+  return Status::OK();
+}
+
+void Database::MarkFactTable(int table_index) {
+  is_fact_[table_index] = true;
+}
+
+bool Database::IsFactTable(int table_index) const {
+  return is_fact_[table_index];
+}
+
+std::vector<JoinEdge> Database::EdgesOf(int table_index) const {
+  std::vector<JoinEdge> out;
+  for (const auto& e : join_edges_) {
+    if (e.fk_table == table_index || e.pk_table == table_index) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+bool Database::Joinable(int table_a, int table_b) const {
+  for (const auto& e : join_edges_) {
+    if ((e.fk_table == table_a && e.pk_table == table_b) ||
+        (e.fk_table == table_b && e.pk_table == table_a)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t Database::TotalRows() const {
+  size_t total = 0;
+  for (const auto& t : tables_) total += t->num_rows();
+  return total;
+}
+
+}  // namespace mtmlf::storage

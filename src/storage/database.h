@@ -1,0 +1,77 @@
+#ifndef MTMLF_STORAGE_DATABASE_H_
+#define MTMLF_STORAGE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace mtmlf::storage {
+
+/// One PK–FK join relation in the catalog: fk_table.fk_column references
+/// pk_table.pk_column. This is the paper's "join schema" (Section 2.1 and
+/// the generation pipeline's step S1).
+struct JoinEdge {
+  int fk_table = -1;  // table index in the Database
+  std::string fk_column;
+  int pk_table = -1;
+  std::string pk_column;
+};
+
+/// A database: named tables plus the join schema and fact/dimension
+/// classification. The featurization module (F) and the baseline optimizer
+/// both read the catalog through this class.
+class Database {
+ public:
+  explicit Database(std::string name) : name_(std::move(name)) {}
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+
+  const std::string& name() const { return name_; }
+
+  /// Adds a new empty table; returns it (owned by the database).
+  Result<Table*> AddTable(const std::string& table_name);
+
+  Table* GetTable(const std::string& table_name);
+  const Table* GetTable(const std::string& table_name) const;
+  int TableIndex(const std::string& table_name) const;
+
+  Table& table(size_t i) { return *tables_[i]; }
+  const Table& table(size_t i) const { return *tables_[i]; }
+  size_t num_tables() const { return tables_.size(); }
+
+  /// Declares a PK–FK join relation. Validates both endpoints exist.
+  Status AddJoinEdge(const std::string& fk_table, const std::string& fk_column,
+                     const std::string& pk_table,
+                     const std::string& pk_column);
+
+  const std::vector<JoinEdge>& join_edges() const { return join_edges_; }
+
+  /// Marks a table as a fact table (the default is dimension).
+  void MarkFactTable(int table_index);
+  bool IsFactTable(int table_index) const;
+
+  /// Edges incident to a table.
+  std::vector<JoinEdge> EdgesOf(int table_index) const;
+
+  /// True if some catalog edge connects the two tables (either direction).
+  bool Joinable(int table_a, int table_b) const;
+
+  /// Total number of rows across all tables.
+  size_t TotalRows() const;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::vector<JoinEdge> join_edges_;
+  std::vector<bool> is_fact_;
+};
+
+}  // namespace mtmlf::storage
+
+#endif  // MTMLF_STORAGE_DATABASE_H_

@@ -1,0 +1,48 @@
+#include "storage/table.h"
+
+namespace mtmlf::storage {
+
+Result<Column*> Table::AddColumn(const std::string& column_name,
+                                 DataType type) {
+  if (GetColumn(column_name) != nullptr) {
+    return Status::InvalidArgument("duplicate column " + column_name +
+                                   " in table " + name_);
+  }
+  columns_.push_back(std::make_unique<Column>(column_name, type));
+  return columns_.back().get();
+}
+
+Column* Table::GetColumn(const std::string& column_name) {
+  for (auto& c : columns_) {
+    if (c->name() == column_name) return c.get();
+  }
+  return nullptr;
+}
+
+const Column* Table::GetColumn(const std::string& column_name) const {
+  for (const auto& c : columns_) {
+    if (c->name() == column_name) return c.get();
+  }
+  return nullptr;
+}
+
+int Table::ColumnIndex(const std::string& column_name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i]->name() == column_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Table::Validate() const {
+  if (columns_.empty()) return Status::OK();
+  size_t rows = columns_[0]->size();
+  for (const auto& c : columns_) {
+    if (c->size() != rows) {
+      return Status::Internal("column length mismatch in table " + name_ +
+                              ": " + c->name());
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mtmlf::storage

@@ -1,0 +1,56 @@
+#ifndef MTMLF_STORAGE_TABLE_H_
+#define MTMLF_STORAGE_TABLE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/column.h"
+
+namespace mtmlf::storage {
+
+/// An in-memory table: named columns of equal length. Tables are built by
+/// the data generators and then read-only for the rest of the pipeline.
+class Table {
+ public:
+  explicit Table(std::string name) : name_(std::move(name)) {}
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  const std::string& name() const { return name_; }
+
+  /// Adds an empty column; fails if the name already exists.
+  Result<Column*> AddColumn(const std::string& column_name, DataType type);
+
+  /// Column lookup by name; nullptr if missing.
+  Column* GetColumn(const std::string& column_name);
+  const Column* GetColumn(const std::string& column_name) const;
+  /// Index of a column by name, or -1.
+  int ColumnIndex(const std::string& column_name) const;
+
+  Column& column(size_t i) { return *columns_[i]; }
+  const Column& column(size_t i) const { return *columns_[i]; }
+  size_t num_columns() const { return columns_.size(); }
+
+  /// Number of rows (0 if no columns yet). All columns must agree; checked
+  /// by Validate().
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0]->size();
+  }
+
+  /// Confirms all columns have equal length.
+  Status Validate() const;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Column>> columns_;
+};
+
+}  // namespace mtmlf::storage
+
+#endif  // MTMLF_STORAGE_TABLE_H_

@@ -1,0 +1,31 @@
+#include "storage/value.h"
+
+#include "common/string_util.h"
+
+namespace mtmlf::storage {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return "INT64";
+    case DataType::kDouble:
+      return "DOUBLE";
+    case DataType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kInt64:
+      return std::to_string(AsInt64());
+    case DataType::kDouble:
+      return StrFormat("%g", AsDouble());
+    case DataType::kString:
+      return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+}  // namespace mtmlf::storage

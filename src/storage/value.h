@@ -1,0 +1,55 @@
+#ifndef MTMLF_STORAGE_VALUE_H_
+#define MTMLF_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace mtmlf::storage {
+
+/// Column data types supported by the engine. Strings are dictionary
+/// encoded inside Column; LIKE predicates operate on the dictionary.
+enum class DataType {
+  kInt64,
+  kDouble,
+  kString,
+};
+
+const char* DataTypeName(DataType type);
+
+/// A single literal value, used in filter predicates and as cell values.
+class Value {
+ public:
+  Value() : repr_(int64_t{0}) {}
+  explicit Value(int64_t v) : repr_(v) {}
+  explicit Value(double v) : repr_(v) {}
+  explicit Value(std::string v) : repr_(std::move(v)) {}
+
+  DataType type() const {
+    if (std::holds_alternative<int64_t>(repr_)) return DataType::kInt64;
+    if (std::holds_alternative<double>(repr_)) return DataType::kDouble;
+    return DataType::kString;
+  }
+
+  int64_t AsInt64() const { return std::get<int64_t>(repr_); }
+  double AsDouble() const { return std::get<double>(repr_); }
+  const std::string& AsString() const { return std::get<std::string>(repr_); }
+
+  /// Numeric view: int64 widened to double (for range predicates and
+  /// histogram bucketing). Must not be called on strings.
+  double AsNumeric() const {
+    if (type() == DataType::kInt64) return static_cast<double>(AsInt64());
+    return AsDouble();
+  }
+
+  std::string ToString() const;
+
+  bool operator==(const Value& other) const { return repr_ == other.repr_; }
+
+ private:
+  std::variant<int64_t, double, std::string> repr_;
+};
+
+}  // namespace mtmlf::storage
+
+#endif  // MTMLF_STORAGE_VALUE_H_

@@ -1,0 +1,686 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mtmlf::tensor {
+
+namespace {
+
+using Impl = Tensor::Impl;
+
+std::shared_ptr<Impl> MakeImpl(int rows, int cols) {
+  auto impl = std::make_shared<Impl>();
+  impl->rows = rows;
+  impl->cols = cols;
+  impl->data.assign(static_cast<size_t>(rows) * cols, 0.0f);
+  return impl;
+}
+
+bool g_no_grad = false;
+
+// Creates the result node of an op, wiring parents and requires_grad.
+// Under NoGradGuard the node is detached (no parents, no grad).
+std::shared_ptr<Impl> MakeResult(int rows, int cols,
+                                 std::vector<std::shared_ptr<Impl>> parents) {
+  auto impl = MakeImpl(rows, cols);
+  if (g_no_grad) return impl;
+  for (const auto& p : parents) {
+    if (p->requires_grad) impl->requires_grad = true;
+  }
+  impl->parents = std::move(parents);
+  return impl;
+}
+
+bool SameShape(const Impl& a, const Impl& b) {
+  return a.rows == b.rows && a.cols == b.cols;
+}
+
+bool RowBroadcastable(const Impl& a, const Impl& b) {
+  return b.rows == 1 && b.cols == a.cols;
+}
+
+}  // namespace
+
+Tensor Tensor::Zeros(int rows, int cols, bool requires_grad) {
+  auto impl = MakeImpl(rows, cols);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Full(int rows, int cols, float value, bool requires_grad) {
+  auto impl = MakeImpl(rows, cols);
+  std::fill(impl->data.begin(), impl->data.end(), value);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::FromVector(int rows, int cols, std::vector<float> values,
+                          bool requires_grad) {
+  MTMLF_CHECK(values.size() == static_cast<size_t>(rows) * cols,
+              "FromVector: size mismatch");
+  auto impl = std::make_shared<Impl>();
+  impl->rows = rows;
+  impl->cols = cols;
+  impl->data = std::move(values);
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Scalar(float value) {
+  return FromVector(1, 1, {value}, false);
+}
+
+Tensor Tensor::Randn(int rows, int cols, float stddev, Rng* rng,
+                     bool requires_grad) {
+  auto impl = MakeImpl(rows, cols);
+  for (auto& v : impl->data) {
+    v = static_cast<float>(rng->Normal(0.0, stddev));
+  }
+  impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+NoGradGuard::NoGradGuard() : previous_(g_no_grad) { g_no_grad = true; }
+NoGradGuard::~NoGradGuard() { g_no_grad = previous_; }
+bool NoGradGuard::enabled() { return g_no_grad; }
+
+std::string Tensor::ShapeString() const {
+  if (!impl_) return "(null)";
+  return StrFormat("(%d, %d)", impl_->rows, impl_->cols);
+}
+
+void Tensor::Backward() {
+  MTMLF_CHECK(impl_ != nullptr, "Backward on null tensor");
+  MTMLF_CHECK(impl_->data.size() == 1, "Backward requires a scalar");
+  // Topological order by iterative post-order DFS.
+  std::vector<Impl*> order;
+  std::unordered_set<Impl*> visited;
+  std::vector<std::pair<Impl*, size_t>> stack;
+  stack.emplace_back(impl_.get(), 0);
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      Impl* child = node->parents[next_child++].get();
+      if (visited.insert(child).second) {
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+  // order is post-order: parents-before-node; reverse iterate => node first.
+  impl_->EnsureGrad();
+  impl_->grad[0] = 1.0f;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Impl* node = *it;
+    if (node->backward_fn && node->requires_grad) {
+      node->EnsureGrad();
+      for (auto& p : node->parents) p->EnsureGrad();
+      node->backward_fn(node);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise binary ops.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+enum class BinOpKind { kAdd, kSub, kMul };
+
+Tensor BinaryOp(const Tensor& a, const Tensor& b, BinOpKind kind) {
+  const auto& ai = *a.impl();
+  const auto& bi = *b.impl();
+  bool broadcast = !SameShape(ai, bi);
+  if (broadcast) {
+    MTMLF_CHECK(RowBroadcastable(ai, bi),
+                "BinaryOp: shapes incompatible (need equal or (1, cols))");
+  }
+  auto out = MakeResult(ai.rows, ai.cols, {a.impl(), b.impl()});
+  const size_t n = out->data.size();
+  const size_t bc = static_cast<size_t>(bi.cols);
+  for (size_t i = 0; i < n; ++i) {
+    float bv = broadcast ? bi.data[i % bc] : bi.data[i];
+    switch (kind) {
+      case BinOpKind::kAdd:
+        out->data[i] = ai.data[i] + bv;
+        break;
+      case BinOpKind::kSub:
+        out->data[i] = ai.data[i] - bv;
+        break;
+      case BinOpKind::kMul:
+        out->data[i] = ai.data[i] * bv;
+        break;
+    }
+  }
+  if (out->requires_grad) {
+    out->backward_fn = [kind, broadcast, bc](Impl* node) {
+      Impl* pa = node->parents[0].get();
+      Impl* pb = node->parents[1].get();
+      const size_t n = node->data.size();
+      for (size_t i = 0; i < n; ++i) {
+        float g = node->grad[i];
+        size_t bidx = broadcast ? (i % bc) : i;
+        switch (kind) {
+          case BinOpKind::kAdd:
+            pa->grad[i] += g;
+            pb->grad[bidx] += g;
+            break;
+          case BinOpKind::kSub:
+            pa->grad[i] += g;
+            pb->grad[bidx] -= g;
+            break;
+          case BinOpKind::kMul:
+            pa->grad[i] += g * pb->data[bidx];
+            pb->grad[bidx] += g * pa->data[i];
+            break;
+        }
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, BinOpKind::kAdd);
+}
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, BinOpKind::kSub);
+}
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(a, b, BinOpKind::kMul);
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  const auto& ai = *a.impl();
+  const auto& bi = *b.impl();
+  MTMLF_CHECK(ai.cols == bi.rows, "MatMul: inner dimensions differ");
+  auto out = MakeResult(ai.rows, bi.cols, {a.impl(), b.impl()});
+  const int m = ai.rows, k = ai.cols, n = bi.cols;
+  // i-k-j loop order for streaming access to b and out.
+  for (int i = 0; i < m; ++i) {
+    const float* arow = &ai.data[static_cast<size_t>(i) * k];
+    float* orow = &out->data[static_cast<size_t>(i) * n];
+    for (int kk = 0; kk < k; ++kk) {
+      float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = &bi.data[static_cast<size_t>(kk) * n];
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+  if (out->requires_grad) {
+    out->backward_fn = [m, k, n](Impl* node) {
+      Impl* pa = node->parents[0].get();
+      Impl* pb = node->parents[1].get();
+      // dA = dOut * B^T ; dB = A^T * dOut
+      for (int i = 0; i < m; ++i) {
+        const float* grow = &node->grad[static_cast<size_t>(i) * n];
+        float* garow = &pa->grad[static_cast<size_t>(i) * k];
+        const float* arow = &pa->data[static_cast<size_t>(i) * k];
+        for (int kk = 0; kk < k; ++kk) {
+          const float* brow = &pb->data[static_cast<size_t>(kk) * n];
+          float acc = 0.0f;
+          for (int j = 0; j < n; ++j) acc += grow[j] * brow[j];
+          garow[kk] += acc;
+          float av = arow[kk];
+          if (av != 0.0f) {
+            float* gbrow = &pb->grad[static_cast<size_t>(kk) * n];
+            for (int j = 0; j < n; ++j) gbrow[j] += av * grow[j];
+          }
+        }
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor Transpose(const Tensor& a) {
+  const auto& ai = *a.impl();
+  auto out = MakeResult(ai.cols, ai.rows, {a.impl()});
+  for (int i = 0; i < ai.rows; ++i) {
+    for (int j = 0; j < ai.cols; ++j) {
+      out->data[static_cast<size_t>(j) * ai.rows + i] =
+          ai.data[static_cast<size_t>(i) * ai.cols + j];
+    }
+  }
+  if (out->requires_grad) {
+    int r = ai.rows, c = ai.cols;
+    out->backward_fn = [r, c](Impl* node) {
+      Impl* pa = node->parents[0].get();
+      for (int i = 0; i < r; ++i) {
+        for (int j = 0; j < c; ++j) {
+          pa->grad[static_cast<size_t>(i) * c + j] +=
+              node->grad[static_cast<size_t>(j) * r + i];
+        }
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+namespace {
+
+// Unary op with pointwise function and derivative expressed in terms of the
+// *output* value (covers tanh/sigmoid/exp cheaply) or input value.
+template <typename Fwd, typename Bwd>
+Tensor UnaryOp(const Tensor& a, Fwd fwd, Bwd bwd_from_in_out) {
+  const auto& ai = *a.impl();
+  auto out = MakeResult(ai.rows, ai.cols, {a.impl()});
+  const size_t n = out->data.size();
+  for (size_t i = 0; i < n; ++i) out->data[i] = fwd(ai.data[i]);
+  if (out->requires_grad) {
+    out->backward_fn = [bwd_from_in_out](Impl* node) {
+      Impl* pa = node->parents[0].get();
+      const size_t n = node->data.size();
+      for (size_t i = 0; i < n; ++i) {
+        pa->grad[i] +=
+            node->grad[i] * bwd_from_in_out(pa->data[i], node->data[i]);
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+}  // namespace
+
+Tensor Scale(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x * s; },
+      [s](float, float) { return s; });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float x) { return x + s; },
+      [](float, float) { return 1.0f; });
+}
+
+Tensor Neg(const Tensor& a) { return Scale(a, -1.0f); }
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::tanh(x); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::exp(x); },
+      [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::log(std::max(x, 1e-12f)); },
+      [](float x, float) { return 1.0f / std::max(x, 1e-12f); });
+}
+
+Tensor Abs(const Tensor& a) {
+  return UnaryOp(
+      a, [](float x) { return std::fabs(x); },
+      [](float x, float) { return x > 0.0f ? 1.0f : (x < 0.0f ? -1.0f : 0.0f); });
+}
+
+Tensor SoftmaxRows(const Tensor& a, const std::vector<float>* additive_mask) {
+  const auto& ai = *a.impl();
+  if (additive_mask != nullptr) {
+    MTMLF_CHECK(additive_mask->size() == ai.data.size(),
+                "SoftmaxRows: mask size mismatch");
+  }
+  auto out = MakeResult(ai.rows, ai.cols, {a.impl()});
+  const int rows = ai.rows, cols = ai.cols;
+  for (int r = 0; r < rows; ++r) {
+    const float* in = &ai.data[static_cast<size_t>(r) * cols];
+    float* o = &out->data[static_cast<size_t>(r) * cols];
+    float mx = -1e30f;
+    for (int c = 0; c < cols; ++c) {
+      float v = in[c];
+      if (additive_mask) v += (*additive_mask)[static_cast<size_t>(r) * cols + c];
+      o[c] = v;
+      mx = std::max(mx, v);
+    }
+    float denom = 0.0f;
+    for (int c = 0; c < cols; ++c) {
+      o[c] = std::exp(o[c] - mx);
+      denom += o[c];
+    }
+    float inv = 1.0f / std::max(denom, 1e-20f);
+    for (int c = 0; c < cols; ++c) o[c] *= inv;
+  }
+  if (out->requires_grad) {
+    out->backward_fn = [rows, cols](Impl* node) {
+      Impl* pa = node->parents[0].get();
+      for (int r = 0; r < rows; ++r) {
+        const float* y = &node->data[static_cast<size_t>(r) * cols];
+        const float* gy = &node->grad[static_cast<size_t>(r) * cols];
+        float* gx = &pa->grad[static_cast<size_t>(r) * cols];
+        float dot = 0.0f;
+        for (int c = 0; c < cols; ++c) dot += gy[c] * y[c];
+        for (int c = 0; c < cols; ++c) gx[c] += y[c] * (gy[c] - dot);
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor SumAll(const Tensor& a) {
+  const auto& ai = *a.impl();
+  auto out = MakeResult(1, 1, {a.impl()});
+  float acc = 0.0f;
+  for (float v : ai.data) acc += v;
+  out->data[0] = acc;
+  if (out->requires_grad) {
+    out->backward_fn = [](Impl* node) {
+      Impl* pa = node->parents[0].get();
+      float g = node->grad[0];
+      for (auto& gv : pa->grad) gv += g;
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor MeanAll(const Tensor& a) {
+  float inv = 1.0f / static_cast<float>(a.size());
+  return Scale(SumAll(a), inv);
+}
+
+Tensor MeanRows(const Tensor& a) {
+  const auto& ai = *a.impl();
+  auto out = MakeResult(1, ai.cols, {a.impl()});
+  const int rows = ai.rows, cols = ai.cols;
+  float inv = 1.0f / static_cast<float>(rows);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      out->data[c] += ai.data[static_cast<size_t>(r) * cols + c] * inv;
+    }
+  }
+  if (out->requires_grad) {
+    out->backward_fn = [rows, cols, inv](Impl* node) {
+      Impl* pa = node->parents[0].get();
+      for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+          pa->grad[static_cast<size_t>(r) * cols + c] += node->grad[c] * inv;
+        }
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  MTMLF_CHECK(!parts.empty(), "ConcatRows: empty input");
+  int cols = parts[0].cols();
+  int rows = 0;
+  std::vector<std::shared_ptr<Impl>> parents;
+  for (const auto& p : parts) {
+    MTMLF_CHECK(p.cols() == cols, "ConcatRows: column mismatch");
+    rows += p.rows();
+    parents.push_back(p.impl());
+  }
+  auto out = MakeResult(rows, cols, std::move(parents));
+  size_t offset = 0;
+  for (const auto& p : parts) {
+    std::copy(p.data(), p.data() + p.size(), out->data.begin() + offset);
+    offset += p.size();
+  }
+  if (out->requires_grad) {
+    out->backward_fn = [](Impl* node) {
+      size_t offset = 0;
+      for (auto& p : node->parents) {
+        const size_t n = p->data.size();
+        for (size_t i = 0; i < n; ++i) p->grad[i] += node->grad[offset + i];
+        offset += n;
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  MTMLF_CHECK(!parts.empty(), "ConcatCols: empty input");
+  int rows = parts[0].rows();
+  int cols = 0;
+  std::vector<std::shared_ptr<Impl>> parents;
+  for (const auto& p : parts) {
+    MTMLF_CHECK(p.rows() == rows, "ConcatCols: row mismatch");
+    cols += p.cols();
+    parents.push_back(p.impl());
+  }
+  auto out = MakeResult(rows, cols, std::move(parents));
+  int col_off = 0;
+  for (const auto& p : parts) {
+    for (int r = 0; r < rows; ++r) {
+      std::copy(p.data() + static_cast<size_t>(r) * p.cols(),
+                p.data() + static_cast<size_t>(r + 1) * p.cols(),
+                out->data.begin() + static_cast<size_t>(r) * cols + col_off);
+    }
+    col_off += p.cols();
+  }
+  if (out->requires_grad) {
+    out->backward_fn = [rows, cols](Impl* node) {
+      int col_off = 0;
+      for (auto& p : node->parents) {
+        int pc = p->cols;
+        for (int r = 0; r < rows; ++r) {
+          for (int c = 0; c < pc; ++c) {
+            p->grad[static_cast<size_t>(r) * pc + c] +=
+                node->grad[static_cast<size_t>(r) * cols + col_off + c];
+          }
+        }
+        col_off += pc;
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor SliceRows(const Tensor& a, int start, int len) {
+  const auto& ai = *a.impl();
+  MTMLF_CHECK(start >= 0 && start + len <= ai.rows, "SliceRows: out of range");
+  auto out = MakeResult(len, ai.cols, {a.impl()});
+  std::copy(ai.data.begin() + static_cast<size_t>(start) * ai.cols,
+            ai.data.begin() + static_cast<size_t>(start + len) * ai.cols,
+            out->data.begin());
+  if (out->requires_grad) {
+    int cols = ai.cols;
+    out->backward_fn = [start, len, cols](Impl* node) {
+      Impl* pa = node->parents[0].get();
+      const size_t n = static_cast<size_t>(len) * cols;
+      const size_t off = static_cast<size_t>(start) * cols;
+      for (size_t i = 0; i < n; ++i) pa->grad[off + i] += node->grad[i];
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor SliceCols(const Tensor& a, int start, int len) {
+  const auto& ai = *a.impl();
+  MTMLF_CHECK(start >= 0 && start + len <= ai.cols, "SliceCols: out of range");
+  auto out = MakeResult(ai.rows, len, {a.impl()});
+  for (int r = 0; r < ai.rows; ++r) {
+    std::copy(ai.data.begin() + static_cast<size_t>(r) * ai.cols + start,
+              ai.data.begin() + static_cast<size_t>(r) * ai.cols + start + len,
+              out->data.begin() + static_cast<size_t>(r) * len);
+  }
+  if (out->requires_grad) {
+    int rows = ai.rows, cols = ai.cols;
+    out->backward_fn = [start, len, rows, cols](Impl* node) {
+      Impl* pa = node->parents[0].get();
+      for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < len; ++c) {
+          pa->grad[static_cast<size_t>(r) * cols + start + c] +=
+              node->grad[static_cast<size_t>(r) * len + c];
+        }
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor EmbedRows(const Tensor& table, const std::vector<int>& ids) {
+  const auto& ti = *table.impl();
+  auto out =
+      MakeResult(static_cast<int>(ids.size()), ti.cols, {table.impl()});
+  for (size_t r = 0; r < ids.size(); ++r) {
+    MTMLF_CHECK(ids[r] >= 0 && ids[r] < ti.rows, "EmbedRows: id out of range");
+    std::copy(ti.data.begin() + static_cast<size_t>(ids[r]) * ti.cols,
+              ti.data.begin() + static_cast<size_t>(ids[r] + 1) * ti.cols,
+              out->data.begin() + r * ti.cols);
+  }
+  if (out->requires_grad) {
+    int cols = ti.cols;
+    out->backward_fn = [ids, cols](Impl* node) {
+      Impl* pt = node->parents[0].get();
+      for (size_t r = 0; r < ids.size(); ++r) {
+        for (int c = 0; c < cols; ++c) {
+          pt->grad[static_cast<size_t>(ids[r]) * cols + c] +=
+              node->grad[r * cols + c];
+        }
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor LayerNormRows(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                     float eps) {
+  const auto& xi = *x.impl();
+  MTMLF_CHECK(gamma.rows() == 1 && gamma.cols() == xi.cols,
+              "LayerNormRows: gamma shape");
+  MTMLF_CHECK(beta.rows() == 1 && beta.cols() == xi.cols,
+              "LayerNormRows: beta shape");
+  auto out =
+      MakeResult(xi.rows, xi.cols, {x.impl(), gamma.impl(), beta.impl()});
+  const int rows = xi.rows, cols = xi.cols;
+  // Cache per-row mean and inverse stddev for backward.
+  auto stats = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(rows) * 2);
+  const auto& gi = *gamma.impl();
+  const auto& bi = *beta.impl();
+  for (int r = 0; r < rows; ++r) {
+    const float* in = &xi.data[static_cast<size_t>(r) * cols];
+    float* o = &out->data[static_cast<size_t>(r) * cols];
+    float mean = 0.0f;
+    for (int c = 0; c < cols; ++c) mean += in[c];
+    mean /= static_cast<float>(cols);
+    float var = 0.0f;
+    for (int c = 0; c < cols; ++c) {
+      float d = in[c] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(cols);
+    float inv_std = 1.0f / std::sqrt(var + eps);
+    (*stats)[static_cast<size_t>(r) * 2] = mean;
+    (*stats)[static_cast<size_t>(r) * 2 + 1] = inv_std;
+    for (int c = 0; c < cols; ++c) {
+      float xhat = (in[c] - mean) * inv_std;
+      o[c] = xhat * gi.data[c] + bi.data[c];
+    }
+  }
+  if (out->requires_grad) {
+    out->backward_fn = [rows, cols, stats](Impl* node) {
+      Impl* px = node->parents[0].get();
+      Impl* pg = node->parents[1].get();
+      Impl* pb = node->parents[2].get();
+      for (int r = 0; r < rows; ++r) {
+        const float* in = &px->data[static_cast<size_t>(r) * cols];
+        const float* gy = &node->grad[static_cast<size_t>(r) * cols];
+        float* gx = &px->grad[static_cast<size_t>(r) * cols];
+        float mean = (*stats)[static_cast<size_t>(r) * 2];
+        float inv_std = (*stats)[static_cast<size_t>(r) * 2 + 1];
+        // dxhat = gy * gamma ; standard layer-norm backward.
+        float sum_dxhat = 0.0f, sum_dxhat_xhat = 0.0f;
+        for (int c = 0; c < cols; ++c) {
+          float xhat = (in[c] - mean) * inv_std;
+          float dxhat = gy[c] * pg->data[c];
+          sum_dxhat += dxhat;
+          sum_dxhat_xhat += dxhat * xhat;
+          pg->grad[c] += gy[c] * xhat;
+          pb->grad[c] += gy[c];
+        }
+        float invn = 1.0f / static_cast<float>(cols);
+        for (int c = 0; c < cols; ++c) {
+          float xhat = (in[c] - mean) * inv_std;
+          float dxhat = gy[c] * pg->data[c];
+          gx[c] += inv_std *
+                   (dxhat - invn * sum_dxhat - xhat * invn * sum_dxhat_xhat);
+        }
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor CrossEntropyWithLogits(const Tensor& logits,
+                              const std::vector<int>& targets) {
+  const auto& li = *logits.impl();
+  MTMLF_CHECK(targets.size() == static_cast<size_t>(li.rows),
+              "CrossEntropyWithLogits: one target per row required");
+  auto out = MakeResult(1, 1, {logits.impl()});
+  const int rows = li.rows, cols = li.cols;
+  // Cache row softmax for backward.
+  auto probs = std::make_shared<std::vector<float>>(li.data.size());
+  int active = 0;
+  float loss = 0.0f;
+  for (int r = 0; r < rows; ++r) {
+    const float* in = &li.data[static_cast<size_t>(r) * cols];
+    float* pr = &(*probs)[static_cast<size_t>(r) * cols];
+    float mx = -1e30f;
+    for (int c = 0; c < cols; ++c) mx = std::max(mx, in[c]);
+    float denom = 0.0f;
+    for (int c = 0; c < cols; ++c) {
+      pr[c] = std::exp(in[c] - mx);
+      denom += pr[c];
+    }
+    float inv = 1.0f / std::max(denom, 1e-20f);
+    for (int c = 0; c < cols; ++c) pr[c] *= inv;
+    if (targets[r] >= 0) {
+      MTMLF_CHECK(targets[r] < cols, "CrossEntropyWithLogits: target range");
+      loss -= std::log(std::max(pr[targets[r]], 1e-12f));
+      ++active;
+    }
+  }
+  out->data[0] = active > 0 ? loss / static_cast<float>(active) : 0.0f;
+  if (out->requires_grad) {
+    std::vector<int> tgt = targets;
+    out->backward_fn = [rows, cols, probs, tgt, active](Impl* node) {
+      if (active == 0) return;
+      Impl* pl = node->parents[0].get();
+      float g = node->grad[0] / static_cast<float>(active);
+      for (int r = 0; r < rows; ++r) {
+        if (tgt[r] < 0) continue;
+        const float* pr = &(*probs)[static_cast<size_t>(r) * cols];
+        float* gl = &pl->grad[static_cast<size_t>(r) * cols];
+        for (int c = 0; c < cols; ++c) {
+          float delta = (c == tgt[r]) ? 1.0f : 0.0f;
+          gl[c] += g * (pr[c] - delta);
+        }
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+}  // namespace mtmlf::tensor

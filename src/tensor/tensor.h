@@ -1,0 +1,159 @@
+#ifndef MTMLF_TENSOR_TENSOR_H_
+#define MTMLF_TENSOR_TENSOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mtmlf::tensor {
+
+/// A 2-D float tensor participating in a define-by-run reverse-mode
+/// autodiff graph. This is the ML substrate of the repo: the paper's
+/// transformers, MLPs, tree-LSTMs, and Adam optimizer are all built on it.
+///
+/// Shapes are (rows, cols). Sequences use (seq_len, d_model); scalars are
+/// (1, 1). Handles are cheap shared references to a graph node; the graph
+/// for one forward pass is freed when the last handle goes out of scope.
+///
+/// Not thread-safe; the whole training stack is single-threaded by design
+/// (the evaluation machine has one core).
+class Tensor {
+ public:
+  struct Impl {
+    int rows = 0;
+    int cols = 0;
+    std::vector<float> data;
+    std::vector<float> grad;  // lazily sized in Backward()
+    bool requires_grad = false;
+    std::vector<std::shared_ptr<Impl>> parents;
+    // Propagates this node's grad into parents' grads. Null for leaves.
+    std::function<void(Impl*)> backward_fn;
+
+    void EnsureGrad() {
+      if (grad.empty()) grad.assign(data.size(), 0.0f);
+    }
+  };
+
+  Tensor() = default;
+
+  /// Factory constructors.
+  static Tensor Zeros(int rows, int cols, bool requires_grad = false);
+  static Tensor Full(int rows, int cols, float value,
+                     bool requires_grad = false);
+  static Tensor FromVector(int rows, int cols, std::vector<float> values,
+                           bool requires_grad = false);
+  static Tensor Scalar(float value);
+  /// Gaussian init with the given stddev (used for Xavier/He by callers).
+  static Tensor Randn(int rows, int cols, float stddev, Rng* rng,
+                      bool requires_grad = false);
+
+  bool defined() const { return impl_ != nullptr; }
+  int rows() const { return impl_->rows; }
+  int cols() const { return impl_->cols; }
+  size_t size() const { return impl_->data.size(); }
+  float* data() { return impl_->data.data(); }
+  const float* data() const { return impl_->data.data(); }
+  float at(int r, int c) const { return impl_->data[r * impl_->cols + c]; }
+  bool requires_grad() const { return impl_->requires_grad; }
+
+  /// Gradient buffer; valid after Backward() has touched this node.
+  std::vector<float>& grad() { return impl_->grad; }
+  const std::vector<float>& grad() const { return impl_->grad; }
+  void ZeroGrad() { impl_->grad.assign(impl_->data.size(), 0.0f); }
+
+  /// Value of a (1,1) tensor.
+  float item() const { return impl_->data[0]; }
+
+  /// Runs reverse-mode autodiff from this scalar node. Accumulates into
+  /// .grad() of every reachable node with requires_grad (and of every
+  /// interior node, which is cleared when the graph is freed).
+  void Backward();
+
+  std::string ShapeString() const;
+
+  std::shared_ptr<Impl> impl() const { return impl_; }
+  explicit Tensor(std::shared_ptr<Impl> impl) : impl_(std::move(impl)) {}
+
+ private:
+  std::shared_ptr<Impl> impl_;
+};
+
+/// RAII guard disabling gradient tracking (inference mode): ops executed
+/// inside the guard produce leaf tensors with no parents, so beam search
+/// and evaluation skip graph construction entirely.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+  static bool enabled();
+
+ private:
+  bool previous_;
+};
+
+// ---------------------------------------------------------------------------
+// Operators. All return new graph nodes; inputs are unmodified.
+// ---------------------------------------------------------------------------
+
+/// Elementwise a + b. b may also be (1, cols) and is then broadcast to
+/// every row of a (bias addition).
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+/// Elementwise (Hadamard) product; same broadcast rule as Add.
+Tensor Mul(const Tensor& a, const Tensor& b);
+/// Matrix product (a.rows, a.cols) x (a.cols, b.cols).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+Tensor Transpose(const Tensor& a);
+Tensor Scale(const Tensor& a, float s);
+Tensor AddScalar(const Tensor& a, float s);
+Tensor Neg(const Tensor& a);
+
+Tensor Relu(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Exp(const Tensor& a);
+/// Natural log; inputs are clamped to >= 1e-12 for numerical safety.
+Tensor Log(const Tensor& a);
+/// |x| with subgradient 0 at x == 0 (used by the log-space q-error loss).
+Tensor Abs(const Tensor& a);
+
+/// Row-wise softmax. `additive_mask`, if non-null, must have a.size()
+/// entries and is added to the logits before normalization (use -1e9 for
+/// disallowed positions — causal masks, join-legality masks).
+Tensor SoftmaxRows(const Tensor& a,
+                   const std::vector<float>* additive_mask = nullptr);
+
+Tensor SumAll(const Tensor& a);
+Tensor MeanAll(const Tensor& a);
+/// Mean over rows: (rows, cols) -> (1, cols).
+Tensor MeanRows(const Tensor& a);
+
+Tensor ConcatRows(const std::vector<Tensor>& parts);
+Tensor ConcatCols(const std::vector<Tensor>& parts);
+Tensor SliceRows(const Tensor& a, int start, int len);
+Tensor SliceCols(const Tensor& a, int start, int len);
+
+/// Gathers table rows by id: (|ids|, table.cols). Backward scatters into
+/// the embedding table.
+Tensor EmbedRows(const Tensor& table, const std::vector<int>& ids);
+
+/// Fused layer normalization over each row, then scale/shift by gamma and
+/// beta (both (1, cols)).
+Tensor LayerNormRows(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                     float eps = 1e-5f);
+
+/// Mean over rows of -log softmax(logits)[row, target[row]]. Rows whose
+/// target is negative are ignored (padding). Returns a scalar.
+Tensor CrossEntropyWithLogits(const Tensor& logits,
+                              const std::vector<int>& targets);
+
+}  // namespace mtmlf::tensor
+
+#endif  // MTMLF_TENSOR_TENSOR_H_

@@ -1,0 +1,111 @@
+#include "train/evaluate.h"
+
+#include <cmath>
+
+#include "model/joeu.h"
+
+namespace mtmlf::train {
+
+using model::MtmlfQo;
+using workload::Dataset;
+using workload::LabeledQuery;
+
+EstimateEval EvaluateEstimates(const MtmlfQo& model, int db_index,
+                               const Dataset& dataset,
+                               const std::vector<size_t>& indices) {
+  tensor::NoGradGuard guard;
+  std::vector<double> card_err, cost_err;
+  for (size_t idx : indices) {
+    const LabeledQuery& lq = dataset.queries[idx];
+    MtmlfQo::Forward fwd = model.Run(db_index, lq.query, *lq.plan);
+    auto cards = model.NodeCardPredictions(fwd);
+    auto costs = model.NodeCostPredictions(fwd);
+    // Root node (index 0 in pre-order) is the full query.
+    card_err.push_back(QError(cards[0], lq.true_card));
+    cost_err.push_back(QError(costs[0], lq.latency_ms));
+  }
+  return EstimateEval{Summarize(std::move(card_err)),
+                      Summarize(std::move(cost_err))};
+}
+
+EstimateEval EvaluateBaselineEstimates(
+    const optimizer::BaselineCardEstimator& baseline,
+    const exec::CostModel& cost_model, double ms_per_cost_unit,
+    double startup_ms, const storage::Database& db, const Dataset& dataset,
+    const std::vector<size_t>& indices) {
+  std::vector<double> card_err, cost_err;
+  for (size_t idx : indices) {
+    const LabeledQuery& lq = dataset.queries[idx];
+    double est_card = baseline.EstimateQuery(lq.query);
+    card_err.push_back(QError(est_card, lq.true_card));
+    // PostgreSQL's cost estimate of its own plan: cost model fed with its
+    // estimated cardinalities.
+    exec::CardFn est_fn = [&](const query::PlanNode& node) {
+      return baseline.EstimateSubset(lq.query, node.BaseTables());
+    };
+    double est_cost =
+        cost_model.PlanCost(*lq.plan, lq.query, db, est_fn) *
+            ms_per_cost_unit +
+        startup_ms;
+    cost_err.push_back(QError(est_cost, lq.latency_ms));
+  }
+  return EstimateEval{Summarize(std::move(card_err)),
+                      Summarize(std::move(cost_err))};
+}
+
+Result<JoinSelEval> EvaluateJoinSel(const MtmlfQo& model, int db_index,
+                                    const Dataset& dataset,
+                                    const std::vector<size_t>& indices,
+                                    workload::QueryLabeler* labeler,
+                                    const model::BeamSearchOptions& beam) {
+  JoinSelEval eval;
+  double joeu_sum = 0.0;
+  int matches = 0;
+  for (size_t idx : indices) {
+    const LabeledQuery& lq = dataset.queries[idx];
+    if (lq.optimal_order.size() < 2) continue;
+    auto order = model.PredictJoinOrder(db_index, lq, beam);
+    if (!order.ok()) return order.status();
+    auto latency = labeler->SimulateOrderLatencyMs(lq.query, order.value());
+    if (!latency.ok()) return latency.status();
+    eval.total_latency_ms += latency.value();
+    joeu_sum += model::Joeu(order.value(), lq.optimal_order);
+    if (order.value() == lq.optimal_order) ++matches;
+    ++eval.evaluated;
+  }
+  if (eval.evaluated > 0) {
+    eval.exact_match_rate =
+        static_cast<double>(matches) / eval.evaluated;
+    eval.mean_joeu = joeu_sum / eval.evaluated;
+  }
+  return eval;
+}
+
+double JoTokenAccuracy(const MtmlfQo& model, int db_index,
+                       const Dataset& dataset,
+                       const std::vector<size_t>& indices) {
+  tensor::NoGradGuard guard;
+  int correct = 0, total = 0;
+  for (size_t idx : indices) {
+    const LabeledQuery& lq = dataset.queries[idx];
+    if (lq.optimal_order.size() < 2) continue;
+    MtmlfQo::Forward fwd = model.Run(db_index, lq.query, *lq.plan);
+    std::vector<int> target;
+    for (int t : lq.optimal_order) {
+      target.push_back(lq.query.PositionOf(t));
+    }
+    tensor::Tensor logits =
+        model.trans_jo().TeacherForcedLogits(fwd.jo_memory, target);
+    for (int row = 0; row < logits.rows(); ++row) {
+      int argmax = 0;
+      for (int c = 1; c < logits.cols(); ++c) {
+        if (logits.at(row, c) > logits.at(row, argmax)) argmax = c;
+      }
+      if (argmax == target[static_cast<size_t>(row)]) ++correct;
+      ++total;
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(correct) / total;
+}
+
+}  // namespace mtmlf::train

@@ -1,0 +1,57 @@
+#ifndef MTMLF_TRAIN_EVALUATE_H_
+#define MTMLF_TRAIN_EVALUATE_H_
+
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "model/mtmlf_qo.h"
+#include "workload/dataset.h"
+
+namespace mtmlf::train {
+
+/// Q-error summaries for the CardEst and CostEst tasks over a set of
+/// queries (root node of each plan, i.e., the full query — what the
+/// paper's Table 1 reports on the JOB test set).
+struct EstimateEval {
+  SummaryStats card_qerror;
+  SummaryStats cost_qerror;
+};
+
+EstimateEval EvaluateEstimates(const model::MtmlfQo& model, int db_index,
+                               const workload::Dataset& dataset,
+                               const std::vector<size_t>& indices);
+
+/// Same summaries for the traditional baseline: cardinalities from the
+/// histogram estimator, costs from the cost model fed with those
+/// estimates (converted to ms with the simulator's scale) — how
+/// PostgreSQL's EXPLAIN numbers relate to its runtimes.
+EstimateEval EvaluateBaselineEstimates(
+    const optimizer::BaselineCardEstimator& baseline,
+    const exec::CostModel& cost_model, double ms_per_cost_unit,
+    double startup_ms, const storage::Database& db,
+    const workload::Dataset& dataset, const std::vector<size_t>& indices);
+
+/// Join-order quality over a set of queries, Table 2 style.
+struct JoinSelEval {
+  double total_latency_ms = 0.0;  // simulated latency of predicted orders
+  double exact_match_rate = 0.0;  // fraction equal to the DP-optimal order
+  double mean_joeu = 0.0;
+  int evaluated = 0;
+};
+
+Result<JoinSelEval> EvaluateJoinSel(const model::MtmlfQo& model, int db_index,
+                                    const workload::Dataset& dataset,
+                                    const std::vector<size_t>& indices,
+                                    workload::QueryLabeler* labeler,
+                                    const model::BeamSearchOptions& beam);
+
+/// Teacher-forced next-table top-1 accuracy of Trans_JO (diagnostic: how
+/// well the decoder ranks the optimal next table given the true prefix).
+double JoTokenAccuracy(const model::MtmlfQo& model, int db_index,
+                       const workload::Dataset& dataset,
+                       const std::vector<size_t>& indices);
+
+}  // namespace mtmlf::train
+
+#endif  // MTMLF_TRAIN_EVALUATE_H_

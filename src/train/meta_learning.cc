@@ -1,0 +1,39 @@
+#include "train/meta_learning.h"
+
+#include "common/logging.h"
+
+namespace mtmlf::train {
+
+Status RunMetaLearning(
+    model::MtmlfQo* model,
+    const std::vector<std::pair<int, const workload::Dataset*>>& databases,
+    const TrainOptions& options) {
+  Trainer trainer(model);
+  for (const auto& [db, ds] : databases) {
+    MTMLF_LOG(1, "MLA: pre-training featurizer for db %d", db);
+    MTMLF_RETURN_IF_ERROR(trainer.PretrainFeaturizer(db, *ds, options));
+  }
+  MTMLF_LOG(1, "MLA: joint (S)+(T) training over %zu databases",
+            databases.size());
+  return trainer.TrainJoint(databases, options);
+}
+
+Status AdaptToNewDatabase(model::MtmlfQo* model, int db_index,
+                          const workload::Dataset& dataset,
+                          const TrainOptions& options,
+                          int finetune_examples) {
+  Trainer trainer(model);
+  MTMLF_RETURN_IF_ERROR(
+      trainer.PretrainFeaturizer(db_index, dataset, options));
+  if (finetune_examples > 0) {
+    TrainOptions finetune = options;
+    finetune.lr = options.lr * 0.3f;  // gentle fine-tuning
+    MTMLF_LOG(1, "fine-tuning (S)+(T) on %d examples of new db",
+              finetune_examples);
+    return trainer.TrainJoint({{db_index, &dataset}}, finetune,
+                              finetune_examples);
+  }
+  return Status::OK();
+}
+
+}  // namespace mtmlf::train

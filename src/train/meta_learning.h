@@ -1,0 +1,33 @@
+#ifndef MTMLF_TRAIN_META_LEARNING_H_
+#define MTMLF_TRAIN_META_LEARNING_H_
+
+#include <utility>
+#include <vector>
+
+#include "train/trainer.h"
+
+namespace mtmlf::train {
+
+/// The paper's Meta-Learning Algorithm for MTMLF-QO (Algorithm 1):
+///   line 4: per database, train each Enc_i on single-table CardEst;
+///   line 5-6: featurize every query and pool the training tuples;
+///   line 7-8: shuffle across databases and train (S)+(T).
+/// After this the (S)/(T) modules hold the database-agnostic meta
+/// knowledge; a new database only needs its own featurizer (+ optional
+/// light fine-tuning).
+Status RunMetaLearning(
+    model::MtmlfQo* model,
+    const std::vector<std::pair<int, const workload::Dataset*>>& databases,
+    const TrainOptions& options);
+
+/// Deploys a pre-trained model on a new database (Section 3.3): trains the
+/// new featurizer's Enc_i encoders from single-table queries, then
+/// fine-tunes (S)+(T) on at most `finetune_examples` labeled queries
+/// (0 = pure zero-shot transfer: featurizer training only).
+Status AdaptToNewDatabase(model::MtmlfQo* model, int db_index,
+                          const workload::Dataset& dataset,
+                          const TrainOptions& options, int finetune_examples);
+
+}  // namespace mtmlf::train
+
+#endif  // MTMLF_TRAIN_META_LEARNING_H_

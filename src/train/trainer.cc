@@ -1,0 +1,130 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "nn/optimizer.h"
+
+namespace mtmlf::train {
+
+using model::MtmlfQo;
+using workload::Dataset;
+
+Status Trainer::PretrainFeaturizer(int db_index, const Dataset& dataset,
+                                   const TrainOptions& options) {
+  auto* featurizer = model_->featurizer(db_index);
+  nn::Adam::Options adam_opts;
+  adam_opts.learning_rate = options.enc_lr;
+  nn::Adam adam(featurizer->Parameters(), adam_opts);
+
+  // Flatten (table, query) pairs and shuffle.
+  std::vector<const workload::SingleTableQuery*> examples;
+  for (const auto& per_table : dataset.single_table_queries) {
+    for (const auto& q : per_table) examples.push_back(&q);
+  }
+  if (examples.empty()) {
+    return Status::FailedPrecondition("no single-table queries to pretrain");
+  }
+  Rng rng(options.seed);
+  for (int epoch = 0; epoch < options.enc_pretrain_epochs; ++epoch) {
+    rng.Shuffle(&examples);
+    double epoch_loss = 0.0;
+    int in_batch = 0;
+    for (const auto* q : examples) {
+      tensor::Tensor loss = featurizer->SingleTableLoss(*q);
+      epoch_loss += loss.item();
+      loss.Backward();
+      if (++in_batch == options.batch_size) {
+        adam.Step(1.0f / static_cast<float>(in_batch));
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) adam.Step(1.0f / static_cast<float>(in_batch));
+    MTMLF_LOG(2, "enc pretrain db=%d epoch %d/%d loss=%.4f", db_index,
+              epoch + 1, options.enc_pretrain_epochs,
+              epoch_loss / static_cast<double>(examples.size()));
+  }
+  return Status::OK();
+}
+
+Status Trainer::TrainJoint(
+    const std::vector<std::pair<int, const Dataset*>>& data,
+    const TrainOptions& options, int max_examples_per_db) {
+  // Pooled example index: (db index, query index). Algorithm 1 line 6-7.
+  struct Example {
+    int db;
+    size_t query;
+  };
+  std::vector<Example> examples;
+  for (const auto& [db, ds] : data) {
+    size_t limit = ds->split.train.size();
+    if (max_examples_per_db > 0) {
+      limit = std::min(limit, static_cast<size_t>(max_examples_per_db));
+    }
+    for (size_t i = 0; i < limit; ++i) {
+      examples.push_back(Example{db, ds->split.train[i]});
+    }
+  }
+  if (examples.empty()) {
+    return Status::FailedPrecondition("no training examples");
+  }
+
+  // Only (S) and (T) parameters receive gradients (Section 3.2 (L)).
+  std::vector<tensor::Tensor> params;
+  model_->CollectSharedTaskParameters(&params);
+  nn::Adam::Options adam_opts;
+  adam_opts.learning_rate = options.lr;
+  nn::Adam adam(std::move(params), adam_opts);
+
+  Rng rng(options.seed + 99);
+  for (int epoch = 0; epoch < options.joint_epochs; ++epoch) {
+    rng.Shuffle(&examples);  // Algorithm 1 line 7: shuffle across DBs
+    double epoch_loss = 0.0;
+    int in_batch = 0;
+    bool seq_loss_on = options.sequence_loss_from_epoch >= 0 &&
+                       epoch >= options.sequence_loss_from_epoch;
+    for (const Example& ex : examples) {
+      const Dataset* ds = nullptr;
+      for (const auto& [db, d] : data) {
+        if (db == ex.db) {
+          ds = d;
+          break;
+        }
+      }
+      const workload::LabeledQuery& lq = ds->queries[ex.query];
+      // Sample among the annotated plans (baseline/optimal/random orders)
+      // so M_CardEst/M_CostEst see plan-diverse sub-plans, not only the
+      // baseline optimizer's choices.
+      const query::PlanNode* plan = lq.plan.get();
+      if (!lq.alt_plans.empty()) {
+        size_t pick = static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(lq.alt_plans.size())));
+        if (pick > 0) plan = lq.alt_plans[pick - 1].get();
+      }
+      MtmlfQo::Forward fwd = model_->Run(ex.db, lq.query, *plan);
+      tensor::Tensor loss = model_->MultiTaskLoss(fwd, lq, options.weights);
+      if (seq_loss_on && options.weights.jo > 0.0f &&
+          lq.optimal_order.size() >= 2) {
+        tensor::Tensor seq = model_->SequenceLevelJoLoss(
+            fwd, lq, options.sequence_loss_beam, options.lambda_illegal);
+        loss = tensor::Add(loss,
+                           tensor::Scale(seq, options.sequence_loss_weight));
+      }
+      epoch_loss += loss.item();
+      loss.Backward();
+      if (++in_batch == options.batch_size) {
+        adam.Step(1.0f / static_cast<float>(in_batch));
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) adam.Step(1.0f / static_cast<float>(in_batch));
+    MTMLF_LOG(1, "joint epoch %d/%d mean loss=%.4f (%zu examples%s)",
+              epoch + 1, options.joint_epochs,
+              epoch_loss / static_cast<double>(examples.size()),
+              examples.size(), seq_loss_on ? ", +seq loss" : "");
+  }
+  return Status::OK();
+}
+
+}  // namespace mtmlf::train

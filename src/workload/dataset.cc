@@ -1,0 +1,47 @@
+#include "workload/dataset.h"
+
+#include "common/logging.h"
+
+namespace mtmlf::workload {
+
+Result<Dataset> BuildDataset(const storage::Database* db,
+                             const optimizer::BaselineCardEstimator* baseline,
+                             const DatasetOptions& options) {
+  Dataset ds;
+  WorkloadGenerator gen(db, options.seed);
+  QueryLabeler labeler(db, baseline, options.labeler);
+  int attempts = 0;
+  const int max_attempts = options.num_queries * 8 + 64;
+  while (static_cast<int>(ds.queries.size()) < options.num_queries &&
+         attempts < max_attempts) {
+    ++attempts;
+    query::Query q = gen.GenerateQuery(options.generator);
+    auto labeled = labeler.Label(q, options.with_optimal_order);
+    if (!labeled.ok()) continue;
+    if (labeled.value().true_card > options.max_true_card) continue;
+    ds.queries.push_back(std::move(labeled.value()));
+    if (ds.queries.size() % 500 == 0) {
+      MTMLF_LOG(2, "labeled %zu/%d queries", ds.queries.size(),
+                options.num_queries);
+    }
+  }
+  if (static_cast<int>(ds.queries.size()) < options.num_queries / 2) {
+    return Status::Internal(
+        "workload generation rejected too many queries; relax max_true_card");
+  }
+  ds.split = SplitIndices(ds.queries.size(), options.train_frac,
+                          options.val_frac, options.seed + 1);
+
+  ds.single_table_queries.resize(db->num_tables());
+  for (size_t t = 0; t < db->num_tables(); ++t) {
+    for (int i = 0; i < options.single_table_queries_per_table; ++i) {
+      SingleTableQuery sq =
+          gen.GenerateSingleTable(static_cast<int>(t),
+                                  options.generator.max_filters_per_table);
+      if (sq.table >= 0) ds.single_table_queries[t].push_back(std::move(sq));
+    }
+  }
+  return ds;
+}
+
+}  // namespace mtmlf::workload

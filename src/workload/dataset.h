@@ -1,0 +1,49 @@
+#ifndef MTMLF_WORKLOAD_DATASET_H_
+#define MTMLF_WORKLOAD_DATASET_H_
+
+#include <memory>
+#include <vector>
+
+#include "workload/generator.h"
+#include "workload/labeler.h"
+
+namespace mtmlf::workload {
+
+/// A labeled workload over one database plus its train/val/test split —
+/// the unit the trainers, the meta-learning algorithm, and the benches all
+/// consume.
+struct Dataset {
+  std::vector<LabeledQuery> queries;
+  WorkloadSplit split;
+  /// Single-table queries per table, for pre-training the Enc_i encoders.
+  std::vector<std::vector<SingleTableQuery>> single_table_queries;
+};
+
+struct DatasetOptions {
+  int num_queries = 1500;
+  /// Queries with true cardinality above this are regenerated (JOB-style
+  /// workloads have bounded outputs; unbounded outputs make join order
+  /// irrelevant because the root emit cost dominates).
+  double max_true_card = 1e5;
+  /// Single-table queries per table for Enc_i pre-training.
+  int single_table_queries_per_table = 150;
+  GeneratorOptions generator;
+  QueryLabeler::Options labeler;
+  double train_frac = 0.85;
+  double val_frac = 0.05;
+  uint64_t seed = 17;
+  /// Compute the DP-optimal join order for each query (needed by the
+  /// JoinSel task; the paper restricts this to <= 8-table queries too).
+  bool with_optimal_order = true;
+};
+
+/// Generates, labels, filters, and splits a workload on `db`. Queries that
+/// fail labeling or exceed max_true_card are skipped (with a bounded number
+/// of retries overall).
+Result<Dataset> BuildDataset(const storage::Database* db,
+                             const optimizer::BaselineCardEstimator* baseline,
+                             const DatasetOptions& options);
+
+}  // namespace mtmlf::workload
+
+#endif  // MTMLF_WORKLOAD_DATASET_H_

@@ -1,0 +1,158 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+#include "exec/filter_eval.h"
+
+namespace mtmlf::workload {
+
+using query::CompareOp;
+using query::FilterPredicate;
+using query::JoinPredicate;
+using query::Query;
+using storage::Column;
+using storage::DataType;
+using storage::JoinEdge;
+
+namespace {
+
+bool IsKeyColumn(const std::string& name) {
+  if (name == "pk" || name == "id") return true;
+  if (name.rfind("fk", 0) == 0) return true;
+  if (name.size() > 3 && name.compare(name.size() - 3, 3, "_id") == 0) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::string> WorkloadGenerator::FilterableColumns(
+    int table) const {
+  std::vector<std::string> out;
+  const auto& t = db_->table(table);
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    if (!IsKeyColumn(t.column(c).name())) out.push_back(t.column(c).name());
+  }
+  return out;
+}
+
+std::vector<FilterPredicate> WorkloadGenerator::RandomFilters(
+    int table, int max_count, double like_prob) {
+  std::vector<FilterPredicate> out;
+  auto cols = FilterableColumns(table);
+  if (cols.empty()) return out;
+  const auto& t = db_->table(table);
+  if (t.num_rows() == 0) return out;
+  // One filter always; further filters with decaying probability, so
+  // conjunctions rarely zero the table out (matching JOB, whose queries
+  // return non-trivial counts).
+  int count = 1;
+  for (int i = 1; i < max_count; ++i) {
+    if (rng_.Bernoulli(0.3)) ++count;
+  }
+  rng_.Shuffle(&cols);
+  count = std::min<int>(count, static_cast<int>(cols.size()));
+  for (int i = 0; i < count; ++i) {
+    const Column* col = t.GetColumn(cols[i]);
+    size_t row = static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(t.num_rows()) - 1));
+    FilterPredicate f;
+    f.table = table;
+    f.column = cols[i];
+    bool low_ndv = col->NumDistinct() <= 64;
+    if (col->type() == DataType::kString) {
+      const std::string& v = col->StringAt(row);
+      // Equality is only moderately selective on low-NDV columns
+      // (gender, kind, country, ...); on wide string columns we use
+      // short, non-anchored LIKE patterns whose selectivity lands in a
+      // useful range.
+      if (!low_ndv || (rng_.Bernoulli(like_prob) && v.size() >= 2)) {
+        size_t len = static_cast<size_t>(
+            rng_.UniformInt(2, std::min<int64_t>(3, v.size())));
+        size_t start = static_cast<size_t>(
+            rng_.UniformInt(0, static_cast<int64_t>(v.size() - len)));
+        f.op = CompareOp::kLike;
+        f.value = storage::Value("%" + v.substr(start, len) + "%");
+      } else {
+        f.op = CompareOp::kEq;
+        f.value = storage::Value(v);
+      }
+    } else {
+      int64_t v = col->Int64At(row);
+      // Ranges anchored at a row-sampled value give selectivities spread
+      // over (0, 1); equality is reserved for low-NDV columns.
+      if (low_ndv && rng_.Bernoulli(0.5)) {
+        f.op = CompareOp::kEq;
+      } else {
+        f.op = rng_.Bernoulli(0.5) ? CompareOp::kLe : CompareOp::kGe;
+      }
+      f.value = storage::Value(v);
+    }
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+Query WorkloadGenerator::GenerateQuery(const GeneratorOptions& options) {
+  Query q;
+  int target = static_cast<int>(
+      rng_.UniformInt(options.min_tables,
+                      std::min<int64_t>(options.max_tables,
+                                        db_->num_tables())));
+  // Grow a random connected subtree of the join schema.
+  int start = static_cast<int>(
+      rng_.UniformInt(0, static_cast<int64_t>(db_->num_tables()) - 1));
+  q.tables.push_back(start);
+  while (static_cast<int>(q.tables.size()) < target) {
+    // Frontier edges: catalog edges with exactly one endpoint selected.
+    std::vector<JoinEdge> frontier;
+    for (const auto& e : db_->join_edges()) {
+      bool fk_in = q.PositionOf(e.fk_table) >= 0;
+      bool pk_in = q.PositionOf(e.pk_table) >= 0;
+      if (fk_in != pk_in) frontier.push_back(e);
+    }
+    if (frontier.empty()) break;  // schema smaller/disconnected: stop here
+    const JoinEdge& e = frontier[static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(frontier.size()) - 1))];
+    int new_table = q.PositionOf(e.fk_table) >= 0 ? e.pk_table : e.fk_table;
+    q.tables.push_back(new_table);
+    JoinPredicate j;
+    j.left_table = e.fk_table;
+    j.left_column = e.fk_column;
+    j.right_table = e.pk_table;
+    j.right_column = e.pk_column;
+    q.joins.push_back(std::move(j));
+  }
+  for (int t : q.tables) {
+    if (rng_.Bernoulli(options.filter_prob)) {
+      auto fs = RandomFilters(t, options.max_filters_per_table,
+                              options.like_prob);
+      q.filters.insert(q.filters.end(), fs.begin(), fs.end());
+    }
+  }
+  return q;
+}
+
+std::vector<Query> WorkloadGenerator::Generate(const GeneratorOptions& options,
+                                               int num_queries) {
+  std::vector<Query> out;
+  out.reserve(static_cast<size_t>(num_queries));
+  for (int i = 0; i < num_queries; ++i) {
+    out.push_back(GenerateQuery(options));
+  }
+  return out;
+}
+
+SingleTableQuery WorkloadGenerator::GenerateSingleTable(int table,
+                                                        int max_filters) {
+  SingleTableQuery q;
+  auto filters = RandomFilters(table, max_filters, /*like_prob=*/0.5);
+  if (filters.empty()) return q;  // table < 0 marks "not filterable"
+  q.table = table;
+  q.filters = std::move(filters);
+  q.true_card = exec::FilterCardinality(db_->table(table), q.filters);
+  return q;
+}
+
+}  // namespace mtmlf::workload

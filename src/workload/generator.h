@@ -1,0 +1,69 @@
+#ifndef MTMLF_WORKLOAD_GENERATOR_H_
+#define MTMLF_WORKLOAD_GENERATOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "query/query.h"
+#include "storage/database.h"
+
+namespace mtmlf::workload {
+
+/// Knobs of the JOB-style workload generator (the stand-in for the paper's
+/// "150K SQL queries similar to the JOB queries").
+struct GeneratorOptions {
+  int min_tables = 2;
+  /// Paper: JoinSel training restricted to queries joining <= 8 tables.
+  int max_tables = 8;
+  /// Probability a touched table receives filter predicates.
+  double filter_prob = 0.75;
+  int max_filters_per_table = 2;
+  /// Probability a string filter uses LIKE '%..%' instead of equality.
+  double like_prob = 0.6;
+};
+
+/// A single-table query with its true cardinality: the training signal for
+/// the paper's per-table encoders Enc_i (Section 3.2 (L): "Enc_i learns the
+/// data distribution of T_i through predicting the cardinality of filter
+/// predicate f(T_i)").
+struct SingleTableQuery {
+  int table = -1;
+  std::vector<query::FilterPredicate> filters;
+  double true_card = 0.0;
+};
+
+/// Generates random connected join queries over a database's join schema
+/// plus single-table encoder-training queries. Deterministic given seed.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const storage::Database* db, uint64_t seed)
+      : db_(db), rng_(seed) {}
+
+  /// One random connected join query (spanning tree of a random connected
+  /// table subset) with random filters.
+  query::Query GenerateQuery(const GeneratorOptions& options);
+
+  std::vector<query::Query> Generate(const GeneratorOptions& options,
+                                     int num_queries);
+
+  /// One single-table query on `table` with 1..max_filters random filters;
+  /// true_card is computed exactly. Returns table < 0 if the table has no
+  /// filterable column.
+  SingleTableQuery GenerateSingleTable(int table, int max_filters = 2);
+
+  /// Filterable (non-key) columns of a table: everything except pk/id and
+  /// foreign-key columns.
+  std::vector<std::string> FilterableColumns(int table) const;
+
+ private:
+  /// Random filters on `table` (may be empty if no filterable columns).
+  std::vector<query::FilterPredicate> RandomFilters(int table, int max_count,
+                                                    double like_prob);
+
+  const storage::Database* db_;
+  Rng rng_;
+};
+
+}  // namespace mtmlf::workload
+
+#endif  // MTMLF_WORKLOAD_GENERATOR_H_

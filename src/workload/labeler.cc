@@ -1,0 +1,219 @@
+#include "workload/labeler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "optimizer/join_order.h"
+
+namespace mtmlf::workload {
+
+using exec::CardFn;
+using exec::TrueCardinalityCache;
+using query::PlanNode;
+using query::Query;
+
+QueryLabeler::QueryLabeler(const storage::Database* db,
+                           const optimizer::BaselineCardEstimator* baseline,
+                           Options options)
+    : db_(db),
+      baseline_(baseline),
+      options_(options),
+      cost_model_(options.cost_options),
+      hardware_model_(options.sim_options.hardware),
+      simulator_(options.sim_options, options.sim_seed),
+      rng_(options.sim_seed + 101) {}
+
+std::vector<int> QueryLabeler::RandomExecutableOrder(const query::Query& q) {
+  auto adj = q.AdjacencyMatrix();
+  size_t m = q.tables.size();
+  std::vector<int> positions;
+  std::vector<bool> used(m, false);
+  positions.push_back(
+      static_cast<int>(rng_.UniformInt(0, static_cast<int64_t>(m) - 1)));
+  used[positions[0]] = true;
+  while (positions.size() < m) {
+    std::vector<int> frontier;
+    for (size_t j = 0; j < m; ++j) {
+      if (used[j]) continue;
+      for (int p : positions) {
+        if (adj[j][p]) {
+          frontier.push_back(static_cast<int>(j));
+          break;
+        }
+      }
+    }
+    if (frontier.empty()) break;  // disconnected query; caller validates
+    int pick = frontier[static_cast<size_t>(
+        rng_.UniformInt(0, static_cast<int64_t>(frontier.size()) - 1))];
+    used[pick] = true;
+    positions.push_back(pick);
+  }
+  std::vector<int> order;
+  order.reserve(positions.size());
+  for (int p : positions) order.push_back(q.tables[p]);
+  return order;
+}
+
+namespace {
+
+// Subset-cardinality adapters for the join-order DP.
+optimizer::SubsetCardFn TrueSubsetFn(const Query& q,
+                                     TrueCardinalityCache* cache,
+                                     Status* error) {
+  return [&q, cache, error](uint32_t mask) -> double {
+    auto r = cache->CardinalityOfMask(mask);
+    if (!r.ok()) {
+      if (error->ok()) *error = r.status();
+      return 1.0;
+    }
+    return r.value();
+  };
+}
+
+optimizer::SubsetCardFn EstimatedSubsetFn(
+    const Query& q, const optimizer::BaselineCardEstimator* baseline) {
+  return [&q, baseline](uint32_t mask) -> double {
+    std::vector<int> subset;
+    for (size_t i = 0; i < q.tables.size(); ++i) {
+      if (mask & (1u << i)) subset.push_back(q.tables[i]);
+    }
+    return baseline->EstimateSubset(q, subset);
+  };
+}
+
+// Plan-node true-cardinality adapter for the cost model.
+CardFn TrueNodeCardFn(TrueCardinalityCache* cache, Status* error) {
+  return [cache, error](const PlanNode& node) -> double {
+    if (node.true_cardinality >= 0) return node.true_cardinality;
+    auto r = cache->CardinalityOfTables(node.BaseTables());
+    if (!r.ok()) {
+      if (error->ok()) *error = r.status();
+      return 1.0;
+    }
+    return r.value();
+  };
+}
+
+}  // namespace
+
+Status QueryLabeler::AnnotatePlan(const Query& q, TrueCardinalityCache* cache,
+                                  PlanNode* root) {
+  Status error;
+  CardFn true_fn = TrueNodeCardFn(cache, &error);
+  for (PlanNode* node : query::PreOrder(root)) {
+    auto tables = node->BaseTables();
+    auto card = cache->CardinalityOfTables(tables);
+    if (!card.ok()) return card.status();
+    node->true_cardinality = card.value();
+    node->estimated_cardinality = baseline_->EstimateSubset(q, tables);
+  }
+  // Latency labels bottom-up in pre-order reverse so children are
+  // annotated regardless; SimulateMs reads true_cardinality set above.
+  for (PlanNode* node : query::PreOrder(root)) {
+    node->true_cost =
+        simulator_.SimulateMs(*node, q, *db_, true_fn, cost_model_);
+  }
+  return error;
+}
+
+Result<LabeledQuery> QueryLabeler::Label(const Query& q, bool with_optimal) {
+  LabeledQuery lq;
+  lq.query = q;
+  TrueCardinalityCache cache(db_, &lq.query);
+
+  // Baseline ("PostgreSQL") plan from estimated cardinalities.
+  auto est_fn = EstimatedSubsetFn(lq.query, baseline_);
+  auto pg = optimizer::BestLeftDeepOrder(lq.query, *db_, cost_model_, est_fn);
+  if (!pg.ok()) return pg.status();
+  lq.postgres_order = pg.value().order;
+  lq.plan = query::MakeLeftDeepPlan(lq.postgres_order);
+  // PostgreSQL assigns physical operators using its own estimates.
+  CardFn est_node_fn = [this, &lq](const PlanNode& node) {
+    return baseline_->EstimateSubset(lq.query, node.BaseTables());
+  };
+  cost_model_.AssignPhysicalOps(lq.plan.get(), lq.query, *db_, est_node_fn);
+
+  MTMLF_RETURN_IF_ERROR(AnnotatePlan(lq.query, &cache, lq.plan.get()));
+  lq.true_card = lq.plan->true_cardinality;
+  lq.latency_ms = lq.plan->true_cost;
+  lq.postgres_latency_ms = lq.latency_ms;
+
+  if (with_optimal && options_.compute_optimal_order) {
+    Status dp_error;
+    auto true_fn = TrueSubsetFn(lq.query, &cache, &dp_error);
+    auto opt = optimizer::BestLeftDeepOrder(lq.query, *db_,
+                                            hardware_model_, true_fn);
+    if (!opt.ok()) return opt.status();
+    if (!dp_error.ok()) return dp_error;
+    lq.optimal_order = opt.value().order;
+    auto lat = SimulateOrderLatencyMs(lq.query, lq.optimal_order);
+    if (!lat.ok()) return lat.status();
+    lq.optimal_latency_ms = lat.value();
+  }
+
+  if (options_.annotate_alt_plans && lq.query.tables.size() >= 2) {
+    std::vector<std::vector<int>> alt_orders;
+    if (!lq.optimal_order.empty() && lq.optimal_order != lq.postgres_order) {
+      alt_orders.push_back(lq.optimal_order);
+    }
+    for (int i = 0; i < options_.random_alt_plans; ++i) {
+      auto order = RandomExecutableOrder(lq.query);
+      if (order.size() == lq.query.tables.size() &&
+          order != lq.postgres_order) {
+        alt_orders.push_back(std::move(order));
+      }
+    }
+    Status error;
+    CardFn true_fn = TrueNodeCardFn(&cache, &error);
+    for (const auto& order : alt_orders) {
+      query::PlanPtr alt = query::MakeLeftDeepPlan(order);
+      hardware_model_.AssignPhysicalOps(alt.get(), lq.query, *db_, true_fn);
+      MTMLF_RETURN_IF_ERROR(AnnotatePlan(lq.query, &cache, alt.get()));
+      lq.alt_plans.push_back(std::move(alt));
+    }
+    if (!error.ok()) return error;
+  }
+  return lq;
+}
+
+Result<double> QueryLabeler::SimulateOrderLatencyMs(
+    const Query& q, const std::vector<int>& order) {
+  if (!optimizer::IsExecutableOrder(q, order)) {
+    return Status::InvalidArgument("order is not executable");
+  }
+  TrueCardinalityCache cache(db_, &q);
+  query::PlanPtr plan = query::MakeLeftDeepPlan(order);
+  Status error;
+  CardFn true_fn = TrueNodeCardFn(&cache, &error);
+  // Physical operators are chosen from true cardinalities for every
+  // policy, so the comparison isolates the join order (the variable the
+  // paper's Tables 2/3 control) and the DP oracle is a genuine lower
+  // bound up to simulation noise.
+  hardware_model_.AssignPhysicalOps(plan.get(), q, *db_, true_fn);
+  double ms = simulator_.SimulateMs(*plan, q, *db_, true_fn, cost_model_);
+  if (!error.ok()) return error;
+  return ms;
+}
+
+WorkloadSplit SplitIndices(size_t n, double train_frac, double val_frac,
+                           uint64_t seed) {
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  Rng rng(seed);
+  rng.Shuffle(&idx);
+  WorkloadSplit split;
+  size_t n_train = static_cast<size_t>(train_frac * static_cast<double>(n));
+  size_t n_val = static_cast<size_t>(val_frac * static_cast<double>(n));
+  for (size_t i = 0; i < n; ++i) {
+    if (i < n_train) {
+      split.train.push_back(idx[i]);
+    } else if (i < n_train + n_val) {
+      split.validation.push_back(idx[i]);
+    } else {
+      split.test.push_back(idx[i]);
+    }
+  }
+  return split;
+}
+
+}  // namespace mtmlf::workload

@@ -1,0 +1,108 @@
+#ifndef MTMLF_WORKLOAD_LABELER_H_
+#define MTMLF_WORKLOAD_LABELER_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/cost_model.h"
+#include "exec/join_counter.h"
+#include "exec/simulator.h"
+#include "optimizer/baseline_card_est.h"
+#include "query/plan.h"
+#include "query/query.h"
+
+namespace mtmlf::workload {
+
+/// A fully labeled training example: the paper's (E(P), Card, Cost, P_t)
+/// tuple before featurization (Algorithm 1, line 6).
+struct LabeledQuery {
+  query::Query query;
+  /// The "initial plan" handed to MTMLF-QO (Section 3.2 (I)): the baseline
+  /// optimizer's left-deep plan. Every node is annotated with
+  /// true_cardinality, estimated_cardinality, and true_cost (the simulated
+  /// latency in ms of the sub-plan rooted there).
+  query::PlanPtr plan;
+  /// Alternative fully-annotated plans for the same query (the optimal
+  /// order's plan and a random executable order's plan). Training on a mix
+  /// of plans keeps M_CostEst calibrated on plans an optimizer would NOT
+  /// choose, which the multi-task re-ranking at inference depends on.
+  std::vector<query::PlanPtr> alt_plans;
+  std::vector<int> postgres_order;  // baseline's join order (= plan's)
+  std::vector<int> optimal_order;   // true-card DP oracle (may be empty)
+  double true_card = 0.0;           // root cardinality
+  double latency_ms = 0.0;          // simulated latency of `plan`
+  double postgres_latency_ms = 0.0;  // == latency_ms (kept for clarity)
+  double optimal_latency_ms = 0.0;   // latency of the oracle's plan
+};
+
+/// Labels queries with true cardinalities, simulated latencies, the
+/// baseline plan, and (optionally) the optimal join order. This bundles
+/// everything the paper obtains from "execute these queries in PostgreSQL"
+/// plus "generate the optimal join order using the ECQO program".
+class QueryLabeler {
+ public:
+  struct Options {
+    exec::CostModelOptions cost_options;
+    exec::ExecutionSimulator::Options sim_options;
+    /// Compute the optimal order (exponential DP; the paper likewise only
+    /// affords it for a subset of queries).
+    bool compute_optimal_order = true;
+    /// Annotate alternative plans (optimal-order plan + `random_alt_plans`
+    /// random executable orders) for plan-diverse training.
+    bool annotate_alt_plans = true;
+    int random_alt_plans = 1;
+    uint64_t sim_seed = 7;
+  };
+
+  QueryLabeler(const storage::Database* db,
+               const optimizer::BaselineCardEstimator* baseline,
+               Options options);
+
+  /// Produces the labels for one query. `with_optimal` can veto the DP
+  /// oracle per query regardless of options.
+  Result<LabeledQuery> Label(const query::Query& q, bool with_optimal);
+
+  /// Simulated latency of executing `order` (left-deep, true-card physical
+  /// ops) — used to score model-predicted join orders in Tables 2/3.
+  Result<double> SimulateOrderLatencyMs(const query::Query& q,
+                                        const std::vector<int>& order);
+
+  const exec::CostModel& cost_model() const { return cost_model_; }
+
+ private:
+  /// Annotates every node of `plan` with true/estimated cards and true
+  /// cost (simulated sub-plan latency).
+  Status AnnotatePlan(const query::Query& q, exec::TrueCardinalityCache* cache,
+                      query::PlanNode* root);
+
+  /// A uniformly random executable left-deep order for q.
+  std::vector<int> RandomExecutableOrder(const query::Query& q);
+
+  const storage::Database* db_;
+  const optimizer::BaselineCardEstimator* baseline_;
+  Options options_;
+  /// The planner's cost model (what the baseline optimizer reasons with).
+  exec::CostModel cost_model_;
+  /// The simulator's "hardware truth" model: the oracle join-order DP and
+  /// physical-operator assignment for executed plans use this, because the
+  /// ECQO oracle in the paper is optimal w.r.t. REAL runtimes, not the
+  /// planner's guesses.
+  exec::CostModel hardware_model_;
+  exec::ExecutionSimulator simulator_;
+  Rng rng_;
+};
+
+/// Deterministically splits examples into train/validation/test fractions
+/// (shuffled with `seed`).
+struct WorkloadSplit {
+  std::vector<size_t> train;
+  std::vector<size_t> validation;
+  std::vector<size_t> test;
+};
+WorkloadSplit SplitIndices(size_t n, double train_frac, double val_frac,
+                           uint64_t seed);
+
+}  // namespace mtmlf::workload
+
+#endif  // MTMLF_WORKLOAD_LABELER_H_

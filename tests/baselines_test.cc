@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/tree_lstm.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "datagen/imdb_like.h"
+#include "featurize/featurizer.h"
+#include "workload/dataset.h"
+
+namespace mtmlf::baselines {
+namespace {
+
+struct Env {
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<optimizer::BaselineCardEstimator> baseline;
+  workload::Dataset dataset;
+  featurize::ModelConfig cfg;
+  std::unique_ptr<featurize::Featurizer> featurizer;
+  std::unique_ptr<featurize::PlanEncoder> encoder;
+  Env() {
+    SetLogLevel(0);
+    Rng rng(1);
+    db = datagen::BuildImdbLike({.scale = 0.1}, &rng).take();
+    baseline = std::make_unique<optimizer::BaselineCardEstimator>(db.get());
+    workload::DatasetOptions opts;
+    opts.num_queries = 60;
+    opts.single_table_queries_per_table = 5;
+    opts.generator.min_tables = 2;
+    opts.generator.max_tables = 5;
+    dataset = workload::BuildDataset(db.get(), baseline.get(), opts).take();
+    featurizer = std::make_unique<featurize::Featurizer>(
+        db.get(), baseline.get(), cfg, 3);
+    encoder = std::make_unique<featurize::PlanEncoder>(featurizer.get());
+  }
+};
+
+Env& GetEnv() {
+  static Env* env = new Env();
+  return *env;
+}
+
+TEST(TreeLstmTest, ForwardShapes) {
+  Env& env = GetEnv();
+  TreeLstmEstimator est(env.encoder.get(), 24, 5);
+  const auto& lq = env.dataset.queries[0];
+  auto fwd = est.Run(lq.query, *lq.plan);
+  EXPECT_EQ(fwd.log_card.rows(), lq.plan->TreeSize());
+  EXPECT_EQ(fwd.log_cost.rows(), lq.plan->TreeSize());
+  EXPECT_EQ(fwd.nodes.size(), static_cast<size_t>(lq.plan->TreeSize()));
+}
+
+TEST(TreeLstmTest, LossFinite) {
+  Env& env = GetEnv();
+  TreeLstmEstimator est(env.encoder.get(), 24, 6);
+  const auto& lq = env.dataset.queries[1];
+  auto fwd = est.Run(lq.query, *lq.plan);
+  auto loss = est.Loss(fwd);
+  EXPECT_TRUE(std::isfinite(loss.item()));
+  EXPECT_GT(loss.item(), 0.0f);
+}
+
+TEST(TreeLstmTest, TrainingReducesLoss) {
+  Env& env = GetEnv();
+  TreeLstmEstimator est(env.encoder.get(), 24, 7);
+  auto mean_loss = [&]() {
+    tensor::NoGradGuard guard;
+    double total = 0;
+    int n = 0;
+    for (size_t i : env.dataset.split.train) {
+      const auto& lq = env.dataset.queries[i];
+      auto fwd = est.Run(lq.query, *lq.plan);
+      total += est.Loss(fwd).item();
+      ++n;
+    }
+    return total / n;
+  };
+  double before = mean_loss();
+  ASSERT_TRUE(est.Train(env.dataset, /*epochs=*/4, 2e-3f, 8, 1).ok());
+  double after = mean_loss();
+  EXPECT_LT(after, before * 0.8);
+}
+
+TEST(TreeLstmTest, EvaluateProducesSummaries) {
+  Env& env = GetEnv();
+  TreeLstmEstimator est(env.encoder.get(), 24, 8);
+  auto ev = est.Evaluate(env.dataset, env.dataset.split.test);
+  EXPECT_EQ(ev.card_qerror.count, env.dataset.split.test.size());
+  EXPECT_GE(ev.card_qerror.median, 1.0);
+}
+
+TEST(TreeLstmTest, EmptyTrainSplitRejected) {
+  Env& env = GetEnv();
+  TreeLstmEstimator est(env.encoder.get(), 24, 9);
+  workload::Dataset empty;
+  EXPECT_FALSE(est.Train(empty, 1, 1e-3f, 8, 1).ok());
+}
+
+}  // namespace
+}  // namespace mtmlf::baselines

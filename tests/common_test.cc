@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace mtmlf {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad input");
+}
+
+TEST(StatusTest, AllConstructorsSetCodes) {
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, TakeMovesValue) {
+  Result<std::string> r = std::string("payload");
+  std::string v = r.take();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000000), b.UniformInt(0, 1000000));
+  }
+}
+
+TEST(RngTest, ZipfSkewsTowardSmallRanks) {
+  Rng rng(7);
+  int64_t n = 1000;
+  int head = 0, total = 20000;
+  for (int i = 0; i < total; ++i) {
+    if (rng.Zipf(n, 1.2) < n / 10) ++head;
+  }
+  // Under uniform sampling head would be ~10%; Zipf(1.2) concentrates far
+  // more mass at the head.
+  EXPECT_GT(head, total / 3);
+}
+
+TEST(RngTest, ZipfZeroSkewIsUniformish) {
+  Rng rng(7);
+  int64_t n = 10;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 20000; ++i) counts[rng.Zipf(n, 0.0)]++;
+  for (int c : counts) EXPECT_GT(c, 1000);  // each ~2000 expected
+}
+
+TEST(RngTest, ZipfBoundsRespected) {
+  Rng rng(3);
+  for (double skew : {0.0, 0.5, 1.0, 1.5, 2.5}) {
+    for (int i = 0; i < 200; ++i) {
+      int64_t v = rng.Zipf(50, skew);
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 50);
+    }
+  }
+  EXPECT_EQ(rng.Zipf(1, 1.0), 0);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(5);
+  std::vector<double> w = {0.0, 10.0, 0.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Categorical(w), 1u);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(5);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(5);
+  auto s = rng.SampleWithoutReplacement(10, 10);
+  std::sort(s.begin(), s.end());
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(StatsTest, QErrorSymmetricAndAtLeastOne) {
+  EXPECT_DOUBLE_EQ(QError(10, 100), 10.0);
+  EXPECT_DOUBLE_EQ(QError(100, 10), 10.0);
+  EXPECT_DOUBLE_EQ(QError(50, 50), 1.0);
+  EXPECT_GE(QError(0.0, 0.0), 1.0);  // clamped to 1 tuple
+}
+
+TEST(StatsTest, QErrorClampsZeroes) {
+  // 0 predicted vs 100 true => treated as 1 vs 100.
+  EXPECT_DOUBLE_EQ(QError(0.0, 100.0), 100.0);
+}
+
+TEST(StatsTest, SummarizeBasics) {
+  auto s = Summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(StatsTest, SummarizeEmpty) {
+  auto s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.median, 0.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> v = {0, 10};
+  EXPECT_DOUBLE_EQ(QuantileSorted(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(QuantileSorted(v, 1.0), 10.0);
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+}
+
+struct LikeCase {
+  const char* text;
+  const char* pattern;
+  bool match;
+};
+
+class LikeMatchTest : public ::testing::TestWithParam<LikeCase> {};
+
+TEST_P(LikeMatchTest, Matches) {
+  const auto& c = GetParam();
+  EXPECT_EQ(LikeMatch(c.text, c.pattern), c.match)
+      << "'" << c.text << "' LIKE '" << c.pattern << "'";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, LikeMatchTest,
+    ::testing::Values(
+        LikeCase{"hello", "hello", true}, LikeCase{"hello", "h%", true},
+        LikeCase{"hello", "%o", true}, LikeCase{"hello", "%ell%", true},
+        LikeCase{"hello", "h_llo", true}, LikeCase{"hello", "h__lo", true},
+        LikeCase{"hello", "", false}, LikeCase{"", "", true},
+        LikeCase{"", "%", true}, LikeCase{"hello", "%", true},
+        LikeCase{"hello", "hell", false}, LikeCase{"hello", "ello", false},
+        LikeCase{"hello", "%x%", false}, LikeCase{"abc", "a%b%c", true},
+        LikeCase{"abc", "%%", true}, LikeCase{"abc", "_", false},
+        LikeCase{"a", "_", true}, LikeCase{"ab", "__", true},
+        LikeCase{"movie_info", "%vie%nf%", true},
+        LikeCase{"aaa", "a%a", true}, LikeCase{"aXbXc", "a%X%c", true},
+        LikeCase{"abcdef", "%def", true}, LikeCase{"abcdef", "abc%", true},
+        LikeCase{"abcdef", "%cd%", true},
+        LikeCase{"mississippi", "%iss%ppi", true},
+        LikeCase{"mississippi", "%iss%ppx", false}));
+
+}  // namespace
+}  // namespace mtmlf

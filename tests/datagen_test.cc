@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.h"
+#include "datagen/imdb_like.h"
+#include "datagen/pipeline.h"
+
+namespace mtmlf::datagen {
+namespace {
+
+TEST(PipelineTest, SchemaWithinConfiguredBounds) {
+  PipelineOptions opts;
+  opts.min_tables = 6;
+  opts.max_tables = 11;
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Rng rng(seed);
+    auto db = GenerateDatabase("d", opts, &rng);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    EXPECT_GE(db.value()->num_tables(), 6u);
+    EXPECT_LE(db.value()->num_tables(), 11u);
+  }
+}
+
+TEST(PipelineTest, EveryTableValidatesAndHasPk) {
+  Rng rng(4);
+  auto db = GenerateDatabase("d", {}, &rng).take();
+  for (size_t t = 0; t < db->num_tables(); ++t) {
+    EXPECT_TRUE(db->table(t).Validate().ok());
+    const auto* pk = db->table(t).GetColumn("pk");
+    ASSERT_NE(pk, nullptr);
+    // PK is unique 1..r.
+    EXPECT_EQ(pk->NumDistinct(), db->table(t).num_rows());
+  }
+}
+
+TEST(PipelineTest, JoinEdgesReferenceValidPkDomains) {
+  Rng rng(5);
+  auto db = GenerateDatabase("d", {}, &rng).take();
+  EXPECT_FALSE(db->join_edges().empty());
+  for (const auto& e : db->join_edges()) {
+    const auto* fk = db->table(e.fk_table).GetColumn(e.fk_column);
+    ASSERT_NE(fk, nullptr);
+    int64_t pk_rows =
+        static_cast<int64_t>(db->table(e.pk_table).num_rows());
+    for (size_t r = 0; r < fk->size(); ++r) {
+      ASSERT_GE(fk->Int64At(r), 1);
+      ASSERT_LE(fk->Int64At(r), pk_rows);
+    }
+  }
+}
+
+TEST(PipelineTest, JoinSchemaIsConnected) {
+  // Every dimension connects to a fact, facts form a chain -> the schema
+  // graph must be one component.
+  Rng rng(6);
+  auto db = GenerateDatabase("d", {}, &rng).take();
+  size_t n = db->num_tables();
+  std::vector<bool> seen(n, false);
+  std::vector<int> stack = {0};
+  seen[0] = true;
+  size_t count = 1;
+  while (!stack.empty()) {
+    int u = stack.back();
+    stack.pop_back();
+    for (size_t v = 0; v < n; ++v) {
+      if (!seen[v] && db->Joinable(u, static_cast<int>(v))) {
+        seen[v] = true;
+        ++count;
+        stack.push_back(static_cast<int>(v));
+      }
+    }
+  }
+  EXPECT_EQ(count, n);
+}
+
+TEST(PipelineTest, HasFactTables) {
+  Rng rng(7);
+  auto db = GenerateDatabase("d", {}, &rng).take();
+  int facts = 0;
+  for (size_t t = 0; t < db->num_tables(); ++t) {
+    if (db->IsFactTable(static_cast<int>(t))) ++facts;
+  }
+  EXPECT_GE(facts, 2);
+  EXPECT_LE(facts, 3);
+}
+
+TEST(PipelineTest, DeterministicGivenSeed) {
+  Rng a(42), b(42);
+  auto d1 = GenerateDatabase("d", {}, &a).take();
+  auto d2 = GenerateDatabase("d", {}, &b).take();
+  ASSERT_EQ(d1->num_tables(), d2->num_tables());
+  for (size_t t = 0; t < d1->num_tables(); ++t) {
+    EXPECT_EQ(d1->table(t).num_rows(), d2->table(t).num_rows());
+    EXPECT_EQ(d1->table(t).name(), d2->table(t).name());
+  }
+}
+
+TEST(PipelineTest, SkewedColumnsExist) {
+  // At least one generated attribute column should be visibly skewed
+  // (top value much more frequent than uniform would allow).
+  Rng rng(8);
+  auto db = GenerateDatabase("d", {}, &rng).take();
+  bool found_skew = false;
+  for (size_t t = 0; t < db->num_tables() && !found_skew; ++t) {
+    const auto& table = db->table(t);
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const auto& col = table.column(c);
+      if (col.name() == "pk" || col.name().rfind("fk", 0) == 0) continue;
+      if (col.type() != storage::DataType::kInt64) continue;
+      size_t ndv = col.NumDistinct();
+      if (ndv < 4) continue;
+      // Count frequency of the most common value.
+      std::map<int64_t, size_t> freq;
+      for (size_t r = 0; r < col.size(); ++r) freq[col.Int64At(r)]++;
+      size_t top = 0;
+      for (auto& [v, f] : freq) top = std::max(top, f);
+      if (static_cast<double>(top) >
+          4.0 * static_cast<double>(col.size()) / ndv) {
+        found_skew = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(found_skew);
+}
+
+TEST(SynthWordTest, NonEmptyAndVaried) {
+  Rng rng(9);
+  std::set<std::string> words;
+  for (int i = 0; i < 100; ++i) {
+    std::string w = SynthWord(&rng);
+    EXPECT_GE(w.size(), 4u);
+    words.insert(w);
+  }
+  EXPECT_GT(words.size(), 50u);
+}
+
+TEST(ImdbLikeTest, SchemaShape) {
+  Rng rng(10);
+  auto db = BuildImdbLike({.scale = 0.1}, &rng).take();
+  EXPECT_EQ(db->num_tables(), 12u);
+  EXPECT_NE(db->GetTable("title"), nullptr);
+  EXPECT_NE(db->GetTable("movie_info"), nullptr);
+  EXPECT_NE(db->GetTable("cast_info"), nullptr);
+  EXPECT_EQ(db->join_edges().size(), 11u);
+  EXPECT_TRUE(db->IsFactTable(db->TableIndex("title")));
+  EXPECT_FALSE(db->IsFactTable(db->TableIndex("kind_type")));
+}
+
+TEST(ImdbLikeTest, ForeignKeysInRange) {
+  Rng rng(11);
+  auto db = BuildImdbLike({.scale = 0.1}, &rng).take();
+  for (const auto& e : db->join_edges()) {
+    const auto* fk = db->table(e.fk_table).GetColumn(e.fk_column);
+    int64_t pk_rows = static_cast<int64_t>(db->table(e.pk_table).num_rows());
+    for (size_t r = 0; r < fk->size(); ++r) {
+      ASSERT_GE(fk->Int64At(r), 1);
+      ASSERT_LE(fk->Int64At(r), pk_rows);
+    }
+  }
+}
+
+TEST(ImdbLikeTest, PopularitySkewInFactTables) {
+  Rng rng(12);
+  auto db = BuildImdbLike({.scale = 0.2, .popularity_skew = 1.4}, &rng)
+                .take();
+  const auto* mi = db->GetTable("movie_info");
+  const auto* movie_id = mi->GetColumn("movie_id");
+  size_t n_title = db->GetTable("title")->num_rows();
+  // The top decile of titles should receive well over half the references.
+  size_t head = 0;
+  for (size_t r = 0; r < movie_id->size(); ++r) {
+    if (movie_id->Int64At(r) <= static_cast<int64_t>(n_title / 10)) ++head;
+  }
+  EXPECT_GT(static_cast<double>(head) / movie_id->size(), 0.5);
+}
+
+TEST(ImdbLikeTest, ScaleControlsSize) {
+  Rng rng1(13), rng2(13);
+  auto small = BuildImdbLike({.scale = 0.1}, &rng1).take();
+  auto large = BuildImdbLike({.scale = 0.4}, &rng2).take();
+  EXPECT_GT(large->TotalRows(), 2 * small->TotalRows());
+}
+
+}  // namespace
+}  // namespace mtmlf::datagen

@@ -1,0 +1,323 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "exec/cost_model.h"
+#include "exec/filter_eval.h"
+#include "exec/join_counter.h"
+#include "exec/simulator.h"
+
+namespace mtmlf::exec {
+namespace {
+
+using query::CompareOp;
+using query::FilterPredicate;
+using query::JoinPredicate;
+using query::Query;
+using storage::DataType;
+using storage::Value;
+
+// Small 3-table star: fact(pk, fk0->dim_a.pk, fk1->dim_b.pk, a) with
+// random content so brute-force checks are cheap.
+struct StarDb {
+  storage::Database db{"star"};
+  StarDb(int fact_rows, int dim_rows, uint64_t seed) {
+    Rng rng(seed);
+    auto* dim_a = db.AddTable("dim_a").value();
+    auto* dim_b = db.AddTable("dim_b").value();
+    auto* fact = db.AddTable("fact").value();
+    auto* apk = dim_a->AddColumn("pk", DataType::kInt64).value();
+    auto* aval = dim_a->AddColumn("v", DataType::kInt64).value();
+    auto* bpk = dim_b->AddColumn("pk", DataType::kInt64).value();
+    auto* bval = dim_b->AddColumn("s", DataType::kString).value();
+    for (int i = 0; i < dim_rows; ++i) {
+      apk->AppendInt64(i + 1);
+      aval->AppendInt64(rng.UniformInt(0, 9));
+      bpk->AppendInt64(i + 1);
+      bval->AppendString(rng.Bernoulli(0.5) ? "redfox" : "bluejay");
+    }
+    auto* fpk = fact->AddColumn("pk", DataType::kInt64).value();
+    auto* fk0 = fact->AddColumn("fk0", DataType::kInt64).value();
+    auto* fk1 = fact->AddColumn("fk1", DataType::kInt64).value();
+    auto* fa = fact->AddColumn("a", DataType::kInt64).value();
+    for (int i = 0; i < fact_rows; ++i) {
+      fpk->AppendInt64(i + 1);
+      fk0->AppendInt64(rng.UniformInt(1, dim_rows));
+      fk1->AppendInt64(rng.UniformInt(1, dim_rows));
+      fa->AppendInt64(rng.UniformInt(0, 99));
+    }
+    EXPECT_TRUE(db.AddJoinEdge("fact", "fk0", "dim_a", "pk").ok());
+    EXPECT_TRUE(db.AddJoinEdge("fact", "fk1", "dim_b", "pk").ok());
+  }
+
+  int dim_a() const { return 0; }
+  int dim_b() const { return 1; }
+  int fact() const { return 2; }
+};
+
+TEST(FilterEvalTest, EmptyFilterSelectsAll) {
+  StarDb s(50, 10, 1);
+  auto rows = EvalFilters(s.db.table(s.fact()), {});
+  EXPECT_EQ(rows.size(), 50u);
+}
+
+TEST(FilterEvalTest, NumericOpsMatchBruteForce) {
+  StarDb s(200, 10, 2);
+  const auto& fact = s.db.table(s.fact());
+  for (CompareOp op : {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                       CompareOp::kLe, CompareOp::kGt, CompareOp::kGe}) {
+    FilterPredicate f{s.fact(), "a", op, Value(int64_t{50})};
+    auto rows = EvalFilters(fact, {f});
+    size_t brute = 0;
+    for (size_t r = 0; r < fact.num_rows(); ++r) {
+      if (EvalPredicateOnRow(fact, f, r)) ++brute;
+    }
+    EXPECT_EQ(rows.size(), brute) << CompareOpSymbol(op);
+  }
+}
+
+TEST(FilterEvalTest, StringEqAndLike) {
+  StarDb s(10, 100, 3);
+  const auto& dim = s.db.table(s.dim_b());
+  FilterPredicate eq{s.dim_b(), "s", CompareOp::kEq,
+                     Value(std::string("redfox"))};
+  FilterPredicate like{s.dim_b(), "s", CompareOp::kLike,
+                       Value(std::string("%fox%"))};
+  EXPECT_EQ(EvalFilters(dim, {eq}).size(), EvalFilters(dim, {like}).size());
+  FilterPredicate nomatch{s.dim_b(), "s", CompareOp::kLike,
+                          Value(std::string("%zebra%"))};
+  EXPECT_TRUE(EvalFilters(dim, {nomatch}).empty());
+}
+
+TEST(FilterEvalTest, ConjunctionIntersects) {
+  StarDb s(500, 10, 4);
+  const auto& fact = s.db.table(s.fact());
+  FilterPredicate f1{s.fact(), "a", CompareOp::kGe, Value(int64_t{30})};
+  FilterPredicate f2{s.fact(), "a", CompareOp::kLe, Value(int64_t{60})};
+  auto both = EvalFilters(fact, {f1, f2});
+  for (uint32_t r : both) {
+    int64_t v = fact.GetColumn("a")->Int64At(r);
+    EXPECT_GE(v, 30);
+    EXPECT_LE(v, 60);
+  }
+  EXPECT_LE(both.size(), EvalFilters(fact, {f1}).size());
+}
+
+// Brute-force join counting for the star query (<= 3 tables).
+double BruteForceStarCount(const StarDb& s, const Query& q) {
+  const auto& fact = s.db.table(s.fact());
+  auto frows = EvalFilters(fact, q.FiltersOf(s.fact()));
+  auto arows = EvalFilters(s.db.table(s.dim_a()), q.FiltersOf(s.dim_a()));
+  auto brows = EvalFilters(s.db.table(s.dim_b()), q.FiltersOf(s.dim_b()));
+  bool join_a = !q.JoinsWithin({s.fact(), s.dim_a()}).empty();
+  bool join_b = !q.JoinsWithin({s.fact(), s.dim_b()}).empty();
+  double total = 0;
+  for (uint32_t fr : frows) {
+    double w = 1;
+    if (join_a) {
+      int64_t key = fact.GetColumn("fk0")->Int64At(fr);
+      double cnt = 0;
+      for (uint32_t ar : arows) {
+        if (s.db.table(s.dim_a()).GetColumn("pk")->Int64At(ar) == key) ++cnt;
+      }
+      w *= cnt;
+    }
+    if (join_b) {
+      int64_t key = fact.GetColumn("fk1")->Int64At(fr);
+      double cnt = 0;
+      for (uint32_t br : brows) {
+        if (s.db.table(s.dim_b()).GetColumn("pk")->Int64At(br) == key) ++cnt;
+      }
+      w *= cnt;
+    }
+    total += w;
+  }
+  return total;
+}
+
+class JoinCounterParamTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(JoinCounterParamTest, MatchesBruteForceOnRandomQueries) {
+  StarDb s(120, 15, GetParam());
+  Rng rng(GetParam() * 3 + 1);
+  Query q;
+  q.tables = {s.fact(), s.dim_a(), s.dim_b()};
+  q.joins.push_back(JoinPredicate{s.fact(), "fk0", s.dim_a(), "pk"});
+  q.joins.push_back(JoinPredicate{s.fact(), "fk1", s.dim_b(), "pk"});
+  if (rng.Bernoulli(0.7)) {
+    q.filters.push_back(FilterPredicate{
+        s.fact(), "a", CompareOp::kLe,
+        Value(int64_t{rng.UniformInt(0, 99)})});
+  }
+  if (rng.Bernoulli(0.5)) {
+    q.filters.push_back(FilterPredicate{s.dim_a(), "v", CompareOp::kEq,
+                                        Value(int64_t{rng.UniformInt(0, 9)})});
+  }
+  if (rng.Bernoulli(0.5)) {
+    q.filters.push_back(FilterPredicate{s.dim_b(), "s", CompareOp::kLike,
+                                        Value(std::string("%fox%"))});
+  }
+  TrueCardinalityCache cache(&s.db, &q);
+  auto card = cache.CardinalityOfTables(q.tables);
+  ASSERT_TRUE(card.ok()) << card.status().ToString();
+  EXPECT_DOUBLE_EQ(card.value(), BruteForceStarCount(s, q));
+  // Sub-plans too.
+  auto sub = cache.CardinalityOfTables({s.fact(), s.dim_a()});
+  ASSERT_TRUE(sub.ok());
+  Query q2 = q;
+  q2.tables = {s.fact(), s.dim_a()};
+  q2.joins = q.JoinsWithin(q2.tables);
+  EXPECT_DOUBLE_EQ(sub.value(), BruteForceStarCount(s, q2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinCounterParamTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST(JoinCounterTest, SingleTableIsFilteredCount) {
+  StarDb s(100, 10, 5);
+  Query q;
+  q.tables = {s.fact()};
+  q.filters.push_back(FilterPredicate{s.fact(), "a", CompareOp::kLt,
+                                      Value(int64_t{50})});
+  TrueCardinalityCache cache(&s.db, &q);
+  auto card = cache.CardinalityOfTables({s.fact()});
+  ASSERT_TRUE(card.ok());
+  EXPECT_DOUBLE_EQ(
+      card.value(),
+      FilterCardinality(s.db.table(s.fact()), q.FiltersOf(s.fact())));
+  EXPECT_DOUBLE_EQ(cache.FilteredCard(s.fact()), card.value());
+}
+
+TEST(JoinCounterTest, DisconnectedSubsetRejected) {
+  StarDb s(50, 10, 6);
+  Query q;
+  q.tables = {s.fact(), s.dim_a(), s.dim_b()};
+  q.joins.push_back(JoinPredicate{s.fact(), "fk0", s.dim_a(), "pk"});
+  q.joins.push_back(JoinPredicate{s.fact(), "fk1", s.dim_b(), "pk"});
+  TrueCardinalityCache cache(&s.db, &q);
+  auto r = cache.CardinalityOfTables({s.dim_a(), s.dim_b()});
+  EXPECT_FALSE(r.ok());  // no join predicate between the dims
+}
+
+TEST(JoinCounterTest, MemoizationIsConsistent) {
+  StarDb s(80, 10, 7);
+  Query q;
+  q.tables = {s.fact(), s.dim_a()};
+  q.joins.push_back(JoinPredicate{s.fact(), "fk0", s.dim_a(), "pk"});
+  TrueCardinalityCache cache(&s.db, &q);
+  auto first = cache.CardinalityOfMask(0b11);
+  auto second = cache.CardinalityOfMask(0b11);
+  ASSERT_TRUE(first.ok());
+  EXPECT_DOUBLE_EQ(first.value(), second.value());
+}
+
+TEST(CostModelTest, SeqScanScalesWithRows) {
+  CostModel cm;
+  double small = cm.ScanCost(query::PhysicalOp::kSeqScan, 1000, 1000, 1);
+  double large = cm.ScanCost(query::PhysicalOp::kSeqScan, 100000, 100000, 1);
+  EXPECT_GT(large, small * 50);
+}
+
+TEST(CostModelTest, IndexScanWinsWhenSelective) {
+  CostModel cm;
+  double rows = 100000;
+  EXPECT_LT(cm.ScanCost(query::PhysicalOp::kIndexScan, rows, 5, 1),
+            cm.ScanCost(query::PhysicalOp::kSeqScan, rows, 5, 1));
+  // ... and loses when emitting almost everything.
+  EXPECT_GT(cm.ScanCost(query::PhysicalOp::kIndexScan, rows, rows, 1),
+            cm.ScanCost(query::PhysicalOp::kSeqScan, rows, rows, 1));
+}
+
+TEST(CostModelTest, BestScanCostNeverWorseThanSeq) {
+  CostModel cm;
+  for (double out : {1.0, 100.0, 10000.0}) {
+    EXPECT_LE(cm.BestScanCost(10000, out, 2),
+              cm.ScanCost(query::PhysicalOp::kSeqScan, 10000, out, 2) + 1e-9);
+  }
+}
+
+TEST(CostModelTest, NestedLoopOnlyForTinyInputs) {
+  CostModel cm;
+  EXPECT_EQ(cm.BestJoinOp(5, 5, 5), query::PhysicalOp::kNestedLoopJoin);
+  EXPECT_NE(cm.BestJoinOp(100000, 100000, 100),
+            query::PhysicalOp::kNestedLoopJoin);
+}
+
+TEST(CostModelTest, BestJoinStepIsMinimum) {
+  CostModel cm;
+  double best = cm.BestJoinStepCost(5000, 300, 2000);
+  for (auto op : {query::PhysicalOp::kHashJoin, query::PhysicalOp::kMergeJoin,
+                  query::PhysicalOp::kNestedLoopJoin}) {
+    EXPECT_LE(best, cm.JoinStepCost(op, 5000, 300, 2000) + 1e-9);
+  }
+}
+
+TEST(CostModelTest, PlanCostSumsTree) {
+  StarDb s(100, 10, 8);
+  Query q;
+  q.tables = {s.fact(), s.dim_a()};
+  q.joins.push_back(JoinPredicate{s.fact(), "fk0", s.dim_a(), "pk"});
+  auto plan = query::MakeLeftDeepPlan({s.fact(), s.dim_a()});
+  CostModel cm;
+  CardFn card = [](const query::PlanNode& n) {
+    return n.IsLeaf() ? 100.0 : 150.0;
+  };
+  double total = cm.PlanCost(*plan, q, s.db, card);
+  double left = cm.PlanCost(*plan->left, q, s.db, card);
+  double right = cm.PlanCost(*plan->right, q, s.db, card);
+  EXPECT_GT(total, left + right);  // join step adds positive cost
+}
+
+TEST(CostModelTest, AssignPhysicalOpsPicksIndexScanForSelectiveFilter) {
+  StarDb s(5000, 10, 9);
+  Query q;
+  q.tables = {s.fact()};
+  q.filters.push_back(FilterPredicate{s.fact(), "a", CompareOp::kEq,
+                                      Value(int64_t{5})});
+  auto plan = query::MakeScan(s.fact());
+  CostModel cm;
+  CardFn card = [](const query::PlanNode&) { return 3.0; };
+  cm.AssignPhysicalOps(plan.get(), q, s.db, card);
+  EXPECT_EQ(plan->op, query::PhysicalOp::kIndexScan);
+}
+
+TEST(SimulatorTest, MonotoneInCost) {
+  StarDb s(100, 10, 10);
+  Query q;
+  q.tables = {s.fact(), s.dim_a()};
+  q.joins.push_back(JoinPredicate{s.fact(), "fk0", s.dim_a(), "pk"});
+  auto plan = query::MakeLeftDeepPlan({s.fact(), s.dim_a()});
+  CostModel cm;
+  ExecutionSimulator::Options opts;
+  opts.noise_sigma = 0.0;
+  ExecutionSimulator sim(opts, 1);
+  CardFn small = [](const query::PlanNode&) { return 10.0; };
+  CardFn big = [](const query::PlanNode&) { return 100000.0; };
+  EXPECT_LT(sim.SimulateMs(*plan, q, s.db, small, cm),
+            sim.SimulateMs(*plan, q, s.db, big, cm));
+}
+
+TEST(SimulatorTest, NoiseIsBoundedMultiplicative) {
+  StarDb s(100, 10, 11);
+  Query q;
+  q.tables = {s.fact()};
+  auto plan = query::MakeScan(s.fact());
+  CostModel cm;
+  ExecutionSimulator::Options base_opts;
+  base_opts.noise_sigma = 0.0;
+  ExecutionSimulator noiseless(base_opts, 1);
+  CardFn card = [](const query::PlanNode&) { return 100.0; };
+  double truth = noiseless.SimulateMs(*plan, q, s.db, card, cm);
+  ExecutionSimulator::Options noisy_opts;
+  noisy_opts.noise_sigma = 0.08;
+  ExecutionSimulator noisy(noisy_opts, 2);
+  for (int i = 0; i < 50; ++i) {
+    double v = noisy.SimulateMs(*plan, q, s.db, card, cm);
+    EXPECT_GT(v, truth * 0.6);
+    EXPECT_LT(v, truth * 1.6);
+  }
+}
+
+}  // namespace
+}  // namespace mtmlf::exec

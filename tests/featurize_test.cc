@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "datagen/imdb_like.h"
+#include "featurize/featurizer.h"
+#include "featurize/plan_encoder.h"
+#include "featurize/tree_codec.h"
+#include "workload/generator.h"
+
+namespace mtmlf::featurize {
+namespace {
+
+using query::MakeJoin;
+using query::MakeLeftDeepPlan;
+using query::MakeScan;
+using query::PlanPtr;
+
+struct Env {
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<optimizer::BaselineCardEstimator> baseline;
+  std::unique_ptr<Featurizer> featurizer;
+  ModelConfig cfg;
+  Env() {
+    Rng rng(1);
+    db = datagen::BuildImdbLike({.scale = 0.1}, &rng).take();
+    baseline = std::make_unique<optimizer::BaselineCardEstimator>(db.get());
+    featurizer =
+        std::make_unique<Featurizer>(db.get(), baseline.get(), cfg, 7);
+  }
+};
+
+Env& GetEnv() {
+  static Env* env = new Env();
+  return *env;
+}
+
+TEST(FeaturizerTest, TableEmbeddingShape) {
+  Env& env = GetEnv();
+  auto e = env.featurizer->TableEmbedding(0);
+  EXPECT_EQ(e.rows(), 1);
+  EXPECT_EQ(e.cols(), env.cfg.d_feat);
+}
+
+TEST(FeaturizerTest, EncodeEmptyFilterList) {
+  Env& env = GetEnv();
+  auto enc = env.featurizer->EncodeTableFilters(0, {});
+  EXPECT_EQ(enc.repr.rows(), 1);
+  EXPECT_EQ(enc.repr.cols(), env.cfg.d_feat);
+  EXPECT_EQ(enc.log_card.size(), 1u);
+}
+
+TEST(FeaturizerTest, DifferentFiltersDifferentEncodings) {
+  Env& env = GetEnv();
+  int title = env.db->TableIndex("title");
+  query::FilterPredicate f1{title, "production_year", query::CompareOp::kGe,
+                            storage::Value(int64_t{2000})};
+  query::FilterPredicate f2{title, "production_year", query::CompareOp::kLe,
+                            storage::Value(int64_t{1950})};
+  auto e1 = env.featurizer->EncodeTableFilters(title, {f1});
+  auto e2 = env.featurizer->EncodeTableFilters(title, {f2});
+  float diff = 0;
+  for (size_t i = 0; i < e1.repr.size(); ++i) {
+    diff += std::fabs(e1.repr.data()[i] - e2.repr.data()[i]);
+  }
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(FeaturizerTest, LikePatternEmbeddingVaries) {
+  Env& env = GetEnv();
+  int mi = env.db->TableIndex("movie_info");
+  query::FilterPredicate f1{mi, "info", query::CompareOp::kLike,
+                            storage::Value(std::string("%abc%"))};
+  query::FilterPredicate f2{mi, "info", query::CompareOp::kLike,
+                            storage::Value(std::string("%xyz%"))};
+  auto e1 = env.featurizer->EncodeTableFilters(mi, {f1});
+  auto e2 = env.featurizer->EncodeTableFilters(mi, {f2});
+  float diff = 0;
+  for (size_t i = 0; i < e1.repr.size(); ++i) {
+    diff += std::fabs(e1.repr.data()[i] - e2.repr.data()[i]);
+  }
+  EXPECT_GT(diff, 1e-4f);
+}
+
+TEST(FeaturizerTest, SingleTableLossFiniteAndPositive) {
+  Env& env = GetEnv();
+  workload::WorkloadGenerator gen(env.db.get(), 2);
+  int title = env.db->TableIndex("title");
+  auto q = gen.GenerateSingleTable(title);
+  ASSERT_GE(q.table, 0);
+  auto loss = env.featurizer->SingleTableLoss(q);
+  EXPECT_TRUE(std::isfinite(loss.item()));
+  EXPECT_GE(loss.item(), 0.0f);
+}
+
+TEST(FeaturizerTest, PredictFilterCardNonNegative) {
+  Env& env = GetEnv();
+  double c = env.featurizer->PredictFilterCard(0, {});
+  EXPECT_GE(c, 0.0);
+}
+
+TEST(FeaturizerTest, ParameterCountScalesWithTables) {
+  Env& env = GetEnv();
+  // One Enc per table plus shared embeddings: a 12-table database should
+  // have a substantial parameter count.
+  EXPECT_GT(env.featurizer->NumParameters(), 10000u);
+}
+
+TEST(PlanEncoderTest, ShapeMatchesPreOrder) {
+  Env& env = GetEnv();
+  PlanEncoder enc(env.featurizer.get());
+  workload::WorkloadGenerator gen(env.db.get(), 3);
+  query::Query q = gen.GenerateQuery({.min_tables = 3, .max_tables = 6});
+  PlanPtr plan = MakeLeftDeepPlan(q.tables);
+  std::vector<const query::PlanNode*> nodes;
+  auto x = enc.EncodePlan(q, *plan, &nodes);
+  EXPECT_EQ(x.rows(), plan->TreeSize());
+  EXPECT_EQ(static_cast<int>(nodes.size()), plan->TreeSize());
+  EXPECT_EQ(x.cols(), enc.input_dim());
+  EXPECT_FALSE(nodes[0]->IsLeaf());  // pre-order: root first
+}
+
+TEST(PlanEncoderTest, StatsDistinguishScanFromJoin) {
+  Env& env = GetEnv();
+  PlanEncoder enc(env.featurizer.get());
+  query::Query q;
+  int mi = env.db->TableIndex("movie_info");
+  int title = env.db->TableIndex("title");
+  q.tables = {mi, title};
+  q.joins.push_back(query::JoinPredicate{mi, "movie_id", title, "id"});
+  PlanPtr plan = MakeLeftDeepPlan(q.tables);
+  auto join_stats = enc.NodeStats(q, *plan);
+  auto scan_stats = enc.NodeStats(q, *plan->left);
+  EXPECT_FLOAT_EQ(join_stats[0], 1.0f);  // is_join
+  EXPECT_FLOAT_EQ(scan_stats[0], 0.0f);
+  EXPECT_GT(join_stats[1], scan_stats[1]);  // more raw rows underneath
+  EXPECT_EQ(join_stats.size(), static_cast<size_t>(PlanEncoder::kNumStats));
+}
+
+TEST(PlanEncoderTest, TreePositionDependsOnPath) {
+  Env& env = GetEnv();
+  PlanEncoder enc(env.featurizer.get());
+  query::Query q;
+  int mi = env.db->TableIndex("movie_info");
+  int title = env.db->TableIndex("title");
+  int ci = env.db->TableIndex("cast_info");
+  q.tables = {mi, title, ci};
+  q.joins.push_back(query::JoinPredicate{mi, "movie_id", title, "id"});
+  q.joins.push_back(query::JoinPredicate{ci, "movie_id", title, "id"});
+  PlanPtr plan = MakeLeftDeepPlan({mi, title, ci});
+  std::vector<const query::PlanNode*> nodes;
+  auto x = enc.EncodePlan(q, *plan, &nodes);
+  // The same table (title) sits at different tree positions in two plans;
+  // its encoded rows must differ in the positional slice.
+  PlanPtr plan2 = MakeLeftDeepPlan({ci, title, mi});
+  std::vector<const query::PlanNode*> nodes2;
+  auto x2 = enc.EncodePlan(q, *plan2, &nodes2);
+  int pos_off = enc.input_dim() - 2 * env.cfg.max_tree_depth;
+  // title is node index 3 in plan1 (root->left->right), index 3 in plan2.
+  float diff = 0;
+  for (int c = pos_off; c < enc.input_dim(); ++c) {
+    diff += std::fabs(x.at(3, c) - x2.at(3, c));
+  }
+  // Same depth-1-right position in both left-deep plans -> equal paths;
+  // compare the leaf at the deepest position instead.
+  float diff_deep = 0;
+  for (int c = pos_off; c < enc.input_dim(); ++c) {
+    diff_deep += std::fabs(x.at(2, c) - x.at(4, c));
+  }
+  EXPECT_GT(diff_deep, 0.5f);  // left-most leaf vs right child differ
+  (void)diff;
+}
+
+// ---------------------------------------------------------------------------
+// Tree codec (Section 4.1, Figures 3-4).
+// ---------------------------------------------------------------------------
+
+TEST(TreeCodecTest, PaperLeftDeepExample) {
+  PlanPtr plan = MakeLeftDeepPlan({0, 1, 2, 3});
+  auto em = TreeDecodingEmbeddings(*plan);
+  ASSERT_TRUE(em.ok());
+  ASSERT_EQ(em.value().size(), 4u);
+  EXPECT_EQ(em.value()[0].positions, (std::vector<int>{1, 0, 0, 0, 0, 0, 0, 0}));
+  EXPECT_EQ(em.value()[1].positions, (std::vector<int>{0, 1, 0, 0, 0, 0, 0, 0}));
+  EXPECT_EQ(em.value()[2].positions, (std::vector<int>{0, 0, 1, 1, 0, 0, 0, 0}));
+  EXPECT_EQ(em.value()[3].positions, (std::vector<int>{0, 0, 0, 0, 1, 1, 1, 1}));
+}
+
+TEST(TreeCodecTest, PaperBushyExample) {
+  PlanPtr plan = MakeJoin(MakeJoin(MakeScan(0), MakeScan(1)),
+                          MakeJoin(MakeScan(2), MakeScan(3)));
+  auto em = TreeDecodingEmbeddings(*plan);
+  ASSERT_TRUE(em.ok());
+  ASSERT_EQ(em.value().size(), 4u);
+  EXPECT_EQ(em.value()[0].positions, (std::vector<int>{1, 0, 0, 0}));
+  EXPECT_EQ(em.value()[1].positions, (std::vector<int>{0, 1, 0, 0}));
+  EXPECT_EQ(em.value()[2].positions, (std::vector<int>{0, 0, 1, 0}));
+  EXPECT_EQ(em.value()[3].positions, (std::vector<int>{0, 0, 0, 1}));
+}
+
+bool SameShape(const query::PlanNode& a, const query::PlanNode& b) {
+  if (a.IsLeaf() != b.IsLeaf()) return false;
+  if (a.IsLeaf()) return a.table == b.table;
+  return SameShape(*a.left, *b.left) && SameShape(*a.right, *b.right);
+}
+
+TEST(TreeCodecTest, RoundTripLeftDeepAndBushy) {
+  PlanPtr left_deep = MakeLeftDeepPlan({4, 2, 0, 7, 5});
+  PlanPtr bushy = MakeJoin(
+      MakeJoin(MakeScan(0), MakeScan(1)),
+      MakeJoin(MakeScan(2), MakeJoin(MakeScan(3), MakeScan(4))));
+  for (const auto* plan : {&left_deep, &bushy}) {
+    auto em = TreeDecodingEmbeddings(**plan);
+    ASSERT_TRUE(em.ok());
+    auto back = TreeFromDecodingEmbeddings(em.value());
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_TRUE(SameShape(**plan, *back.value()));
+  }
+}
+
+class TreeCodecRoundTripTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TreeCodecRoundTripTest, RandomTrees) {
+  Rng rng(GetParam());
+  // Random binary tree by repeated random joins.
+  int m = static_cast<int>(rng.UniformInt(2, 9));
+  std::vector<PlanPtr> forest;
+  for (int t = 0; t < m; ++t) forest.push_back(MakeScan(t));
+  while (forest.size() > 1) {
+    size_t a = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(forest.size()) - 1));
+    std::swap(forest[a], forest.back());
+    auto right = std::move(forest.back());
+    forest.pop_back();
+    size_t b = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(forest.size()) - 1));
+    forest[b] = MakeJoin(std::move(forest[b]), std::move(right));
+  }
+  auto em = TreeDecodingEmbeddings(*forest[0]);
+  ASSERT_TRUE(em.ok());
+  auto back = TreeFromDecodingEmbeddings(em.value());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(SameShape(*forest[0], *back.value()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreeCodecRoundTripTest,
+                         ::testing::Range<uint64_t>(1, 33));
+
+TEST(TreeCodecTest, RejectsDuplicateTables) {
+  PlanPtr dup = MakeJoin(MakeScan(1), MakeScan(1));
+  EXPECT_FALSE(TreeDecodingEmbeddings(*dup).ok());
+}
+
+TEST(TreeCodecTest, RejectsMalformedEmbeddings) {
+  // Overlap.
+  std::vector<TreeDecodingEmbedding> overlap = {
+      {0, {1, 1, 0, 0}}, {1, {0, 1, 1, 1}}};
+  EXPECT_FALSE(TreeFromDecodingEmbeddings(overlap).ok());
+  // Not covering.
+  std::vector<TreeDecodingEmbedding> hole = {{0, {1, 0, 0, 0}},
+                                             {1, {0, 1, 0, 0}}};
+  EXPECT_FALSE(TreeFromDecodingEmbeddings(hole).ok());
+  // Non power of two.
+  std::vector<TreeDecodingEmbedding> bad_len = {{0, {1, 0, 0}},
+                                                {1, {0, 1, 1}}};
+  EXPECT_FALSE(TreeFromDecodingEmbeddings(bad_len).ok());
+  // Length mismatch.
+  std::vector<TreeDecodingEmbedding> mismatch = {{0, {1, 0}},
+                                                 {1, {0, 1, 0, 0}}};
+  EXPECT_FALSE(TreeFromDecodingEmbeddings(mismatch).ok());
+  // Empty.
+  EXPECT_FALSE(TreeFromDecodingEmbeddings({}).ok());
+}
+
+TEST(TreeCodecTest, TableStraddlingSubtreesRejected) {
+  // Table 0 covers leaves {1, 2} — crosses the midpoint of a 4-leaf tree
+  // without covering a full aligned block.
+  std::vector<TreeDecodingEmbedding> straddle = {
+      {0, {0, 1, 1, 0}}, {1, {1, 0, 0, 0}}, {2, {0, 0, 0, 1}}};
+  EXPECT_FALSE(TreeFromDecodingEmbeddings(straddle).ok());
+}
+
+}  // namespace
+}  // namespace mtmlf::featurize

@@ -1,0 +1,175 @@
+// Cross-module integration tests: the full pipeline (datagen -> ANALYZE ->
+// workload -> featurize -> model -> train -> evaluate) on small inputs,
+// plus end-to-end invariants that no single-module test can check.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "datagen/imdb_like.h"
+#include "datagen/pipeline.h"
+#include "exec/join_counter.h"
+#include "model/mtmlf_qo.h"
+#include "optimizer/join_order.h"
+#include "train/evaluate.h"
+#include "train/trainer.h"
+#include "workload/dataset.h"
+
+namespace mtmlf {
+namespace {
+
+TEST(IntegrationTest, OracleNeverWorseThanPostgresUpToNoise) {
+  SetLogLevel(0);
+  Rng rng(1);
+  auto db = datagen::BuildImdbLike({.scale = 0.2}, &rng).take();
+  optimizer::BaselineCardEstimator baseline(db.get());
+  workload::DatasetOptions opts;
+  opts.num_queries = 60;
+  opts.single_table_queries_per_table = 0;
+  opts.generator.min_tables = 3;
+  opts.generator.max_tables = 7;
+  auto ds = workload::BuildDataset(db.get(), &baseline, opts).take();
+  double pg = 0, opt = 0;
+  for (const auto& lq : ds.queries) {
+    if (lq.optimal_order.size() < 2) continue;
+    pg += lq.postgres_latency_ms;
+    opt += lq.optimal_latency_ms;
+    // Per-query: the oracle can exceed the baseline only by simulation
+    // noise (same order => identical cost, different noise draw).
+    EXPECT_LE(lq.optimal_latency_ms, lq.postgres_latency_ms * 1.6)
+        << lq.query.ToSql(*db);
+  }
+  EXPECT_LT(opt, pg);  // aggregate: the oracle clearly wins
+}
+
+TEST(IntegrationTest, TrueCardinalityConsistentAcrossPlanShapes) {
+  // The root cardinality of ANY plan for the same query must agree: it is
+  // a property of the query, not the plan.
+  SetLogLevel(0);
+  Rng rng(2);
+  auto db = datagen::BuildImdbLike({.scale = 0.15}, &rng).take();
+  optimizer::BaselineCardEstimator baseline(db.get());
+  workload::WorkloadGenerator gen(db.get(), 5);
+  workload::QueryLabeler::Options lopts;
+  lopts.annotate_alt_plans = true;
+  lopts.random_alt_plans = 2;
+  workload::QueryLabeler labeler(db.get(), &baseline, lopts);
+  int checked = 0;
+  for (int i = 0; i < 20 && checked < 8; ++i) {
+    auto q = gen.GenerateQuery({.min_tables = 3, .max_tables = 6});
+    auto lq = labeler.Label(q, true);
+    if (!lq.ok()) continue;
+    ++checked;
+    for (const auto& alt : lq.value().alt_plans) {
+      EXPECT_DOUBLE_EQ(alt->true_cardinality, lq.value().true_card);
+    }
+  }
+  EXPECT_GE(checked, 5);
+}
+
+TEST(IntegrationTest, JoinCardinalityIsOrderInvariant) {
+  // Message passing rooted anywhere must count the same join.
+  SetLogLevel(0);
+  Rng rng(3);
+  auto db = datagen::GenerateDatabase("oi", {}, &rng).take();
+  optimizer::BaselineCardEstimator baseline(db.get());
+  workload::WorkloadGenerator gen(db.get(), 7);
+  for (int i = 0; i < 10; ++i) {
+    auto q = gen.GenerateQuery({.min_tables = 3, .max_tables = 5});
+    exec::TrueCardinalityCache cache(db.get(), &q);
+    auto full = cache.CardinalityOfTables(q.tables);
+    if (!full.ok()) continue;
+    // Re-evaluate with tables listed in reverse (different DFS root).
+    query::Query q2 = q;
+    std::reverse(q2.tables.begin(), q2.tables.end());
+    exec::TrueCardinalityCache cache2(db.get(), &q2);
+    auto full2 = cache2.CardinalityOfTables(q2.tables);
+    ASSERT_TRUE(full2.ok());
+    EXPECT_DOUBLE_EQ(full.value(), full2.value());
+  }
+}
+
+TEST(IntegrationTest, ZeroShotTransferProducesFiniteEstimates) {
+  // A model meta-trained on one database must produce finite, positive
+  // predictions on a never-seen database with ONLY its featurizer trained
+  // (the cold-start scenario of Section 1).
+  SetLogLevel(0);
+  Rng rng(4);
+  auto db1 = datagen::GenerateDatabase("zs1", {}, &rng).take();
+  auto db2 = datagen::GenerateDatabase("zs2", {}, &rng).take();
+  optimizer::BaselineCardEstimator b1(db1.get()), b2(db2.get());
+  workload::DatasetOptions opts;
+  opts.num_queries = 30;
+  opts.single_table_queries_per_table = 8;
+  opts.generator.max_tables = 5;
+  auto ds1 = workload::BuildDataset(db1.get(), &b1, opts).take();
+  auto ds2 = workload::BuildDataset(db2.get(), &b2, opts).take();
+
+  model::MtmlfQo m(featurize::ModelConfig{}, 9);
+  int i1 = m.AddDatabase(db1.get(), &b1);
+  train::Trainer trainer(&m);
+  train::TrainOptions topt;
+  topt.enc_pretrain_epochs = 1;
+  topt.joint_epochs = 2;
+  ASSERT_TRUE(trainer.PretrainFeaturizer(i1, ds1, topt).ok());
+  ASSERT_TRUE(trainer.TrainJoint({{i1, &ds1}}, topt).ok());
+
+  int i2 = m.AddDatabase(db2.get(), &b2);
+  ASSERT_TRUE(trainer.PretrainFeaturizer(i2, ds2, topt).ok());  // (F) only
+  tensor::NoGradGuard guard;
+  for (size_t i = 0; i < std::min<size_t>(5, ds2.queries.size()); ++i) {
+    const auto& lq = ds2.queries[i];
+    auto fwd = m.Run(i2, lq.query, *lq.plan);
+    for (double c : m.NodeCardPredictions(fwd)) {
+      EXPECT_TRUE(std::isfinite(c));
+    }
+  }
+}
+
+TEST(IntegrationTest, GuardedJoinOrderNeverCatastrophic) {
+  // With cost re-ranking + the initial-plan guard, even an UNTRAINED
+  // model's chosen orders must stay within a sane factor of the baseline
+  // in aggregate (the regression-guard property).
+  SetLogLevel(0);
+  Rng rng(6);
+  auto db = datagen::BuildImdbLike({.scale = 0.15}, &rng).take();
+  optimizer::BaselineCardEstimator baseline(db.get());
+  workload::DatasetOptions opts;
+  opts.num_queries = 40;
+  opts.single_table_queries_per_table = 4;
+  opts.generator.min_tables = 3;
+  opts.generator.max_tables = 6;
+  auto ds = workload::BuildDataset(db.get(), &baseline, opts).take();
+  workload::QueryLabeler labeler(db.get(), &baseline, {});
+
+  model::MtmlfQo m(featurize::ModelConfig{}, 10);  // untrained
+  int dbi = m.AddDatabase(db.get(), &baseline);
+  // Train ONLY the card pathway briefly so predicted cards are sane.
+  train::Trainer trainer(&m);
+  train::TrainOptions topt;
+  topt.enc_pretrain_epochs = 1;
+  topt.joint_epochs = 2;
+  topt.weights = {1.0f, 0.0f, 0.0f};
+  ASSERT_TRUE(trainer.PretrainFeaturizer(dbi, ds, topt).ok());
+  ASSERT_TRUE(trainer.TrainJoint({{dbi, &ds}}, topt).ok());
+
+  model::BeamSearchOptions beam;
+  beam.rerank_by_cost = true;
+  double model_total = 0, pg_total = 0;
+  for (size_t i : ds.split.test) {
+    const auto& lq = ds.queries[i];
+    if (lq.optimal_order.size() < 2) continue;
+    auto order = m.PredictJoinOrder(dbi, lq, beam);
+    ASSERT_TRUE(order.ok());
+    auto ms = labeler.SimulateOrderLatencyMs(lq.query, order.value());
+    ASSERT_TRUE(ms.ok());
+    model_total += ms.value();
+    pg_total += lq.postgres_latency_ms;
+  }
+  EXPECT_LT(model_total, pg_total * 5.0);
+}
+
+}  // namespace
+}  // namespace mtmlf

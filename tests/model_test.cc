@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.h"
+#include "datagen/imdb_like.h"
+#include "model/beam_search.h"
+#include "model/joeu.h"
+#include "model/mtmlf_qo.h"
+#include "optimizer/join_order.h"
+#include "model/trans_jo.h"
+#include "workload/dataset.h"
+
+namespace mtmlf::model {
+namespace {
+
+TEST(JoeuTest, ExactAndPrefixMatches) {
+  EXPECT_DOUBLE_EQ(Joeu({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(Joeu({1, 2, 4}, {1, 2, 3}), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Joeu({9, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(Joeu({1}, {1}), 1.0);
+}
+
+TEST(JoeuTest, MismatchedLengthsScoreZero) {
+  EXPECT_DOUBLE_EQ(Joeu({1, 2}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(Joeu({}, {}), 0.0);
+}
+
+struct JoEnv {
+  featurize::ModelConfig cfg;
+  std::unique_ptr<TransJo> jo;
+  tensor::Tensor memory;
+  JoEnv() {
+    Rng rng(3);
+    jo = std::make_unique<TransJo>(cfg, &rng);
+    memory = tensor::Tensor::Randn(5, cfg.d_model, 1.0f, &rng);
+  }
+};
+
+TEST(TransJoTest, TeacherForcedShape) {
+  JoEnv env;
+  std::vector<int> target = {2, 0, 4, 1, 3};
+  auto logits = env.jo->TeacherForcedLogits(env.memory, target);
+  EXPECT_EQ(logits.rows(), 5);
+  EXPECT_EQ(logits.cols(), 5);
+}
+
+TEST(TransJoTest, NextLogitsMatchesTeacherForcedRow) {
+  // Step t of the teacher-forced pass must equal the incremental
+  // computation with the same prefix (causal masking correctness).
+  JoEnv env;
+  tensor::NoGradGuard guard;
+  std::vector<int> target = {2, 0, 4, 1, 3};
+  auto tf = env.jo->TeacherForcedLogits(env.memory, target);
+  for (int t = 0; t < 5; ++t) {
+    std::vector<int> prefix(target.begin(), target.begin() + t);
+    auto next = env.jo->NextLogits(env.memory, prefix);
+    for (int c = 0; c < 5; ++c) {
+      EXPECT_NEAR(next.at(0, c), tf.at(t, c), 1e-4f) << "t=" << t;
+    }
+  }
+}
+
+TEST(TransJoTest, SequenceLogProbIsNegative) {
+  JoEnv env;
+  tensor::NoGradGuard guard;
+  std::vector<int> order = {0, 1, 2, 3, 4};
+  auto lp = env.jo->SequenceLogProb(env.memory, order);
+  EXPECT_LT(lp.item(), 0.0f);
+}
+
+TEST(TransJoTest, HasParameters) {
+  JoEnv env;
+  EXPECT_GT(env.jo->NumParameters(), 1000u);
+}
+
+TEST(BeamSearchTest, ProducesFullPermutations) {
+  JoEnv env;
+  std::vector<std::vector<bool>> adj(5, std::vector<bool>(5, true));
+  BeamSearchOptions opts;
+  opts.beam_width = 3;
+  auto out = BeamSearchJoinOrder(*env.jo, env.memory, adj, opts);
+  ASSERT_FALSE(out.empty());
+  for (const auto& cand : out) {
+    EXPECT_EQ(cand.positions.size(), 5u);
+    std::vector<bool> seen(5, false);
+    for (int p : cand.positions) {
+      EXPECT_FALSE(seen[p]);
+      seen[p] = true;
+    }
+    EXPECT_TRUE(cand.legal);
+  }
+  // Sorted by descending log-prob.
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_GE(out[i - 1].log_prob, out[i].log_prob);
+  }
+}
+
+TEST(BeamSearchTest, LegalityConstraintRespectsAdjacency) {
+  JoEnv env;
+  // Star: node 0 is the hub.
+  std::vector<std::vector<bool>> adj(5, std::vector<bool>(5, false));
+  for (int i = 1; i < 5; ++i) adj[0][i] = adj[i][0] = true;
+  BeamSearchOptions opts;
+  opts.beam_width = 4;
+  opts.legality = true;
+  auto out = BeamSearchJoinOrder(*env.jo, env.memory, adj, opts);
+  ASSERT_FALSE(out.empty());
+  for (const auto& cand : out) {
+    EXPECT_TRUE(cand.legal);
+    // In a star, any legal order has the hub first or second.
+    EXPECT_TRUE(cand.positions[0] == 0 || cand.positions[1] == 0);
+  }
+}
+
+TEST(BeamSearchTest, UnconstrainedMarksIllegalCandidates) {
+  JoEnv env;
+  std::vector<std::vector<bool>> adj(5, std::vector<bool>(5, false));
+  for (int i = 1; i < 5; ++i) adj[0][i] = adj[i][0] = true;
+  BeamSearchOptions opts;
+  opts.beam_width = 4;
+  opts.max_candidates = 32;
+  opts.legality = false;
+  auto out = BeamSearchJoinOrder(*env.jo, env.memory, adj, opts);
+  ASSERT_FALSE(out.empty());
+  bool saw_illegal = false;
+  for (const auto& cand : out) saw_illegal = saw_illegal || !cand.legal;
+  // With an untrained model and a star graph, some top candidates are
+  // illegal with overwhelming probability.
+  EXPECT_TRUE(saw_illegal);
+}
+
+TEST(BeamSearchTest, RespectsMaxCandidates) {
+  JoEnv env;
+  std::vector<std::vector<bool>> adj(5, std::vector<bool>(5, true));
+  BeamSearchOptions opts;
+  opts.beam_width = 8;
+  opts.max_candidates = 6;
+  auto out = BeamSearchJoinOrder(*env.jo, env.memory, adj, opts);
+  EXPECT_LE(out.size(), 6u);
+}
+
+// ---------------------------------------------------------------------------
+// MtmlfQo end-to-end forward/loss plumbing on a real (tiny) database.
+// ---------------------------------------------------------------------------
+
+struct QoEnv {
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<optimizer::BaselineCardEstimator> baseline;
+  workload::Dataset dataset;
+  std::unique_ptr<MtmlfQo> model;
+  int dbi = -1;
+  QoEnv() {
+    Rng rng(1);
+    db = datagen::BuildImdbLike({.scale = 0.1}, &rng).take();
+    baseline = std::make_unique<optimizer::BaselineCardEstimator>(db.get());
+    workload::DatasetOptions opts;
+    opts.num_queries = 30;
+    opts.single_table_queries_per_table = 5;
+    opts.generator.min_tables = 3;
+    opts.generator.max_tables = 6;
+    dataset = workload::BuildDataset(db.get(), baseline.get(), opts).take();
+    model = std::make_unique<MtmlfQo>(featurize::ModelConfig{}, 11);
+    dbi = model->AddDatabase(db.get(), baseline.get());
+  }
+};
+
+QoEnv& GetQoEnv() {
+  static QoEnv* env = new QoEnv();
+  return *env;
+}
+
+TEST(MtmlfQoTest, ForwardShapes) {
+  QoEnv& env = GetQoEnv();
+  const auto& lq = env.dataset.queries[0];
+  auto fwd = env.model->Run(env.dbi, lq.query, *lq.plan);
+  int L = lq.plan->TreeSize();
+  EXPECT_EQ(fwd.shared.rows(), L);
+  EXPECT_EQ(fwd.shared.cols(), env.model->config().d_model);
+  EXPECT_EQ(fwd.log_card.rows(), L);
+  EXPECT_EQ(fwd.log_cost.rows(), L);
+  EXPECT_EQ(fwd.jo_memory.rows(),
+            static_cast<int>(lq.query.tables.size()));
+  EXPECT_EQ(fwd.nodes.size(), static_cast<size_t>(L));
+}
+
+TEST(MtmlfQoTest, PredictionsArePositive) {
+  QoEnv& env = GetQoEnv();
+  tensor::NoGradGuard guard;
+  const auto& lq = env.dataset.queries[1];
+  auto fwd = env.model->Run(env.dbi, lq.query, *lq.plan);
+  for (double c : env.model->NodeCardPredictions(fwd)) {
+    EXPECT_GE(c, -1.0);
+    EXPECT_TRUE(std::isfinite(c));
+  }
+  for (double c : env.model->NodeCostPredictions(fwd)) {
+    EXPECT_TRUE(std::isfinite(c));
+  }
+}
+
+TEST(MtmlfQoTest, MultiTaskLossFiniteAndTaskFlagsWork) {
+  QoEnv& env = GetQoEnv();
+  const auto& lq = env.dataset.queries[2];
+  auto fwd = env.model->Run(env.dbi, lq.query, *lq.plan);
+  TaskWeights all{1, 1, 1};
+  auto loss = env.model->MultiTaskLoss(fwd, lq, all);
+  EXPECT_TRUE(std::isfinite(loss.item()));
+  EXPECT_GT(loss.item(), 0.0f);
+  // Disabling tasks lowers (or equals) the loss value.
+  auto card_only = env.model->MultiTaskLoss(fwd, lq, TaskWeights{1, 0, 0});
+  EXPECT_LE(card_only.item(), loss.item() + 1e-5f);
+  auto none = env.model->MultiTaskLoss(fwd, lq, TaskWeights{0, 0, 0});
+  EXPECT_FLOAT_EQ(none.item(), 0.0f);
+}
+
+TEST(MtmlfQoTest, LossBackwardTouchesSharedTaskParamsOnly) {
+  QoEnv& env = GetQoEnv();
+  const auto& lq = env.dataset.queries[3];
+  auto fwd = env.model->Run(env.dbi, lq.query, *lq.plan);
+  auto loss = env.model->MultiTaskLoss(fwd, lq, TaskWeights{1, 1, 1});
+  loss.Backward();
+  std::vector<tensor::Tensor> st;
+  env.model->CollectSharedTaskParameters(&st);
+  int touched = 0;
+  for (auto& p : st) {
+    if (!p.grad().empty()) ++touched;
+  }
+  // All (S)+(T) parameters participate except possibly Trans_JO when the
+  // query has no optimal order; this query has one, so everything.
+  EXPECT_GT(touched, static_cast<int>(st.size()) / 2);
+  for (auto& p : st) p.ZeroGrad();
+}
+
+TEST(MtmlfQoTest, PredictJoinOrderIsExecutable) {
+  QoEnv& env = GetQoEnv();
+  BeamSearchOptions opts;
+  for (bool rerank : {false, true}) {
+    opts.rerank_by_cost = rerank;
+    int checked = 0;
+    for (size_t i = 0; i < env.dataset.queries.size() && checked < 5; ++i) {
+      const auto& lq = env.dataset.queries[i];
+      if (lq.query.tables.size() < 2) continue;
+      auto order = env.model->PredictJoinOrder(env.dbi, lq, opts);
+      ASSERT_TRUE(order.ok()) << order.status().ToString();
+      EXPECT_TRUE(optimizer::IsExecutableOrder(lq.query, order.value()));
+      ++checked;
+    }
+    EXPECT_EQ(checked, 5);
+  }
+}
+
+TEST(MtmlfQoTest, SequenceLevelLossFinite) {
+  QoEnv& env = GetQoEnv();
+  const auto* lq = &env.dataset.queries[0];
+  for (const auto& q : env.dataset.queries) {
+    if (q.optimal_order.size() >= 3) {
+      lq = &q;
+      break;
+    }
+  }
+  auto fwd = env.model->Run(env.dbi, lq->query, *lq->plan);
+  BeamSearchOptions beam;
+  beam.beam_width = 2;
+  beam.max_candidates = 4;
+  auto loss = env.model->SequenceLevelJoLoss(fwd, *lq, beam, 2.0f);
+  EXPECT_TRUE(std::isfinite(loss.item()));
+}
+
+TEST(MtmlfQoTest, SharedTaskParamsExcludeFeaturizer) {
+  QoEnv& env = GetQoEnv();
+  std::vector<tensor::Tensor> st, all;
+  env.model->CollectSharedTaskParameters(&st);
+  env.model->CollectParameters(&all);
+  EXPECT_GT(all.size(), st.size());  // featurizer params come on top
+}
+
+TEST(MtmlfQoTest, MultipleDatabasesShareSTParameters) {
+  // Registering a second database must not change the (S)/(T) parameter
+  // count — only add featurizer parameters.
+  Rng rng(5);
+  auto db2 = datagen::BuildImdbLike({.scale = 0.1}, &rng).take();
+  optimizer::BaselineCardEstimator baseline2(db2.get());
+  MtmlfQo m(featurize::ModelConfig{}, 3);
+  auto count_st = [&m]() {
+    std::vector<tensor::Tensor> st;
+    m.CollectSharedTaskParameters(&st);
+    return st.size();
+  };
+  int d1 = m.AddDatabase(db2.get(), &baseline2);
+  size_t st1 = count_st();
+  int d2 = m.AddDatabase(db2.get(), &baseline2);
+  EXPECT_EQ(count_st(), st1);
+  EXPECT_NE(d1, d2);
+  EXPECT_EQ(m.num_databases(), 2);
+}
+
+}  // namespace
+}  // namespace mtmlf::model

@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+#include "nn/transformer.h"
+#include "nn/tree_lstm.h"
+
+namespace mtmlf::nn {
+namespace {
+
+using tensor::Tensor;
+
+TEST(LinearTest, ShapesAndParams) {
+  Rng rng(1);
+  Linear l(4, 3, &rng);
+  Tensor x = Tensor::Randn(5, 4, 1.0f, &rng);
+  Tensor y = l.Forward(x);
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 3);
+  EXPECT_EQ(l.Parameters().size(), 2u);
+  EXPECT_EQ(l.NumParameters(), 4u * 3 + 3);
+}
+
+TEST(LinearTest, ZeroInputGivesBias) {
+  Rng rng(1);
+  Linear l(2, 2, &rng);
+  Tensor y = l.Forward(Tensor::Zeros(1, 2));
+  EXPECT_FLOAT_EQ(y.at(0, 0), l.bias().at(0, 0));
+}
+
+TEST(LayerNormTest, NormalizesRows) {
+  Rng rng(2);
+  LayerNorm ln(8);
+  Tensor x = Tensor::Randn(3, 8, 5.0f, &rng);
+  Tensor y = ln.Forward(x);
+  for (int r = 0; r < 3; ++r) {
+    float mean = 0, var = 0;
+    for (int c = 0; c < 8; ++c) mean += y.at(r, c);
+    mean /= 8;
+    for (int c = 0; c < 8; ++c) {
+      var += (y.at(r, c) - mean) * (y.at(r, c) - mean);
+    }
+    var /= 8;
+    EXPECT_NEAR(mean, 0.0f, 1e-4);  // gamma=1, beta=0 initially
+    EXPECT_NEAR(var, 1.0f, 1e-2);
+  }
+}
+
+TEST(EmbeddingTest, LookupMatchesTable) {
+  Rng rng(3);
+  Embedding e(10, 4, &rng);
+  Tensor out = e.Forward({7, 7, 1});
+  EXPECT_EQ(out.rows(), 3);
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_FLOAT_EQ(out.at(0, c), out.at(1, c));
+  }
+}
+
+TEST(MlpTest, HiddenReluActive) {
+  Rng rng(4);
+  Mlp mlp({3, 8, 1}, &rng);
+  Tensor y = mlp.Forward(Tensor::Randn(2, 3, 1.0f, &rng));
+  EXPECT_EQ(y.rows(), 2);
+  EXPECT_EQ(y.cols(), 1);
+  EXPECT_EQ(mlp.Parameters().size(), 4u);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize (x - 3)^2 elementwise.
+  Tensor x = Tensor::Zeros(1, 4, /*requires_grad=*/true);
+  Adam::Options opts;
+  opts.learning_rate = 0.1f;
+  Adam adam({x}, opts);
+  for (int step = 0; step < 300; ++step) {
+    Tensor diff = tensor::AddScalar(x, -3.0f);
+    Tensor loss = tensor::SumAll(tensor::Mul(diff, diff));
+    loss.Backward();
+    adam.Step();
+  }
+  for (int c = 0; c < 4; ++c) EXPECT_NEAR(x.at(0, c), 3.0f, 0.05f);
+}
+
+TEST(AdamTest, GradClipBoundsStep) {
+  Tensor x = Tensor::Zeros(1, 1, /*requires_grad=*/true);
+  Adam::Options opts;
+  opts.learning_rate = 1.0f;
+  opts.grad_clip_norm = 1e-3f;
+  Adam adam({x}, opts);
+  Tensor loss = tensor::Scale(x, 1e6f);
+  loss.Backward();
+  adam.Step();
+  // With clipping, a single Adam step is bounded by ~lr regardless of the
+  // raw gradient magnitude.
+  EXPECT_LE(std::fabs(x.at(0, 0)), 1.5f);
+}
+
+TEST(AdamTest, ZeroGradClears) {
+  Tensor x = Tensor::Zeros(1, 2, true);
+  Adam adam({x}, {});
+  tensor::SumAll(x).Backward();
+  EXPECT_FLOAT_EQ(x.grad()[0], 1.0f);
+  adam.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(AttentionTest, OutputShapes) {
+  Rng rng(5);
+  MultiHeadAttention mha(16, 4, &rng);
+  Tensor q = Tensor::Randn(3, 16, 1.0f, &rng);
+  Tensor kv = Tensor::Randn(7, 16, 1.0f, &rng);
+  Tensor y = mha.Forward(q, kv, /*causal=*/false);
+  EXPECT_EQ(y.rows(), 3);
+  EXPECT_EQ(y.cols(), 16);
+}
+
+TEST(AttentionTest, CausalMaskBlocksFuture) {
+  // With a causal mask, changing a LATER key/value row must not change an
+  // EARLIER output row.
+  Rng rng(6);
+  MultiHeadAttention mha(8, 2, &rng);
+  Tensor x = Tensor::Randn(4, 8, 1.0f, &rng);
+  Tensor y1 = mha.Forward(x, x, /*causal=*/true);
+  // Perturb the last row.
+  Tensor x2 = Tensor::FromVector(
+      4, 8, std::vector<float>(x.data(), x.data() + x.size()));
+  for (int c = 0; c < 8; ++c) x2.data()[3 * 8 + c] += 10.0f;
+  Tensor y2 = mha.Forward(x2, x2, /*causal=*/true);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 8; ++c) {
+      EXPECT_NEAR(y1.at(r, c), y2.at(r, c), 1e-4f) << r << "," << c;
+    }
+  }
+  // And the last row must change.
+  float diff = 0;
+  for (int c = 0; c < 8; ++c) diff += std::fabs(y1.at(3, c) - y2.at(3, c));
+  EXPECT_GT(diff, 1e-3f);
+}
+
+TEST(TransformerTest, EncoderShapesAndDeterminism) {
+  Rng rng(7);
+  TransformerEncoder enc(2, 16, 4, 32, &rng);
+  Tensor x = Tensor::Randn(5, 16, 1.0f, &rng);
+  Tensor y1 = enc.Forward(x);
+  Tensor y2 = enc.Forward(x);
+  EXPECT_EQ(y1.rows(), 5);
+  EXPECT_EQ(y1.cols(), 16);
+  for (size_t i = 0; i < y1.size(); ++i) {
+    EXPECT_FLOAT_EQ(y1.data()[i], y2.data()[i]);
+  }
+}
+
+TEST(TransformerTest, EncoderGradientsFlowToAllParams) {
+  Rng rng(8);
+  TransformerEncoder enc(1, 8, 2, 16, &rng);
+  Tensor x = Tensor::Randn(3, 8, 1.0f, &rng, /*requires_grad=*/true);
+  tensor::SumAll(enc.Forward(x)).Backward();
+  int with_grad = 0;
+  for (auto& p : enc.Parameters()) {
+    if (!p.grad().empty()) ++with_grad;
+  }
+  EXPECT_EQ(with_grad, static_cast<int>(enc.Parameters().size()));
+  EXPECT_FALSE(x.grad().empty());
+}
+
+TEST(TransformerTest, DecoderCrossAttendsMemory) {
+  Rng rng(9);
+  TransformerDecoder dec(2, 16, 4, 32, &rng);
+  Tensor x = Tensor::Randn(3, 16, 1.0f, &rng);
+  Tensor mem1 = Tensor::Randn(5, 16, 1.0f, &rng);
+  Tensor mem2 = Tensor::Randn(5, 16, 1.0f, &rng);
+  Tensor y1 = dec.Forward(x, mem1);
+  Tensor y2 = dec.Forward(x, mem2);
+  float diff = 0;
+  for (size_t i = 0; i < y1.size(); ++i) {
+    diff += std::fabs(y1.data()[i] - y2.data()[i]);
+  }
+  EXPECT_GT(diff, 1e-3f);  // different memory -> different output
+}
+
+TEST(TransformerTest, SinusoidalPositionalEncodingProperties) {
+  Tensor pe = SinusoidalPositionalEncoding(10, 8);
+  EXPECT_EQ(pe.rows(), 10);
+  EXPECT_EQ(pe.cols(), 8);
+  // Position 0: sin(0)=0 on even dims, cos(0)=1 on odd dims.
+  EXPECT_NEAR(pe.at(0, 0), 0.0f, 1e-6);
+  EXPECT_NEAR(pe.at(0, 1), 1.0f, 1e-6);
+  // All entries bounded by 1.
+  for (size_t i = 0; i < pe.size(); ++i) {
+    EXPECT_LE(std::fabs(pe.data()[i]), 1.0f + 1e-6f);
+  }
+}
+
+TEST(TreeLstmTest, LeafAndInternalStates) {
+  Rng rng(10);
+  BinaryTreeLstmCell cell(6, 12, &rng);
+  Tensor x = Tensor::Randn(1, 6, 1.0f, &rng);
+  auto leaf = cell.Forward(x, nullptr, nullptr);
+  EXPECT_EQ(leaf.h.cols(), 12);
+  auto leaf2 = cell.Forward(x, nullptr, nullptr);
+  auto parent = cell.Forward(x, &leaf, &leaf2);
+  EXPECT_EQ(parent.h.rows(), 1);
+  EXPECT_EQ(parent.c.cols(), 12);
+  // Hidden states bounded by tanh.
+  for (size_t i = 0; i < parent.h.size(); ++i) {
+    EXPECT_LE(std::fabs(parent.h.data()[i]), 1.0f);
+  }
+}
+
+TEST(TreeLstmTest, ChildStateInfluencesParent) {
+  Rng rng(11);
+  BinaryTreeLstmCell cell(4, 8, &rng);
+  Tensor x = Tensor::Randn(1, 4, 1.0f, &rng);
+  auto a = cell.Forward(Tensor::Randn(1, 4, 1.0f, &rng), nullptr, nullptr);
+  auto b = cell.Forward(Tensor::Randn(1, 4, 1.0f, &rng), nullptr, nullptr);
+  auto pa = cell.Forward(x, &a, &a);
+  auto pb = cell.Forward(x, &a, &b);
+  float diff = 0;
+  for (size_t i = 0; i < pa.h.size(); ++i) {
+    diff += std::fabs(pa.h.data()[i] - pb.h.data()[i]);
+  }
+  EXPECT_GT(diff, 1e-4f);
+}
+
+}  // namespace
+}  // namespace mtmlf::nn

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "query/plan.h"
+#include "query/query.h"
+#include "storage/database.h"
+
+namespace mtmlf::query {
+namespace {
+
+using storage::DataType;
+
+// A 4-table chain schema: t0 <- t1 <- t2 <- t3 (fk joins pk of previous).
+storage::Database ChainDb() {
+  storage::Database db("chain");
+  for (int i = 0; i < 4; ++i) {
+    auto t = db.AddTable("t" + std::to_string(i)).value();
+    t->AddColumn("pk", DataType::kInt64).value();
+    if (i > 0) t->AddColumn("fk", DataType::kInt64).value();
+    t->AddColumn("a", DataType::kInt64).value();
+  }
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_TRUE(db.AddJoinEdge("t" + std::to_string(i), "fk",
+                               "t" + std::to_string(i - 1), "pk")
+                    .ok());
+  }
+  return db;
+}
+
+Query ChainQuery(int num_tables) {
+  Query q;
+  for (int i = 0; i < num_tables; ++i) q.tables.push_back(i);
+  for (int i = 1; i < num_tables; ++i) {
+    q.joins.push_back(JoinPredicate{i, "fk", i - 1, "pk"});
+  }
+  return q;
+}
+
+TEST(QueryTest, PositionOf) {
+  Query q = ChainQuery(3);
+  EXPECT_EQ(q.PositionOf(0), 0);
+  EXPECT_EQ(q.PositionOf(2), 2);
+  EXPECT_EQ(q.PositionOf(9), -1);
+}
+
+TEST(QueryTest, FiltersOfSelectsTable) {
+  Query q = ChainQuery(2);
+  q.filters.push_back(FilterPredicate{0, "a", CompareOp::kEq,
+                                      storage::Value(int64_t{1})});
+  q.filters.push_back(FilterPredicate{1, "a", CompareOp::kGt,
+                                      storage::Value(int64_t{2})});
+  EXPECT_EQ(q.FiltersOf(0).size(), 1u);
+  EXPECT_EQ(q.FiltersOf(1).size(), 1u);
+  EXPECT_EQ(q.FiltersOf(0)[0].column, "a");
+}
+
+TEST(QueryTest, AdjacencyMatrixFromJoins) {
+  Query q = ChainQuery(3);
+  auto adj = q.AdjacencyMatrix();
+  EXPECT_TRUE(adj[0][1]);
+  EXPECT_TRUE(adj[1][0]);
+  EXPECT_TRUE(adj[1][2]);
+  EXPECT_FALSE(adj[0][2]);
+  EXPECT_FALSE(adj[0][0]);
+}
+
+TEST(QueryTest, Connectivity) {
+  EXPECT_TRUE(ChainQuery(4).IsConnected());
+  Query q = ChainQuery(3);
+  q.tables.push_back(3);  // table without a join predicate
+  EXPECT_FALSE(q.IsConnected());
+}
+
+TEST(QueryTest, JoinsWithinSubset) {
+  Query q = ChainQuery(4);
+  auto joins = q.JoinsWithin({0, 1, 2});
+  EXPECT_EQ(joins.size(), 2u);
+  joins = q.JoinsWithin({0, 2});  // not adjacent in the chain
+  EXPECT_TRUE(joins.empty());
+}
+
+TEST(QueryTest, SqlRendering) {
+  storage::Database db = ChainDb();
+  Query q = ChainQuery(2);
+  q.filters.push_back(FilterPredicate{0, "a", CompareOp::kLike,
+                                      storage::Value(std::string("%x%"))});
+  std::string sql = q.ToSql(db);
+  EXPECT_NE(sql.find("SELECT COUNT(*) FROM t0, t1"), std::string::npos);
+  EXPECT_NE(sql.find("t1.fk = t0.pk"), std::string::npos);
+  EXPECT_NE(sql.find("t0.a LIKE '%x%'"), std::string::npos);
+}
+
+TEST(PredicateTest, Symbols) {
+  EXPECT_STREQ(CompareOpSymbol(CompareOp::kEq), "=");
+  EXPECT_STREQ(CompareOpSymbol(CompareOp::kLike), "LIKE");
+  EXPECT_STREQ(CompareOpSymbol(CompareOp::kNe), "<>");
+}
+
+TEST(PredicateTest, JoinPredicateConnects) {
+  JoinPredicate j{1, "fk", 0, "pk"};
+  EXPECT_TRUE(j.Connects(0, 1));
+  EXPECT_TRUE(j.Connects(1, 0));
+  EXPECT_FALSE(j.Connects(1, 2));
+}
+
+TEST(PlanTest, LeftDeepConstruction) {
+  PlanPtr p = MakeLeftDeepPlan({3, 1, 2});
+  EXPECT_FALSE(p->IsLeaf());
+  EXPECT_EQ(p->TreeSize(), 5);
+  auto tables = p->BaseTables();
+  EXPECT_EQ(tables, (std::vector<int>{3, 1, 2}));
+  EXPECT_EQ(LeftDeepOrderOf(*p), (std::vector<int>{3, 1, 2}));
+}
+
+TEST(PlanTest, LeftDeepOrderOfBushyIsEmpty) {
+  PlanPtr bushy = MakeJoin(MakeJoin(MakeScan(0), MakeScan(1)),
+                           MakeJoin(MakeScan(2), MakeScan(3)));
+  EXPECT_TRUE(LeftDeepOrderOf(*bushy).empty());
+  EXPECT_EQ(bushy->BaseTables(), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(PlanTest, PreOrderVisitsNodeThenChildren) {
+  PlanPtr p = MakeLeftDeepPlan({0, 1, 2});
+  auto nodes = PreOrder(p.get());
+  ASSERT_EQ(nodes.size(), 5u);
+  EXPECT_FALSE(nodes[0]->IsLeaf());  // root join
+  EXPECT_FALSE(nodes[1]->IsLeaf());  // inner join
+  EXPECT_EQ(nodes[2]->table, 0);
+  EXPECT_EQ(nodes[3]->table, 1);
+  EXPECT_EQ(nodes[4]->table, 2);
+}
+
+TEST(PlanTest, CloneIsDeepAndPreservesAnnotations) {
+  PlanPtr p = MakeLeftDeepPlan({0, 1});
+  p->true_cardinality = 123;
+  p->left->true_cost = 4.5;
+  PlanPtr c = p->Clone();
+  EXPECT_DOUBLE_EQ(c->true_cardinality, 123);
+  EXPECT_DOUBLE_EQ(c->left->true_cost, 4.5);
+  c->left->true_cost = 9;
+  EXPECT_DOUBLE_EQ(p->left->true_cost, 4.5);
+}
+
+TEST(PlanTest, OpClassification) {
+  EXPECT_TRUE(IsJoinOp(PhysicalOp::kHashJoin));
+  EXPECT_TRUE(IsJoinOp(PhysicalOp::kMergeJoin));
+  EXPECT_TRUE(IsJoinOp(PhysicalOp::kNestedLoopJoin));
+  EXPECT_FALSE(IsJoinOp(PhysicalOp::kSeqScan));
+  EXPECT_FALSE(IsJoinOp(PhysicalOp::kIndexScan));
+  EXPECT_STREQ(PhysicalOpName(PhysicalOp::kHashJoin), "HashJoin");
+}
+
+TEST(PlanTest, ToStringContainsStructure) {
+  storage::Database db = ChainDb();
+  PlanPtr p = MakeLeftDeepPlan({0, 1});
+  std::string s = p->ToString(db);
+  EXPECT_NE(s.find("HashJoin"), std::string::npos);
+  EXPECT_NE(s.find("t0"), std::string::npos);
+  EXPECT_NE(s.find("t1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mtmlf::query

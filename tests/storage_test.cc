@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "storage/database.h"
+#include "storage/table.h"
+#include "storage/value.h"
+
+namespace mtmlf::storage {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  Value i(int64_t{42});
+  EXPECT_EQ(i.type(), DataType::kInt64);
+  EXPECT_EQ(i.AsInt64(), 42);
+  EXPECT_DOUBLE_EQ(i.AsNumeric(), 42.0);
+
+  Value d(3.25);
+  EXPECT_EQ(d.type(), DataType::kDouble);
+  EXPECT_DOUBLE_EQ(d.AsNumeric(), 3.25);
+
+  Value s(std::string("abc"));
+  EXPECT_EQ(s.type(), DataType::kString);
+  EXPECT_EQ(s.AsString(), "abc");
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value(int64_t{7}).ToString(), "7");
+  EXPECT_EQ(Value(std::string("x")).ToString(), "'x'");
+}
+
+TEST(ValueTest, Equality) {
+  EXPECT_EQ(Value(int64_t{1}), Value(int64_t{1}));
+  EXPECT_FALSE(Value(int64_t{1}) == Value(int64_t{2}));
+  EXPECT_FALSE(Value(int64_t{1}) == Value(1.0));  // different types
+}
+
+TEST(ColumnTest, Int64Append) {
+  Column c("a", DataType::kInt64);
+  c.AppendInt64(5);
+  c.AppendInt64(5);
+  c.AppendInt64(9);
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.Int64At(2), 9);
+  EXPECT_EQ(c.NumDistinct(), 2u);
+  EXPECT_DOUBLE_EQ(c.NumericAt(0), 5.0);
+}
+
+TEST(ColumnTest, StringDictionaryEncoding) {
+  Column c("s", DataType::kString);
+  c.AppendString("x");
+  c.AppendString("y");
+  c.AppendString("x");
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_EQ(c.dict().size(), 2u);
+  EXPECT_EQ(c.StringCodeAt(0), c.StringCodeAt(2));
+  EXPECT_NE(c.StringCodeAt(0), c.StringCodeAt(1));
+  EXPECT_EQ(c.StringAt(1), "y");
+  EXPECT_EQ(c.NumDistinct(), 2u);
+}
+
+TEST(ColumnTest, AppendValueTypeChecked) {
+  Column c("a", DataType::kInt64);
+  EXPECT_TRUE(c.AppendValue(Value(int64_t{1})).ok());
+  EXPECT_FALSE(c.AppendValue(Value(std::string("nope"))).ok());
+  EXPECT_EQ(c.size(), 1u);
+}
+
+TEST(ColumnTest, ValueAtRoundTrip) {
+  Column c("s", DataType::kString);
+  c.AppendString("hello");
+  EXPECT_EQ(c.ValueAt(0).AsString(), "hello");
+}
+
+TEST(ColumnTest, DistinctCacheInvalidatedOnAppend) {
+  Column c("a", DataType::kInt64);
+  c.AppendInt64(1);
+  EXPECT_EQ(c.NumDistinct(), 1u);
+  c.AppendInt64(2);
+  EXPECT_EQ(c.NumDistinct(), 2u);
+}
+
+TEST(TableTest, AddAndLookupColumns) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn("a", DataType::kInt64).ok());
+  ASSERT_TRUE(t.AddColumn("b", DataType::kString).ok());
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_NE(t.GetColumn("a"), nullptr);
+  EXPECT_EQ(t.GetColumn("zz"), nullptr);
+  EXPECT_EQ(t.ColumnIndex("b"), 1);
+  EXPECT_EQ(t.ColumnIndex("zz"), -1);
+}
+
+TEST(TableTest, DuplicateColumnRejected) {
+  Table t("t");
+  ASSERT_TRUE(t.AddColumn("a", DataType::kInt64).ok());
+  auto r = t.AddColumn("a", DataType::kInt64);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, ValidateCatchesRaggedColumns) {
+  Table t("t");
+  auto a = t.AddColumn("a", DataType::kInt64);
+  auto b = t.AddColumn("b", DataType::kInt64);
+  a.value()->AppendInt64(1);
+  a.value()->AppendInt64(2);
+  b.value()->AppendInt64(1);
+  EXPECT_FALSE(t.Validate().ok());
+  b.value()->AppendInt64(2);
+  EXPECT_TRUE(t.Validate().ok());
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(DatabaseTest, TablesAndIndices) {
+  Database db("d");
+  ASSERT_TRUE(db.AddTable("t1").ok());
+  ASSERT_TRUE(db.AddTable("t2").ok());
+  EXPECT_FALSE(db.AddTable("t1").ok());
+  EXPECT_EQ(db.num_tables(), 2u);
+  EXPECT_EQ(db.TableIndex("t2"), 1);
+  EXPECT_EQ(db.TableIndex("nope"), -1);
+  EXPECT_NE(db.GetTable("t1"), nullptr);
+}
+
+TEST(DatabaseTest, JoinEdgesValidated) {
+  Database db("d");
+  auto t1 = db.AddTable("t1").value();
+  auto t2 = db.AddTable("t2").value();
+  t1->AddColumn("pk", DataType::kInt64).value();
+  t2->AddColumn("fk", DataType::kInt64).value();
+  EXPECT_FALSE(db.AddJoinEdge("t2", "fk", "missing", "pk").ok());
+  EXPECT_FALSE(db.AddJoinEdge("t2", "nope", "t1", "pk").ok());
+  EXPECT_FALSE(db.AddJoinEdge("t2", "fk", "t1", "nope").ok());
+  ASSERT_TRUE(db.AddJoinEdge("t2", "fk", "t1", "pk").ok());
+  EXPECT_TRUE(db.Joinable(0, 1));
+  EXPECT_TRUE(db.Joinable(1, 0));
+  EXPECT_EQ(db.EdgesOf(0).size(), 1u);
+}
+
+TEST(DatabaseTest, FactTableMarking) {
+  Database db("d");
+  db.AddTable("f").value();
+  db.AddTable("d1").value();
+  EXPECT_FALSE(db.IsFactTable(0));
+  db.MarkFactTable(0);
+  EXPECT_TRUE(db.IsFactTable(0));
+  EXPECT_FALSE(db.IsFactTable(1));
+}
+
+TEST(DatabaseTest, TotalRows) {
+  Database db("d");
+  auto t = db.AddTable("t").value();
+  auto c = t->AddColumn("a", DataType::kInt64).value();
+  c->AppendInt64(1);
+  c->AppendInt64(2);
+  EXPECT_EQ(db.TotalRows(), 2u);
+}
+
+}  // namespace
+}  // namespace mtmlf::storage

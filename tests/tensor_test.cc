@@ -1,0 +1,331 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace mtmlf::tensor {
+namespace {
+
+TEST(TensorTest, FactoriesAndAccessors) {
+  Tensor z = Tensor::Zeros(2, 3);
+  EXPECT_EQ(z.rows(), 2);
+  EXPECT_EQ(z.cols(), 3);
+  EXPECT_EQ(z.size(), 6u);
+  EXPECT_FLOAT_EQ(z.at(1, 2), 0.0f);
+
+  Tensor f = Tensor::Full(2, 2, 3.5f);
+  EXPECT_FLOAT_EQ(f.at(0, 0), 3.5f);
+
+  Tensor v = Tensor::FromVector(2, 2, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(v.at(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(v.at(1, 0), 3.0f);
+
+  EXPECT_FLOAT_EQ(Tensor::Scalar(7.0f).item(), 7.0f);
+}
+
+TEST(TensorTest, AddSubMulElementwise) {
+  Tensor a = Tensor::FromVector(1, 3, {1, 2, 3});
+  Tensor b = Tensor::FromVector(1, 3, {10, 20, 30});
+  Tensor s = Add(a, b);
+  EXPECT_FLOAT_EQ(s.at(0, 0), 11);
+  EXPECT_FLOAT_EQ(Sub(b, a).at(0, 2), 27);
+  EXPECT_FLOAT_EQ(Mul(a, b).at(0, 1), 40);
+}
+
+TEST(TensorTest, RowBroadcast) {
+  Tensor a = Tensor::FromVector(2, 2, {1, 2, 3, 4});
+  Tensor bias = Tensor::FromVector(1, 2, {10, 20});
+  Tensor s = Add(a, bias);
+  EXPECT_FLOAT_EQ(s.at(0, 0), 11);
+  EXPECT_FLOAT_EQ(s.at(1, 1), 24);
+}
+
+TEST(TensorTest, MatMulKnownValues) {
+  Tensor a = Tensor::FromVector(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromVector(3, 2, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.rows(), 2);
+  EXPECT_EQ(c.cols(), 2);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154);
+}
+
+TEST(TensorTest, TransposeRoundTrip) {
+  Tensor a = Tensor::FromVector(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor t = Transpose(a);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_FLOAT_EQ(t.at(2, 1), 6);
+  Tensor tt = Transpose(t);
+  for (int r = 0; r < 2; ++r) {
+    for (int c = 0; c < 3; ++c) EXPECT_FLOAT_EQ(tt.at(r, c), a.at(r, c));
+  }
+}
+
+TEST(TensorTest, SoftmaxRowsNormalized) {
+  Tensor a = Tensor::FromVector(2, 3, {1, 2, 3, -1, 0, 1});
+  Tensor s = SoftmaxRows(a);
+  for (int r = 0; r < 2; ++r) {
+    float sum = 0;
+    for (int c = 0; c < 3; ++c) {
+      sum += s.at(r, c);
+      EXPECT_GT(s.at(r, c), 0.0f);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+  EXPECT_GT(s.at(0, 2), s.at(0, 0));
+}
+
+TEST(TensorTest, SoftmaxMaskSuppresses) {
+  Tensor a = Tensor::FromVector(1, 3, {5, 5, 5});
+  std::vector<float> mask = {0, -1e9f, 0};
+  Tensor s = SoftmaxRows(a, &mask);
+  EXPECT_NEAR(s.at(0, 1), 0.0f, 1e-6f);
+  EXPECT_NEAR(s.at(0, 0), 0.5f, 1e-5f);
+}
+
+TEST(TensorTest, ConcatAndSlice) {
+  Tensor a = Tensor::FromVector(1, 2, {1, 2});
+  Tensor b = Tensor::FromVector(2, 2, {3, 4, 5, 6});
+  Tensor cat = ConcatRows({a, b});
+  EXPECT_EQ(cat.rows(), 3);
+  EXPECT_FLOAT_EQ(cat.at(2, 1), 6);
+  Tensor sliced = SliceRows(cat, 1, 2);
+  EXPECT_FLOAT_EQ(sliced.at(0, 0), 3);
+
+  Tensor cc = ConcatCols({a, Tensor::FromVector(1, 1, {9})});
+  EXPECT_EQ(cc.cols(), 3);
+  EXPECT_FLOAT_EQ(cc.at(0, 2), 9);
+  Tensor sc = SliceCols(cc, 1, 2);
+  EXPECT_FLOAT_EQ(sc.at(0, 0), 2);
+  EXPECT_FLOAT_EQ(sc.at(0, 1), 9);
+}
+
+TEST(TensorTest, EmbedRowsGathers) {
+  Tensor table = Tensor::FromVector(3, 2, {0, 1, 10, 11, 20, 21});
+  Tensor e = EmbedRows(table, {2, 0, 2});
+  EXPECT_EQ(e.rows(), 3);
+  EXPECT_FLOAT_EQ(e.at(0, 0), 20);
+  EXPECT_FLOAT_EQ(e.at(1, 1), 1);
+  EXPECT_FLOAT_EQ(e.at(2, 1), 21);
+}
+
+TEST(TensorTest, ReductionOps) {
+  Tensor a = Tensor::FromVector(2, 2, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(SumAll(a).item(), 10);
+  EXPECT_FLOAT_EQ(MeanAll(a).item(), 2.5f);
+  Tensor mr = MeanRows(a);
+  EXPECT_EQ(mr.rows(), 1);
+  EXPECT_FLOAT_EQ(mr.at(0, 0), 2);
+  EXPECT_FLOAT_EQ(mr.at(0, 1), 3);
+}
+
+TEST(TensorTest, UnaryOps) {
+  Tensor a = Tensor::FromVector(1, 4, {-2, -0.5f, 0.5f, 2});
+  Tensor r = Relu(a);
+  EXPECT_FLOAT_EQ(r.at(0, 0), 0);
+  EXPECT_FLOAT_EQ(r.at(0, 3), 2);
+  EXPECT_NEAR(Tanh(a).at(0, 3), std::tanh(2.0f), 1e-6);
+  EXPECT_NEAR(Sigmoid(a).at(0, 2), 1.0f / (1.0f + std::exp(-0.5f)), 1e-6);
+  EXPECT_NEAR(Exp(a).at(0, 0), std::exp(-2.0f), 1e-6);
+  EXPECT_FLOAT_EQ(Abs(a).at(0, 0), 2);
+  EXPECT_FLOAT_EQ(Scale(a, 2).at(0, 3), 4);
+  EXPECT_FLOAT_EQ(AddScalar(a, 1).at(0, 0), -1);
+  EXPECT_FLOAT_EQ(Neg(a).at(0, 0), 2);
+}
+
+TEST(TensorTest, LogClampsNonPositive) {
+  Tensor a = Tensor::FromVector(1, 2, {0.0f, -1.0f});
+  Tensor l = Log(a);
+  EXPECT_TRUE(std::isfinite(l.at(0, 0)));
+  EXPECT_TRUE(std::isfinite(l.at(0, 1)));
+}
+
+TEST(TensorTest, CrossEntropyMatchesManual) {
+  Tensor logits = Tensor::FromVector(2, 2, {0, 0, 0, 100});
+  Tensor ce = CrossEntropyWithLogits(logits, {0, 1});
+  // Row 0: -log(0.5); row 1: ~0. Mean.
+  EXPECT_NEAR(ce.item(), -std::log(0.5f) / 2.0f, 1e-4);
+}
+
+TEST(TensorTest, CrossEntropyIgnoresNegativeTargets) {
+  Tensor logits = Tensor::FromVector(2, 2, {0, 0, 0, 100});
+  Tensor ce = CrossEntropyWithLogits(logits, {-1, 1});
+  EXPECT_NEAR(ce.item(), 0.0f, 1e-4);
+}
+
+TEST(TensorTest, NoGradGuardDetaches) {
+  Tensor a = Tensor::Zeros(1, 1, /*requires_grad=*/true);
+  {
+    NoGradGuard guard;
+    EXPECT_TRUE(NoGradGuard::enabled());
+    Tensor b = Add(a, Tensor::Scalar(1.0f));
+    EXPECT_FALSE(b.requires_grad());
+  }
+  EXPECT_FALSE(NoGradGuard::enabled());
+  Tensor c = Add(a, Tensor::Scalar(1.0f));
+  EXPECT_TRUE(c.requires_grad());
+}
+
+TEST(TensorTest, BackwardSimpleChain) {
+  // y = sum((2x + 1)^2) with x = [1, 2]; dy/dx = 2*(2x+1)*2 = [12, 20].
+  Tensor x = Tensor::FromVector(1, 2, {1, 2}, /*requires_grad=*/true);
+  Tensor y = AddScalar(Scale(x, 2.0f), 1.0f);
+  Tensor loss = SumAll(Mul(y, y));
+  loss.Backward();
+  ASSERT_EQ(x.grad().size(), 2u);
+  EXPECT_NEAR(x.grad()[0], 12.0f, 1e-4);
+  EXPECT_NEAR(x.grad()[1], 20.0f, 1e-4);
+}
+
+TEST(TensorTest, GradAccumulatesAcrossBackwards) {
+  Tensor x = Tensor::FromVector(1, 1, {3}, /*requires_grad=*/true);
+  SumAll(Mul(x, x)).Backward();
+  SumAll(Mul(x, x)).Backward();
+  EXPECT_NEAR(x.grad()[0], 12.0f, 1e-4);  // 2*3 twice
+  x.ZeroGrad();
+  EXPECT_FLOAT_EQ(x.grad()[0], 0.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Numeric gradient checking: autograd vs. central finite differences for a
+// battery of composite scalar functions of a parameter matrix.
+// ---------------------------------------------------------------------------
+
+using ScalarFn = std::function<Tensor(const Tensor&)>;
+
+struct GradCheckCase {
+  const char* name;
+  int rows;
+  int cols;
+  ScalarFn fn;
+};
+
+class GradCheckTest : public ::testing::TestWithParam<GradCheckCase> {};
+
+TEST_P(GradCheckTest, MatchesFiniteDifference) {
+  const auto& c = GetParam();
+  Rng rng(42);
+  Tensor x = Tensor::Randn(c.rows, c.cols, 0.5f, &rng,
+                           /*requires_grad=*/true);
+  Tensor loss = c.fn(x);
+  ASSERT_EQ(loss.size(), 1u);
+  loss.Backward();
+  std::vector<float> analytic = x.grad();
+
+  const float eps = 1e-3f;
+  for (size_t i = 0; i < x.size(); ++i) {
+    float orig = x.data()[i];
+    x.data()[i] = orig + eps;
+    float up = c.fn(x).item();
+    x.data()[i] = orig - eps;
+    float down = c.fn(x).item();
+    x.data()[i] = orig;
+    float numeric = (up - down) / (2 * eps);
+    EXPECT_NEAR(analytic[i], numeric,
+                2e-2f * std::max(1.0f, std::fabs(numeric)))
+        << c.name << " at index " << i;
+  }
+}
+
+Tensor Const(int rows, int cols, uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::Randn(rows, cols, 0.7f, &rng);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Ops, GradCheckTest,
+    ::testing::Values(
+        GradCheckCase{"sum_mul", 2, 3,
+                      [](const Tensor& x) { return SumAll(Mul(x, x)); }},
+        GradCheckCase{"matmul", 3, 3,
+                      [](const Tensor& x) {
+                        return SumAll(Mul(MatMul(x, Const(3, 2, 1)),
+                                          Const(3, 2, 2)));
+                      }},
+        GradCheckCase{"matmul_rhs", 3, 2,
+                      [](const Tensor& x) {
+                        return SumAll(Mul(MatMul(Const(4, 3, 3), x),
+                                          Const(4, 2, 4)));
+                      }},
+        GradCheckCase{"tanh", 2, 2,
+                      [](const Tensor& x) { return SumAll(Tanh(x)); }},
+        GradCheckCase{"sigmoid", 2, 2,
+                      [](const Tensor& x) { return SumAll(Sigmoid(x)); }},
+        GradCheckCase{"exp_mean", 2, 2,
+                      [](const Tensor& x) { return MeanAll(Exp(x)); }},
+        GradCheckCase{"softmax_weighted", 2, 4,
+                      [](const Tensor& x) {
+                        return SumAll(Mul(SoftmaxRows(x), Const(2, 4, 5)));
+                      }},
+        GradCheckCase{"transpose_chain", 3, 2,
+                      [](const Tensor& x) {
+                        return SumAll(Mul(Transpose(x), Const(2, 3, 6)));
+                      }},
+        GradCheckCase{"layernorm", 2, 6,
+                      [](const Tensor& x) {
+                        return SumAll(Mul(
+                            LayerNormRows(x, Tensor::Full(1, 6, 1.2f),
+                                          Tensor::Full(1, 6, 0.1f)),
+                            Const(2, 6, 7)));
+                      }},
+        GradCheckCase{"slice_concat", 2, 4,
+                      [](const Tensor& x) {
+                        Tensor a = SliceCols(x, 0, 2);
+                        Tensor b = SliceCols(x, 2, 2);
+                        return SumAll(Mul(ConcatRows({a, b}),
+                                          Const(4, 2, 8)));
+                      }},
+        GradCheckCase{"mean_rows", 3, 3,
+                      [](const Tensor& x) {
+                        return SumAll(Mul(MeanRows(x), Const(1, 3, 9)));
+                      }},
+        GradCheckCase{"cross_entropy", 3, 4,
+                      [](const Tensor& x) {
+                        return CrossEntropyWithLogits(x, {1, 3, 0});
+                      }},
+        GradCheckCase{"broadcast_bias", 1, 4,
+                      [](const Tensor& x) {
+                        return SumAll(
+                            Mul(Add(Const(3, 4, 10), x), Const(3, 4, 11)));
+                      }},
+        GradCheckCase{"embed", 4, 3,
+                      [](const Tensor& x) {
+                        return SumAll(Mul(EmbedRows(x, {0, 2, 2, 3}),
+                                          Const(4, 3, 12)));
+                      }}),
+    [](const ::testing::TestParamInfo<GradCheckCase>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(GradCheckTest, LayerNormGammaBetaGrads) {
+  Rng rng(1);
+  Tensor x = Const(2, 5, 20);
+  Tensor gamma = Tensor::Randn(1, 5, 0.5f, &rng, true);
+  Tensor beta = Tensor::Randn(1, 5, 0.5f, &rng, true);
+  Tensor w = Const(2, 5, 21);
+  auto fn = [&]() {
+    return SumAll(Mul(LayerNormRows(x, gamma, beta), w));
+  };
+  Tensor loss = fn();
+  loss.Backward();
+  std::vector<float> ggamma = gamma.grad();
+  const float eps = 1e-3f;
+  for (size_t i = 0; i < gamma.size(); ++i) {
+    float orig = gamma.data()[i];
+    gamma.data()[i] = orig + eps;
+    float up = fn().item();
+    gamma.data()[i] = orig - eps;
+    float down = fn().item();
+    gamma.data()[i] = orig;
+    EXPECT_NEAR(ggamma[i], (up - down) / (2 * eps), 2e-2f);
+  }
+}
+
+}  // namespace
+}  // namespace mtmlf::tensor

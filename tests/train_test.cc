@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "datagen/imdb_like.h"
+#include "datagen/pipeline.h"
+#include "train/evaluate.h"
+#include "train/meta_learning.h"
+#include "optimizer/join_order.h"
+#include "train/trainer.h"
+
+namespace mtmlf::train {
+namespace {
+
+struct Env {
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<optimizer::BaselineCardEstimator> baseline;
+  workload::Dataset dataset;
+  std::unique_ptr<workload::QueryLabeler> labeler;
+  Env() {
+    SetLogLevel(0);
+    Rng rng(1);
+    db = datagen::BuildImdbLike({.scale = 0.1}, &rng).take();
+    baseline = std::make_unique<optimizer::BaselineCardEstimator>(db.get());
+    workload::DatasetOptions opts;
+    opts.num_queries = 80;
+    opts.single_table_queries_per_table = 20;
+    opts.generator.min_tables = 2;
+    opts.generator.max_tables = 5;
+    dataset = workload::BuildDataset(db.get(), baseline.get(), opts).take();
+    labeler = std::make_unique<workload::QueryLabeler>(
+        db.get(), baseline.get(), workload::QueryLabeler::Options{});
+  }
+};
+
+Env& GetEnv() {
+  static Env* env = new Env();
+  return *env;
+}
+
+double EncLoss(const featurize::Featurizer& f,
+               const workload::Dataset& ds) {
+  tensor::NoGradGuard guard;
+  double total = 0;
+  int n = 0;
+  for (const auto& per_table : ds.single_table_queries) {
+    for (const auto& q : per_table) {
+      total += f.SingleTableLoss(q).item();
+      ++n;
+    }
+  }
+  return total / std::max(n, 1);
+}
+
+TEST(TrainerTest, PretrainReducesEncoderLoss) {
+  Env& env = GetEnv();
+  model::MtmlfQo m(featurize::ModelConfig{}, 21);
+  int dbi = m.AddDatabase(env.db.get(), env.baseline.get());
+  Trainer trainer(&m);
+  double before = EncLoss(*m.featurizer(dbi), env.dataset);
+  TrainOptions opts;
+  opts.enc_pretrain_epochs = 3;
+  ASSERT_TRUE(trainer.PretrainFeaturizer(dbi, env.dataset, opts).ok());
+  double after = EncLoss(*m.featurizer(dbi), env.dataset);
+  EXPECT_LT(after, before * 0.8);
+}
+
+TEST(TrainerTest, JointTrainingReducesMultiTaskLoss) {
+  Env& env = GetEnv();
+  model::MtmlfQo m(featurize::ModelConfig{}, 22);
+  int dbi = m.AddDatabase(env.db.get(), env.baseline.get());
+  Trainer trainer(&m);
+  TrainOptions opts;
+  opts.enc_pretrain_epochs = 2;
+  opts.joint_epochs = 4;
+  ASSERT_TRUE(trainer.PretrainFeaturizer(dbi, env.dataset, opts).ok());
+
+  auto mean_loss = [&]() {
+    tensor::NoGradGuard guard;
+    double total = 0;
+    int n = 0;
+    for (size_t i : env.dataset.split.train) {
+      const auto& lq = env.dataset.queries[i];
+      auto fwd = m.Run(dbi, lq.query, *lq.plan);
+      total += m.MultiTaskLoss(fwd, lq, {}).item();
+      ++n;
+    }
+    return total / n;
+  };
+  double before = mean_loss();
+  ASSERT_TRUE(trainer.TrainJoint({{dbi, &env.dataset}}, opts).ok());
+  double after = mean_loss();
+  EXPECT_LT(after, before * 0.8);
+}
+
+TEST(TrainerTest, JointTrainingDoesNotTouchFeaturizer) {
+  Env& env = GetEnv();
+  model::MtmlfQo m(featurize::ModelConfig{}, 23);
+  int dbi = m.AddDatabase(env.db.get(), env.baseline.get());
+  Trainer trainer(&m);
+  // Snapshot featurizer parameters.
+  auto params = m.featurizer(dbi)->Parameters();
+  std::vector<std::vector<float>> snapshot;
+  for (auto& p : params) {
+    snapshot.emplace_back(p.data(), p.data() + p.size());
+  }
+  TrainOptions opts;
+  opts.joint_epochs = 1;
+  ASSERT_TRUE(trainer.TrainJoint({{dbi, &env.dataset}}, opts).ok());
+  for (size_t i = 0; i < params.size(); ++i) {
+    for (size_t j = 0; j < snapshot[i].size(); ++j) {
+      ASSERT_FLOAT_EQ(params[i].data()[j], snapshot[i][j])
+          << "featurizer parameter changed by joint training";
+    }
+  }
+}
+
+TEST(TrainerTest, EmptyInputsRejected) {
+  Env& env = GetEnv();
+  model::MtmlfQo m(featurize::ModelConfig{}, 24);
+  m.AddDatabase(env.db.get(), env.baseline.get());
+  Trainer trainer(&m);
+  EXPECT_FALSE(trainer.TrainJoint({}, {}).ok());
+  workload::Dataset empty;
+  EXPECT_FALSE(trainer.PretrainFeaturizer(0, empty, {}).ok());
+}
+
+TEST(EvaluateTest, EstimatesImproveWithTraining) {
+  Env& env = GetEnv();
+  model::MtmlfQo m(featurize::ModelConfig{}, 25);
+  int dbi = m.AddDatabase(env.db.get(), env.baseline.get());
+  auto before =
+      EvaluateEstimates(m, dbi, env.dataset, env.dataset.split.test);
+  Trainer trainer(&m);
+  TrainOptions opts;
+  opts.enc_pretrain_epochs = 2;
+  opts.joint_epochs = 5;
+  ASSERT_TRUE(trainer.PretrainFeaturizer(dbi, env.dataset, opts).ok());
+  ASSERT_TRUE(trainer.TrainJoint({{dbi, &env.dataset}}, opts).ok());
+  auto after =
+      EvaluateEstimates(m, dbi, env.dataset, env.dataset.split.test);
+  EXPECT_LT(after.card_qerror.median, before.card_qerror.median);
+  EXPECT_LT(after.cost_qerror.median, before.cost_qerror.median);
+}
+
+TEST(EvaluateTest, BaselineEstimatesComputed) {
+  Env& env = GetEnv();
+  exec::CostModel cm;
+  auto ev = EvaluateBaselineEstimates(*env.baseline, cm, 0.05, 2.0, *env.db,
+                                      env.dataset, env.dataset.split.test);
+  EXPECT_GT(ev.card_qerror.count, 0u);
+  EXPECT_GE(ev.card_qerror.median, 1.0);
+  EXPECT_GE(ev.cost_qerror.median, 1.0);
+}
+
+TEST(EvaluateTest, JoinSelEvalProducesLatencies) {
+  Env& env = GetEnv();
+  model::MtmlfQo m(featurize::ModelConfig{}, 26);
+  int dbi = m.AddDatabase(env.db.get(), env.baseline.get());
+  model::BeamSearchOptions beam;
+  auto ev = EvaluateJoinSel(m, dbi, env.dataset, env.dataset.split.test,
+                            env.labeler.get(), beam);
+  ASSERT_TRUE(ev.ok()) << ev.status().ToString();
+  EXPECT_GT(ev.value().evaluated, 0);
+  EXPECT_GT(ev.value().total_latency_ms, 0.0);
+  EXPECT_GE(ev.value().mean_joeu, 0.0);
+  EXPECT_LE(ev.value().exact_match_rate, 1.0);
+}
+
+TEST(EvaluateTest, TokenAccuracyInUnitRange) {
+  Env& env = GetEnv();
+  model::MtmlfQo m(featurize::ModelConfig{}, 27);
+  int dbi = m.AddDatabase(env.db.get(), env.baseline.get());
+  double acc =
+      JoTokenAccuracy(m, dbi, env.dataset, env.dataset.split.test);
+  EXPECT_GE(acc, 0.0);
+  EXPECT_LE(acc, 1.0);
+}
+
+TEST(MetaLearningTest, MlaTrainsAcrossTwoDatabases) {
+  SetLogLevel(0);
+  Rng rng(31);
+  auto db1 = datagen::GenerateDatabase("m1", {}, &rng).take();
+  auto db2 = datagen::GenerateDatabase("m2", {}, &rng).take();
+  optimizer::BaselineCardEstimator b1(db1.get()), b2(db2.get());
+  workload::DatasetOptions opts;
+  opts.num_queries = 40;
+  opts.single_table_queries_per_table = 8;
+  opts.generator.max_tables = 5;
+  auto ds1 = workload::BuildDataset(db1.get(), &b1, opts).take();
+  auto ds2 = workload::BuildDataset(db2.get(), &b2, opts).take();
+
+  model::MtmlfQo m(featurize::ModelConfig{}, 32);
+  int i1 = m.AddDatabase(db1.get(), &b1);
+  int i2 = m.AddDatabase(db2.get(), &b2);
+  TrainOptions topt;
+  topt.enc_pretrain_epochs = 1;
+  topt.joint_epochs = 2;
+  ASSERT_TRUE(
+      RunMetaLearning(&m, {{i1, &ds1}, {i2, &ds2}}, topt).ok());
+
+  // Adapt to a third database; zero-shot (featurizer only) must work and
+  // produce executable join orders.
+  auto db3 = datagen::GenerateDatabase("m3", {}, &rng).take();
+  optimizer::BaselineCardEstimator b3(db3.get());
+  auto ds3 = workload::BuildDataset(db3.get(), &b3, opts).take();
+  int i3 = m.AddDatabase(db3.get(), &b3);
+  ASSERT_TRUE(
+      AdaptToNewDatabase(&m, i3, ds3, topt, /*finetune_examples=*/8).ok());
+  model::BeamSearchOptions beam;
+  for (size_t i = 0; i < std::min<size_t>(ds3.queries.size(), 5); ++i) {
+    auto order = m.PredictJoinOrder(i3, ds3.queries[i], beam);
+    ASSERT_TRUE(order.ok());
+    EXPECT_TRUE(
+        optimizer::IsExecutableOrder(ds3.queries[i].query, order.value()));
+  }
+}
+
+}  // namespace
+}  // namespace mtmlf::train

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "datagen/imdb_like.h"
+#include "exec/filter_eval.h"
+#include "optimizer/join_order.h"
+#include "workload/dataset.h"
+#include "workload/generator.h"
+#include "workload/labeler.h"
+
+namespace mtmlf::workload {
+namespace {
+
+struct Env {
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<optimizer::BaselineCardEstimator> baseline;
+  Env() {
+    Rng rng(1);
+    db = datagen::BuildImdbLike({.scale = 0.15}, &rng).take();
+    baseline =
+        std::make_unique<optimizer::BaselineCardEstimator>(db.get());
+  }
+};
+
+Env& GetEnv() {
+  static Env* env = new Env();
+  return *env;
+}
+
+TEST(GeneratorTest, QueriesAreConnectedTrees) {
+  Env& env = GetEnv();
+  WorkloadGenerator gen(env.db.get(), 3);
+  for (int i = 0; i < 50; ++i) {
+    query::Query q = gen.GenerateQuery({.min_tables = 2, .max_tables = 8});
+    EXPECT_GE(q.tables.size(), 2u);
+    EXPECT_LE(q.tables.size(), 8u);
+    EXPECT_TRUE(q.IsConnected());
+    EXPECT_EQ(q.joins.size(), q.tables.size() - 1);  // spanning tree
+    // No duplicate tables.
+    for (size_t a = 0; a < q.tables.size(); ++a) {
+      for (size_t b = a + 1; b < q.tables.size(); ++b) {
+        EXPECT_NE(q.tables[a], q.tables[b]);
+      }
+    }
+  }
+}
+
+TEST(GeneratorTest, FiltersReferenceTouchedNonKeyColumns) {
+  Env& env = GetEnv();
+  WorkloadGenerator gen(env.db.get(), 4);
+  for (int i = 0; i < 30; ++i) {
+    query::Query q = gen.GenerateQuery({});
+    for (const auto& f : q.filters) {
+      EXPECT_GE(q.PositionOf(f.table), 0);
+      EXPECT_NE(f.column, "id");
+      EXPECT_TRUE(f.column.find("_id") == std::string::npos) << f.column;
+      const auto* col = env.db->table(f.table).GetColumn(f.column);
+      ASSERT_NE(col, nullptr);
+    }
+  }
+}
+
+TEST(GeneratorTest, FilterableColumnsExcludeKeys) {
+  Env& env = GetEnv();
+  WorkloadGenerator gen(env.db.get(), 5);
+  int title = env.db->TableIndex("title");
+  auto cols = gen.FilterableColumns(title);
+  for (const auto& c : cols) {
+    EXPECT_NE(c, "id");
+    EXPECT_NE(c, "kind_id");
+  }
+  EXPECT_FALSE(cols.empty());
+}
+
+TEST(GeneratorTest, SingleTableQueryCardIsExact) {
+  Env& env = GetEnv();
+  WorkloadGenerator gen(env.db.get(), 6);
+  int title = env.db->TableIndex("title");
+  for (int i = 0; i < 20; ++i) {
+    SingleTableQuery q = gen.GenerateSingleTable(title);
+    ASSERT_EQ(q.table, title);
+    EXPECT_DOUBLE_EQ(
+        q.true_card,
+        exec::FilterCardinality(env.db->table(title), q.filters));
+  }
+}
+
+TEST(LabelerTest, LabelsAreConsistent) {
+  Env& env = GetEnv();
+  WorkloadGenerator gen(env.db.get(), 7);
+  QueryLabeler labeler(env.db.get(), env.baseline.get(), {});
+  int labeled = 0;
+  for (int i = 0; i < 10 && labeled < 5; ++i) {
+    query::Query q = gen.GenerateQuery({.min_tables = 3, .max_tables = 6});
+    auto r = labeler.Label(q, /*with_optimal=*/true);
+    if (!r.ok()) continue;
+    ++labeled;
+    const LabeledQuery& lq = r.value();
+    // Plan covers exactly the query tables in some order.
+    EXPECT_TRUE(optimizer::IsExecutableOrder(lq.query, lq.postgres_order));
+    EXPECT_TRUE(optimizer::IsExecutableOrder(lq.query, lq.optimal_order));
+    // Annotations present on every node, costs grow toward the root.
+    auto nodes = query::PreOrder(lq.plan.get());
+    for (const auto* n : nodes) {
+      EXPECT_GE(n->true_cardinality, 0.0);
+      EXPECT_GE(n->estimated_cardinality, 1.0);
+      EXPECT_GT(n->true_cost, 0.0);
+    }
+    EXPECT_DOUBLE_EQ(lq.true_card, lq.plan->true_cardinality);
+    EXPECT_DOUBLE_EQ(lq.latency_ms, lq.plan->true_cost);
+    // The oracle can only be better than the baseline up to sim noise.
+    EXPECT_LE(lq.optimal_latency_ms, lq.postgres_latency_ms * 1.6);
+  }
+  EXPECT_EQ(labeled, 5);
+}
+
+TEST(LabelerTest, AltPlansAnnotated) {
+  Env& env = GetEnv();
+  WorkloadGenerator gen(env.db.get(), 8);
+  QueryLabeler::Options opts;
+  opts.annotate_alt_plans = true;
+  opts.random_alt_plans = 1;
+  QueryLabeler labeler(env.db.get(), env.baseline.get(), opts);
+  query::Query q = gen.GenerateQuery({.min_tables = 4, .max_tables = 6});
+  auto r = labeler.Label(q, true);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  for (const auto& alt : r.value().alt_plans) {
+    auto nodes = query::PreOrder(alt.get());
+    for (const auto* n : nodes) {
+      EXPECT_GE(n->true_cardinality, 0.0);
+      EXPECT_GT(n->true_cost, 0.0);
+    }
+    // Alt plans answer the same query: same root cardinality.
+    EXPECT_DOUBLE_EQ(alt->true_cardinality, r.value().true_card);
+  }
+}
+
+TEST(LabelerTest, SimulateOrderRejectsBadOrders) {
+  Env& env = GetEnv();
+  WorkloadGenerator gen(env.db.get(), 9);
+  QueryLabeler labeler(env.db.get(), env.baseline.get(), {});
+  query::Query q = gen.GenerateQuery({.min_tables = 3, .max_tables = 5});
+  std::vector<int> bogus = q.tables;
+  bogus.pop_back();
+  EXPECT_FALSE(labeler.SimulateOrderLatencyMs(q, bogus).ok());
+}
+
+TEST(SplitTest, FractionsAndDisjointness) {
+  WorkloadSplit s = SplitIndices(100, 0.8, 0.1, 1);
+  EXPECT_EQ(s.train.size(), 80u);
+  EXPECT_EQ(s.validation.size(), 10u);
+  EXPECT_EQ(s.test.size(), 10u);
+  std::vector<bool> seen(100, false);
+  for (auto part : {&s.train, &s.validation, &s.test}) {
+    for (size_t i : *part) {
+      EXPECT_FALSE(seen[i]);
+      seen[i] = true;
+    }
+  }
+}
+
+TEST(DatasetTest, BuildDatasetEndToEnd) {
+  Env& env = GetEnv();
+  DatasetOptions opts;
+  opts.num_queries = 40;
+  opts.single_table_queries_per_table = 10;
+  opts.generator.min_tables = 2;
+  opts.generator.max_tables = 5;
+  auto ds = BuildDataset(env.db.get(), env.baseline.get(), opts);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  EXPECT_GE(ds.value().queries.size(), 20u);
+  EXPECT_FALSE(ds.value().split.train.empty());
+  EXPECT_FALSE(ds.value().split.test.empty());
+  // Output cap respected.
+  for (const auto& lq : ds.value().queries) {
+    EXPECT_LE(lq.true_card, opts.max_true_card);
+  }
+  // Single-table queries generated for filterable tables.
+  size_t with_st = 0;
+  for (const auto& per_table : ds.value().single_table_queries) {
+    if (!per_table.empty()) ++with_st;
+  }
+  EXPECT_GT(with_st, env.db->num_tables() / 2);
+}
+
+}  // namespace
+}  // namespace mtmlf::workload

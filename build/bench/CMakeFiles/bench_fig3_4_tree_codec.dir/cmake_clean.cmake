@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_4_tree_codec.dir/bench_fig3_4_tree_codec.cc.o"
+  "CMakeFiles/bench_fig3_4_tree_codec.dir/bench_fig3_4_tree_codec.cc.o.d"
+  "bench_fig3_4_tree_codec"
+  "bench_fig3_4_tree_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_4_tree_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

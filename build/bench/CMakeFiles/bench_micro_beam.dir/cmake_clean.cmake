@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_beam.dir/bench_micro_beam.cc.o"
+  "CMakeFiles/bench_micro_beam.dir/bench_micro_beam.cc.o.d"
+  "bench_micro_beam"
+  "bench_micro_beam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_beam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

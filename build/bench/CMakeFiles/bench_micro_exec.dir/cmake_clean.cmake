@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_exec.dir/bench_micro_exec.cc.o"
+  "CMakeFiles/bench_micro_exec.dir/bench_micro_exec.cc.o.d"
+  "bench_micro_exec"
+  "bench_micro_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtmlf_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/mtmlf_bench_harness.dir/harness.cc.o.d"
+  "libmtmlf_bench_harness.a"
+  "libmtmlf_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtmlf_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

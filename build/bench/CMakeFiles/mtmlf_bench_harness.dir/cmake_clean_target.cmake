@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmtmlf_bench_harness.a"
+)

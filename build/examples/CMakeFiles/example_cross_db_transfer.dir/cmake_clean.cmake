@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_cross_db_transfer.dir/cross_db_transfer.cpp.o"
+  "CMakeFiles/example_cross_db_transfer.dir/cross_db_transfer.cpp.o.d"
+  "example_cross_db_transfer"
+  "example_cross_db_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_cross_db_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_imdb_job_pipeline.dir/imdb_job_pipeline.cpp.o"
+  "CMakeFiles/example_imdb_job_pipeline.dir/imdb_job_pipeline.cpp.o.d"
+  "example_imdb_job_pipeline"
+  "example_imdb_job_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_imdb_job_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_imdb_job_pipeline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_joinsel_beam_search.dir/joinsel_beam_search.cpp.o"
+  "CMakeFiles/example_joinsel_beam_search.dir/joinsel_beam_search.cpp.o.d"
+  "example_joinsel_beam_search"
+  "example_joinsel_beam_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_joinsel_beam_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/tree_lstm.cc" "src/CMakeFiles/mtmlf.dir/baselines/tree_lstm.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/baselines/tree_lstm.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/mtmlf.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/mtmlf.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/mtmlf.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/mtmlf.dir/common/status.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/mtmlf.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/common/string_util.cc.o.d"
+  "/root/repo/src/datagen/imdb_like.cc" "src/CMakeFiles/mtmlf.dir/datagen/imdb_like.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/datagen/imdb_like.cc.o.d"
+  "/root/repo/src/datagen/pipeline.cc" "src/CMakeFiles/mtmlf.dir/datagen/pipeline.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/datagen/pipeline.cc.o.d"
+  "/root/repo/src/exec/cost_model.cc" "src/CMakeFiles/mtmlf.dir/exec/cost_model.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/exec/cost_model.cc.o.d"
+  "/root/repo/src/exec/filter_eval.cc" "src/CMakeFiles/mtmlf.dir/exec/filter_eval.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/exec/filter_eval.cc.o.d"
+  "/root/repo/src/exec/join_counter.cc" "src/CMakeFiles/mtmlf.dir/exec/join_counter.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/exec/join_counter.cc.o.d"
+  "/root/repo/src/exec/simulator.cc" "src/CMakeFiles/mtmlf.dir/exec/simulator.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/exec/simulator.cc.o.d"
+  "/root/repo/src/featurize/featurizer.cc" "src/CMakeFiles/mtmlf.dir/featurize/featurizer.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/featurize/featurizer.cc.o.d"
+  "/root/repo/src/featurize/plan_encoder.cc" "src/CMakeFiles/mtmlf.dir/featurize/plan_encoder.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/featurize/plan_encoder.cc.o.d"
+  "/root/repo/src/featurize/tree_codec.cc" "src/CMakeFiles/mtmlf.dir/featurize/tree_codec.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/featurize/tree_codec.cc.o.d"
+  "/root/repo/src/model/beam_search.cc" "src/CMakeFiles/mtmlf.dir/model/beam_search.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/model/beam_search.cc.o.d"
+  "/root/repo/src/model/joeu.cc" "src/CMakeFiles/mtmlf.dir/model/joeu.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/model/joeu.cc.o.d"
+  "/root/repo/src/model/mtmlf_qo.cc" "src/CMakeFiles/mtmlf.dir/model/mtmlf_qo.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/model/mtmlf_qo.cc.o.d"
+  "/root/repo/src/model/trans_jo.cc" "src/CMakeFiles/mtmlf.dir/model/trans_jo.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/model/trans_jo.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/CMakeFiles/mtmlf.dir/nn/layers.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/nn/layers.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/mtmlf.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/transformer.cc" "src/CMakeFiles/mtmlf.dir/nn/transformer.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/nn/transformer.cc.o.d"
+  "/root/repo/src/nn/tree_lstm.cc" "src/CMakeFiles/mtmlf.dir/nn/tree_lstm.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/nn/tree_lstm.cc.o.d"
+  "/root/repo/src/optimizer/baseline_card_est.cc" "src/CMakeFiles/mtmlf.dir/optimizer/baseline_card_est.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/optimizer/baseline_card_est.cc.o.d"
+  "/root/repo/src/optimizer/histogram.cc" "src/CMakeFiles/mtmlf.dir/optimizer/histogram.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/optimizer/histogram.cc.o.d"
+  "/root/repo/src/optimizer/join_order.cc" "src/CMakeFiles/mtmlf.dir/optimizer/join_order.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/optimizer/join_order.cc.o.d"
+  "/root/repo/src/query/plan.cc" "src/CMakeFiles/mtmlf.dir/query/plan.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/query/plan.cc.o.d"
+  "/root/repo/src/query/predicate.cc" "src/CMakeFiles/mtmlf.dir/query/predicate.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/query/predicate.cc.o.d"
+  "/root/repo/src/query/query.cc" "src/CMakeFiles/mtmlf.dir/query/query.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/query/query.cc.o.d"
+  "/root/repo/src/storage/column.cc" "src/CMakeFiles/mtmlf.dir/storage/column.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/storage/column.cc.o.d"
+  "/root/repo/src/storage/database.cc" "src/CMakeFiles/mtmlf.dir/storage/database.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/storage/database.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/mtmlf.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/CMakeFiles/mtmlf.dir/storage/value.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/storage/value.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/mtmlf.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/train/evaluate.cc" "src/CMakeFiles/mtmlf.dir/train/evaluate.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/train/evaluate.cc.o.d"
+  "/root/repo/src/train/meta_learning.cc" "src/CMakeFiles/mtmlf.dir/train/meta_learning.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/train/meta_learning.cc.o.d"
+  "/root/repo/src/train/trainer.cc" "src/CMakeFiles/mtmlf.dir/train/trainer.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/train/trainer.cc.o.d"
+  "/root/repo/src/workload/dataset.cc" "src/CMakeFiles/mtmlf.dir/workload/dataset.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/workload/dataset.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/mtmlf.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/labeler.cc" "src/CMakeFiles/mtmlf.dir/workload/labeler.cc.o" "gcc" "src/CMakeFiles/mtmlf.dir/workload/labeler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

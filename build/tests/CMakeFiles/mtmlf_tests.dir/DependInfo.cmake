@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cc" "tests/CMakeFiles/mtmlf_tests.dir/baselines_test.cc.o" "gcc" "tests/CMakeFiles/mtmlf_tests.dir/baselines_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/mtmlf_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/mtmlf_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/datagen_test.cc" "tests/CMakeFiles/mtmlf_tests.dir/datagen_test.cc.o" "gcc" "tests/CMakeFiles/mtmlf_tests.dir/datagen_test.cc.o.d"
+  "/root/repo/tests/exec_test.cc" "tests/CMakeFiles/mtmlf_tests.dir/exec_test.cc.o" "gcc" "tests/CMakeFiles/mtmlf_tests.dir/exec_test.cc.o.d"
+  "/root/repo/tests/featurize_test.cc" "tests/CMakeFiles/mtmlf_tests.dir/featurize_test.cc.o" "gcc" "tests/CMakeFiles/mtmlf_tests.dir/featurize_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/mtmlf_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/mtmlf_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/model_test.cc" "tests/CMakeFiles/mtmlf_tests.dir/model_test.cc.o" "gcc" "tests/CMakeFiles/mtmlf_tests.dir/model_test.cc.o.d"
+  "/root/repo/tests/nn_test.cc" "tests/CMakeFiles/mtmlf_tests.dir/nn_test.cc.o" "gcc" "tests/CMakeFiles/mtmlf_tests.dir/nn_test.cc.o.d"
+  "/root/repo/tests/optimizer_test.cc" "tests/CMakeFiles/mtmlf_tests.dir/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/mtmlf_tests.dir/optimizer_test.cc.o.d"
+  "/root/repo/tests/query_test.cc" "tests/CMakeFiles/mtmlf_tests.dir/query_test.cc.o" "gcc" "tests/CMakeFiles/mtmlf_tests.dir/query_test.cc.o.d"
+  "/root/repo/tests/storage_test.cc" "tests/CMakeFiles/mtmlf_tests.dir/storage_test.cc.o" "gcc" "tests/CMakeFiles/mtmlf_tests.dir/storage_test.cc.o.d"
+  "/root/repo/tests/tensor_test.cc" "tests/CMakeFiles/mtmlf_tests.dir/tensor_test.cc.o" "gcc" "tests/CMakeFiles/mtmlf_tests.dir/tensor_test.cc.o.d"
+  "/root/repo/tests/train_test.cc" "tests/CMakeFiles/mtmlf_tests.dir/train_test.cc.o" "gcc" "tests/CMakeFiles/mtmlf_tests.dir/train_test.cc.o.d"
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/mtmlf_tests.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/mtmlf_tests.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mtmlf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

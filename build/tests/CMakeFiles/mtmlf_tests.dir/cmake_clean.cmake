@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mtmlf_tests.dir/baselines_test.cc.o"
+  "CMakeFiles/mtmlf_tests.dir/baselines_test.cc.o.d"
+  "CMakeFiles/mtmlf_tests.dir/common_test.cc.o"
+  "CMakeFiles/mtmlf_tests.dir/common_test.cc.o.d"
+  "CMakeFiles/mtmlf_tests.dir/datagen_test.cc.o"
+  "CMakeFiles/mtmlf_tests.dir/datagen_test.cc.o.d"
+  "CMakeFiles/mtmlf_tests.dir/exec_test.cc.o"
+  "CMakeFiles/mtmlf_tests.dir/exec_test.cc.o.d"
+  "CMakeFiles/mtmlf_tests.dir/featurize_test.cc.o"
+  "CMakeFiles/mtmlf_tests.dir/featurize_test.cc.o.d"
+  "CMakeFiles/mtmlf_tests.dir/integration_test.cc.o"
+  "CMakeFiles/mtmlf_tests.dir/integration_test.cc.o.d"
+  "CMakeFiles/mtmlf_tests.dir/model_test.cc.o"
+  "CMakeFiles/mtmlf_tests.dir/model_test.cc.o.d"
+  "CMakeFiles/mtmlf_tests.dir/nn_test.cc.o"
+  "CMakeFiles/mtmlf_tests.dir/nn_test.cc.o.d"
+  "CMakeFiles/mtmlf_tests.dir/optimizer_test.cc.o"
+  "CMakeFiles/mtmlf_tests.dir/optimizer_test.cc.o.d"
+  "CMakeFiles/mtmlf_tests.dir/query_test.cc.o"
+  "CMakeFiles/mtmlf_tests.dir/query_test.cc.o.d"
+  "CMakeFiles/mtmlf_tests.dir/storage_test.cc.o"
+  "CMakeFiles/mtmlf_tests.dir/storage_test.cc.o.d"
+  "CMakeFiles/mtmlf_tests.dir/tensor_test.cc.o"
+  "CMakeFiles/mtmlf_tests.dir/tensor_test.cc.o.d"
+  "CMakeFiles/mtmlf_tests.dir/train_test.cc.o"
+  "CMakeFiles/mtmlf_tests.dir/train_test.cc.o.d"
+  "CMakeFiles/mtmlf_tests.dir/workload_test.cc.o"
+  "CMakeFiles/mtmlf_tests.dir/workload_test.cc.o.d"
+  "mtmlf_tests"
+  "mtmlf_tests.pdb"
+  "mtmlf_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mtmlf_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,139 @@
+// Serving throughput: qps of the batched concurrent InferenceServer at
+// 1 / 4 / 8 client threads, cache on and off, against the single-thread
+// unbatched baseline (num_workers=1, max_wait_us=0, no cache — one
+// synchronous forward pass per request, the naive deployment).
+//
+// The workload replays labeled queries round-robin, so each distinct plan
+// recurs many times — the regime the prediction cache targets (an
+// optimizer re-costs the same sub-plans constantly). Expect the batched +
+// cached configurations to clear the baseline by well over 2x.
+//
+// MTMLF_SERVE_REQUESTS overrides the per-configuration request count.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "datagen/imdb_like.h"
+#include "optimizer/baseline_card_est.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "workload/dataset.h"
+
+using namespace mtmlf;  // NOLINT
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct RunResult {
+  double qps = 0.0;
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+  double hit_rate = 0.0;
+  double mean_batch = 0.0;
+};
+
+RunResult RunConfig(serve::ModelRegistry* registry,
+                    const std::vector<const workload::LabeledQuery*>& queries,
+                    int client_threads, bool cache, int total_requests) {
+  serve::InferenceServer::Options opts;
+  opts.num_workers = client_threads == 1 ? 1 : 2;
+  opts.max_batch = client_threads == 1 ? 1 : 8;
+  opts.max_wait_us = client_threads == 1 ? 0 : 200;
+  opts.enable_cache = cache;
+  serve::InferenceServer server(registry, opts);
+  MTMLF_CHECK(server.Start().ok(), "server start");
+
+  const int per_client = total_requests / client_threads;
+  auto start = Clock::now();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < client_threads; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < per_client; ++i) {
+        const auto* lq = queries[(c * 17 + i) % queries.size()];
+        auto r = server.Submit({0, &lq->query, lq->plan.get()}).get();
+        MTMLF_CHECK(r.ok(), r.status().ToString().c_str());
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  double secs = std::chrono::duration<double>(Clock::now() - start).count();
+  server.Shutdown();
+
+  const serve::ServerMetrics& m = server.metrics();
+  RunResult res;
+  res.qps = static_cast<double>(per_client * client_threads) / secs;
+  res.p50 = m.latency().PercentileUs(0.50);
+  res.p95 = m.latency().PercentileUs(0.95);
+  res.p99 = m.latency().PercentileUs(0.99);
+  res.hit_rate = m.CacheHitRate();
+  res.mean_batch = m.MeanBatchSize();
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  SetLogLevel(1);
+
+  Rng rng(7);
+  auto db = datagen::BuildImdbLike({.scale = 0.1}, &rng).take();
+  optimizer::BaselineCardEstimator baseline(db.get());
+  workload::DatasetOptions ds_opts;
+  ds_opts.num_queries = 64;
+  ds_opts.single_table_queries_per_table = 4;
+  auto dataset = workload::BuildDataset(db.get(), &baseline, ds_opts).take();
+
+  // Throughput is weight-independent: an untrained model runs the same
+  // forward pass as a trained one.
+  auto model =
+      std::make_shared<model::MtmlfQo>(featurize::ModelConfig{}, /*seed=*/1);
+  model->AddDatabase(db.get(), &baseline);
+  serve::ModelRegistry registry;
+  MTMLF_CHECK(registry.Register(1, std::move(model)).ok(), "register");
+  MTMLF_CHECK(registry.Publish(1).ok(), "publish");
+
+  std::vector<const workload::LabeledQuery*> queries;
+  for (const auto& lq : dataset.queries) queries.push_back(&lq);
+
+  int total_requests = 800;
+  if (const char* env = std::getenv("MTMLF_SERVE_REQUESTS")) {
+    total_requests = std::max(std::atoi(env), 8);
+  }
+  std::printf("%zu distinct plans, %d requests per configuration\n\n",
+              queries.size(), total_requests);
+  std::printf("%-28s %10s %9s %9s %9s %9s %7s\n", "configuration", "qps",
+              "p50(us)", "p95(us)", "p99(us)", "hit-rate", "batch");
+
+  RunResult base =
+      RunConfig(&registry, queries, /*client_threads=*/1, /*cache=*/false,
+                total_requests);
+  std::printf("%-28s %10.0f %9.0f %9.0f %9.0f %9.2f %7.2f\n",
+              "1 thread, unbatched (base)", base.qps, base.p50, base.p95,
+              base.p99, base.hit_rate, base.mean_batch);
+
+  double best_qps = 0.0;
+  std::string best_name;
+  for (bool cache : {false, true}) {
+    for (int threads : {1, 4, 8}) {
+      if (threads == 1 && !cache) continue;  // == baseline
+      RunResult r =
+          RunConfig(&registry, queries, threads, cache, total_requests);
+      char name[64];
+      std::snprintf(name, sizeof(name), "%d thread%s, cache %s", threads,
+                    threads == 1 ? " " : "s", cache ? "on" : "off");
+      std::printf("%-28s %10.0f %9.0f %9.0f %9.0f %9.2f %7.2f\n", name,
+                  r.qps, r.p50, r.p95, r.p99, r.hit_rate, r.mean_batch);
+      if (threads > 1 && r.qps > best_qps) {
+        best_qps = r.qps;
+        best_name = name;
+      }
+    }
+  }
+  std::printf("\nbest batched multi-threaded config: %s at %.0f qps = "
+              "%.1fx the single-thread unbatched baseline\n",
+              best_name.c_str(), best_qps, best_qps / base.qps);
+  return 0;
+}

@@ -74,10 +74,11 @@ Tensor TreeLstmEstimator::Loss(const Forward& fwd) const {
       tensor::MeanAll(tensor::Abs(tensor::Sub(fwd.log_cost, tk))));
 }
 
-void TreeLstmEstimator::CollectParameters(std::vector<Tensor>* out) {
-  cell_->CollectParameters(out);
-  card_head_->CollectParameters(out);
-  cost_head_->CollectParameters(out);
+void TreeLstmEstimator::CollectNamedParameters(
+    std::vector<nn::NamedParam>* out) const {
+  AppendChild(*cell_, "cell", out);
+  AppendChild(*card_head_, "card_head", out);
+  AppendChild(*cost_head_, "cost_head", out);
 }
 
 Status TreeLstmEstimator::Train(const workload::Dataset& dataset, int epochs,

@@ -37,7 +37,7 @@ class TreeLstmEstimator : public nn::Module {
   /// both heads jointly as well).
   tensor::Tensor Loss(const Forward& fwd) const;
 
-  void CollectParameters(std::vector<tensor::Tensor>* out) override;
+  void CollectNamedParameters(std::vector<nn::NamedParam>* out) const override;
 
   /// Trains on the dataset's train split.
   Status Train(const workload::Dataset& dataset, int epochs, float lr,

@@ -127,15 +127,21 @@ double Featurizer::PredictFilterCard(
   return std::expm1(static_cast<double>(enc.log_card.item()));
 }
 
-void Featurizer::CollectParameters(std::vector<Tensor>* out) {
-  table_emb_->CollectParameters(out);
-  column_emb_->CollectParameters(out);
-  op_emb_->CollectParameters(out);
-  trigram_emb_->CollectParameters(out);
-  numeric_proj_->CollectParameters(out);
-  out->push_back(cls_);
-  for (auto& e : encoders_) e->CollectParameters(out);
-  for (auto& h : enc_card_heads_) h->CollectParameters(out);
+void Featurizer::CollectNamedParameters(
+    std::vector<nn::NamedParam>* out) const {
+  AppendChild(*table_emb_, "table_emb", out);
+  AppendChild(*column_emb_, "column_emb", out);
+  AppendChild(*op_emb_, "op_emb", out);
+  AppendChild(*trigram_emb_, "trigram_emb", out);
+  AppendChild(*numeric_proj_, "numeric_proj", out);
+  out->emplace_back("cls", cls_);
+  for (size_t i = 0; i < encoders_.size(); ++i) {
+    AppendChild(*encoders_[i], "enc." + std::to_string(i), out);
+  }
+  for (size_t i = 0; i < enc_card_heads_.size(); ++i) {
+    AppendChild(*enc_card_heads_[i], "enc_card_head." + std::to_string(i),
+                out);
+  }
 }
 
 }  // namespace mtmlf::featurize

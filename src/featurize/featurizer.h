@@ -56,7 +56,7 @@ class Featurizer : public nn::Module {
   double PredictFilterCard(
       int table, const std::vector<query::FilterPredicate>& filters) const;
 
-  void CollectParameters(std::vector<tensor::Tensor>* out) override;
+  void CollectNamedParameters(std::vector<nn::NamedParam>* out) const override;
 
   const storage::Database* db() const { return db_; }
   const optimizer::BaselineCardEstimator* stats() const { return stats_; }

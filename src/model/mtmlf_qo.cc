@@ -308,17 +308,27 @@ Result<std::vector<int>> MtmlfQo::PredictJoinOrder(
   return legal_orders[best];
 }
 
-void MtmlfQo::CollectSharedTaskParameters(std::vector<Tensor>* out) {
-  input_proj_->CollectParameters(out);
-  trans_share_->CollectParameters(out);
-  card_head_->CollectParameters(out);
-  cost_head_->CollectParameters(out);
-  trans_jo_->CollectParameters(out);
+void MtmlfQo::CollectSharedTaskParameters(std::vector<Tensor>* out) const {
+  std::vector<nn::NamedParam> named;
+  CollectSharedTaskNamedParameters(&named);
+  out->reserve(out->size() + named.size());
+  for (auto& np : named) out->push_back(std::move(np.second));
 }
 
-void MtmlfQo::CollectParameters(std::vector<Tensor>* out) {
-  CollectSharedTaskParameters(out);
-  for (auto& f : featurizers_) f->CollectParameters(out);
+void MtmlfQo::CollectSharedTaskNamedParameters(
+    std::vector<nn::NamedParam>* out) const {
+  AppendChild(*input_proj_, "input_proj", out);
+  AppendChild(*trans_share_, "trans_share", out);
+  AppendChild(*card_head_, "card_head", out);
+  AppendChild(*cost_head_, "cost_head", out);
+  AppendChild(*trans_jo_, "trans_jo", out);
+}
+
+void MtmlfQo::CollectNamedParameters(std::vector<nn::NamedParam>* out) const {
+  CollectSharedTaskNamedParameters(out);
+  for (size_t i = 0; i < featurizers_.size(); ++i) {
+    AppendChild(*featurizers_[i], "featurizer." + std::to_string(i), out);
+  }
 }
 
 }  // namespace mtmlf::model

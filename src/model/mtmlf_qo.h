@@ -90,9 +90,13 @@ class MtmlfQo : public nn::Module {
       const BeamSearchOptions& options) const;
 
   /// Parameters of (S) + (T) only (what joint training and MLA update).
-  void CollectSharedTaskParameters(std::vector<tensor::Tensor>* out);
+  void CollectSharedTaskParameters(std::vector<tensor::Tensor>* out) const;
+  /// Named variant of the above; what the serving checkpointer saves when
+  /// shipping the database-agnostic model to customer instances (the
+  /// paper's cloud/customer split).
+  void CollectSharedTaskNamedParameters(std::vector<nn::NamedParam>* out) const;
   /// All parameters including featurizers.
-  void CollectParameters(std::vector<tensor::Tensor>* out) override;
+  void CollectNamedParameters(std::vector<nn::NamedParam>* out) const override;
 
   const featurize::ModelConfig& config() const { return config_; }
   const TransJo& trans_jo() const { return *trans_jo_; }

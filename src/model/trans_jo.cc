@@ -63,10 +63,10 @@ Tensor TransJo::SequenceLogProb(const Tensor& memory,
   return tensor::Scale(ce, -static_cast<float>(order.size()));
 }
 
-void TransJo::CollectParameters(std::vector<Tensor>* out) {
-  decoder_.CollectParameters(out);
-  ptr_proj_.CollectParameters(out);
-  out->push_back(bos_);
+void TransJo::CollectNamedParameters(std::vector<nn::NamedParam>* out) const {
+  AppendChild(decoder_, "decoder", out);
+  AppendChild(ptr_proj_, "ptr_proj", out);
+  out->emplace_back("bos", bos_);
 }
 
 }  // namespace mtmlf::model

@@ -45,7 +45,7 @@ class TransJo : public nn::Module {
   tensor::Tensor SequenceLogProb(const tensor::Tensor& memory,
                                  const std::vector<int>& order) const;
 
-  void CollectParameters(std::vector<tensor::Tensor>* out) override;
+  void CollectNamedParameters(std::vector<nn::NamedParam>* out) const override;
 
  private:
   /// Builds decoder input rows for a (possibly partial) order prefix:

@@ -1,6 +1,7 @@
 #include "nn/layers.h"
 
 #include <cmath>
+#include <string>
 
 #include "common/logging.h"
 
@@ -19,9 +20,9 @@ Tensor Linear::Forward(const Tensor& x) const {
   return tensor::Add(tensor::MatMul(x, weight_), bias_);
 }
 
-void Linear::CollectParameters(std::vector<Tensor>* out) {
-  out->push_back(weight_);
-  out->push_back(bias_);
+void Linear::CollectNamedParameters(std::vector<NamedParam>* out) const {
+  out->emplace_back("weight", weight_);
+  out->emplace_back("bias", bias_);
 }
 
 LayerNorm::LayerNorm(int features)
@@ -32,9 +33,9 @@ Tensor LayerNorm::Forward(const Tensor& x) const {
   return tensor::LayerNormRows(x, gamma_, beta_);
 }
 
-void LayerNorm::CollectParameters(std::vector<Tensor>* out) {
-  out->push_back(gamma_);
-  out->push_back(beta_);
+void LayerNorm::CollectNamedParameters(std::vector<NamedParam>* out) const {
+  out->emplace_back("gamma", gamma_);
+  out->emplace_back("beta", beta_);
 }
 
 Embedding::Embedding(int vocab_size, int dim, Rng* rng)
@@ -45,8 +46,8 @@ Tensor Embedding::Forward(const std::vector<int>& ids) const {
   return tensor::EmbedRows(table_, ids);
 }
 
-void Embedding::CollectParameters(std::vector<Tensor>* out) {
-  out->push_back(table_);
+void Embedding::CollectNamedParameters(std::vector<NamedParam>* out) const {
+  out->emplace_back("table", table_);
 }
 
 Mlp::Mlp(const std::vector<int>& dims, Rng* rng) {
@@ -65,8 +66,10 @@ Tensor Mlp::Forward(const Tensor& x) const {
   return h;
 }
 
-void Mlp::CollectParameters(std::vector<Tensor>* out) {
-  for (auto& l : layers_) l.CollectParameters(out);
+void Mlp::CollectNamedParameters(std::vector<NamedParam>* out) const {
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    AppendChild(layers_[i], "layers." + std::to_string(i), out);
+  }
 }
 
 }  // namespace mtmlf::nn

@@ -17,7 +17,7 @@ class Linear : public Module {
   /// x: (L, in) -> (L, out).
   tensor::Tensor Forward(const tensor::Tensor& x) const;
 
-  void CollectParameters(std::vector<tensor::Tensor>* out) override;
+  void CollectNamedParameters(std::vector<NamedParam>* out) const override;
 
   const tensor::Tensor& weight() const { return weight_; }
   const tensor::Tensor& bias() const { return bias_; }
@@ -34,7 +34,7 @@ class LayerNorm : public Module {
 
   tensor::Tensor Forward(const tensor::Tensor& x) const;
 
-  void CollectParameters(std::vector<tensor::Tensor>* out) override;
+  void CollectNamedParameters(std::vector<NamedParam>* out) const override;
 
  private:
   tensor::Tensor gamma_;  // (1, features), init 1
@@ -48,7 +48,7 @@ class Embedding : public Module {
 
   tensor::Tensor Forward(const std::vector<int>& ids) const;
 
-  void CollectParameters(std::vector<tensor::Tensor>* out) override;
+  void CollectNamedParameters(std::vector<NamedParam>* out) const override;
 
   int vocab_size() const { return table_.rows(); }
   int dim() const { return table_.cols(); }
@@ -67,7 +67,7 @@ class Mlp : public Module {
 
   tensor::Tensor Forward(const tensor::Tensor& x) const;
 
-  void CollectParameters(std::vector<tensor::Tensor>* out) override;
+  void CollectNamedParameters(std::vector<NamedParam>* out) const override;
 
  private:
   std::vector<Linear> layers_;

@@ -1,35 +1,77 @@
 #ifndef MTMLF_NN_MODULE_H_
 #define MTMLF_NN_MODULE_H_
 
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "tensor/tensor.h"
 
 namespace mtmlf::nn {
 
+/// A trainable tensor together with its dotted-path name inside the owning
+/// module tree, e.g. "trans_share.layers.0.mha.wq.weight". Names are what
+/// make checkpoints addressable (serve/checkpoint.h) and must be unique
+/// within one module.
+using NamedParam = std::pair<std::string, tensor::Tensor>;
+
 /// Base interface for anything holding trainable parameters. Modules
-/// expose their parameters so the optimizer can update them and the
+/// expose their parameters so the optimizer can update them, the
 /// meta-learning code can freeze/copy module groups (the paper's (F) vs.
-/// (S)/(T) split).
+/// (S)/(T) split), and the serving checkpointer can save/load them by
+/// name.
 class Module {
  public:
   virtual ~Module() = default;
 
-  /// Appends every trainable tensor of this module (and submodules).
-  virtual void CollectParameters(std::vector<tensor::Tensor>* out) = 0;
+  /// Appends every trainable tensor of this module (and submodules) with
+  /// its name. This is the one virtual collection point; the unnamed
+  /// accessors below delegate to it, so name order == parameter order.
+  virtual void CollectNamedParameters(std::vector<NamedParam>* out) const = 0;
 
-  /// Convenience: all parameters as a fresh vector.
-  std::vector<tensor::Tensor> Parameters() {
+  /// Appends every trainable tensor of this module (and submodules), in
+  /// CollectNamedParameters order. Kept for the trainer / optimizer /
+  /// meta-learning call sites that don't care about names.
+  void CollectParameters(std::vector<tensor::Tensor>* out) const {
+    std::vector<NamedParam> named;
+    CollectNamedParameters(&named);
+    out->reserve(out->size() + named.size());
+    for (auto& np : named) out->push_back(std::move(np.second));
+  }
+
+  /// Convenience: all parameters as a fresh vector (single collection).
+  std::vector<tensor::Tensor> Parameters() const {
     std::vector<tensor::Tensor> out;
     CollectParameters(&out);
     return out;
   }
 
-  /// Total number of scalar parameters.
-  size_t NumParameters() {
+  /// Convenience: all (name, tensor) pairs as a fresh vector.
+  std::vector<NamedParam> NamedParameters() const {
+    std::vector<NamedParam> out;
+    CollectNamedParameters(&out);
+    return out;
+  }
+
+  /// Total number of scalar parameters (one collection, no extra copies).
+  size_t NumParameters() const {
+    std::vector<NamedParam> named;
+    CollectNamedParameters(&named);
     size_t n = 0;
-    for (const auto& p : Parameters()) n += p.size();
+    for (const auto& np : named) n += np.second.size();
     return n;
+  }
+
+ protected:
+  /// Helper for implementations: appends `child`'s named parameters under
+  /// `prefix` ("prefix.childname").
+  static void AppendChild(const Module& child, const std::string& prefix,
+                          std::vector<NamedParam>* out) {
+    std::vector<NamedParam> named;
+    child.CollectNamedParameters(&named);
+    for (auto& np : named) {
+      out->emplace_back(prefix + "." + np.first, std::move(np.second));
+    }
   }
 };
 

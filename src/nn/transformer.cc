@@ -1,6 +1,7 @@
 #include "nn/transformer.h"
 
 #include <cmath>
+#include <string>
 
 #include "common/logging.h"
 
@@ -59,11 +60,12 @@ Tensor MultiHeadAttention::Forward(const Tensor& query,
   return wo_.Forward(concat);
 }
 
-void MultiHeadAttention::CollectParameters(std::vector<Tensor>* out) {
-  wq_.CollectParameters(out);
-  wk_.CollectParameters(out);
-  wv_.CollectParameters(out);
-  wo_.CollectParameters(out);
+void MultiHeadAttention::CollectNamedParameters(
+    std::vector<NamedParam>* out) const {
+  AppendChild(wq_, "wq", out);
+  AppendChild(wk_, "wk", out);
+  AppendChild(wv_, "wv", out);
+  AppendChild(wo_, "wo", out);
 }
 
 TransformerEncoderLayer::TransformerEncoderLayer(int d_model, int num_heads,
@@ -83,12 +85,13 @@ Tensor TransformerEncoderLayer::Forward(const Tensor& x) const {
   return tensor::Add(x1, ff);
 }
 
-void TransformerEncoderLayer::CollectParameters(std::vector<Tensor>* out) {
-  mha_.CollectParameters(out);
-  ff1_.CollectParameters(out);
-  ff2_.CollectParameters(out);
-  ln1_.CollectParameters(out);
-  ln2_.CollectParameters(out);
+void TransformerEncoderLayer::CollectNamedParameters(
+    std::vector<NamedParam>* out) const {
+  AppendChild(mha_, "mha", out);
+  AppendChild(ff1_, "ff1", out);
+  AppendChild(ff2_, "ff2", out);
+  AppendChild(ln1_, "ln1", out);
+  AppendChild(ln2_, "ln2", out);
 }
 
 TransformerEncoder::TransformerEncoder(int num_layers, int d_model,
@@ -106,9 +109,12 @@ Tensor TransformerEncoder::Forward(const Tensor& x) const {
   return final_ln_.Forward(h);
 }
 
-void TransformerEncoder::CollectParameters(std::vector<Tensor>* out) {
-  for (auto& l : layers_) l->CollectParameters(out);
-  final_ln_.CollectParameters(out);
+void TransformerEncoder::CollectNamedParameters(
+    std::vector<NamedParam>* out) const {
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    AppendChild(*layers_[i], "layers." + std::to_string(i), out);
+  }
+  AppendChild(final_ln_, "final_ln", out);
 }
 
 TransformerDecoderLayer::TransformerDecoderLayer(int d_model, int num_heads,
@@ -133,14 +139,15 @@ Tensor TransformerDecoderLayer::Forward(const Tensor& x,
   return tensor::Add(x2, ff);
 }
 
-void TransformerDecoderLayer::CollectParameters(std::vector<Tensor>* out) {
-  self_mha_.CollectParameters(out);
-  cross_mha_.CollectParameters(out);
-  ff1_.CollectParameters(out);
-  ff2_.CollectParameters(out);
-  ln1_.CollectParameters(out);
-  ln2_.CollectParameters(out);
-  ln3_.CollectParameters(out);
+void TransformerDecoderLayer::CollectNamedParameters(
+    std::vector<NamedParam>* out) const {
+  AppendChild(self_mha_, "self_mha", out);
+  AppendChild(cross_mha_, "cross_mha", out);
+  AppendChild(ff1_, "ff1", out);
+  AppendChild(ff2_, "ff2", out);
+  AppendChild(ln1_, "ln1", out);
+  AppendChild(ln2_, "ln2", out);
+  AppendChild(ln3_, "ln3", out);
 }
 
 TransformerDecoder::TransformerDecoder(int num_layers, int d_model,
@@ -159,9 +166,12 @@ Tensor TransformerDecoder::Forward(const Tensor& x,
   return final_ln_.Forward(h);
 }
 
-void TransformerDecoder::CollectParameters(std::vector<Tensor>* out) {
-  for (auto& l : layers_) l->CollectParameters(out);
-  final_ln_.CollectParameters(out);
+void TransformerDecoder::CollectNamedParameters(
+    std::vector<NamedParam>* out) const {
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    AppendChild(*layers_[i], "layers." + std::to_string(i), out);
+  }
+  AppendChild(final_ln_, "final_ln", out);
 }
 
 Tensor SinusoidalPositionalEncoding(int length, int d_model) {

@@ -22,7 +22,7 @@ class MultiHeadAttention : public Module {
   tensor::Tensor Forward(const tensor::Tensor& query,
                          const tensor::Tensor& key_value, bool causal) const;
 
-  void CollectParameters(std::vector<tensor::Tensor>* out) override;
+  void CollectNamedParameters(std::vector<NamedParam>* out) const override;
 
  private:
   int d_model_;
@@ -39,7 +39,7 @@ class TransformerEncoderLayer : public Module {
 
   tensor::Tensor Forward(const tensor::Tensor& x) const;
 
-  void CollectParameters(std::vector<tensor::Tensor>* out) override;
+  void CollectNamedParameters(std::vector<NamedParam>* out) const override;
 
  private:
   MultiHeadAttention mha_;
@@ -57,7 +57,7 @@ class TransformerEncoder : public Module {
   /// (L, d) -> (L, d).
   tensor::Tensor Forward(const tensor::Tensor& x) const;
 
-  void CollectParameters(std::vector<tensor::Tensor>* out) override;
+  void CollectNamedParameters(std::vector<NamedParam>* out) const override;
 
   int d_model() const { return d_model_; }
 
@@ -76,7 +76,7 @@ class TransformerDecoderLayer : public Module {
   tensor::Tensor Forward(const tensor::Tensor& x,
                          const tensor::Tensor& memory) const;
 
-  void CollectParameters(std::vector<tensor::Tensor>* out) override;
+  void CollectNamedParameters(std::vector<NamedParam>* out) const override;
 
  private:
   MultiHeadAttention self_mha_, cross_mha_;
@@ -94,7 +94,7 @@ class TransformerDecoder : public Module {
   tensor::Tensor Forward(const tensor::Tensor& x,
                          const tensor::Tensor& memory) const;
 
-  void CollectParameters(std::vector<tensor::Tensor>* out) override;
+  void CollectNamedParameters(std::vector<NamedParam>* out) const override;
 
  private:
   std::vector<std::unique_ptr<TransformerDecoderLayer>> layers_;

@@ -51,13 +51,17 @@ BinaryTreeLstmCell::State BinaryTreeLstmCell::Forward(
   return {h, c};
 }
 
-void BinaryTreeLstmCell::CollectParameters(std::vector<Tensor>* out) {
-  for (Linear* l :
-       {&wi_, &wo_, &wu_, &wf_left_, &wf_right_, &ui_left_, &ui_right_,
-        &uo_left_, &uo_right_, &uu_left_, &uu_right_, &uf_ll_, &uf_lr_,
-        &uf_rl_, &uf_rr_}) {
-    l->CollectParameters(out);
-  }
+void BinaryTreeLstmCell::CollectNamedParameters(
+    std::vector<NamedParam>* out) const {
+  const std::pair<const char*, const Linear*> gates[] = {
+      {"wi", &wi_},         {"wo", &wo_},         {"wu", &wu_},
+      {"wf_left", &wf_left_},   {"wf_right", &wf_right_},
+      {"ui_left", &ui_left_},   {"ui_right", &ui_right_},
+      {"uo_left", &uo_left_},   {"uo_right", &uo_right_},
+      {"uu_left", &uu_left_},   {"uu_right", &uu_right_},
+      {"uf_ll", &uf_ll_},       {"uf_lr", &uf_lr_},
+      {"uf_rl", &uf_rl_},       {"uf_rr", &uf_rr_}};
+  for (const auto& [name, l] : gates) AppendChild(*l, name, out);
 }
 
 }  // namespace mtmlf::nn

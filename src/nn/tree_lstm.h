@@ -28,7 +28,7 @@ class BinaryTreeLstmCell : public Module {
   State Forward(const tensor::Tensor& x, const State* left,
                 const State* right) const;
 
-  void CollectParameters(std::vector<tensor::Tensor>* out) override;
+  void CollectNamedParameters(std::vector<NamedParam>* out) const override;
 
   int hidden_dim() const { return hidden_dim_; }
 

@@ -1,0 +1,161 @@
+#include "serve/cache.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "featurize/tree_codec.h"
+
+namespace mtmlf::serve {
+
+namespace {
+
+void AppendInt(std::string* out, long long v) {
+  *out += std::to_string(v);
+  *out += ';';
+}
+
+// Filter values serialize through Value::ToString(); the type tag keeps
+// Int64(5) distinct from String("5").
+void AppendValue(std::string* out, const storage::Value& v) {
+  *out += std::to_string(static_cast<int>(v.type()));
+  *out += ':';
+  *out += v.ToString();
+  *out += ';';
+}
+
+}  // namespace
+
+std::string PlanFingerprint(int db_index, const query::Query& q,
+                            const query::PlanNode& plan) {
+  std::string key;
+  key.reserve(256);
+  key += "db=";
+  AppendInt(&key, db_index);
+
+  key += "t=";
+  for (int t : q.tables) AppendInt(&key, t);
+  key += "j=";
+  for (const auto& j : q.joins) {
+    AppendInt(&key, j.left_table);
+    key += j.left_column;
+    key += '=';
+    AppendInt(&key, j.right_table);
+    key += j.right_column;
+    key += '|';
+  }
+  key += "f=";
+  for (const auto& f : q.filters) {
+    AppendInt(&key, f.table);
+    key += f.column;
+    AppendInt(&key, static_cast<int>(f.op));
+    AppendValue(&key, f.value);
+  }
+
+  // Plan structure: tree-codec decoding embeddings (Section 4.1) uniquely
+  // encode the join tree; each leaf contributes its table plus its 0/1
+  // complete-tree position vector packed as hex nibbles.
+  key += "p=";
+  auto embeddings = featurize::TreeDecodingEmbeddings(plan);
+  if (embeddings.ok()) {
+    for (const auto& e : embeddings.value()) {
+      AppendInt(&key, e.table);
+      unsigned nibble = 0;
+      int bits = 0;
+      for (int bit : e.positions) {
+        nibble = (nibble << 1) | static_cast<unsigned>(bit);
+        if (++bits == 4) {
+          key += "0123456789abcdef"[nibble];
+          nibble = 0;
+          bits = 0;
+        }
+      }
+      if (bits > 0) key += "0123456789abcdef"[nibble << (4 - bits)];
+      key += '|';
+    }
+  } else {
+    // Degenerate trees (e.g. duplicate base tables) fall back to a plain
+    // pre-order table serialization — still a sound cache key.
+    for (const query::PlanNode* n : query::PreOrder(&plan)) {
+      AppendInt(&key, n->table);
+    }
+  }
+  // Physical operators in pre-order (the decoding embeddings drop them,
+  // but the cost head's predictions depend on them).
+  key += "o=";
+  for (const query::PlanNode* n : query::PreOrder(&plan)) {
+    key += static_cast<char>('0' + static_cast<int>(n->op));
+  }
+  return key;
+}
+
+PredictionCache::PredictionCache(size_t capacity, int num_shards)
+    : capacity_(std::max<size_t>(capacity, 1)) {
+  size_t shards = std::clamp<size_t>(
+      num_shards <= 0 ? 1 : static_cast<size_t>(num_shards), 1, capacity_);
+  per_shard_capacity_ = (capacity_ + shards - 1) / shards;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+PredictionCache::Shard& PredictionCache::ShardFor(const std::string& key) {
+  return *shards_[std::hash<std::string>{}(key) % shards_.size()];
+}
+
+bool PredictionCache::Get(const std::string& key, Prediction* out) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *out = it->second->second;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void PredictionCache::Put(const std::string& key, const Prediction& value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    it->second->second = value;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, value);
+  shard.index.emplace(key, shard.lru.begin());
+  while (shard.lru.size() > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+  }
+}
+
+void PredictionCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+size_t PredictionCache::size() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->lru.size();
+  }
+  return n;
+}
+
+double PredictionCache::HitRate() const {
+  uint64_t h = hits();
+  uint64_t m = misses();
+  return h + m == 0 ? 0.0 : static_cast<double>(h) /
+                                static_cast<double>(h + m);
+}
+
+}  // namespace mtmlf::serve

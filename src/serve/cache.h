@@ -1,0 +1,87 @@
+#ifndef MTMLF_SERVE_CACHE_H_
+#define MTMLF_SERVE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "query/plan.h"
+#include "query/query.h"
+
+namespace mtmlf::serve {
+
+/// Root-node predictions served out of the cache (what the optimizer's
+/// hot path consumes per CardEst/CostEst call).
+struct Prediction {
+  double card = 0.0;
+  double cost_ms = 0.0;
+};
+
+/// Deterministic serialization of (db_index, query, plan) used as the
+/// prediction-cache key. Two calls collide exactly when the model forward
+/// pass would be identical: same database, same tables/joins/filters, and
+/// the same plan shape. Plan structure reuses the tree-codec decoding
+/// embeddings of Section 4.1 (featurize/tree_codec.h) — each leaf's 0/1
+/// complete-binary-tree position vector uniquely pins the tree — plus the
+/// pre-order physical operators, which the decoding embeddings drop.
+std::string PlanFingerprint(int db_index, const query::Query& q,
+                            const query::PlanNode& plan);
+
+/// Sharded LRU cache mapping plan fingerprints to predictions. Shards cut
+/// lock contention under concurrent serving threads: a key hashes to one
+/// shard, each shard holds its own mutex + LRU list, and capacity is split
+/// evenly across shards. Hit/miss counters are atomics (readable without
+/// locks for metrics export).
+class PredictionCache {
+ public:
+  /// `capacity` = max total entries (>=1); `num_shards` is clamped to
+  /// [1, capacity]. Use num_shards=1 for deterministic global LRU order
+  /// (tests); the server default of 8 favors concurrency.
+  explicit PredictionCache(size_t capacity, int num_shards = 8);
+
+  /// Returns true and fills `out` on hit (promoting the entry to
+  /// most-recently-used); false on miss.
+  bool Get(const std::string& key, Prediction* out);
+
+  /// Inserts or refreshes the value for `key`, evicting the shard's
+  /// least-recently-used entry when over capacity.
+  void Put(const std::string& key, const Prediction& value);
+
+  void Clear();
+
+  size_t size() const;
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// Hits / (hits + misses); 0 when nothing was looked up.
+  double HitRate() const;
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    // Front = most recently used.
+    std::list<std::pair<std::string, Prediction>> lru;
+    std::unordered_map<
+        std::string,
+        std::list<std::pair<std::string, Prediction>>::iterator>
+        index;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  size_t capacity_;
+  size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace mtmlf::serve
+
+#endif  // MTMLF_SERVE_CACHE_H_

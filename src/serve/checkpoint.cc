@@ -1,0 +1,255 @@
+#include "serve/checkpoint.h"
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <unordered_map>
+
+namespace mtmlf::serve {
+
+namespace {
+
+// Appends a little-endian fixed-width integer to `out`. The repo targets
+// little-endian hosts, so this is a memcpy; the helper keeps the format
+// explicit at every encode site.
+template <typename T>
+void AppendRaw(std::string* out, T value) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out->append(bytes, sizeof(T));
+}
+
+// Bounds-checked little-endian read; returns false past end-of-buffer.
+template <typename T>
+bool ReadRaw(const std::string& buf, size_t* offset, T* value) {
+  if (*offset + sizeof(T) > buf.size()) return false;
+  std::memcpy(value, buf.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+constexpr size_t kTrailerBytes = sizeof(uint32_t);  // CRC32
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  // Table-based IEEE CRC32 (reflected polynomial 0xEDB88320), computed on
+  // first use. No external zlib dependency.
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+Status SaveCheckpoint(const std::string& path,
+                      const std::vector<nn::NamedParam>& params) {
+  std::unordered_map<std::string, int> seen;
+  for (const auto& [name, t] : params) {
+    if (name.empty()) {
+      return Status::InvalidArgument("SaveCheckpoint: empty parameter name");
+    }
+    if (!t.defined()) {
+      return Status::InvalidArgument(
+          "SaveCheckpoint: undefined tensor for parameter '" + name + "'");
+    }
+    if (++seen[name] > 1) {
+      return Status::InvalidArgument(
+          "SaveCheckpoint: duplicate parameter name '" + name + "'");
+    }
+  }
+
+  std::string buf;
+  buf.append(kCheckpointMagic, sizeof(kCheckpointMagic));
+  AppendRaw<uint32_t>(&buf, kCheckpointFormatVersion);
+  AppendRaw<uint32_t>(&buf, static_cast<uint32_t>(params.size()));
+  size_t payload_floats = 0;
+  for (const auto& [name, t] : params) {
+    AppendRaw<uint32_t>(&buf, static_cast<uint32_t>(name.size()));
+    buf.append(name);
+    AppendRaw<int32_t>(&buf, t.rows());
+    AppendRaw<int32_t>(&buf, t.cols());
+    payload_floats += t.size();
+  }
+  buf.reserve(buf.size() + payload_floats * sizeof(float) + kTrailerBytes);
+  for (const auto& [name, t] : params) {
+    (void)name;
+    buf.append(reinterpret_cast<const char*>(t.data()),
+               t.size() * sizeof(float));
+  }
+  AppendRaw<uint32_t>(&buf, Crc32(buf.data(), buf.size()));
+
+  // Write-then-rename: the published path only ever holds complete files.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Internal("SaveCheckpoint: cannot open '" + tmp + "'");
+    }
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+    if (!out) {
+      return Status::Internal("SaveCheckpoint: short write to '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("SaveCheckpoint: rename to '" + path +
+                            "' failed");
+  }
+  return Status::OK();
+}
+
+Status SaveCheckpoint(const std::string& path, const nn::Module& module) {
+  return SaveCheckpoint(path, module.NamedParameters());
+}
+
+Result<std::vector<CheckpointEntry>> ReadCheckpointManifest(
+    const std::string& path, std::string* file_contents_out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("checkpoint '" + path + "' cannot be opened");
+  }
+  std::string buf((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+
+  size_t offset = 0;
+  char magic[sizeof(kCheckpointMagic)];
+  if (buf.size() < sizeof(magic) ||
+      std::memcmp(buf.data(), kCheckpointMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument("checkpoint '" + path +
+                                   "': bad magic bytes (not an MTCP file)");
+  }
+  offset = sizeof(magic);
+  uint32_t version = 0;
+  uint32_t num_tensors = 0;
+  if (!ReadRaw(buf, &offset, &version) ||
+      !ReadRaw(buf, &offset, &num_tensors)) {
+    return Status::InvalidArgument("checkpoint '" + path +
+                                   "': truncated header");
+  }
+  if (version != kCheckpointFormatVersion) {
+    return Status::InvalidArgument(
+        "checkpoint '" + path + "': format version " +
+        std::to_string(version) + " unsupported (expected " +
+        std::to_string(kCheckpointFormatVersion) + ")");
+  }
+
+  std::vector<CheckpointEntry> entries;
+  entries.reserve(num_tensors);
+  size_t payload_floats = 0;
+  for (uint32_t i = 0; i < num_tensors; ++i) {
+    uint32_t name_len = 0;
+    if (!ReadRaw(buf, &offset, &name_len) ||
+        offset + name_len > buf.size()) {
+      return Status::InvalidArgument("checkpoint '" + path +
+                                     "': truncated manifest");
+    }
+    CheckpointEntry e;
+    e.name.assign(buf.data() + offset, name_len);
+    offset += name_len;
+    int32_t rows = 0, cols = 0;
+    if (!ReadRaw(buf, &offset, &rows) || !ReadRaw(buf, &offset, &cols)) {
+      return Status::InvalidArgument("checkpoint '" + path +
+                                     "': truncated manifest");
+    }
+    if (rows <= 0 || cols <= 0) {
+      return Status::InvalidArgument("checkpoint '" + path +
+                                     "': non-positive shape for tensor '" +
+                                     e.name + "'");
+    }
+    e.rows = rows;
+    e.cols = cols;
+    e.payload_offset = payload_floats;
+    payload_floats += static_cast<size_t>(rows) * static_cast<size_t>(cols);
+    entries.push_back(std::move(e));
+  }
+
+  const size_t expected_size =
+      offset + payload_floats * sizeof(float) + kTrailerBytes;
+  if (buf.size() != expected_size) {
+    return Status::InvalidArgument(
+        "checkpoint '" + path + "': size mismatch (file " +
+        std::to_string(buf.size()) + " bytes, manifest implies " +
+        std::to_string(expected_size) + ") — truncated or corrupt");
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, buf.data() + buf.size() - kTrailerBytes,
+              sizeof(stored_crc));
+  uint32_t actual_crc = Crc32(buf.data(), buf.size() - kTrailerBytes);
+  if (stored_crc != actual_crc) {
+    return Status::InvalidArgument("checkpoint '" + path +
+                                   "': CRC32 mismatch — payload corrupt");
+  }
+
+  // Resolve to absolute byte offsets. The manifest length is not a
+  // multiple of sizeof(float) in general (names have arbitrary lengths),
+  // so offsets must stay in bytes.
+  for (auto& e : entries) {
+    e.payload_offset = offset + e.payload_offset * sizeof(float);
+  }
+  if (file_contents_out != nullptr) *file_contents_out = std::move(buf);
+  return entries;
+}
+
+Status LoadCheckpoint(const std::string& path,
+                      const std::vector<nn::NamedParam>& params) {
+  std::string buf;
+  auto manifest = ReadCheckpointManifest(path, &buf);
+  MTMLF_RETURN_IF_ERROR(manifest.status());
+  const std::vector<CheckpointEntry>& entries = manifest.value();
+
+  std::unordered_map<std::string, const CheckpointEntry*> by_name;
+  by_name.reserve(entries.size());
+  for (const auto& e : entries) by_name.emplace(e.name, &e);
+
+  if (params.size() != entries.size()) {
+    return Status::InvalidArgument(
+        "checkpoint '" + path + "' holds " + std::to_string(entries.size()) +
+        " tensors but the model has " + std::to_string(params.size()) +
+        " parameters");
+  }
+  // Validate the full mapping before writing anything, so a mismatched
+  // checkpoint never leaves the model half-overwritten.
+  for (const auto& [name, t] : params) {
+    auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      return Status::NotFound("checkpoint '" + path +
+                              "' is missing parameter '" + name + "'");
+    }
+    const CheckpointEntry& e = *it->second;
+    if (e.rows != t.rows() || e.cols != t.cols()) {
+      return Status::InvalidArgument(
+          "checkpoint '" + path + "': shape mismatch for '" + name + "' (" +
+          std::to_string(e.rows) + "x" + std::to_string(e.cols) +
+          " in file, " + t.ShapeString() + " in model)");
+    }
+  }
+  for (const auto& [name, t] : params) {
+    const CheckpointEntry& e = *by_name.at(name);
+    // Tensor handles are shared references: writing through a copy of the
+    // collected handle updates the module's own parameter storage.
+    tensor::Tensor dst = t;
+    std::memcpy(dst.data(), buf.data() + e.payload_offset,
+                dst.size() * sizeof(float));
+  }
+  return Status::OK();
+}
+
+Status LoadCheckpoint(const std::string& path, nn::Module* module) {
+  return LoadCheckpoint(path, module->NamedParameters());
+}
+
+}  // namespace mtmlf::serve

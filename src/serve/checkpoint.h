@@ -1,0 +1,79 @@
+#ifndef MTMLF_SERVE_CHECKPOINT_H_
+#define MTMLF_SERVE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/module.h"
+
+namespace mtmlf::serve {
+
+/// Versioned binary checkpoint format for nn::Module parameters — the
+/// artifact the MTMLF cloud side ships to customer DBMS instances
+/// (paper Section 2's pretrain-centrally / deploy-everywhere split).
+///
+/// On-disk layout (little-endian; this repo targets x86-64):
+///
+///   offset 0   magic        "MTCP" (4 bytes)
+///          4   u32          format version (kCheckpointFormatVersion)
+///          8   u32          tensor count N
+///         12   manifest     N entries of
+///                             u32  name length
+///                             ...  name bytes (no terminator)
+///                             i32  rows
+///                             i32  cols
+///          .   payload      all N tensors' float32 data, contiguous,
+///                           manifest order, row-major
+///        end-4 u32          CRC32 (IEEE) over every preceding byte
+///
+/// The trailing CRC covers header + manifest + payload, so any flipped
+/// bit, truncation, or version-field tamper is detected and reported as a
+/// non-OK Status — never a crash or a silently wrong model.
+inline constexpr uint32_t kCheckpointFormatVersion = 1;
+inline constexpr char kCheckpointMagic[4] = {'M', 'T', 'C', 'P'};
+
+/// CRC32 (IEEE 802.3 polynomial, reflected). Exposed for tests.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+/// Serializes named parameters to `path`. Writes to "<path>.tmp" then
+/// renames, so a crashed save never leaves a half-written checkpoint at
+/// the published path. Duplicate names are rejected.
+Status SaveCheckpoint(const std::string& path,
+                      const std::vector<nn::NamedParam>& params);
+
+/// Convenience: saves every parameter of `module` (CollectNamedParameters
+/// order).
+Status SaveCheckpoint(const std::string& path, const nn::Module& module);
+
+/// One manifest entry of a parsed checkpoint.
+struct CheckpointEntry {
+  std::string name;
+  int rows = 0;
+  int cols = 0;
+  /// Absolute byte offset of this tensor's float32 data within the file.
+  size_t payload_offset = 0;
+};
+
+/// Parses + fully validates (magic, version, structure, CRC) a checkpoint
+/// without touching any model. `file_contents_out`, if non-null, receives
+/// the raw file bytes so callers can read payloads without a second I/O.
+Result<std::vector<CheckpointEntry>> ReadCheckpointManifest(
+    const std::string& path, std::string* file_contents_out = nullptr);
+
+/// Loads a checkpoint into `params` (typically module.NamedParameters()).
+/// Strict matching: every checkpoint tensor must correspond to exactly one
+/// parameter with the same name and shape, and every parameter must be
+/// covered — extra, missing, or reshaped tensors are errors. On any error
+/// the destination parameters are left UNTOUCHED (validation happens
+/// before the first write).
+Status LoadCheckpoint(const std::string& path,
+                      const std::vector<nn::NamedParam>& params);
+
+/// Convenience: loads into every parameter of `module`.
+Status LoadCheckpoint(const std::string& path, nn::Module* module);
+
+}  // namespace mtmlf::serve
+
+#endif  // MTMLF_SERVE_CHECKPOINT_H_

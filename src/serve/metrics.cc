@@ -1,0 +1,105 @@
+#include "serve/metrics.h"
+
+#include <bit>
+#include <cstdio>
+#include <vector>
+
+namespace mtmlf::serve {
+
+int LatencyHistogram::BucketOf(uint64_t micros) {
+  if (micros < kSubBuckets) {
+    // First octave is exact: one sub-bucket per microsecond.
+    return static_cast<int>(micros);
+  }
+  int octave = std::bit_width(micros) - 1;  // floor(log2)
+  if (octave >= kOctaves) octave = kOctaves - 1;
+  // Top 4 bits below the leading bit pick the linear sub-bucket.
+  int sub = static_cast<int>((micros >> (octave - 4)) & (kSubBuckets - 1));
+  return octave * kSubBuckets + sub;
+}
+
+double LatencyHistogram::BucketMidpointUs(int bucket) {
+  int octave = bucket / kSubBuckets;
+  int sub = bucket % kSubBuckets;
+  if (octave == 0) return static_cast<double>(sub);
+  double base = static_cast<double>(1ull << octave);
+  double width = base / kSubBuckets;
+  return base + (sub + 0.5) * width;
+}
+
+void LatencyHistogram::Record(uint64_t micros) {
+  buckets_[BucketOf(micros)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_us_.fetch_add(micros, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::PercentileUs(double p) const {
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  std::vector<uint64_t> snapshot(buckets_.size());
+  uint64_t total = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    snapshot[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snapshot[i];
+  }
+  if (total == 0) return 0.0;
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(total - 1));
+  uint64_t seen = 0;
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    seen += snapshot[i];
+    if (seen > rank) return BucketMidpointUs(static_cast<int>(i));
+  }
+  return BucketMidpointUs(static_cast<int>(snapshot.size()) - 1);
+}
+
+double LatencyHistogram::MeanUs() const {
+  uint64_t n = count();
+  return n == 0 ? 0.0
+                : static_cast<double>(sum_us()) / static_cast<double>(n);
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_us_.store(0, std::memory_order_relaxed);
+}
+
+double ServerMetrics::CacheHitRate() const {
+  uint64_t h = cache_hits();
+  uint64_t m = cache_misses();
+  return h + m == 0 ? 0.0 : static_cast<double>(h) /
+                                static_cast<double>(h + m);
+}
+
+double ServerMetrics::MeanBatchSize() const {
+  uint64_t b = batches();
+  return b == 0 ? 0.0
+                : static_cast<double>(
+                      batched_requests_.load(std::memory_order_relaxed)) /
+                      static_cast<double>(b);
+}
+
+std::string ServerMetrics::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "reqs=%llu p50=%.0fus p95=%.0fus p99=%.0fus mean=%.0fus "
+                "hit-rate=%.2f batch=%.2f errors=%llu",
+                static_cast<unsigned long long>(requests()),
+                latency_.PercentileUs(0.50), latency_.PercentileUs(0.95),
+                latency_.PercentileUs(0.99), latency_.MeanUs(),
+                CacheHitRate(), MeanBatchSize(),
+                static_cast<unsigned long long>(errors()));
+  return buf;
+}
+
+void ServerMetrics::Reset() {
+  latency_.Reset();
+  requests_.store(0, std::memory_order_relaxed);
+  batches_.store(0, std::memory_order_relaxed);
+  batched_requests_.store(0, std::memory_order_relaxed);
+  errors_.store(0, std::memory_order_relaxed);
+  cache_hits_.store(0, std::memory_order_relaxed);
+  cache_misses_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace mtmlf::serve

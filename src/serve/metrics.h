@@ -1,0 +1,92 @@
+#ifndef MTMLF_SERVE_METRICS_H_
+#define MTMLF_SERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace mtmlf::serve {
+
+/// Lock-free latency histogram with logarithmic buckets: 64 octaves
+/// (power-of-two ranges of microseconds), each split into 16 linear
+/// sub-buckets, giving <= ~6% relative quantile error across the full
+/// range. Record() is wait-free (one relaxed atomic increment), so it sits
+/// directly on the serving hot path; Percentile() walks the bucket counts.
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBuckets = 16;
+  static constexpr int kOctaves = 40;  // up to ~2^40 us ≈ 12.7 days
+
+  void Record(uint64_t micros);
+
+  /// Approximate latency (microseconds) at quantile p in [0, 1], computed
+  /// from a snapshot of the bucket counts. Returns 0 with no samples.
+  double PercentileUs(double p) const;
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum_us() const { return sum_us_.load(std::memory_order_relaxed); }
+  double MeanUs() const;
+
+  void Reset();
+
+ private:
+  static int BucketOf(uint64_t micros);
+  static double BucketMidpointUs(int bucket);
+
+  std::array<std::atomic<uint64_t>, kOctaves * kSubBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_us_{0};
+};
+
+/// Counters + latency for one InferenceServer. All fields are safe to
+/// read while serving threads write.
+class ServerMetrics {
+ public:
+  void RecordRequest(uint64_t latency_us, bool cache_hit) {
+    latency_.Record(latency_us);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    (cache_hit ? cache_hits_ : cache_misses_)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordBatch(size_t batch_size) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batched_requests_.fetch_add(batch_size, std::memory_order_relaxed);
+  }
+  void RecordError() { errors_.fetch_add(1, std::memory_order_relaxed); }
+
+  const LatencyHistogram& latency() const { return latency_; }
+  uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  uint64_t batches() const { return batches_.load(std::memory_order_relaxed); }
+  uint64_t errors() const { return errors_.load(std::memory_order_relaxed); }
+  uint64_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t cache_misses() const {
+    return cache_misses_.load(std::memory_order_relaxed);
+  }
+  double CacheHitRate() const;
+  /// Mean requests per formed batch (batching effectiveness).
+  double MeanBatchSize() const;
+
+  /// One-line human-readable summary:
+  /// "reqs=... p50=...us p95=...us p99=...us hit-rate=... batch=..."
+  std::string Summary() const;
+
+  void Reset();
+
+ private:
+  LatencyHistogram latency_;
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batched_requests_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+};
+
+}  // namespace mtmlf::serve
+
+#endif  // MTMLF_SERVE_METRICS_H_

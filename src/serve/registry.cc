@@ -1,0 +1,81 @@
+#include "serve/registry.h"
+
+#include <string>
+#include <utility>
+
+namespace mtmlf::serve {
+
+Status ModelRegistry::Register(uint64_t version,
+                               std::shared_ptr<const model::MtmlfQo> model) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("Register: null model");
+  }
+  if (version == 0) {
+    return Status::InvalidArgument(
+        "Register: version 0 is reserved for 'nothing published'");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = versions_.emplace(
+      version, std::make_shared<const ServableModel>(
+                   ServableModel{version, std::move(model)}));
+  if (!inserted) {
+    return Status::InvalidArgument("Register: version " +
+                                   std::to_string(version) +
+                                   " already registered");
+  }
+  return Status::OK();
+}
+
+Status ModelRegistry::Publish(uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = versions_.find(version);
+  if (it == versions_.end()) {
+    return Status::NotFound("Publish: version " + std::to_string(version) +
+                            " not registered");
+  }
+  current_ = it->second;
+  return Status::OK();
+}
+
+std::shared_ptr<const ServableModel> ModelRegistry::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint64_t ModelRegistry::CurrentVersion() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_ == nullptr ? 0 : current_->version;
+}
+
+std::shared_ptr<const ServableModel> ModelRegistry::Get(
+    uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = versions_.find(version);
+  return it == versions_.end() ? nullptr : it->second;
+}
+
+Status ModelRegistry::Drop(uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = versions_.find(version);
+  if (it == versions_.end()) {
+    return Status::NotFound("Drop: version " + std::to_string(version) +
+                            " not registered");
+  }
+  if (current_ != nullptr && current_->version == version) {
+    return Status::FailedPrecondition(
+        "Drop: version " + std::to_string(version) +
+        " is currently published");
+  }
+  versions_.erase(it);
+  return Status::OK();
+}
+
+std::vector<uint64_t> ModelRegistry::Versions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<uint64_t> out;
+  out.reserve(versions_.size());
+  for (const auto& [v, m] : versions_) out.push_back(v);
+  return out;
+}
+
+}  // namespace mtmlf::serve

@@ -1,0 +1,67 @@
+#ifndef MTMLF_SERVE_REGISTRY_H_
+#define MTMLF_SERVE_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "model/mtmlf_qo.h"
+
+namespace mtmlf::serve {
+
+/// One immutable, servable model snapshot. The model is frozen once
+/// registered: serving threads only ever call const inference methods on
+/// it, and the shared_ptr keeps it alive for as long as any in-flight
+/// batch still references it, even after a newer version is published.
+struct ServableModel {
+  uint64_t version = 0;
+  std::shared_ptr<const model::MtmlfQo> model;
+};
+
+/// Holds versioned (S)/(T) model snapshots and the pointer to the one
+/// currently serving. `Publish` atomically redirects new traffic to
+/// another registered version — the hot-swap that lets a freshly
+/// fine-tuned model replace the serving one without pausing the
+/// InferenceServer: in-flight batches finish on the snapshot they started
+/// with, the next batch picks up the new Current().
+///
+/// All methods are thread-safe. Reads take one mutex acquisition and copy
+/// a shared_ptr; there is no lock held during inference.
+class ModelRegistry {
+ public:
+  /// Adds a snapshot under `version`. Fails on null model or duplicate
+  /// version. Registering does NOT start serving it — call Publish.
+  Status Register(uint64_t version,
+                  std::shared_ptr<const model::MtmlfQo> model);
+
+  /// Atomically makes `version` (which must be registered) the serving
+  /// snapshot.
+  Status Publish(uint64_t version);
+
+  /// The serving snapshot, or nullptr if nothing was published yet.
+  std::shared_ptr<const ServableModel> Current() const;
+
+  /// Version of the serving snapshot; 0 if nothing was published yet.
+  uint64_t CurrentVersion() const;
+
+  /// Looks up a registered (not necessarily published) version.
+  std::shared_ptr<const ServableModel> Get(uint64_t version) const;
+
+  /// Removes a registered version. The currently published version cannot
+  /// be dropped (unpublish by publishing a replacement first).
+  Status Drop(uint64_t version);
+
+  /// Registered versions, ascending.
+  std::vector<uint64_t> Versions() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<uint64_t, std::shared_ptr<const ServableModel>> versions_;
+  std::shared_ptr<const ServableModel> current_;
+};
+
+}  // namespace mtmlf::serve
+
+#endif  // MTMLF_SERVE_REGISTRY_H_

@@ -1,0 +1,187 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "tensor/tensor.h"
+
+namespace mtmlf::serve {
+
+using std::chrono::steady_clock;
+
+InferenceServer::InferenceServer(ModelRegistry* registry,
+                                 const Options& options)
+    : registry_(registry),
+      options_(options),
+      cache_(options.cache_capacity, options.cache_shards) {
+  options_.num_workers = std::max(options_.num_workers, 1);
+  options_.max_batch = std::max(options_.max_batch, 1);
+  options_.max_wait_us = std::max(options_.max_wait_us, 0);
+}
+
+InferenceServer::~InferenceServer() { Shutdown(); }
+
+Status InferenceServer::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) {
+    return Status::FailedPrecondition("InferenceServer already started");
+  }
+  started_ = true;
+  stop_ = false;
+  workers_.reserve(options_.num_workers);
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  return Status::OK();
+}
+
+void InferenceServer::Shutdown() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    stop_ = true;
+    workers.swap(workers_);
+  }
+  cv_.notify_all();
+  for (auto& w : workers) w.join();
+  // Workers drain the queue before exiting; anything still here arrived
+  // after stop_ was set and lost the race — fail it explicitly.
+  std::deque<Pending> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leftovers.swap(queue_);
+    started_ = false;
+  }
+  for (auto& p : leftovers) {
+    p.promise.set_value(
+        Status::FailedPrecondition("InferenceServer shut down"));
+  }
+}
+
+bool InferenceServer::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return started_ && !stop_;
+}
+
+std::future<Result<InferencePrediction>> InferenceServer::Submit(
+    const InferenceRequest& request) {
+  Pending pending;
+  pending.request = request;
+  pending.enqueued_at = steady_clock::now();
+  std::future<Result<InferencePrediction>> future =
+      pending.promise.get_future();
+
+  if (request.query == nullptr || request.plan == nullptr) {
+    pending.promise.set_value(
+        Status::InvalidArgument("Submit: null query or plan"));
+    return future;
+  }
+  if (options_.enable_cache) {
+    // Fingerprint outside the queue lock — it walks the plan tree.
+    pending.fingerprint =
+        PlanFingerprint(request.db_index, *request.query, *request.plan);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stop_) {
+      pending.promise.set_value(
+          Status::FailedPrecondition("InferenceServer not running"));
+      return future;
+    }
+    queue_.push_back(std::move(pending));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void InferenceServer::WorkerLoop() {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ && drained
+      // Micro-batching: once one request is pending, give the queue up to
+      // max_wait_us to fill toward max_batch before draining.
+      if (options_.max_wait_us > 0 && !stop_) {
+        auto deadline = steady_clock::now() +
+                        std::chrono::microseconds(options_.max_wait_us);
+        while (static_cast<int>(queue_.size()) < options_.max_batch &&
+               !stop_) {
+          if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+            break;
+          }
+        }
+      }
+      int n = std::min<int>(static_cast<int>(queue_.size()),
+                            options_.max_batch);
+      batch.reserve(n);
+      for (int i = 0; i < n; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    // If more work remains, wake a sibling before the (long) forward
+    // passes below.
+    cv_.notify_one();
+    ProcessBatch(&batch);
+  }
+}
+
+void InferenceServer::ProcessBatch(std::vector<Pending>* batch) {
+  // One registry resolution per batch: a concurrent Publish() affects the
+  // NEXT batch; this one serves a consistent model version end to end.
+  std::shared_ptr<const ServableModel> snapshot = registry_->Current();
+  tensor::NoGradGuard no_grad;  // thread-local: no graph construction
+
+  metrics_.RecordBatch(batch->size());
+  for (Pending& p : *batch) {
+    Result<InferencePrediction> result = [&]() -> Result<InferencePrediction> {
+      if (snapshot == nullptr) {
+        return Status::FailedPrecondition("no model published");
+      }
+      const model::MtmlfQo& m = *snapshot->model;
+      if (p.request.db_index < 0 ||
+          p.request.db_index >= m.num_databases()) {
+        return Status::InvalidArgument("db_index out of range");
+      }
+      InferencePrediction pred;
+      pred.model_version = snapshot->version;
+      // The model version is part of the cache key: entries computed by a
+      // previous snapshot never leak through a hot-swap as stale answers.
+      std::string key;
+      if (options_.enable_cache) {
+        key = p.fingerprint + '@' + std::to_string(snapshot->version);
+        Prediction cached;
+        if (cache_.Get(key, &cached)) {
+          pred.card = cached.card;
+          pred.cost_ms = cached.cost_ms;
+          pred.cache_hit = true;
+          return pred;
+        }
+      }
+      model::MtmlfQo::Forward fwd =
+          m.Run(p.request.db_index, *p.request.query, *p.request.plan);
+      pred.card = m.NodeCardPredictions(fwd)[0];
+      pred.cost_ms = m.NodeCostPredictions(fwd)[0];
+      if (options_.enable_cache) {
+        cache_.Put(key, Prediction{pred.card, pred.cost_ms});
+      }
+      return pred;
+    }();
+
+    uint64_t latency_us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            steady_clock::now() - p.enqueued_at)
+            .count());
+    if (result.ok()) {
+      metrics_.RecordRequest(latency_us, result.value().cache_hit);
+    } else {
+      metrics_.RecordError();
+    }
+    p.promise.set_value(std::move(result));
+  }
+}
+
+}  // namespace mtmlf::serve

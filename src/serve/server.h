@@ -1,0 +1,120 @@
+#ifndef MTMLF_SERVE_SERVER_H_
+#define MTMLF_SERVE_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "query/plan.h"
+#include "query/query.h"
+#include "serve/cache.h"
+#include "serve/metrics.h"
+#include "serve/registry.h"
+
+namespace mtmlf::serve {
+
+/// One CardEst/CostEst call from the optimizer's hot path. The query and
+/// plan are borrowed: they must outlive the returned future's completion
+/// (the optimizer owns both for the duration of planning anyway).
+struct InferenceRequest {
+  int db_index = 0;
+  const query::Query* query = nullptr;
+  const query::PlanNode* plan = nullptr;
+};
+
+/// Root-node predictions plus serving provenance.
+struct InferencePrediction {
+  double card = 0.0;
+  double cost_ms = 0.0;
+  bool cache_hit = false;
+  uint64_t model_version = 0;
+};
+
+/// Micro-batching concurrent inference server over a ModelRegistry — the
+/// serving layer of the paper's customer-side deployment (Section 2): the
+/// pretrained model answers optimizer callouts from many client threads.
+///
+/// Clients call Submit() and get a std::future. Requests land in a
+/// mutex+condvar queue; worker threads drain it in batches of up to
+/// `max_batch`, waiting at most `max_wait_us` after the first pending
+/// request for the batch to fill. Each batch resolves the registry
+/// snapshot ONCE, so a Publish() hot-swap never tears a batch: requests
+/// in flight finish on the model they started with, the next batch picks
+/// up the new version. With the cache enabled, a batch first probes the
+/// sharded LRU by plan fingerprint and only runs the transformer forward
+/// pass on misses.
+class InferenceServer {
+ public:
+  struct Options {
+    int num_workers = 2;
+    /// Max requests fused into one queue drain.
+    int max_batch = 8;
+    /// How long a worker waits for a batch to fill once one request is
+    /// pending. 0 disables batching delay (latency-optimal, throughput-
+    /// pessimal).
+    int max_wait_us = 200;
+    bool enable_cache = true;
+    size_t cache_capacity = 4096;
+    int cache_shards = 8;
+  };
+
+  InferenceServer(ModelRegistry* registry, const Options& options);
+  /// Shuts down (joining workers) if still running.
+  ~InferenceServer();
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Spawns the worker pool. Fails if already started.
+  Status Start();
+
+  /// Stops accepting work, drains queued requests, joins workers.
+  /// Requests still queued at shutdown are failed with
+  /// kFailedPrecondition rather than dropped. Idempotent.
+  void Shutdown();
+
+  /// Enqueues one request. The future resolves to the prediction or to a
+  /// non-OK Status (no model published, invalid db_index, server down).
+  std::future<Result<InferencePrediction>> Submit(
+      const InferenceRequest& request);
+
+  const ServerMetrics& metrics() const { return metrics_; }
+  const PredictionCache* cache() const {
+    return options_.enable_cache ? &cache_ : nullptr;
+  }
+  bool running() const;
+
+ private:
+  struct Pending {
+    InferenceRequest request;
+    std::string fingerprint;
+    std::promise<Result<InferencePrediction>> promise;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+
+  void WorkerLoop();
+  void ProcessBatch(std::vector<Pending>* batch);
+
+  ModelRegistry* registry_;
+  Options options_;
+  PredictionCache cache_;
+  ServerMetrics metrics_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool started_ = false;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mtmlf::serve
+
+#endif  // MTMLF_SERVE_SERVER_H_

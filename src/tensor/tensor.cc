@@ -21,7 +21,9 @@ std::shared_ptr<Impl> MakeImpl(int rows, int cols) {
   return impl;
 }
 
-bool g_no_grad = false;
+// Thread-local so concurrent inference threads (serve/server.cc) can each
+// hold their own NoGradGuard without racing.
+thread_local bool g_no_grad = false;
 
 // Creates the result node of an op, wiring parents and requires_grad.
 // Under NoGradGuard the node is detached (no parents, no grad).

@@ -19,8 +19,12 @@ namespace mtmlf::tensor {
 /// (1, 1). Handles are cheap shared references to a graph node; the graph
 /// for one forward pass is freed when the last handle goes out of scope.
 ///
-/// Not thread-safe; the whole training stack is single-threaded by design
-/// (the evaluation machine has one core).
+/// Training is single-threaded by design (the evaluation machine has one
+/// core) and individual handles must not be shared between writers.
+/// Concurrent READ-ONLY forward passes are safe when each thread builds
+/// its own graph over shared frozen weights: ops never mutate their
+/// inputs, and the no-grad flag behind NoGradGuard is thread-local. The
+/// serving subsystem (src/serve) relies on exactly this contract.
 class Tensor {
  public:
   struct Impl {

@@ -1,0 +1,500 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <future>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "datagen/imdb_like.h"
+#include "model/mtmlf_qo.h"
+#include "nn/layers.h"
+#include "optimizer/baseline_card_est.h"
+#include "serve/cache.h"
+#include "serve/checkpoint.h"
+#include "serve/metrics.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "workload/dataset.h"
+
+namespace mtmlf::serve {
+namespace {
+
+featurize::ModelConfig TinyConfig() {
+  featurize::ModelConfig c;
+  c.d_feat = 8;
+  c.d_model = 16;
+  c.d_ff = 32;
+  c.enc_layers = 1;
+  c.enc_heads = 2;
+  c.share_layers = 1;
+  c.share_heads = 2;
+  c.jo_layers = 1;
+  c.jo_heads = 2;
+  c.head_hidden = 16;
+  return c;
+}
+
+struct Env {
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<optimizer::BaselineCardEstimator> baseline;
+  workload::Dataset dataset;
+  Env() {
+    SetLogLevel(0);
+    Rng rng(7);
+    db = datagen::BuildImdbLike({.scale = 0.05}, &rng).take();
+    baseline = std::make_unique<optimizer::BaselineCardEstimator>(db.get());
+    workload::DatasetOptions opts;
+    opts.num_queries = 40;
+    opts.single_table_queries_per_table = 4;
+    opts.generator.min_tables = 2;
+    opts.generator.max_tables = 5;
+    dataset = workload::BuildDataset(db.get(), baseline.get(), opts).take();
+  }
+};
+
+Env& GetEnv() {
+  static Env* env = new Env();
+  return *env;
+}
+
+std::unique_ptr<model::MtmlfQo> MakeModel(uint64_t seed) {
+  Env& env = GetEnv();
+  auto m = std::make_unique<model::MtmlfQo>(TinyConfig(), seed);
+  m->AddDatabase(env.db.get(), env.baseline.get());
+  return m;
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// Root card/cost predictions of a direct (unserved) forward pass.
+Prediction DirectPredict(const model::MtmlfQo& m,
+                         const workload::LabeledQuery& lq) {
+  tensor::NoGradGuard guard;
+  auto fwd = m.Run(0, lq.query, *lq.plan);
+  return {m.NodeCardPredictions(fwd)[0], m.NodeCostPredictions(fwd)[0]};
+}
+
+// --------------------------------------------------------------------------
+// Checkpointing
+// --------------------------------------------------------------------------
+
+TEST(Crc32Test, MatchesKnownVector) {
+  // The canonical IEEE CRC32 check value.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(CheckpointTest, NamedParametersAreUniqueAndCoverEverything) {
+  auto m = MakeModel(11);
+  auto named = m->NamedParameters();
+  std::set<std::string> names;
+  size_t scalars = 0;
+  for (const auto& [name, t] : named) {
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+    scalars += t.size();
+  }
+  EXPECT_EQ(named.size(), m->Parameters().size());
+  EXPECT_EQ(scalars, m->NumParameters());
+  EXPECT_GT(scalars, 1000u);
+}
+
+TEST(CheckpointTest, RoundTripIsBitExactAndReproducesPredictions) {
+  Env& env = GetEnv();
+  auto original = MakeModel(1);
+  auto reloaded = MakeModel(2);  // different seed => different weights
+
+  const auto& lq = env.dataset.queries.front();
+  Prediction before_load = DirectPredict(*reloaded, lq);
+  Prediction truth = DirectPredict(*original, lq);
+  EXPECT_NE(before_load.card, truth.card);  // seeds actually differ
+
+  const std::string path = TempPath("roundtrip.mtcp");
+  ASSERT_TRUE(SaveCheckpoint(path, *original).ok());
+  ASSERT_TRUE(LoadCheckpoint(path, reloaded.get()).ok());
+
+  // Every parameter is bit-identical after the round trip.
+  auto a = original->NamedParameters();
+  auto b = reloaded->NamedParameters();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].first, b[i].first);
+    ASSERT_EQ(a[i].second.size(), b[i].second.size());
+    for (size_t k = 0; k < a[i].second.size(); ++k) {
+      ASSERT_EQ(a[i].second.data()[k], b[i].second.data()[k])
+          << a[i].first << "[" << k << "]";
+    }
+  }
+  // And the loaded model reproduces the original's predictions exactly.
+  for (size_t qi : env.dataset.split.test) {
+    Prediction p1 = DirectPredict(*original, env.dataset.queries[qi]);
+    Prediction p2 = DirectPredict(*reloaded, env.dataset.queries[qi]);
+    EXPECT_EQ(p1.card, p2.card);
+    EXPECT_EQ(p1.cost_ms, p2.cost_ms);
+  }
+}
+
+TEST(CheckpointTest, SharedTaskCheckpointShipsAcrossModels) {
+  // The paper's cloud/customer split: only the database-agnostic (S)/(T)
+  // group travels; the customer keeps its own featurizer.
+  auto cloud = MakeModel(3);
+  auto customer = MakeModel(4);
+  const std::string path = TempPath("shared_task.mtcp");
+  std::vector<nn::NamedParam> shipped;
+  cloud->CollectSharedTaskNamedParameters(&shipped);
+  ASSERT_TRUE(SaveCheckpoint(path, shipped).ok());
+
+  std::vector<nn::NamedParam> dst;
+  customer->CollectSharedTaskNamedParameters(&dst);
+  ASSERT_TRUE(LoadCheckpoint(path, dst).ok());
+
+  std::vector<tensor::Tensor> a, b;
+  cloud->CollectSharedTaskParameters(&a);
+  customer->CollectSharedTaskParameters(&b);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t k = 0; k < a[i].size(); ++k) {
+      ASSERT_EQ(a[i].data()[k], b[i].data()[k]);
+    }
+  }
+}
+
+TEST(CheckpointTest, RejectsCorruptedPayload) {
+  Rng rng(5);
+  nn::Linear layer(6, 4, &rng);
+  const std::string path = TempPath("corrupt.mtcp");
+  ASSERT_TRUE(SaveCheckpoint(path, layer).ok());
+
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+  bytes[bytes.size() / 2] ^= 0x40;  // flip one payload bit
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  Status st = LoadCheckpoint(path, &layer);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("CRC32"), std::string::npos) << st.ToString();
+}
+
+TEST(CheckpointTest, RejectsTruncatedFile) {
+  Rng rng(5);
+  nn::Linear layer(6, 4, &rng);
+  const std::string path = TempPath("truncated.mtcp");
+  ASSERT_TRUE(SaveCheckpoint(path, layer).ok());
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+  bytes.resize(bytes.size() - 9);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  EXPECT_FALSE(LoadCheckpoint(path, &layer).ok());
+}
+
+TEST(CheckpointTest, RejectsBadMagicAndVersionMismatch) {
+  Rng rng(5);
+  nn::Linear layer(6, 4, &rng);
+  const std::string path = TempPath("tampered.mtcp");
+  ASSERT_TRUE(SaveCheckpoint(path, layer).ok());
+  std::string bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes.assign((std::istreambuf_iterator<char>(in)),
+                 std::istreambuf_iterator<char>());
+  }
+  // Future format version.
+  std::string v2 = bytes;
+  v2[4] = 99;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(v2.data(), static_cast<std::streamsize>(v2.size()));
+  }
+  Status st = LoadCheckpoint(path, &layer);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("version"), std::string::npos) << st.ToString();
+
+  // Not an MTCP file at all.
+  std::string garbage = "definitely not a checkpoint";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(garbage.data(), static_cast<std::streamsize>(garbage.size()));
+  }
+  st = LoadCheckpoint(path, &layer);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("magic"), std::string::npos) << st.ToString();
+
+  EXPECT_FALSE(LoadCheckpoint(TempPath("missing.mtcp"), &layer).ok());
+}
+
+TEST(CheckpointTest, RejectsShapeAndNameMismatch) {
+  Rng rng(5);
+  nn::Linear saved(6, 4, &rng);
+  const std::string path = TempPath("mismatch.mtcp");
+  ASSERT_TRUE(SaveCheckpoint(path, saved).ok());
+
+  nn::Linear reshaped(4, 6, &rng);  // same names, transposed shapes
+  Status st = LoadCheckpoint(path, &reshaped);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("shape"), std::string::npos) << st.ToString();
+
+  nn::LayerNorm renamed(4);  // same tensor count, different names
+  st = LoadCheckpoint(path, &renamed);
+  ASSERT_FALSE(st.ok());
+
+  // Validation failures must leave the destination untouched.
+  auto gamma = renamed.NamedParameters()[0].second;
+  EXPECT_EQ(gamma.data()[0], 1.0f);
+}
+
+// --------------------------------------------------------------------------
+// Cache
+// --------------------------------------------------------------------------
+
+TEST(PredictionCacheTest, LruEvictionOrder) {
+  PredictionCache cache(3, /*num_shards=*/1);
+  cache.Put("a", {1, 1});
+  cache.Put("b", {2, 2});
+  cache.Put("c", {3, 3});
+  Prediction out;
+  ASSERT_TRUE(cache.Get("a", &out));  // promote a over b, c
+  cache.Put("d", {4, 4});             // evicts b (least recently used)
+  EXPECT_FALSE(cache.Get("b", &out));
+  EXPECT_TRUE(cache.Get("a", &out));
+  EXPECT_EQ(out.card, 1);
+  EXPECT_TRUE(cache.Get("c", &out));
+  EXPECT_TRUE(cache.Get("d", &out));
+  EXPECT_EQ(cache.size(), 3u);
+
+  // Refreshing an existing key does not grow the cache.
+  cache.Put("d", {5, 5});
+  EXPECT_EQ(cache.size(), 3u);
+  ASSERT_TRUE(cache.Get("d", &out));
+  EXPECT_EQ(out.card, 5);
+}
+
+TEST(PredictionCacheTest, FingerprintSeparatesQueriesAndPlans) {
+  Env& env = GetEnv();
+  const auto& qs = env.dataset.queries;
+  std::set<std::string> keys;
+  for (size_t i = 0; i < std::min<size_t>(qs.size(), 20); ++i) {
+    keys.insert(PlanFingerprint(0, qs[i].query, *qs[i].plan));
+  }
+  EXPECT_EQ(keys.size(), std::min<size_t>(qs.size(), 20));
+  // Same query, same plan => same key; different db_index => different key.
+  EXPECT_EQ(PlanFingerprint(0, qs[0].query, *qs[0].plan),
+            PlanFingerprint(0, qs[0].query, *qs[0].plan));
+  EXPECT_NE(PlanFingerprint(0, qs[0].query, *qs[0].plan),
+            PlanFingerprint(1, qs[0].query, *qs[0].plan));
+  // An alternative plan for the same query gets its own key.
+  for (const auto& lq : qs) {
+    if (lq.alt_plans.empty()) continue;
+    EXPECT_NE(PlanFingerprint(0, lq.query, *lq.plan),
+              PlanFingerprint(0, lq.query, *lq.alt_plans[0]));
+    break;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Metrics
+// --------------------------------------------------------------------------
+
+TEST(LatencyHistogramTest, PercentilesApproximateTruth) {
+  LatencyHistogram h;
+  for (uint64_t us = 1; us <= 1000; ++us) h.Record(us);
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_NEAR(h.PercentileUs(0.50), 500.0, 500.0 * 0.10);
+  EXPECT_NEAR(h.PercentileUs(0.95), 950.0, 950.0 * 0.10);
+  EXPECT_NEAR(h.PercentileUs(0.99), 990.0, 990.0 * 0.10);
+  EXPECT_NEAR(h.MeanUs(), 500.5, 1.0);
+}
+
+// --------------------------------------------------------------------------
+// Registry
+// --------------------------------------------------------------------------
+
+TEST(ModelRegistryTest, RegisterPublishDropSemantics) {
+  ModelRegistry registry;
+  EXPECT_EQ(registry.Current(), nullptr);
+  EXPECT_EQ(registry.CurrentVersion(), 0u);
+
+  std::shared_ptr<const model::MtmlfQo> m1 = MakeModel(1);
+  std::shared_ptr<const model::MtmlfQo> m2 = MakeModel(2);
+  ASSERT_TRUE(registry.Register(1, m1).ok());
+  ASSERT_TRUE(registry.Register(2, m2).ok());
+  EXPECT_FALSE(registry.Register(1, m1).ok());     // duplicate
+  EXPECT_FALSE(registry.Register(3, nullptr).ok());  // null
+  EXPECT_FALSE(registry.Register(0, m1).ok());     // reserved
+
+  EXPECT_EQ(registry.CurrentVersion(), 0u);  // registered != published
+  EXPECT_FALSE(registry.Publish(9).ok());
+  ASSERT_TRUE(registry.Publish(1).ok());
+  EXPECT_EQ(registry.CurrentVersion(), 1u);
+  ASSERT_TRUE(registry.Publish(2).ok());
+  EXPECT_EQ(registry.CurrentVersion(), 2u);
+  EXPECT_EQ(registry.Current()->model.get(), m2.get());
+
+  EXPECT_FALSE(registry.Drop(2).ok());  // cannot drop the published version
+  EXPECT_TRUE(registry.Drop(1).ok());
+  EXPECT_EQ(registry.Versions(), std::vector<uint64_t>{2});
+}
+
+// --------------------------------------------------------------------------
+// Server
+// --------------------------------------------------------------------------
+
+TEST(InferenceServerTest, ServesPredictionsIdenticalToDirectForward) {
+  Env& env = GetEnv();
+  ModelRegistry registry;
+  std::shared_ptr<const model::MtmlfQo> m = MakeModel(21);
+  ASSERT_TRUE(registry.Register(1, m).ok());
+  ASSERT_TRUE(registry.Publish(1).ok());
+
+  InferenceServer::Options opts;
+  opts.num_workers = 2;
+  InferenceServer server(&registry, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  const auto& lq = env.dataset.queries.front();
+  Prediction truth = DirectPredict(*m, lq);
+
+  auto f1 = server.Submit({0, &lq.query, lq.plan.get()});
+  auto r1 = f1.get();
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_EQ(r1.value().card, truth.card);
+  EXPECT_EQ(r1.value().cost_ms, truth.cost_ms);
+  EXPECT_FALSE(r1.value().cache_hit);
+  EXPECT_EQ(r1.value().model_version, 1u);
+
+  // Identical resubmission is a cache hit with the identical answer.
+  auto f2 = server.Submit({0, &lq.query, lq.plan.get()});
+  auto r2 = f2.get();
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(r2.value().cache_hit);
+  EXPECT_EQ(r2.value().card, truth.card);
+  EXPECT_EQ(r2.value().cost_ms, truth.cost_ms);
+
+  // Bad requests fail with a Status, never a crash.
+  auto f3 = server.Submit({99, &lq.query, lq.plan.get()});
+  EXPECT_FALSE(f3.get().ok());
+  auto f4 = server.Submit({0, nullptr, nullptr});
+  EXPECT_FALSE(f4.get().ok());
+
+  server.Shutdown();
+  EXPECT_GE(server.metrics().requests(), 2u);
+  EXPECT_EQ(server.metrics().cache_hits(), 1u);
+
+  // Submitting after shutdown fails fast.
+  auto f5 = server.Submit({0, &lq.query, lq.plan.get()});
+  EXPECT_FALSE(f5.get().ok());
+}
+
+TEST(InferenceServerTest, FailsWhenNothingPublished) {
+  Env& env = GetEnv();
+  ModelRegistry registry;  // empty
+  InferenceServer server(&registry, {});
+  ASSERT_TRUE(server.Start().ok());
+  const auto& lq = env.dataset.queries.front();
+  auto f = server.Submit({0, &lq.query, lq.plan.get()});
+  Status st = f.get().status();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(InferenceServerTest, HotSwapMidTrafficIsAtomicAndUntorn) {
+  // >= 4 client threads x >= 200 requests racing a publisher thread that
+  // flips between two model versions. Every response must exactly match
+  // one of the two models' direct predictions for that query — a torn
+  // read (half-swapped weights) would produce a value matching neither.
+  Env& env = GetEnv();
+  ModelRegistry registry;
+  std::shared_ptr<const model::MtmlfQo> v1 = MakeModel(31);
+  std::shared_ptr<const model::MtmlfQo> v2 = MakeModel(32);
+  ASSERT_TRUE(registry.Register(1, v1).ok());
+  ASSERT_TRUE(registry.Register(2, v2).ok());
+  ASSERT_TRUE(registry.Publish(1).ok());
+
+  const int kNumQueries = 8;
+  std::vector<const workload::LabeledQuery*> queries;
+  for (int i = 0; i < kNumQueries; ++i) {
+    queries.push_back(&env.dataset.queries[i]);
+  }
+  std::vector<Prediction> truth_v1, truth_v2;
+  for (const auto* lq : queries) {
+    truth_v1.push_back(DirectPredict(*v1, *lq));
+    truth_v2.push_back(DirectPredict(*v2, *lq));
+  }
+
+  InferenceServer::Options opts;
+  opts.num_workers = 3;
+  opts.max_batch = 8;
+  opts.max_wait_us = 100;
+  InferenceServer server(&registry, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 200;
+  std::atomic<bool> swapping{true};
+  std::thread swapper([&] {
+    uint64_t v = 2;
+    while (swapping.load()) {
+      ASSERT_TRUE(registry.Publish(v).ok());
+      v = 3 - v;  // 1 <-> 2
+      std::this_thread::yield();
+    }
+  });
+
+  std::atomic<int> failures{0};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kRequestsPerClient; ++i) {
+        int qi = (c + i) % kNumQueries;
+        auto f = server.Submit(
+            {0, &queries[qi]->query, queries[qi]->plan.get()});
+        auto r = f.get();
+        if (!r.ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        const Prediction& expect =
+            r.value().model_version == 1 ? truth_v1[qi] : truth_v2[qi];
+        if (r.value().card != expect.card ||
+            r.value().cost_ms != expect.cost_ms) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  swapping.store(false);
+  swapper.join();
+  server.Shutdown();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(server.metrics().requests(),
+            static_cast<uint64_t>(kClients * kRequestsPerClient));
+  // Both versions actually served under the swap storm.
+  EXPECT_GT(server.metrics().cache_hits(), 0u);
+}
+
+}  // namespace
+}  // namespace mtmlf::serve

@@ -33,16 +33,19 @@ struct RunResult {
   double p50 = 0.0, p95 = 0.0, p99 = 0.0;
   double hit_rate = 0.0;
   double mean_batch = 0.0;
+  double mean_fused_group = 0.0;
 };
 
 RunResult RunConfig(serve::ModelRegistry* registry,
                     const std::vector<const workload::LabeledQuery*>& queries,
-                    int client_threads, bool cache, int total_requests) {
+                    int client_threads, bool cache, int total_requests,
+                    bool fused = true) {
   serve::InferenceServer::Options opts;
   opts.num_workers = client_threads == 1 ? 1 : 2;
   opts.max_batch = client_threads == 1 ? 1 : 8;
   opts.max_wait_us = client_threads == 1 ? 0 : 200;
   opts.enable_cache = cache;
+  opts.batched_forward = fused;
   serve::InferenceServer server(registry, opts);
   MTMLF_CHECK(server.Start().ok(), "server start");
 
@@ -70,6 +73,7 @@ RunResult RunConfig(serve::ModelRegistry* registry,
   res.p99 = m.latency().PercentileUs(0.99);
   res.hit_rate = m.CacheHitRate();
   res.mean_batch = m.MeanBatchSize();
+  res.mean_fused_group = m.MeanFusedGroupSize();
   return res;
 }
 
@@ -135,5 +139,27 @@ int main() {
   std::printf("\nbest batched multi-threaded config: %s at %.0f qps = "
               "%.1fx the single-thread unbatched baseline\n",
               best_name.c_str(), best_qps, best_qps / base.qps);
+
+  // Head-to-head for the fused tensor forward itself: 8 clients, cache
+  // OFF, so every request takes a forward pass and the only difference is
+  // per-request Run() vs grouped RunBatch(). This isolates the batched-
+  // kernel speedup from the (much larger) cache-hit effect.
+  std::printf("\nfused RunBatch vs per-request Run, 8 clients, cache off:\n");
+  RunResult scalar = RunConfig(&registry, queries, /*client_threads=*/8,
+                               /*cache=*/false, total_requests,
+                               /*fused=*/false);
+  RunResult fused = RunConfig(&registry, queries, /*client_threads=*/8,
+                              /*cache=*/false, total_requests,
+                              /*fused=*/true);
+  std::printf("%-28s %10.0f %9.0f %9.0f %9.0f %9.2f %7.2f\n",
+              "  scalar Run() per request", scalar.qps, scalar.p50,
+              scalar.p95, scalar.p99, scalar.hit_rate, scalar.mean_batch);
+  std::printf("%-28s %10.0f %9.0f %9.0f %9.0f %9.2f %7.2f\n",
+              "  fused RunBatch groups", fused.qps, fused.p50, fused.p95,
+              fused.p99, fused.hit_rate, fused.mean_batch);
+  std::printf("fused speedup: %.2fx qps (p95 %.0fus -> %.0fus, mean fused "
+              "group %.1f)\n",
+              fused.qps / scalar.qps, scalar.p95, fused.p95,
+              fused.mean_fused_group);
   return 0;
 }

@@ -109,6 +109,51 @@ Featurizer::TableEncoding Featurizer::EncodeTableFilters(
   return {repr, log_card};
 }
 
+std::vector<Featurizer::TableEncoding> Featurizer::EncodeTableFiltersBatch(
+    int table,
+    const std::vector<const std::vector<FilterPredicate>*>& filter_sets)
+    const {
+  const int batch = static_cast<int>(filter_sets.size());
+  MTMLF_CHECK(batch >= 1, "EncodeTableFiltersBatch: empty batch");
+  std::vector<std::vector<Tensor>> seq_rows(filter_sets.size());
+  std::vector<int> valid_lens(filter_sets.size());
+  int l_pad = 0;
+  for (size_t b = 0; b < filter_sets.size(); ++b) {
+    seq_rows[b].push_back(cls_);
+    for (const auto& f : *filter_sets[b]) {
+      MTMLF_CHECK(f.table == table, "EncodeTableFiltersBatch: wrong table");
+      seq_rows[b].push_back(EmbedPredicate(f));
+    }
+    valid_lens[b] = static_cast<int>(seq_rows[b].size());
+    l_pad = std::max(l_pad, valid_lens[b]);
+  }
+  std::vector<Tensor> stacked;
+  stacked.reserve(filter_sets.size() * 2);
+  for (size_t b = 0; b < filter_sets.size(); ++b) {
+    for (const auto& row : seq_rows[b]) stacked.push_back(row);
+    if (valid_lens[b] < l_pad) {
+      stacked.push_back(Tensor::Zeros(l_pad - valid_lens[b], config_.d_feat));
+    }
+  }
+  Tensor seq = tensor::ConcatRows(stacked);  // (B * l_pad, d_feat)
+  Tensor enc = encoders_[table]->ForwardBatched(seq, batch, valid_lens);
+
+  // [CLS] row of every slice, then one fused card-head pass over them.
+  std::vector<Tensor> reprs;
+  reprs.reserve(filter_sets.size());
+  for (int b = 0; b < batch; ++b) {
+    reprs.push_back(tensor::SliceRows(enc, b * l_pad, 1));
+  }
+  Tensor log_cards = enc_card_heads_[table]->Forward(
+      batch == 1 ? reprs[0] : tensor::ConcatRows(reprs));  // (B, 1)
+  std::vector<TableEncoding> out;
+  out.reserve(filter_sets.size());
+  for (int b = 0; b < batch; ++b) {
+    out.push_back({reprs[b], tensor::SliceRows(log_cards, b, 1)});
+  }
+  return out;
+}
+
 Tensor Featurizer::TableEmbedding(int table) const {
   return table_emb_->Forward({table});
 }

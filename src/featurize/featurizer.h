@@ -44,6 +44,16 @@ class Featurizer : public nn::Module {
   TableEncoding EncodeTableFilters(
       int table, const std::vector<query::FilterPredicate>& filters) const;
 
+  /// Encodes several filter sets on the SAME table in one fused Enc_i
+  /// forward pass (sequences padded to the longest set, padding masked).
+  /// Element b is bit-identical to EncodeTableFilters(table,
+  /// *filter_sets[b]); the fusion is how the serving layer amortizes Enc_i
+  /// GEMMs across the plans of a micro-batch.
+  std::vector<TableEncoding> EncodeTableFiltersBatch(
+      int table,
+      const std::vector<const std::vector<query::FilterPredicate>*>&
+          filter_sets) const;
+
   /// Learned per-table embedding, (1, d_feat).
   tensor::Tensor TableEmbedding(int table) const;
 

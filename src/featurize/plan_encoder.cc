@@ -11,8 +11,22 @@ using query::PlanNode;
 using query::Query;
 using tensor::Tensor;
 
+const Featurizer::TableEncoding& PlanEncoder::CachedEncoding(
+    const Query& q, int table, PlanEncodingCache* cache) const {
+  auto it = cache->table_enc.find(table);
+  if (it == cache->table_enc.end()) {
+    it = cache->table_enc
+             .emplace(table,
+                      featurizer_->EncodeTableFilters(table,
+                                                      q.FiltersOf(table)))
+             .first;
+  }
+  return it->second;
+}
+
 std::vector<float> PlanEncoder::NodeStats(const Query& q,
-                                          const PlanNode& node) const {
+                                          const PlanNode& node,
+                                          PlanEncodingCache* cache) const {
   const auto* db = featurizer_->db();
   const auto* stats = featurizer_->stats();
   std::vector<int> tables = node.BaseTables();
@@ -25,7 +39,14 @@ std::vector<float> PlanEncoder::NodeStats(const Query& q,
     raw_rows += static_cast<double>(db->table(t).num_rows());
     auto fs = q.FiltersOf(t);
     num_filters += static_cast<int>(fs.size());
-    double enc_card = featurizer_->PredictFilterCard(t, fs);
+    // The memoized log_card is the same float the fresh forward inside
+    // PredictFilterCard would produce, so both branches yield the same
+    // double.
+    double enc_card =
+        cache != nullptr
+            ? std::expm1(static_cast<double>(
+                  CachedEncoding(q, t, cache).log_card.item()))
+            : featurizer_->PredictFilterCard(t, fs);
     double lc = std::log1p(std::max(enc_card, 0.0));
     enc_log_sum += lc;
     enc_log_min = std::min(enc_log_min, lc);
@@ -58,7 +79,8 @@ std::vector<float> PlanEncoder::NodeStats(const Query& q,
 }
 
 Tensor PlanEncoder::EncodeNode(const Query& q, const PlanNode& node,
-                               const std::vector<int>& path) const {
+                               const std::vector<int>& path,
+                               PlanEncodingCache* cache) const {
   const auto& cfg = featurizer_->config();
   std::vector<int> tables = node.BaseTables();
 
@@ -74,8 +96,11 @@ Tensor PlanEncoder::EncodeNode(const Query& q, const PlanNode& node,
   Tensor filter_enc;
   if (node.IsLeaf()) {
     filter_enc =
-        featurizer_->EncodeTableFilters(node.table, q.FiltersOf(node.table))
-            .repr;
+        cache != nullptr
+            ? CachedEncoding(q, node.table, cache).repr
+            : featurizer_
+                  ->EncodeTableFilters(node.table, q.FiltersOf(node.table))
+                  .repr;
   } else {
     filter_enc = Tensor::Zeros(1, cfg.d_feat);
   }
@@ -85,7 +110,7 @@ Tensor PlanEncoder::EncodeNode(const Query& q, const PlanNode& node,
                               kNumStats + 2 * cfg.max_tree_depth,
                           0.0f);
   tail[static_cast<size_t>(node.op)] = 1.0f;
-  std::vector<float> stats = NodeStats(q, node);
+  std::vector<float> stats = NodeStats(q, node, cache);
   std::copy(stats.begin(), stats.end(),
             tail.begin() + query::kNumPhysicalOps);
   size_t path_off = static_cast<size_t>(query::kNumPhysicalOps) + kNumStats;
@@ -120,12 +145,13 @@ void Walk(const PlanEncoder& enc, const Query& q, const PlanNode& node,
 }  // namespace
 
 Tensor PlanEncoder::EncodePlan(const Query& q, const PlanNode& root,
-                               std::vector<const PlanNode*>* nodes_out)
-    const {
+                               std::vector<const PlanNode*>* nodes_out,
+                               PlanEncodingCache* cache) const {
   std::vector<Tensor> rows;
   std::vector<int> path;
-  auto encode = [this, &q](const PlanNode& n, const std::vector<int>& p) {
-    return EncodeNode(q, n, p);
+  auto encode = [this, &q, cache](const PlanNode& n,
+                                  const std::vector<int>& p) {
+    return EncodeNode(q, n, p, cache);
   };
   Walk(*this, q, root, &path, &rows, nodes_out, encode);
   return tensor::ConcatRows(rows);

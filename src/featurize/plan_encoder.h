@@ -1,6 +1,7 @@
 #ifndef MTMLF_FEATURIZE_PLAN_ENCODER_H_
 #define MTMLF_FEATURIZE_PLAN_ENCODER_H_
 
+#include <unordered_map>
 #include <vector>
 
 #include "featurize/featurizer.h"
@@ -9,6 +10,17 @@
 #include "tensor/tensor.h"
 
 namespace mtmlf::featurize {
+
+/// Per-plan memo of Enc_i work. For a fixed query, FiltersOf(t) never
+/// changes, so every plan node covering table t can share ONE Enc_i
+/// forward; without the memo NodeStats re-runs the table encoder for every
+/// table of every node — O(T^2) transformer forwards per plan. The batched
+/// serving path (MtmlfQo::RunBatch) pre-fills the memo with encodings
+/// computed in fused cross-plan batches. Values are reproduced exactly:
+/// memoized and non-memoized encodings are bit-identical.
+struct PlanEncodingCache {
+  std::unordered_map<int, Featurizer::TableEncoding> table_enc;
+};
 
 /// The paper's serializer (F.iii): converts the tree-structured plan P
 /// into the sequence E(P) = (E(N_1), E(N_2), ...) in pre-order, using tree
@@ -40,21 +52,31 @@ class PlanEncoder {
 
   /// Encodes the plan; returns (L, input_dim) with L = #nodes in pre-order.
   /// `nodes_out`, if non-null, receives the matching pre-order node list.
+  /// `cache`, if non-null, memoizes per-table Enc_i encodings across the
+  /// plan's nodes (and may arrive pre-filled by a batched caller).
   tensor::Tensor EncodePlan(
       const query::Query& q, const query::PlanNode& root,
-      std::vector<const query::PlanNode*>* nodes_out) const;
+      std::vector<const query::PlanNode*>* nodes_out,
+      PlanEncodingCache* cache = nullptr) const;
 
   /// The numeric statistics slice for one node (exposed for tests and for
   /// the Tree-LSTM baseline, which consumes the same features).
   std::vector<float> NodeStats(const query::Query& q,
-                               const query::PlanNode& node) const;
+                               const query::PlanNode& node,
+                               PlanEncodingCache* cache = nullptr) const;
 
   const Featurizer* featurizer() const { return featurizer_; }
 
  private:
   tensor::Tensor EncodeNode(const query::Query& q,
                             const query::PlanNode& node,
-                            const std::vector<int>& path) const;
+                            const std::vector<int>& path,
+                            PlanEncodingCache* cache) const;
+
+  /// Looks up (or computes and memoizes) the Enc_i encoding of `table`
+  /// under q's filters.
+  const Featurizer::TableEncoding& CachedEncoding(
+      const query::Query& q, int table, PlanEncodingCache* cache) const;
 
   const Featurizer* featurizer_;
 };

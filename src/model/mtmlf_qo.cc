@@ -1,8 +1,9 @@
 #include "model/mtmlf_qo.h"
 
 #include <algorithm>
-#include <unordered_map>
 #include <cmath>
+#include <map>
+#include <unordered_map>
 
 #include "common/logging.h"
 #include "model/joeu.h"
@@ -41,6 +42,30 @@ int MtmlfQo::AddDatabase(const storage::Database* db,
   return static_cast<int>(featurizers_.size()) - 1;
 }
 
+namespace {
+
+// Join-order memory: the leaf rows of the shared representation, one per
+// query table, in q.tables order.
+Tensor BuildJoMemory(const Query& q, const Tensor& shared,
+                     const std::vector<const PlanNode*>& nodes) {
+  std::vector<Tensor> mem_rows;
+  mem_rows.reserve(q.tables.size());
+  for (int t : q.tables) {
+    int row = -1;
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i]->IsLeaf() && nodes[i]->table == t) {
+        row = static_cast<int>(i);
+        break;
+      }
+    }
+    MTMLF_CHECK(row >= 0, "Run: plan does not cover a query table");
+    mem_rows.push_back(tensor::SliceRows(shared, row, 1));
+  }
+  return tensor::ConcatRows(mem_rows);
+}
+
+}  // namespace
+
 MtmlfQo::Forward MtmlfQo::Run(int db_index, const Query& q,
                               const PlanNode& plan) const {
   Forward fwd;
@@ -50,24 +75,83 @@ MtmlfQo::Forward MtmlfQo::Run(int db_index, const Query& q,
   fwd.shared = trans_share_->Forward(projected);  // (L, d_model)
   fwd.log_card = card_head_->Forward(fwd.shared);
   fwd.log_cost = cost_head_->Forward(fwd.shared);
-
-  // Join-order memory: the leaf rows of the shared representation, one per
-  // query table, in q.tables order.
-  std::vector<Tensor> mem_rows;
-  mem_rows.reserve(q.tables.size());
-  for (int t : q.tables) {
-    int row = -1;
-    for (size_t i = 0; i < fwd.nodes.size(); ++i) {
-      if (fwd.nodes[i]->IsLeaf() && fwd.nodes[i]->table == t) {
-        row = static_cast<int>(i);
-        break;
-      }
-    }
-    MTMLF_CHECK(row >= 0, "Run: plan does not cover a query table");
-    mem_rows.push_back(tensor::SliceRows(fwd.shared, row, 1));
-  }
-  fwd.jo_memory = tensor::ConcatRows(mem_rows);
+  fwd.jo_memory = BuildJoMemory(q, fwd.shared, fwd.nodes);
   return fwd;
+}
+
+std::vector<MtmlfQo::Forward> MtmlfQo::RunBatch(
+    int db_index, std::span<const PlanRef> plans) const {
+  const int batch = static_cast<int>(plans.size());
+  std::vector<Forward> out(plans.size());
+  if (batch == 0) return out;
+  const featurize::PlanEncoder& encoder = *plan_encoders_[db_index];
+  const featurize::Featurizer& feat = *featurizers_[db_index];
+
+  // Stage 1 — fused Enc_i featurization. Group (plan, table) pairs by
+  // table (each table has its own encoder) and run one batched Enc_i
+  // forward per table, pre-filling each plan's encoding memo. std::map
+  // keeps the per-table batch order deterministic.
+  std::vector<featurize::PlanEncodingCache> caches(plans.size());
+  std::vector<std::vector<std::vector<query::FilterPredicate>>> filters(
+      plans.size());
+  std::map<int, std::vector<size_t>> plans_of_table;
+  for (size_t p = 0; p < plans.size(); ++p) {
+    for (int t : plans[p].query->tables) plans_of_table[t].push_back(p);
+  }
+  for (const auto& [table, members] : plans_of_table) {
+    std::vector<const std::vector<query::FilterPredicate>*> sets;
+    sets.reserve(members.size());
+    for (size_t p : members) {
+      filters[p].push_back(plans[p].query->FiltersOf(table));
+      sets.push_back(&filters[p].back());
+    }
+    std::vector<featurize::Featurizer::TableEncoding> encs =
+        feat.EncodeTableFiltersBatch(table, sets);
+    for (size_t i = 0; i < members.size(); ++i) {
+      caches[members[i]].table_enc.emplace(table, std::move(encs[i]));
+    }
+  }
+
+  // Stage 2 — per-plan serialization (cheap: the Enc_i forwards are all
+  // memoized now), padded to the longest plan.
+  std::vector<Tensor> encodings(plans.size());
+  std::vector<int> valid_lens(plans.size());
+  int l_pad = 0;
+  for (size_t p = 0; p < plans.size(); ++p) {
+    encodings[p] = encoder.EncodePlan(*plans[p].query, *plans[p].plan,
+                                      &out[p].nodes, &caches[p]);
+    valid_lens[p] = encodings[p].rows();
+    l_pad = std::max(l_pad, valid_lens[p]);
+  }
+  std::vector<Tensor> stacked;
+  stacked.reserve(plans.size() * 2);
+  for (size_t p = 0; p < plans.size(); ++p) {
+    stacked.push_back(encodings[p]);
+    if (valid_lens[p] < l_pad) {
+      stacked.push_back(
+          Tensor::Zeros(l_pad - valid_lens[p], encodings[p].cols()));
+    }
+  }
+  Tensor inputs = tensor::ConcatRows(stacked);  // (B * l_pad, input_dim)
+
+  // Stage 3 — one fused pass through (S) and the (T) heads. The heads run
+  // over padding rows too (their outputs are discarded below); that wastes
+  // a few GEMM rows but keeps everything a single call.
+  Tensor projected = input_proj_->Forward(inputs);
+  Tensor shared = trans_share_->ForwardBatched(projected, batch, valid_lens);
+  Tensor log_card = card_head_->Forward(shared);
+  Tensor log_cost = cost_head_->Forward(shared);
+
+  // Stage 4 — unpack each plan's rows.
+  for (size_t p = 0; p < plans.size(); ++p) {
+    const int start = static_cast<int>(p) * l_pad;
+    out[p].shared = tensor::SliceRows(shared, start, valid_lens[p]);
+    out[p].log_card = tensor::SliceRows(log_card, start, valid_lens[p]);
+    out[p].log_cost = tensor::SliceRows(log_cost, start, valid_lens[p]);
+    out[p].jo_memory =
+        BuildJoMemory(*plans[p].query, out[p].shared, out[p].nodes);
+  }
+  return out;
 }
 
 namespace {

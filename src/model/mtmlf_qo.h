@@ -2,6 +2,7 @@
 #define MTMLF_MODEL_MTMLF_QO_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/status.h"
@@ -61,6 +62,25 @@ class MtmlfQo : public nn::Module {
   };
   Forward Run(int db_index, const query::Query& q,
               const query::PlanNode& plan) const;
+
+  /// One (query, plan) element of a RunBatch call. Both pointers must stay
+  /// valid for the duration of the call.
+  struct PlanRef {
+    const query::Query* query;
+    const query::PlanNode* plan;
+  };
+
+  /// Runs B plans of one database in fused forward passes: Enc_i table
+  /// encodings are batched per table across plans, and the plan encodings
+  /// are padded to the longest plan and pushed through (S) and the card /
+  /// cost heads in single batched calls (padding rows are masked out of
+  /// attention and layer norm). Element i is bit-identical to
+  /// Run(db_index, *plans[i].query, *plans[i].plan) — the batched kernels
+  /// reproduce the scalar kernels' accumulation order — so callers may
+  /// freely mix the two paths. This is the serving layer's GEMM
+  /// amortization entry point.
+  std::vector<Forward> RunBatch(int db_index,
+                                std::span<const PlanRef> plans) const;
 
   /// The joint loss of Eq. 1: w_card*L_card + w_cost*L_cost + w_jo*L_jo.
   /// Card/cost losses are log-space q-error (|pred - log1p(truth)|,

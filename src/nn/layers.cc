@@ -33,6 +33,11 @@ Tensor LayerNorm::Forward(const Tensor& x) const {
   return tensor::LayerNormRows(x, gamma_, beta_);
 }
 
+Tensor LayerNorm::ForwardBatched(const Tensor& x, int batch,
+                                 const std::vector<int>& valid_rows) const {
+  return tensor::MaskedLayerNormRows(x, gamma_, beta_, batch, valid_rows);
+}
+
 void LayerNorm::CollectNamedParameters(std::vector<NamedParam>* out) const {
   out->emplace_back("gamma", gamma_);
   out->emplace_back("beta", beta_);

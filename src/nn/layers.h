@@ -34,6 +34,12 @@ class LayerNorm : public Module {
 
   tensor::Tensor Forward(const tensor::Tensor& x) const;
 
+  /// Batched masked variant: x is (batch * rows_per_batch, features); the
+  /// first valid_rows[b] rows of batch slice b are normalized exactly like
+  /// Forward, padding rows are left at zero. See tensor::MaskedLayerNormRows.
+  tensor::Tensor ForwardBatched(const tensor::Tensor& x, int batch,
+                                const std::vector<int>& valid_rows) const;
+
   void CollectNamedParameters(std::vector<NamedParam>* out) const override;
 
  private:

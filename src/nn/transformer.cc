@@ -60,6 +60,34 @@ Tensor MultiHeadAttention::Forward(const Tensor& query,
   return wo_.Forward(concat);
 }
 
+Tensor MultiHeadAttention::ForwardBatchedSelf(
+    const Tensor& x, int batch, const std::vector<int>& valid_lens) const {
+  MTMLF_CHECK(batch >= 1 && x.rows() % batch == 0,
+              "ForwardBatchedSelf: rows not divisible by batch");
+  Tensor q = wq_.Forward(x);  // (B*L_pad, d)
+  Tensor k = wk_.Forward(x);
+  Tensor v = wv_.Forward(x);
+
+  float inv_sqrt = 1.0f / std::sqrt(static_cast<float>(d_head_));
+  std::vector<Tensor> heads;
+  heads.reserve(num_heads_);
+  for (int h = 0; h < num_heads_; ++h) {
+    Tensor qh = tensor::SliceCols(q, h * d_head_, d_head_);
+    Tensor kh = tensor::SliceCols(k, h * d_head_, d_head_);
+    Tensor vh = tensor::SliceCols(v, h * d_head_, d_head_);
+    Tensor scores = tensor::Scale(
+        tensor::BatchedMatMul(qh, tensor::BatchedTranspose(kh, batch), batch),
+        inv_sqrt);  // (B*L_pad, L_pad)
+    // Padded key columns get probability exactly 0, so the attn * V matmul
+    // (whose zero-skip drops them) accumulates in the same order as the
+    // unbatched path.
+    Tensor attn = tensor::MaskedSoftmaxRows(scores, batch, valid_lens);
+    heads.push_back(tensor::BatchedMatMul(attn, vh, batch));
+  }
+  Tensor concat = tensor::ConcatCols(heads);  // (B*L_pad, d)
+  return wo_.Forward(concat);
+}
+
 void MultiHeadAttention::CollectNamedParameters(
     std::vector<NamedParam>* out) const {
   AppendChild(wq_, "wq", out);
@@ -81,6 +109,16 @@ Tensor TransformerEncoderLayer::Forward(const Tensor& x) const {
   Tensor attn = mha_.Forward(h, h, /*causal=*/false);
   Tensor x1 = tensor::Add(x, attn);
   Tensor h2 = ln2_.Forward(x1);
+  Tensor ff = ff2_.Forward(tensor::Relu(ff1_.Forward(h2)));
+  return tensor::Add(x1, ff);
+}
+
+Tensor TransformerEncoderLayer::ForwardBatched(
+    const Tensor& x, int batch, const std::vector<int>& valid_lens) const {
+  Tensor h = ln1_.ForwardBatched(x, batch, valid_lens);
+  Tensor attn = mha_.ForwardBatchedSelf(h, batch, valid_lens);
+  Tensor x1 = tensor::Add(x, attn);
+  Tensor h2 = ln2_.ForwardBatched(x1, batch, valid_lens);
   Tensor ff = ff2_.Forward(tensor::Relu(ff1_.Forward(h2)));
   return tensor::Add(x1, ff);
 }
@@ -107,6 +145,15 @@ Tensor TransformerEncoder::Forward(const Tensor& x) const {
   Tensor h = x;
   for (const auto& layer : layers_) h = layer->Forward(h);
   return final_ln_.Forward(h);
+}
+
+Tensor TransformerEncoder::ForwardBatched(
+    const Tensor& x, int batch, const std::vector<int>& valid_lens) const {
+  Tensor h = x;
+  for (const auto& layer : layers_) {
+    h = layer->ForwardBatched(h, batch, valid_lens);
+  }
+  return final_ln_.ForwardBatched(h, batch, valid_lens);
 }
 
 void TransformerEncoder::CollectNamedParameters(

@@ -22,6 +22,14 @@ class MultiHeadAttention : public Module {
   tensor::Tensor Forward(const tensor::Tensor& query,
                          const tensor::Tensor& key_value, bool causal) const;
 
+  /// Batched non-causal self-attention over B padded sequences stacked as
+  /// (batch * L_pad, d). Keys/queries beyond valid_lens[b] in slice b are
+  /// padding: padded key columns get attention weight exactly 0 (so the
+  /// valid rows match Forward on the unpadded sequence bit for bit) and
+  /// padded query rows produce values the caller must ignore.
+  tensor::Tensor ForwardBatchedSelf(const tensor::Tensor& x, int batch,
+                                    const std::vector<int>& valid_lens) const;
+
   void CollectNamedParameters(std::vector<NamedParam>* out) const override;
 
  private:
@@ -38,6 +46,11 @@ class TransformerEncoderLayer : public Module {
   TransformerEncoderLayer(int d_model, int num_heads, int d_ff, Rng* rng);
 
   tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  /// Batched variant over (batch * L_pad, d); see
+  /// MultiHeadAttention::ForwardBatchedSelf for the padding contract.
+  tensor::Tensor ForwardBatched(const tensor::Tensor& x, int batch,
+                                const std::vector<int>& valid_lens) const;
 
   void CollectNamedParameters(std::vector<NamedParam>* out) const override;
 
@@ -56,6 +69,14 @@ class TransformerEncoder : public Module {
 
   /// (L, d) -> (L, d).
   tensor::Tensor Forward(const tensor::Tensor& x) const;
+
+  /// Runs B padded sequences in one fused pass: x is (batch * L_pad, d)
+  /// with sequence b in rows [b*L_pad, (b+1)*L_pad) and valid_lens[b] real
+  /// rows. The first valid_lens[b] output rows of each slice are
+  /// bit-identical to Forward on that sequence alone; padding rows are
+  /// zero. This is the serving layer's GEMM-amortization entry point.
+  tensor::Tensor ForwardBatched(const tensor::Tensor& x, int batch,
+                                const std::vector<int>& valid_lens) const;
 
   void CollectNamedParameters(std::vector<NamedParam>* out) const override;
 

@@ -22,15 +22,16 @@ BinaryTreeLstmCell::BinaryTreeLstmCell(int input_dim, int hidden_dim, Rng* rng)
       uf_rl_(hidden_dim, hidden_dim, rng),
       uf_rr_(hidden_dim, hidden_dim, rng) {}
 
-BinaryTreeLstmCell::State BinaryTreeLstmCell::ZeroState() const {
-  return {Tensor::Zeros(1, hidden_dim_), Tensor::Zeros(1, hidden_dim_)};
+BinaryTreeLstmCell::State BinaryTreeLstmCell::ZeroState(int batch) const {
+  return {Tensor::Zeros(batch, hidden_dim_),
+          Tensor::Zeros(batch, hidden_dim_)};
 }
 
 BinaryTreeLstmCell::State BinaryTreeLstmCell::Forward(
     const Tensor& x, const State* left, const State* right) const {
   State zero;
   if (left == nullptr || right == nullptr) {
-    zero = ZeroState();
+    zero = ZeroState(x.rows());
     if (left == nullptr) left = &zero;
     if (right == nullptr) right = &zero;
   }

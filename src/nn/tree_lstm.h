@@ -25,6 +25,11 @@ class BinaryTreeLstmCell : public Module {
 
   /// Computes the state of a node from its input feature row (1, input_dim)
   /// and child states. Pass nullptr for absent children (leaves / unary).
+  ///
+  /// Every op in the cell is row-wise, so the cell is batch-transparent:
+  /// x may be (B, input_dim) with child states (B, hidden) — use
+  /// ZeroState(B) for absent children — and row b of the result is
+  /// bit-identical to a B=1 call on row b alone.
   State Forward(const tensor::Tensor& x, const State* left,
                 const State* right) const;
 
@@ -32,8 +37,8 @@ class BinaryTreeLstmCell : public Module {
 
   int hidden_dim() const { return hidden_dim_; }
 
-  /// Zero state used for absent children.
-  State ZeroState() const;
+  /// Zero state used for absent children; `batch` rows (default 1).
+  State ZeroState(int batch = 1) const;
 
  private:
   int hidden_dim_;

@@ -79,15 +79,25 @@ double ServerMetrics::MeanBatchSize() const {
                       static_cast<double>(b);
 }
 
+double ServerMetrics::MeanFusedGroupSize() const {
+  uint64_t f = fused_forwards();
+  return f == 0 ? 0.0
+                : static_cast<double>(
+                      fused_requests_.load(std::memory_order_relaxed)) /
+                      static_cast<double>(f);
+}
+
 std::string ServerMetrics::Summary() const {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
                 "reqs=%llu p50=%.0fus p95=%.0fus p99=%.0fus mean=%.0fus "
-                "hit-rate=%.2f batch=%.2f errors=%llu",
+                "hit-rate=%.2f batch=%.2f fused=%llu/%.2f errors=%llu",
                 static_cast<unsigned long long>(requests()),
                 latency_.PercentileUs(0.50), latency_.PercentileUs(0.95),
                 latency_.PercentileUs(0.99), latency_.MeanUs(),
                 CacheHitRate(), MeanBatchSize(),
+                static_cast<unsigned long long>(fused_forwards()),
+                MeanFusedGroupSize(),
                 static_cast<unsigned long long>(errors()));
   return buf;
 }
@@ -100,6 +110,8 @@ void ServerMetrics::Reset() {
   errors_.store(0, std::memory_order_relaxed);
   cache_hits_.store(0, std::memory_order_relaxed);
   cache_misses_.store(0, std::memory_order_relaxed);
+  fused_forwards_.store(0, std::memory_order_relaxed);
+  fused_requests_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace mtmlf::serve

@@ -53,6 +53,11 @@ class ServerMetrics {
     batches_.fetch_add(1, std::memory_order_relaxed);
     batched_requests_.fetch_add(batch_size, std::memory_order_relaxed);
   }
+  /// One fused RunBatch forward pass covering `group_size` requests.
+  void RecordFusedForward(size_t group_size) {
+    fused_forwards_.fetch_add(1, std::memory_order_relaxed);
+    fused_requests_.fetch_add(group_size, std::memory_order_relaxed);
+  }
   void RecordError() { errors_.fetch_add(1, std::memory_order_relaxed); }
 
   const LatencyHistogram& latency() const { return latency_; }
@@ -67,6 +72,14 @@ class ServerMetrics {
   uint64_t cache_misses() const {
     return cache_misses_.load(std::memory_order_relaxed);
   }
+  uint64_t fused_forwards() const {
+    return fused_forwards_.load(std::memory_order_relaxed);
+  }
+  uint64_t fused_requests() const {
+    return fused_requests_.load(std::memory_order_relaxed);
+  }
+  /// Mean requests per fused forward pass (GEMM amortization factor).
+  double MeanFusedGroupSize() const;
   double CacheHitRate() const;
   /// Mean requests per formed batch (batching effectiveness).
   double MeanBatchSize() const;
@@ -85,6 +98,8 @@ class ServerMetrics {
   std::atomic<uint64_t> errors_{0};
   std::atomic<uint64_t> cache_hits_{0};
   std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> fused_forwards_{0};
+  std::atomic<uint64_t> fused_requests_{0};
 };
 
 }  // namespace mtmlf::serve

@@ -1,6 +1,8 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <map>
+#include <optional>
 #include <utility>
 
 #include "tensor/tensor.h"
@@ -129,6 +131,18 @@ void InferenceServer::WorkerLoop() {
   }
 }
 
+namespace {
+
+// Shape bucket for fusion grouping: plans padded together should have
+// similar node counts, so padding waste per group stays under 2x.
+int ShapeBucket(int tree_size) {
+  int bucket = 1;
+  while (bucket < tree_size) bucket <<= 1;
+  return bucket;
+}
+
+}  // namespace
+
 void InferenceServer::ProcessBatch(std::vector<Pending>* batch) {
   // One registry resolution per batch: a concurrent Publish() affects the
   // NEXT batch; this one serves a consistent model version end to end.
@@ -136,41 +150,98 @@ void InferenceServer::ProcessBatch(std::vector<Pending>* batch) {
   tensor::NoGradGuard no_grad;  // thread-local: no graph construction
 
   metrics_.RecordBatch(batch->size());
-  for (Pending& p : *batch) {
-    Result<InferencePrediction> result = [&]() -> Result<InferencePrediction> {
-      if (snapshot == nullptr) {
-        return Status::FailedPrecondition("no model published");
-      }
-      const model::MtmlfQo& m = *snapshot->model;
-      if (p.request.db_index < 0 ||
-          p.request.db_index >= m.num_databases()) {
-        return Status::InvalidArgument("db_index out of range");
-      }
-      InferencePrediction pred;
-      pred.model_version = snapshot->version;
+  const size_t n = batch->size();
+  std::vector<std::optional<Result<InferencePrediction>>> results(n);
+  std::vector<std::string> keys(n);
+
+  // Pass 1 — validate and probe the cache; only misses need a forward.
+  std::vector<size_t> misses;
+  misses.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Pending& p = (*batch)[i];
+    if (snapshot == nullptr) {
+      results[i] = Status::FailedPrecondition("no model published");
+      continue;
+    }
+    const model::MtmlfQo& m = *snapshot->model;
+    if (p.request.db_index < 0 || p.request.db_index >= m.num_databases()) {
+      results[i] = Status::InvalidArgument("db_index out of range");
+      continue;
+    }
+    if (options_.enable_cache) {
       // The model version is part of the cache key: entries computed by a
       // previous snapshot never leak through a hot-swap as stale answers.
-      std::string key;
-      if (options_.enable_cache) {
-        key = p.fingerprint + '@' + std::to_string(snapshot->version);
-        Prediction cached;
-        if (cache_.Get(key, &cached)) {
-          pred.card = cached.card;
-          pred.cost_ms = cached.cost_ms;
-          pred.cache_hit = true;
-          return pred;
-        }
+      keys[i] = p.fingerprint + '@' + std::to_string(snapshot->version);
+      Prediction cached;
+      if (cache_.Get(keys[i], &cached)) {
+        InferencePrediction pred;
+        pred.card = cached.card;
+        pred.cost_ms = cached.cost_ms;
+        pred.cache_hit = true;
+        pred.model_version = snapshot->version;
+        results[i] = pred;
+        continue;
       }
-      model::MtmlfQo::Forward fwd =
-          m.Run(p.request.db_index, *p.request.query, *p.request.plan);
+    }
+    misses.push_back(i);
+  }
+
+  // Pass 2 — group the misses by (db_index, plan-size bucket) and run one
+  // fused RunBatch per group of >= 2; singletons and fallback cases take
+  // the scalar path. Fused and scalar results are bit-identical.
+  if (snapshot != nullptr && !misses.empty()) {
+    const model::MtmlfQo& m = *snapshot->model;
+    auto finish_miss = [&](size_t i, const model::MtmlfQo::Forward& fwd) {
+      InferencePrediction pred;
+      pred.model_version = snapshot->version;
       pred.card = m.NodeCardPredictions(fwd)[0];
       pred.cost_ms = m.NodeCostPredictions(fwd)[0];
       if (options_.enable_cache) {
-        cache_.Put(key, Prediction{pred.card, pred.cost_ms});
+        cache_.Put(keys[i], Prediction{pred.card, pred.cost_ms});
       }
-      return pred;
-    }();
+      results[i] = pred;
+    };
+    auto run_scalar = [&](size_t i) {
+      const Pending& p = (*batch)[i];
+      finish_miss(i, m.Run(p.request.db_index, *p.request.query,
+                           *p.request.plan));
+    };
 
+    std::map<std::pair<int, int>, std::vector<size_t>> groups;
+    for (size_t i : misses) {
+      const Pending& p = (*batch)[i];
+      groups[{p.request.db_index, ShapeBucket(p.request.plan->TreeSize())}]
+          .push_back(i);
+    }
+    for (const auto& [key, members] : groups) {
+      if (!options_.batched_forward || members.size() < 2) {
+        for (size_t i : members) run_scalar(i);
+        continue;
+      }
+      std::vector<model::MtmlfQo::PlanRef> refs;
+      refs.reserve(members.size());
+      for (size_t i : members) {
+        refs.push_back({(*batch)[i].request.query, (*batch)[i].request.plan});
+      }
+      std::vector<model::MtmlfQo::Forward> fwds =
+          m.RunBatch(key.first, refs);
+      if (fwds.size() != members.size()) {
+        // Shape mismatch in the fused pass: serve the group scalar rather
+        // than fail it.
+        for (size_t i : members) run_scalar(i);
+        continue;
+      }
+      metrics_.RecordFusedForward(members.size());
+      for (size_t j = 0; j < members.size(); ++j) {
+        finish_miss(members[j], fwds[j]);
+      }
+    }
+  }
+
+  // Pass 3 — record metrics and resolve promises in arrival order.
+  for (size_t i = 0; i < n; ++i) {
+    Pending& p = (*batch)[i];
+    Result<InferencePrediction>& result = *results[i];
     uint64_t latency_us = static_cast<uint64_t>(
         std::chrono::duration_cast<std::chrono::microseconds>(
             steady_clock::now() - p.enqueued_at)

@@ -63,6 +63,14 @@ class InferenceServer {
     bool enable_cache = true;
     size_t cache_capacity = 4096;
     int cache_shards = 8;
+    /// Fuse cache-missing requests of one drained micro-batch into
+    /// MtmlfQo::RunBatch forward passes, grouped by (db_index,
+    /// next-power-of-two plan size bucket) so plans padded together are of
+    /// similar length. Groups of one — and any group whose fused pass
+    /// comes back malformed — take the per-request Run() path instead.
+    /// Fused and scalar predictions are bit-identical, so this is purely a
+    /// throughput knob.
+    bool batched_forward = true;
   };
 
   InferenceServer(ModelRegistry* registry, const Options& options);

@@ -685,4 +685,242 @@ Tensor CrossEntropyWithLogits(const Tensor& logits,
   return Tensor(std::move(out));
 }
 
+// ---------------------------------------------------------------------------
+// Batched (rank-3) kernels. The forward/backward loops are copies of the
+// unbatched kernels' loops applied per contiguous batch slice, which keeps
+// the floating-point accumulation order identical — the equivalence tests
+// rely on batched == unbatched bit for bit.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// out[i*n .. i*n+n) += a(i, :) x b, the unbatched MatMul inner loops (i-k-j
+// order with the same zero-skip), shared by the batched forward.
+void MatMulAccumulate(const float* a, const float* b, float* out, int m,
+                      int k, int n) {
+  for (int i = 0; i < m; ++i) {
+    const float* arow = &a[static_cast<size_t>(i) * k];
+    float* orow = &out[static_cast<size_t>(i) * n];
+    for (int kk = 0; kk < k; ++kk) {
+      float av = arow[kk];
+      if (av == 0.0f) continue;
+      const float* brow = &b[static_cast<size_t>(kk) * n];
+      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor BatchedMatMul(const Tensor& a, const Tensor& b, int batch) {
+  const auto& ai = *a.impl();
+  const auto& bi = *b.impl();
+  MTMLF_CHECK(batch >= 1, "BatchedMatMul: batch must be >= 1");
+  MTMLF_CHECK(ai.rows % batch == 0 && bi.rows % batch == 0,
+              "BatchedMatMul: rows not divisible by batch");
+  const int m = ai.rows / batch, k = ai.cols;
+  const int n = bi.cols;
+  MTMLF_CHECK(bi.rows / batch == k, "BatchedMatMul: inner dimensions differ");
+  auto out = MakeResult(batch * m, n, {a.impl(), b.impl()});
+  for (int bb = 0; bb < batch; ++bb) {
+    MatMulAccumulate(&ai.data[static_cast<size_t>(bb) * m * k],
+                     &bi.data[static_cast<size_t>(bb) * k * n],
+                     &out->data[static_cast<size_t>(bb) * m * n], m, k, n);
+  }
+  if (out->requires_grad) {
+    out->backward_fn = [batch, m, k, n](Impl* node) {
+      Impl* pa = node->parents[0].get();
+      Impl* pb = node->parents[1].get();
+      for (int bb = 0; bb < batch; ++bb) {
+        const float* grad = &node->grad[static_cast<size_t>(bb) * m * n];
+        const float* adata = &pa->data[static_cast<size_t>(bb) * m * k];
+        float* agrad = &pa->grad[static_cast<size_t>(bb) * m * k];
+        const float* bdata = &pb->data[static_cast<size_t>(bb) * k * n];
+        float* bgrad = &pb->grad[static_cast<size_t>(bb) * k * n];
+        // dA_b = dOut_b * B_b^T ; dB_b = A_b^T * dOut_b (same loop shape as
+        // the unbatched MatMul backward).
+        for (int i = 0; i < m; ++i) {
+          const float* grow = &grad[static_cast<size_t>(i) * n];
+          float* garow = &agrad[static_cast<size_t>(i) * k];
+          const float* arow = &adata[static_cast<size_t>(i) * k];
+          for (int kk = 0; kk < k; ++kk) {
+            const float* brow = &bdata[static_cast<size_t>(kk) * n];
+            float acc = 0.0f;
+            for (int j = 0; j < n; ++j) acc += grow[j] * brow[j];
+            garow[kk] += acc;
+            float av = arow[kk];
+            if (av != 0.0f) {
+              float* gbrow = &bgrad[static_cast<size_t>(kk) * n];
+              for (int j = 0; j < n; ++j) gbrow[j] += av * grow[j];
+            }
+          }
+        }
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor BatchedTranspose(const Tensor& a, int batch) {
+  const auto& ai = *a.impl();
+  MTMLF_CHECK(batch >= 1 && ai.rows % batch == 0,
+              "BatchedTranspose: rows not divisible by batch");
+  const int r = ai.rows / batch, c = ai.cols;
+  auto out = MakeResult(batch * c, r, {a.impl()});
+  for (int bb = 0; bb < batch; ++bb) {
+    const float* in = &ai.data[static_cast<size_t>(bb) * r * c];
+    float* o = &out->data[static_cast<size_t>(bb) * r * c];
+    for (int i = 0; i < r; ++i) {
+      for (int j = 0; j < c; ++j) {
+        o[static_cast<size_t>(j) * r + i] = in[static_cast<size_t>(i) * c + j];
+      }
+    }
+  }
+  if (out->requires_grad) {
+    out->backward_fn = [batch, r, c](Impl* node) {
+      Impl* pa = node->parents[0].get();
+      for (int bb = 0; bb < batch; ++bb) {
+        const float* g = &node->grad[static_cast<size_t>(bb) * r * c];
+        float* ga = &pa->grad[static_cast<size_t>(bb) * r * c];
+        for (int i = 0; i < r; ++i) {
+          for (int j = 0; j < c; ++j) {
+            ga[static_cast<size_t>(i) * c + j] +=
+                g[static_cast<size_t>(j) * r + i];
+          }
+        }
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor MaskedSoftmaxRows(const Tensor& a, int batch,
+                         const std::vector<int>& valid_cols) {
+  const auto& ai = *a.impl();
+  MTMLF_CHECK(batch >= 1 && ai.rows % batch == 0,
+              "MaskedSoftmaxRows: rows not divisible by batch");
+  MTMLF_CHECK(valid_cols.size() == static_cast<size_t>(batch),
+              "MaskedSoftmaxRows: one valid_cols entry per batch required");
+  const int rows_per_batch = ai.rows / batch;
+  const int rows = ai.rows, cols = ai.cols;
+  for (int vc : valid_cols) {
+    MTMLF_CHECK(vc >= 0 && vc <= cols, "MaskedSoftmaxRows: valid_cols range");
+  }
+  auto out = MakeResult(rows, cols, {a.impl()});
+  for (int r = 0; r < rows; ++r) {
+    const int vc = valid_cols[r / rows_per_batch];
+    if (vc == 0) continue;  // fully masked row stays all-zero
+    const float* in = &ai.data[static_cast<size_t>(r) * cols];
+    float* o = &out->data[static_cast<size_t>(r) * cols];
+    float mx = -1e30f;
+    for (int c = 0; c < vc; ++c) {
+      o[c] = in[c];
+      mx = std::max(mx, in[c]);
+    }
+    float denom = 0.0f;
+    for (int c = 0; c < vc; ++c) {
+      o[c] = std::exp(o[c] - mx);
+      denom += o[c];
+    }
+    float inv = 1.0f / std::max(denom, 1e-20f);
+    for (int c = 0; c < vc; ++c) o[c] *= inv;
+  }
+  if (out->requires_grad) {
+    std::vector<int> vcs = valid_cols;
+    out->backward_fn = [rows, cols, rows_per_batch, vcs](Impl* node) {
+      Impl* pa = node->parents[0].get();
+      for (int r = 0; r < rows; ++r) {
+        const int vc = vcs[r / rows_per_batch];
+        const float* y = &node->data[static_cast<size_t>(r) * cols];
+        const float* gy = &node->grad[static_cast<size_t>(r) * cols];
+        float* gx = &pa->grad[static_cast<size_t>(r) * cols];
+        float dot = 0.0f;
+        for (int c = 0; c < vc; ++c) dot += gy[c] * y[c];
+        for (int c = 0; c < vc; ++c) gx[c] += y[c] * (gy[c] - dot);
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
+Tensor MaskedLayerNormRows(const Tensor& x, const Tensor& gamma,
+                           const Tensor& beta, int batch,
+                           const std::vector<int>& valid_rows, float eps) {
+  const auto& xi = *x.impl();
+  MTMLF_CHECK(batch >= 1 && xi.rows % batch == 0,
+              "MaskedLayerNormRows: rows not divisible by batch");
+  MTMLF_CHECK(valid_rows.size() == static_cast<size_t>(batch),
+              "MaskedLayerNormRows: one valid_rows entry per batch required");
+  MTMLF_CHECK(gamma.rows() == 1 && gamma.cols() == xi.cols,
+              "MaskedLayerNormRows: gamma shape");
+  MTMLF_CHECK(beta.rows() == 1 && beta.cols() == xi.cols,
+              "MaskedLayerNormRows: beta shape");
+  const int rows_per_batch = xi.rows / batch;
+  const int rows = xi.rows, cols = xi.cols;
+  for (int vr : valid_rows) {
+    MTMLF_CHECK(vr >= 0 && vr <= rows_per_batch,
+                "MaskedLayerNormRows: valid_rows range");
+  }
+  auto out =
+      MakeResult(rows, cols, {x.impl(), gamma.impl(), beta.impl()});
+  auto stats = std::make_shared<std::vector<float>>(
+      static_cast<size_t>(rows) * 2);
+  const auto& gi = *gamma.impl();
+  const auto& bi = *beta.impl();
+  for (int r = 0; r < rows; ++r) {
+    if (r % rows_per_batch >= valid_rows[r / rows_per_batch]) continue;
+    const float* in = &xi.data[static_cast<size_t>(r) * cols];
+    float* o = &out->data[static_cast<size_t>(r) * cols];
+    float mean = 0.0f;
+    for (int c = 0; c < cols; ++c) mean += in[c];
+    mean /= static_cast<float>(cols);
+    float var = 0.0f;
+    for (int c = 0; c < cols; ++c) {
+      float d = in[c] - mean;
+      var += d * d;
+    }
+    var /= static_cast<float>(cols);
+    float inv_std = 1.0f / std::sqrt(var + eps);
+    (*stats)[static_cast<size_t>(r) * 2] = mean;
+    (*stats)[static_cast<size_t>(r) * 2 + 1] = inv_std;
+    for (int c = 0; c < cols; ++c) {
+      float xhat = (in[c] - mean) * inv_std;
+      o[c] = xhat * gi.data[c] + bi.data[c];
+    }
+  }
+  if (out->requires_grad) {
+    std::vector<int> vrs = valid_rows;
+    out->backward_fn = [rows, cols, rows_per_batch, vrs, stats](Impl* node) {
+      Impl* px = node->parents[0].get();
+      Impl* pg = node->parents[1].get();
+      Impl* pb = node->parents[2].get();
+      for (int r = 0; r < rows; ++r) {
+        if (r % rows_per_batch >= vrs[r / rows_per_batch]) continue;
+        const float* in = &px->data[static_cast<size_t>(r) * cols];
+        const float* gy = &node->grad[static_cast<size_t>(r) * cols];
+        float* gx = &px->grad[static_cast<size_t>(r) * cols];
+        float mean = (*stats)[static_cast<size_t>(r) * 2];
+        float inv_std = (*stats)[static_cast<size_t>(r) * 2 + 1];
+        float sum_dxhat = 0.0f, sum_dxhat_xhat = 0.0f;
+        for (int c = 0; c < cols; ++c) {
+          float xhat = (in[c] - mean) * inv_std;
+          float dxhat = gy[c] * pg->data[c];
+          sum_dxhat += dxhat;
+          sum_dxhat_xhat += dxhat * xhat;
+          pg->grad[c] += gy[c] * xhat;
+          pb->grad[c] += gy[c];
+        }
+        float invn = 1.0f / static_cast<float>(cols);
+        for (int c = 0; c < cols; ++c) {
+          float xhat = (in[c] - mean) * inv_std;
+          float dxhat = gy[c] * pg->data[c];
+          gx[c] += inv_std *
+                   (dxhat - invn * sum_dxhat - xhat * invn * sum_dxhat_xhat);
+        }
+      }
+    };
+  }
+  return Tensor(std::move(out));
+}
+
 }  // namespace mtmlf::tensor

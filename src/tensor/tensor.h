@@ -158,6 +158,42 @@ Tensor LayerNormRows(const Tensor& x, const Tensor& gamma, const Tensor& beta,
 Tensor CrossEntropyWithLogits(const Tensor& logits,
                               const std::vector<int>& targets);
 
+// ---------------------------------------------------------------------------
+// Batched (rank-3) kernels. A rank-3 tensor (batch, rows, cols) is stored as
+// an ordinary 2-D tensor of shape (batch * rows, cols): batch b occupies the
+// contiguous row block [b*rows, (b+1)*rows). These kernels power the serving
+// layer's fused forward passes (one GEMM for B plans instead of B GEMMs) and
+// deliberately mirror the unbatched kernels' floating-point accumulation
+// order element for element, so a batched forward pass is bit-identical to B
+// independent unbatched passes. Like every op above they build autograd
+// nodes unless NoGradGuard is active, so training can reuse them.
+// ---------------------------------------------------------------------------
+
+/// Per-batch matrix product: a is (batch*M, K), b is (batch*K, N); returns
+/// (batch*M, N) where out_b = a_b x b_b for each batch slice.
+Tensor BatchedMatMul(const Tensor& a, const Tensor& b, int batch);
+
+/// Per-batch transpose: (batch*R, C) -> (batch*C, R).
+Tensor BatchedTranspose(const Tensor& a, int batch);
+
+/// Per-batch column-masked row softmax: a is (batch*R, C); row r of batch b
+/// is normalized over its first valid_cols[b] columns only, and the
+/// remaining (padding) columns get probability exactly 0 — not an additive
+/// -1e9 approximation, so the valid columns match an unpadded softmax
+/// bit for bit. valid_cols[b] must be in [0, C]; a row with 0 valid columns
+/// is all zeros.
+Tensor MaskedSoftmaxRows(const Tensor& a, int batch,
+                         const std::vector<int>& valid_cols);
+
+/// Per-batch row-masked layer normalization: x is (batch*R, C); the first
+/// valid_rows[b] rows of batch b are layer-normalized exactly like
+/// LayerNormRows, the remaining (padding) rows are skipped and left at 0.
+/// gamma and beta are (1, C).
+Tensor MaskedLayerNormRows(const Tensor& x, const Tensor& gamma,
+                           const Tensor& beta, int batch,
+                           const std::vector<int>& valid_rows,
+                           float eps = 1e-5f);
+
 }  // namespace mtmlf::tensor
 
 #endif  // MTMLF_TENSOR_TENSOR_H_

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <memory>
+#include <set>
 
 #include "common/rng.h"
 #include "datagen/imdb_like.h"
@@ -265,6 +266,57 @@ TEST(MtmlfQoTest, SequenceLevelLossFinite) {
   beam.max_candidates = 4;
   auto loss = env.model->SequenceLevelJoLoss(fwd, *lq, beam, 2.0f);
   EXPECT_TRUE(std::isfinite(loss.item()));
+}
+
+void ExpectTensorBitEq(const tensor::Tensor& got, const tensor::Tensor& want,
+                       const char* what, int plan_index) {
+  ASSERT_EQ(got.rows(), want.rows()) << what << " plan " << plan_index;
+  ASSERT_EQ(got.cols(), want.cols()) << what << " plan " << plan_index;
+  for (int r = 0; r < got.rows(); ++r) {
+    for (int c = 0; c < got.cols(); ++c) {
+      // Bit-for-bit: the fused kernels replicate the scalar kernels'
+      // accumulation order exactly, so no tolerance is needed.
+      EXPECT_EQ(got.at(r, c), want.at(r, c))
+          << what << " plan " << plan_index << " at (" << r << "," << c
+          << ")";
+    }
+  }
+}
+
+TEST(MtmlfQoTest, RunBatchMatchesScalarRunBitForBit) {
+  QoEnv& env = GetQoEnv();
+  tensor::NoGradGuard guard;
+  const auto& queries = env.dataset.queries;
+  for (int B : {1, 2, 7, 16}) {
+    std::vector<MtmlfQo::PlanRef> refs;
+    std::set<int> tree_sizes;
+    for (int i = 0; i < B; ++i) {
+      const auto& lq = queries[i % queries.size()];
+      refs.push_back({&lq.query, &*lq.plan});
+      tree_sizes.insert(lq.plan->TreeSize());
+    }
+    if (B >= 2) {
+      // Mixed plan shapes force real padding inside the fused pass; a
+      // batch of identical shapes would leave the mask path untested.
+      ASSERT_GT(tree_sizes.size(), 1u) << "B=" << B;
+    }
+    std::vector<MtmlfQo::Forward> fwds = env.model->RunBatch(env.dbi, refs);
+    ASSERT_EQ(fwds.size(), static_cast<size_t>(B));
+    for (int i = 0; i < B; ++i) {
+      MtmlfQo::Forward want =
+          env.model->Run(env.dbi, *refs[i].query, *refs[i].plan);
+      ExpectTensorBitEq(fwds[i].shared, want.shared, "shared", i);
+      ExpectTensorBitEq(fwds[i].log_card, want.log_card, "log_card", i);
+      ExpectTensorBitEq(fwds[i].log_cost, want.log_cost, "log_cost", i);
+      ExpectTensorBitEq(fwds[i].jo_memory, want.jo_memory, "jo_memory", i);
+      ASSERT_EQ(fwds[i].nodes.size(), want.nodes.size()) << "plan " << i;
+      // Derived predictions therefore match too — spot-check the root.
+      EXPECT_EQ(env.model->NodeCardPredictions(fwds[i])[0],
+                env.model->NodeCardPredictions(want)[0]);
+      EXPECT_EQ(env.model->NodeCostPredictions(fwds[i])[0],
+                env.model->NodeCostPredictions(want)[0]);
+    }
+  }
 }
 
 TEST(MtmlfQoTest, SharedTaskParamsExcludeFeaturizer) {

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <mutex>
 #include <future>
 #include <memory>
 #include <set>
@@ -263,6 +266,77 @@ TEST(CheckpointTest, RejectsShapeAndNameMismatch) {
   EXPECT_EQ(gamma.data()[0], 1.0f);
 }
 
+TEST(CheckpointTest, FuzzedCorruptionsAllRejectedAndLeaveModelUntouched) {
+  // 50 randomly bit-flipped or truncated checkpoint files. Every one must
+  // come back non-OK, and the destination model — the thing a hot-swap
+  // pipeline would publish next — must be bit-identical afterward: the
+  // loader validates magic/version/manifest/size/CRC32 and the full
+  // name->shape mapping before writing a single float.
+  Env& env = GetEnv();
+  auto src = MakeModel(41);
+  std::shared_ptr<model::MtmlfQo> dst = MakeModel(42);
+  const std::string path = TempPath("fuzz.mtcp");
+  ASSERT_TRUE(SaveCheckpoint(path, *src).ok());
+  std::string good;
+  {
+    std::ifstream in(path, std::ios::binary);
+    good.assign((std::istreambuf_iterator<char>(in)),
+                std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(good.size(), 64u);
+
+  auto named = dst->NamedParameters();
+  std::vector<std::vector<float>> before;
+  for (const auto& [name, t] : named) {
+    before.emplace_back(t.data(), t.data() + t.size());
+  }
+  const auto& lq = env.dataset.queries.front();
+  Prediction before_pred = DirectPredict(*dst, lq);
+
+  auto write_file = [&](const std::string& bytes) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  };
+  auto dst_unchanged = [&]() {
+    auto now = dst->NamedParameters();
+    if (now.size() != before.size()) return false;
+    for (size_t i = 0; i < now.size(); ++i) {
+      if (std::memcmp(now[i].second.data(), before[i].data(),
+                      before[i].size() * sizeof(float)) != 0) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  Rng fuzz(2026);  // fixed seed: failures reproduce exactly
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string bytes = good;
+    if (trial % 2 == 0) {
+      // Flip one random bit anywhere in the file (header, manifest,
+      // payload, or the CRC trailer itself).
+      size_t pos = static_cast<size_t>(
+          fuzz.UniformInt(0, static_cast<int64_t>(bytes.size()) - 1));
+      bytes[pos] ^= static_cast<char>(1 << fuzz.UniformInt(0, 7));
+    } else {
+      bytes.resize(static_cast<size_t>(
+          fuzz.UniformInt(0, static_cast<int64_t>(bytes.size()) - 1)));
+    }
+    write_file(bytes);
+    Status st = LoadCheckpoint(path, dst.get());
+    EXPECT_FALSE(st.ok()) << "trial " << trial << " (size " << bytes.size()
+                          << " of " << good.size() << ") loaded corrupt data";
+    EXPECT_TRUE(dst_unchanged()) << "trial " << trial;
+  }
+  // The model still predicts exactly what it did before the fuzzing.
+  Prediction after_pred = DirectPredict(*dst, lq);
+  EXPECT_EQ(after_pred.card, before_pred.card);
+  EXPECT_EQ(after_pred.cost_ms, before_pred.cost_ms);
+  // And the pristine bytes still load fine — the harness itself is sound.
+  write_file(good);
+  EXPECT_TRUE(LoadCheckpoint(path, dst.get()).ok());
+}
+
 // --------------------------------------------------------------------------
 // Cache
 // --------------------------------------------------------------------------
@@ -450,18 +524,34 @@ TEST(InferenceServerTest, HotSwapMidTrafficIsAtomicAndUntorn) {
 
   constexpr int kClients = 4;
   constexpr int kRequestsPerClient = 200;
-  std::atomic<bool> swapping{true};
+  constexpr int kSwapEvery = 50;  // publish the other version every N done
+
+  // The swapper is driven by completed-request count, not by sleeps or
+  // yield-spinning: the condvar wait makes the test deterministic in the
+  // number of swaps and keeps it honest under TSan's heavy slowdown.
+  // No ASSERTs run inside the worker threads — gtest fatal assertions are
+  // only safe on the main thread, so threads record failures in counters.
+  std::mutex swap_mu;
+  std::condition_variable swap_cv;
+  int completed = 0;      // guarded by swap_mu
+  bool done = false;      // guarded by swap_mu
+  std::atomic<int> publish_failures{0};
   std::thread swapper([&] {
     uint64_t v = 2;
-    while (swapping.load()) {
-      ASSERT_TRUE(registry.Publish(v).ok());
+    int next = kSwapEvery;
+    std::unique_lock<std::mutex> lock(swap_mu);
+    for (;;) {
+      swap_cv.wait(lock, [&] { return done || completed >= next; });
+      if (done) return;
+      if (!registry.Publish(v).ok()) publish_failures.fetch_add(1);
       v = 3 - v;  // 1 <-> 2
-      std::this_thread::yield();
+      next += kSwapEvery;
     }
   });
 
   std::atomic<int> failures{0};
   std::atomic<int> mismatches{0};
+  std::atomic<uint64_t> versions_served_mask{0};
   std::vector<std::thread> clients;
   for (int c = 0; c < kClients; ++c) {
     clients.emplace_back([&, c] {
@@ -470,10 +560,16 @@ TEST(InferenceServerTest, HotSwapMidTrafficIsAtomicAndUntorn) {
         auto f = server.Submit(
             {0, &queries[qi]->query, queries[qi]->plan.get()});
         auto r = f.get();
+        {
+          std::lock_guard<std::mutex> lock(swap_mu);
+          ++completed;
+        }
+        swap_cv.notify_one();
         if (!r.ok()) {
           failures.fetch_add(1);
           continue;
         }
+        versions_served_mask.fetch_or(1ull << r.value().model_version);
         const Prediction& expect =
             r.value().model_version == 1 ? truth_v1[qi] : truth_v2[qi];
         if (r.value().card != expect.card ||
@@ -484,16 +580,69 @@ TEST(InferenceServerTest, HotSwapMidTrafficIsAtomicAndUntorn) {
     });
   }
   for (auto& t : clients) t.join();
-  swapping.store(false);
+  {
+    std::lock_guard<std::mutex> lock(swap_mu);
+    done = true;
+  }
+  swap_cv.notify_one();
   swapper.join();
   server.Shutdown();
 
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(publish_failures.load(), 0);
   EXPECT_EQ(server.metrics().requests(),
             static_cast<uint64_t>(kClients * kRequestsPerClient));
-  // Both versions actually served under the swap storm.
+  // Both versions actually served under the swap storm: with 800 requests
+  // and a swap every 50 completions, traffic crosses 15 hot-swaps.
+  EXPECT_EQ(versions_served_mask.load(), (1ull << 1) | (1ull << 2));
   EXPECT_GT(server.metrics().cache_hits(), 0u);
+}
+
+TEST(InferenceServerTest, FusedBatchedForwardMatchesDirectPredictions) {
+  // With the cache off, every request takes a forward pass; with one
+  // worker and a generous fill window, the drained micro-batches group by
+  // (db_index, shape bucket) and run fused RunBatch passes. Every served
+  // prediction must still equal the direct scalar forward exactly —
+  // fusion is a throughput knob, never an accuracy knob.
+  Env& env = GetEnv();
+  ModelRegistry registry;
+  std::shared_ptr<const model::MtmlfQo> m = MakeModel(51);
+  ASSERT_TRUE(registry.Register(1, m).ok());
+  ASSERT_TRUE(registry.Publish(1).ok());
+
+  InferenceServer::Options opts;
+  opts.num_workers = 1;
+  opts.max_batch = 16;
+  opts.max_wait_us = 20000;  // generous: batches must fill even under TSan
+  opts.enable_cache = false;
+  opts.batched_forward = true;
+  InferenceServer server(&registry, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  const int kDistinct = 12;
+  const int kRequests = 32;  // repeats => same-bucket groups of >= 2
+  std::vector<const workload::LabeledQuery*> qs;
+  std::vector<std::future<Result<InferencePrediction>>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    qs.push_back(&env.dataset.queries[i % kDistinct]);
+    futures.push_back(server.Submit({0, &qs[i]->query, qs[i]->plan.get()}));
+  }
+  for (int i = 0; i < kRequests; ++i) {
+    auto r = futures[i].get();
+    ASSERT_TRUE(r.ok()) << i << ": " << r.status().ToString();
+    Prediction truth = DirectPredict(*m, *qs[i]);
+    EXPECT_EQ(r.value().card, truth.card) << "request " << i;
+    EXPECT_EQ(r.value().cost_ms, truth.cost_ms) << "request " << i;
+    EXPECT_FALSE(r.value().cache_hit);
+  }
+  server.Shutdown();
+
+  // The fused path actually ran: at least one group of >= 2 was formed.
+  EXPECT_GT(server.metrics().fused_forwards(), 0u);
+  EXPECT_GE(server.metrics().MeanFusedGroupSize(), 2.0);
+  EXPECT_EQ(server.metrics().requests(),
+            static_cast<uint64_t>(kRequests));
 }
 
 }  // namespace

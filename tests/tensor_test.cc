@@ -303,6 +303,171 @@ INSTANTIATE_TEST_SUITE_P(
       return std::string(info.param.name);
     });
 
+// ---------------------------------------------------------------------------
+// Batched (rank-3) kernels: forward equivalence against per-slice scalar
+// kernels must be bit-exact (same accumulation order), and gradients must
+// match finite differences.
+// ---------------------------------------------------------------------------
+
+TEST(BatchedTensorTest, BatchedMatMulMatchesPerSliceBitForBit) {
+  const int batch = 3, m = 4, k = 5, n = 2;
+  Rng rng(7);
+  Tensor a = Tensor::Randn(batch * m, k, 1.0f, &rng);
+  Tensor b = Tensor::Randn(batch * k, n, 1.0f, &rng);
+  Tensor out = BatchedMatMul(a, b, batch);
+  ASSERT_EQ(out.rows(), batch * m);
+  ASSERT_EQ(out.cols(), n);
+  for (int bb = 0; bb < batch; ++bb) {
+    Tensor ref = MatMul(SliceRows(a, bb * m, m), SliceRows(b, bb * k, k));
+    for (int i = 0; i < m; ++i) {
+      for (int j = 0; j < n; ++j) {
+        EXPECT_EQ(out.at(bb * m + i, j), ref.at(i, j))
+            << "batch " << bb << " (" << i << "," << j << ")";
+      }
+    }
+  }
+}
+
+TEST(BatchedTensorTest, BatchedTransposeMatchesPerSlice) {
+  const int batch = 2, r = 3, c = 4;
+  Rng rng(8);
+  Tensor a = Tensor::Randn(batch * r, c, 1.0f, &rng);
+  Tensor out = BatchedTranspose(a, batch);
+  ASSERT_EQ(out.rows(), batch * c);
+  ASSERT_EQ(out.cols(), r);
+  for (int bb = 0; bb < batch; ++bb) {
+    Tensor ref = Transpose(SliceRows(a, bb * r, r));
+    for (int i = 0; i < c; ++i) {
+      for (int j = 0; j < r; ++j) {
+        EXPECT_EQ(out.at(bb * c + i, j), ref.at(i, j));
+      }
+    }
+  }
+}
+
+TEST(BatchedTensorTest, MaskedSoftmaxMatchesUnpaddedBitForBit) {
+  // Batch of 3 row-blocks; slices 0 and 2 are full width, slice 1 only has
+  // 2 valid columns. Valid prefixes must match a scalar softmax over a
+  // tensor holding just the valid columns, and padding must be exactly 0.
+  const int batch = 3, rows = 2, cols = 4;
+  Rng rng(9);
+  Tensor a = Tensor::Randn(batch * rows, cols, 1.0f, &rng);
+  std::vector<int> valid = {4, 2, 4};
+  Tensor out = MaskedSoftmaxRows(a, batch, valid);
+  for (int bb = 0; bb < batch; ++bb) {
+    // Rebuild the unpadded slice (rows x valid[bb]) and softmax it.
+    std::vector<float> vals;
+    for (int i = 0; i < rows; ++i) {
+      for (int c = 0; c < valid[bb]; ++c) {
+        vals.push_back(a.at(bb * rows + i, c));
+      }
+    }
+    Tensor ref = SoftmaxRows(
+        Tensor::FromVector(rows, valid[bb], std::move(vals)));
+    for (int i = 0; i < rows; ++i) {
+      for (int c = 0; c < cols; ++c) {
+        if (c < valid[bb]) {
+          EXPECT_EQ(out.at(bb * rows + i, c), ref.at(i, c));
+        } else {
+          EXPECT_EQ(out.at(bb * rows + i, c), 0.0f);
+        }
+      }
+    }
+  }
+}
+
+TEST(BatchedTensorTest, MaskedLayerNormMatchesUnpaddedBitForBit) {
+  const int batch = 2, rows = 3, cols = 6;
+  Rng rng(10);
+  Tensor x = Tensor::Randn(batch * rows, cols, 1.0f, &rng);
+  Tensor gamma = Tensor::Full(1, cols, 1.3f);
+  Tensor beta = Tensor::Full(1, cols, -0.2f);
+  std::vector<int> valid = {3, 1};
+  Tensor out = MaskedLayerNormRows(x, gamma, beta, batch, valid);
+  Tensor ref = LayerNormRows(x, gamma, beta);
+  for (int bb = 0; bb < batch; ++bb) {
+    for (int i = 0; i < rows; ++i) {
+      for (int c = 0; c < cols; ++c) {
+        float expected =
+            i < valid[bb] ? ref.at(bb * rows + i, c) : 0.0f;
+        EXPECT_EQ(out.at(bb * rows + i, c), expected);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BatchedOps, GradCheckTest,
+    ::testing::Values(
+        GradCheckCase{"batched_matmul_lhs", 4, 3,
+                      [](const Tensor& x) {
+                        // batch=2 of (2,3) x (3,2).
+                        return SumAll(Mul(BatchedMatMul(x, Const(6, 2, 30), 2),
+                                          Const(4, 2, 31)));
+                      }},
+        GradCheckCase{"batched_matmul_rhs", 6, 2,
+                      [](const Tensor& x) {
+                        // batch=2 of (2,3) x (3,2).
+                        return SumAll(Mul(BatchedMatMul(Const(4, 3, 32), x, 2),
+                                          Const(4, 2, 33)));
+                      }},
+        GradCheckCase{"batched_transpose", 4, 3,
+                      [](const Tensor& x) {
+                        return SumAll(Mul(BatchedTranspose(x, 2),
+                                          Const(6, 2, 34)));
+                      }},
+        GradCheckCase{"masked_softmax", 4, 5,
+                      [](const Tensor& x) {
+                        return SumAll(Mul(
+                            MaskedSoftmaxRows(x, 2, {5, 3}),
+                            Const(4, 5, 35)));
+                      }},
+        GradCheckCase{"masked_layernorm", 4, 6,
+                      [](const Tensor& x) {
+                        return SumAll(Mul(
+                            MaskedLayerNormRows(x, Tensor::Full(1, 6, 1.2f),
+                                                Tensor::Full(1, 6, 0.1f), 2,
+                                                {2, 1}),
+                            Const(4, 6, 36)));
+                      }}),
+    [](const ::testing::TestParamInfo<GradCheckCase>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(BatchedTensorTest, MaskedLayerNormGammaBetaGrads) {
+  Rng rng(2);
+  Tensor x = Const(4, 5, 40);
+  Tensor gamma = Tensor::Randn(1, 5, 0.5f, &rng, true);
+  Tensor beta = Tensor::Randn(1, 5, 0.5f, &rng, true);
+  Tensor w = Const(4, 5, 41);
+  auto fn = [&]() {
+    return SumAll(Mul(MaskedLayerNormRows(x, gamma, beta, 2, {2, 1}), w));
+  };
+  Tensor loss = fn();
+  loss.Backward();
+  std::vector<float> ggamma = gamma.grad();
+  std::vector<float> gbeta = beta.grad();
+  const float eps = 1e-3f;
+  for (size_t i = 0; i < gamma.size(); ++i) {
+    float orig = gamma.data()[i];
+    gamma.data()[i] = orig + eps;
+    float up = fn().item();
+    gamma.data()[i] = orig - eps;
+    float down = fn().item();
+    gamma.data()[i] = orig;
+    EXPECT_NEAR(ggamma[i], (up - down) / (2 * eps), 2e-2f);
+  }
+  for (size_t i = 0; i < beta.size(); ++i) {
+    float orig = beta.data()[i];
+    beta.data()[i] = orig + eps;
+    float up = fn().item();
+    beta.data()[i] = orig - eps;
+    float down = fn().item();
+    beta.data()[i] = orig;
+    EXPECT_NEAR(gbeta[i], (up - down) / (2 * eps), 2e-2f);
+  }
+}
+
 TEST(GradCheckTest, LayerNormGammaBetaGrads) {
   Rng rng(1);
   Tensor x = Const(2, 5, 20);

@@ -1,0 +1,177 @@
+// Socket-hop cost of cross-process serving: the same InferenceServer is
+// driven three ways over the same replayed workload —
+//
+//   in-process   Submit(...).get()          (the upper bound: no codec,
+//                                            no syscalls)
+//   uds          IpcClient over a Unix-domain socket
+//   tcp          IpcClient over TCP on 127.0.0.1
+//
+// each with the prediction cache on and off. With the cache on, almost
+// every request is a cache hit, so the measured gap IS the transport
+// overhead (encode + 2x send/recv + decode + thread handoffs). With the
+// cache off, a transformer forward pass dominates and the socket hop
+// shrinks to noise — the argument for why the process boundary is
+// affordable in the paper's deployment story.
+//
+// MTMLF_SERVE_IPC_REQUESTS overrides the per-configuration request count.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "datagen/imdb_like.h"
+#include "model/mtmlf_qo.h"
+#include "optimizer/baseline_card_est.h"
+#include "serve/ipc_client.h"
+#include "serve/ipc_server.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "workload/dataset.h"
+
+using namespace mtmlf;  // NOLINT
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct RunResult {
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double hit_rate = 0.0;
+};
+
+// One request at a time, measured at the caller: the per-call latency a
+// DBMS optimizer thread would see.
+template <typename Fn>
+RunResult DriveSequential(const std::vector<const workload::LabeledQuery*>& qs,
+                          int requests, Fn&& predict) {
+  std::vector<double> lat_us;
+  lat_us.reserve(requests);
+  for (int i = 0; i < requests; ++i) {
+    const auto* lq = qs[i % qs.size()];
+    auto t0 = Clock::now();
+    predict(*lq);
+    lat_us.push_back(
+        std::chrono::duration<double, std::micro>(Clock::now() - t0).count());
+  }
+  std::sort(lat_us.begin(), lat_us.end());
+  RunResult r;
+  for (double v : lat_us) r.mean_us += v;
+  r.mean_us /= lat_us.empty() ? 1 : lat_us.size();
+  r.p50_us = lat_us[lat_us.size() / 2];
+  r.p99_us = lat_us[lat_us.size() * 99 / 100];
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  SetLogLevel(1);
+  int requests = 2000;
+  if (const char* env = std::getenv("MTMLF_SERVE_IPC_REQUESTS")) {
+    requests = std::max(100, std::atoi(env));
+  }
+
+  Rng rng(2026);
+  auto db = datagen::BuildImdbLike({.scale = 0.05}, &rng).take();
+  optimizer::BaselineCardEstimator baseline(db.get());
+  workload::DatasetOptions ds_opts;
+  ds_opts.num_queries = 40;
+  ds_opts.single_table_queries_per_table = 4;
+  auto dataset = workload::BuildDataset(db.get(), &baseline, ds_opts).take();
+  std::vector<const workload::LabeledQuery*> qs;
+  for (const auto& lq : dataset.queries) qs.push_back(&lq);
+
+  featurize::ModelConfig config;
+  config.d_model = 32;
+  config.d_ff = 64;
+  auto model = std::make_shared<model::MtmlfQo>(config, /*seed=*/7);
+  model->AddDatabase(db.get(), &baseline);
+  serve::ModelRegistry registry;
+  MTMLF_CHECK(registry.Register(1, model).ok(), "register");
+  MTMLF_CHECK(registry.Publish(1).ok(), "publish");
+
+  std::printf("bench_serve_ipc: %d requests per configuration, %zu distinct "
+              "plans, model d_model=%d\n\n",
+              requests, qs.size(), config.d_model);
+  std::printf("%-22s %12s %12s %12s %10s\n", "configuration", "mean(us)",
+              "p50(us)", "p99(us)", "hit-rate");
+
+  for (bool cache : {true, false}) {
+    serve::InferenceServer::Options sopts;
+    sopts.enable_cache = cache;
+    serve::InferenceServer server(&registry, sopts);
+    MTMLF_CHECK(server.Start().ok(), "server start");
+
+    const std::string sock = "bench_serve_ipc.sock";
+    serve::SocketFrontEnd::Options fopts;
+    fopts.unix_path = sock;
+    fopts.tcp_port = 0;
+    serve::SocketFrontEnd front(&server, &registry, fopts);
+    MTMLF_CHECK(front.Start().ok(), "front end start");
+
+    const int warmup = std::min(requests / 10, 200);
+    auto warm = [&](auto&& predict) {
+      for (int i = 0; i < warmup; ++i) predict(*qs[i % qs.size()]);
+    };
+
+    auto in_process = [&](const workload::LabeledQuery& lq) {
+      auto r = server.Submit({0, &lq.query, lq.plan.get()}).get();
+      MTMLF_CHECK(r.ok(), r.status().ToString().c_str());
+    };
+    warm(in_process);
+    RunResult direct = DriveSequential(qs, requests, in_process);
+    direct.hit_rate = server.metrics().CacheHitRate();
+
+    serve::IpcClient::Options uds_opts;
+    uds_opts.unix_path = sock;
+    serve::IpcClient uds(uds_opts);
+    MTMLF_CHECK(uds.Connect().ok(), "uds connect");
+    auto uds_predict = [&](const workload::LabeledQuery& lq) {
+      auto r = uds.Predict(0, lq.query, *lq.plan);
+      MTMLF_CHECK(r.ok(), r.status().ToString().c_str());
+    };
+    warm(uds_predict);
+    RunResult over_uds = DriveSequential(qs, requests, uds_predict);
+    over_uds.hit_rate = server.metrics().CacheHitRate();
+
+    serve::IpcClient::Options tcp_opts;
+    tcp_opts.tcp_port = front.tcp_port();
+    serve::IpcClient tcp(tcp_opts);
+    MTMLF_CHECK(tcp.Connect().ok(), "tcp connect");
+    auto tcp_predict = [&](const workload::LabeledQuery& lq) {
+      auto r = tcp.Predict(0, lq.query, *lq.plan);
+      MTMLF_CHECK(r.ok(), r.status().ToString().c_str());
+    };
+    warm(tcp_predict);
+    RunResult over_tcp = DriveSequential(qs, requests, tcp_predict);
+    over_tcp.hit_rate = server.metrics().CacheHitRate();
+
+    const char* tag = cache ? "cache-on " : "cache-off";
+    std::printf("%s in-process  %12.1f %12.1f %12.1f %9.2f%%\n", tag,
+                direct.mean_us, direct.p50_us, direct.p99_us,
+                100.0 * direct.hit_rate);
+    std::printf("%s uds         %12.1f %12.1f %12.1f %9.2f%%\n", tag,
+                over_uds.mean_us, over_uds.p50_us, over_uds.p99_us,
+                100.0 * over_uds.hit_rate);
+    std::printf("%s tcp         %12.1f %12.1f %12.1f %9.2f%%\n", tag,
+                over_tcp.mean_us, over_tcp.p50_us, over_tcp.p99_us,
+                100.0 * over_tcp.hit_rate);
+    std::printf("%s socket-hop overhead: uds %+.1fus (%.2fx), "
+                "tcp %+.1fus (%.2fx)\n\n",
+                tag, over_uds.mean_us - direct.mean_us,
+                over_uds.mean_us / direct.mean_us,
+                over_tcp.mean_us - direct.mean_us,
+                over_tcp.mean_us / direct.mean_us);
+
+    front.Shutdown();
+    server.Shutdown();
+  }
+  return 0;
+}

@@ -1,0 +1,197 @@
+// Cross-process serving pipeline: the deployment boundary of the paper's
+// pretrain-centrally / deploy-everywhere story made literal. One binary,
+// two processes:
+//
+//   server process (this one)          client process (fork + exec)
+//   ------------------------          ----------------------------
+//   build db + workload                rebuild the same workload
+//   publish model in a registry          (same seeds => same queries)
+//   InferenceServer + SocketFrontEnd   IpcClient::Connect (with backoff,
+//     listening on a Unix socket         racing the server's bind)
+//   compute in-process predictions     Predict() every query over the
+//   wait for the child                   socket, write results to a file
+//   compare: every socket-served       exit
+//     prediction must be bit-identical
+//     to the in-process Submit()
+//
+// The client process never touches the model, the registry, or the
+// checkpoint — it holds only the query objects and the thin IpcClient,
+// exactly what a DBMS optimizer process would link.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "datagen/imdb_like.h"
+#include "model/mtmlf_qo.h"
+#include "optimizer/baseline_card_est.h"
+#include "serve/ipc_client.h"
+#include "serve/ipc_server.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "workload/dataset.h"
+
+using namespace mtmlf;  // NOLINT
+
+namespace {
+
+constexpr int kQueries = 12;
+
+// Both processes rebuild the identical workload from fixed seeds; only
+// the parent builds a model.
+workload::Dataset BuildWorkload(std::unique_ptr<storage::Database>* db,
+                                std::unique_ptr<optimizer::BaselineCardEstimator>* baseline) {
+  Rng rng(2026);
+  *db = datagen::BuildImdbLike({.scale = 0.05}, &rng).take();
+  *baseline = std::make_unique<optimizer::BaselineCardEstimator>(db->get());
+  workload::DatasetOptions opts;
+  opts.num_queries = kQueries;
+  opts.single_table_queries_per_table = 2;
+  opts.generator.min_tables = 2;
+  opts.generator.max_tables = 4;
+  return workload::BuildDataset(db->get(), baseline->get(), opts).take();
+}
+
+// ---- client role ---------------------------------------------------------
+
+int RunClient(const std::string& sock_path, const std::string& out_path) {
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<optimizer::BaselineCardEstimator> baseline;
+  workload::Dataset dataset = BuildWorkload(&db, &baseline);
+
+  serve::IpcClient::Options copts;
+  copts.unix_path = sock_path;
+  copts.connect_attempts = 40;
+  copts.backoff_initial_ms = 5;
+  copts.backoff_max_ms = 200;
+  serve::IpcClient client(copts);
+  Status st = client.Connect();
+  MTMLF_CHECK(st.ok(), st.ToString().c_str());
+  std::printf("[client %d] connected to %s\n", getpid(), sock_path.c_str());
+
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  int served = 0;
+  for (int i = 0; i < kQueries && i < static_cast<int>(dataset.queries.size());
+       ++i) {
+    const auto& lq = dataset.queries[i];
+    auto r = client.Predict(0, lq.query, *lq.plan);
+    MTMLF_CHECK(r.ok(), r.status().ToString().c_str());
+    double record[2] = {r.value().card, r.value().cost_ms};
+    out.write(reinterpret_cast<const char*>(record), sizeof(record));
+    ++served;
+  }
+  auto health = client.Health();
+  MTMLF_CHECK(health.ok(), health.status().ToString().c_str());
+  std::printf(
+      "[client %d] %d predictions via socket; server health: running=%d "
+      "version=%llu requests=%llu p50=%.0fus\n",
+      getpid(), served, health.value().running ? 1 : 0,
+      static_cast<unsigned long long>(health.value().model_version),
+      static_cast<unsigned long long>(health.value().requests),
+      health.value().p50_us);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(1);
+  if (argc == 4 && std::strcmp(argv[1], "--client") == 0) {
+    return RunClient(argv[2], argv[3]);
+  }
+
+  // ---- server role -------------------------------------------------------
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<optimizer::BaselineCardEstimator> baseline;
+  workload::Dataset dataset = BuildWorkload(&db, &baseline);
+  std::printf("[server %d] workload: %zu labeled queries\n", getpid(),
+              dataset.queries.size());
+
+  featurize::ModelConfig config;
+  config.d_model = 32;
+  config.d_ff = 64;  // small model: the subject here is the transport
+  auto model = std::make_shared<model::MtmlfQo>(config, /*seed=*/7);
+  model->AddDatabase(db.get(), baseline.get());
+
+  serve::ModelRegistry registry;
+  MTMLF_CHECK(registry.Register(1, model).ok(), "register v1");
+  MTMLF_CHECK(registry.Publish(1).ok(), "publish v1");
+  serve::InferenceServer server(&registry, {});
+  MTMLF_CHECK(server.Start().ok(), "server start");
+
+  const std::string sock_path = "ipc_pipeline.sock";
+  const std::string out_path = "ipc_pipeline_client.out";
+  serve::SocketFrontEnd::Options fopts;
+  fopts.unix_path = sock_path;
+  serve::SocketFrontEnd front(&server, &registry, fopts);
+  MTMLF_CHECK(front.Start().ok(), "front end start");
+  std::printf("[server %d] listening on %s\n", getpid(), sock_path.c_str());
+
+  // The optimizer process: same binary, --client role, its own address
+  // space. It must reproduce these predictions bit for bit through the
+  // socket.
+  pid_t child = fork();
+  MTMLF_CHECK(child >= 0, "fork failed");
+  if (child == 0) {
+    execl("/proc/self/exe", argv[0], "--client", sock_path.c_str(),
+          out_path.c_str(), static_cast<char*>(nullptr));
+    std::perror("execl");
+    _exit(127);
+  }
+
+  // In-process ground truth, computed while the client works.
+  std::vector<double> truth;
+  for (int i = 0; i < kQueries && i < static_cast<int>(dataset.queries.size());
+       ++i) {
+    const auto& lq = dataset.queries[i];
+    auto r = server.Submit({0, &lq.query, lq.plan.get()}).get();
+    MTMLF_CHECK(r.ok(), r.status().ToString().c_str());
+    truth.push_back(r.value().card);
+    truth.push_back(r.value().cost_ms);
+  }
+
+  int wstatus = 0;
+  MTMLF_CHECK(waitpid(child, &wstatus, 0) == child, "waitpid failed");
+  MTMLF_CHECK(WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0,
+              "client process failed");
+
+  std::vector<double> remote(truth.size(), 0.0);
+  {
+    std::ifstream in(out_path, std::ios::binary);
+    MTMLF_CHECK(static_cast<bool>(in), "client output missing");
+    in.read(reinterpret_cast<char*>(remote.data()),
+            static_cast<std::streamsize>(remote.size() * sizeof(double)));
+    MTMLF_CHECK(static_cast<size_t>(in.gcount()) ==
+                    remote.size() * sizeof(double),
+                "client output truncated");
+  }
+  int mismatches = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (std::memcmp(&truth[i], &remote[i], sizeof(double)) != 0) ++mismatches;
+  }
+  std::printf(
+      "[server %d] %d predictions compared across the process boundary: "
+      "%d mismatches %s\n",
+      getpid(), kQueries, mismatches,
+      mismatches == 0 ? "(bit-identical)" : "(BROKEN)");
+  std::printf("[server %d] front end: %llu connections, %llu frames, "
+              "%llu rejected\n",
+              getpid(),
+              static_cast<unsigned long long>(front.connections_accepted()),
+              static_cast<unsigned long long>(front.frames_received()),
+              static_cast<unsigned long long>(front.frames_rejected()));
+
+  front.Shutdown();
+  server.Shutdown();
+  std::remove(out_path.c_str());
+  return mismatches == 0 ? 0 : 1;
+}

@@ -14,13 +14,23 @@ void AppendInt(std::string* out, long long v) {
   *out += ';';
 }
 
+// Strings are length-prefixed, not just delimited: a column name (or a
+// string literal) may itself contain the delimiter, and an undelimited
+// string next to an integer lets one field absorb the other — (column
+// "a1", op 2) and (column "a", op 12) must not produce the same key.
+void AppendStr(std::string* out, const std::string& s) {
+  *out += std::to_string(s.size());
+  *out += ':';
+  *out += s;
+  *out += ';';
+}
+
 // Filter values serialize through Value::ToString(); the type tag keeps
 // Int64(5) distinct from String("5").
 void AppendValue(std::string* out, const storage::Value& v) {
   *out += std::to_string(static_cast<int>(v.type()));
   *out += ':';
-  *out += v.ToString();
-  *out += ';';
+  AppendStr(out, v.ToString());
 }
 
 }  // namespace
@@ -37,16 +47,14 @@ std::string PlanFingerprint(int db_index, const query::Query& q,
   key += "j=";
   for (const auto& j : q.joins) {
     AppendInt(&key, j.left_table);
-    key += j.left_column;
-    key += '=';
+    AppendStr(&key, j.left_column);
     AppendInt(&key, j.right_table);
-    key += j.right_column;
-    key += '|';
+    AppendStr(&key, j.right_column);
   }
   key += "f=";
   for (const auto& f : q.filters) {
     AppendInt(&key, f.table);
-    key += f.column;
+    AppendStr(&key, f.column);
     AppendInt(&key, static_cast<int>(f.op));
     AppendValue(&key, f.value);
   }
@@ -80,10 +88,12 @@ std::string PlanFingerprint(int db_index, const query::Query& q,
     }
   }
   // Physical operators in pre-order (the decoding embeddings drop them,
-  // but the cost head's predictions depend on them).
+  // but the cost head's predictions depend on them). Delimited integers,
+  // not '0'+op chars: a single-char encoding collides with the ';'
+  // separator once op values reach 11.
   key += "o=";
   for (const query::PlanNode* n : query::PreOrder(&plan)) {
-    key += static_cast<char>('0' + static_cast<int>(n->op));
+    AppendInt(&key, static_cast<int>(n->op));
   }
   return key;
 }
@@ -92,10 +102,15 @@ PredictionCache::PredictionCache(size_t capacity, int num_shards)
     : capacity_(std::max<size_t>(capacity, 1)) {
   size_t shards = std::clamp<size_t>(
       num_shards <= 0 ? 1 : static_cast<size_t>(num_shards), 1, capacity_);
-  per_shard_capacity_ = (capacity_ + shards - 1) / shards;
+  // Distribute capacity exactly: the first (capacity % shards) shards get
+  // one extra slot. Rounding every shard up would let total residency
+  // exceed the requested capacity by up to shards-1 entries.
+  const size_t base = capacity_ / shards;
+  const size_t remainder = capacity_ % shards;
   shards_.reserve(shards);
   for (size_t i = 0; i < shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->capacity = base + (i < remainder ? 1 : 0);
   }
 }
 
@@ -128,7 +143,7 @@ void PredictionCache::Put(const std::string& key, const Prediction& value) {
   }
   shard.lru.emplace_front(key, value);
   shard.index.emplace(key, shard.lru.begin());
-  while (shard.lru.size() > per_shard_capacity_) {
+  while (shard.lru.size() > shard.capacity) {
     shard.index.erase(shard.lru.back().first);
     shard.lru.pop_back();
   }

@@ -36,7 +36,8 @@ std::string PlanFingerprint(int db_index, const query::Query& q,
 /// Sharded LRU cache mapping plan fingerprints to predictions. Shards cut
 /// lock contention under concurrent serving threads: a key hashes to one
 /// shard, each shard holds its own mutex + LRU list, and capacity is split
-/// evenly across shards. Hit/miss counters are atomics (readable without
+/// across shards (remainder slots go to the first shards), so total
+/// residency never exceeds the requested capacity. Hit/miss counters are atomics (readable without
 /// locks for metrics export).
 class PredictionCache {
  public:
@@ -65,6 +66,8 @@ class PredictionCache {
  private:
   struct Shard {
     std::mutex mu;
+    // Max entries this shard may hold; shard capacities sum to capacity_.
+    size_t capacity = 0;
     // Front = most recently used.
     std::list<std::pair<std::string, Prediction>> lru;
     std::unordered_map<
@@ -76,7 +79,6 @@ class PredictionCache {
   Shard& ShardFor(const std::string& key);
 
   size_t capacity_;
-  size_t per_shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};

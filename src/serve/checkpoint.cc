@@ -1,5 +1,6 @@
 #include "serve/checkpoint.h"
 
+#include <algorithm>
 #include <array>
 #include <cstdio>
 #include <cstring>
@@ -148,7 +149,12 @@ Result<std::vector<CheckpointEntry>> ReadCheckpointManifest(
   }
 
   std::vector<CheckpointEntry> entries;
-  entries.reserve(num_tensors);
+  entries.reserve(std::min<size_t>(num_tensors, buf.size() / 12));
+  // Every tensor's float payload must fit inside the file, and so must the
+  // running total: without these bounds a crafted manifest with huge
+  // shapes wraps the size_t accumulation, slips past the expected_size
+  // check below, and hands out-of-bounds payload offsets to callers.
+  const size_t max_payload_floats = buf.size() / sizeof(float);
   size_t payload_floats = 0;
   for (uint32_t i = 0; i < num_tensors; ++i) {
     uint32_t name_len = 0;
@@ -170,10 +176,21 @@ Result<std::vector<CheckpointEntry>> ReadCheckpointManifest(
                                      "': non-positive shape for tensor '" +
                                      e.name + "'");
     }
+    // rows and cols are each <= INT32_MAX, so the product cannot wrap a
+    // size_t — but the running sum (and the later * sizeof(float)) can.
+    // Bounding both against the file size keeps every offset honest.
+    const size_t entry_floats =
+        static_cast<size_t>(rows) * static_cast<size_t>(cols);
+    if (entry_floats > max_payload_floats - payload_floats) {
+      return Status::InvalidArgument(
+          "checkpoint '" + path + "': tensor '" + e.name + "' shape " +
+          std::to_string(rows) + "x" + std::to_string(cols) +
+          " implies a payload larger than the file — corrupt manifest");
+    }
     e.rows = rows;
     e.cols = cols;
     e.payload_offset = payload_floats;
-    payload_floats += static_cast<size_t>(rows) * static_cast<size_t>(cols);
+    payload_floats += entry_floats;
     entries.push_back(std::move(e));
   }
 

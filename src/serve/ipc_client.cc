@@ -1,0 +1,228 @@
+#include "serve/ipc_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace mtmlf::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int RemainingMs(Clock::time_point deadline) {
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - Clock::now())
+                  .count();
+  return static_cast<int>(std::max<long long>(left, 0));
+}
+
+bool SendAll(int fd, const char* data, size_t n) {
+  while (n > 0) {
+    ssize_t sent = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += sent;
+    n -= static_cast<size_t>(sent);
+  }
+  return true;
+}
+
+// Reads exactly `n` bytes before `deadline`. 1 = success, 0 = deadline
+// expired, -1 = connection error/EOF.
+int ReadFullyDeadline(int fd, char* buf, size_t n,
+                      Clock::time_point deadline) {
+  size_t got = 0;
+  while (got < n) {
+    int timeout_ms = RemainingMs(deadline);
+    if (timeout_ms == 0) return 0;
+    pollfd pfd{fd, POLLIN, 0};
+    int pr = ::poll(&pfd, 1, timeout_ms);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (pr == 0) return 0;
+    ssize_t r = ::read(fd, buf + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (r == 0) return -1;  // server closed
+    got += static_cast<size_t>(r);
+  }
+  return 1;
+}
+
+}  // namespace
+
+IpcClient::IpcClient(const Options& options) : options_(options) {
+  options_.connect_attempts = std::max(options_.connect_attempts, 1);
+  options_.backoff_initial_ms = std::max(options_.backoff_initial_ms, 1);
+  options_.backoff_max_ms =
+      std::max(options_.backoff_max_ms, options_.backoff_initial_ms);
+  if (options_.default_deadline_ms <= 0) {
+    options_.default_deadline_ms = 30000;
+  }
+}
+
+IpcClient::~IpcClient() { Close(); }
+
+void IpcClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status IpcClient::Connect() {
+  Close();
+  if (options_.unix_path.empty() && options_.tcp_port < 0) {
+    return Status::InvalidArgument(
+        "IpcClient: no endpoint configured (set unix_path or tcp_port)");
+  }
+  int backoff_ms = options_.backoff_initial_ms;
+  std::string last_error;
+  for (int attempt = 0; attempt < options_.connect_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Exponential backoff: the sidecar may still be binding its socket.
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, options_.backoff_max_ms);
+    }
+    int fd = -1;
+    if (!options_.unix_path.empty()) {
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      if (options_.unix_path.size() >= sizeof(addr.sun_path)) {
+        return Status::InvalidArgument("IpcClient: unix_path '" +
+                                       options_.unix_path +
+                                       "' exceeds sockaddr_un limit");
+      }
+      std::memcpy(addr.sun_path, options_.unix_path.c_str(),
+                  options_.unix_path.size() + 1);
+      fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      if (fd >= 0 && ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                               sizeof(addr)) == 0) {
+        fd_ = fd;
+        return Status::OK();
+      }
+    } else {
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(static_cast<uint16_t>(options_.tcp_port));
+      if (::inet_pton(AF_INET, options_.tcp_host.c_str(), &addr.sin_addr) !=
+          1) {
+        return Status::InvalidArgument("IpcClient: bad tcp_host '" +
+                                       options_.tcp_host + "'");
+      }
+      fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd >= 0 && ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                               sizeof(addr)) == 0) {
+        fd_ = fd;
+        return Status::OK();
+      }
+    }
+    last_error = std::strerror(errno);
+    if (fd >= 0) ::close(fd);
+  }
+  return Status::Internal(
+      "IpcClient: connect failed after " +
+      std::to_string(options_.connect_attempts) + " attempts: " + last_error);
+}
+
+Result<std::string> IpcClient::RoundTrip(IpcOp request_op,
+                                         IpcOp expected_response_op,
+                                         const std::string& payload,
+                                         int deadline_ms) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("IpcClient: not connected");
+  }
+  if (deadline_ms <= 0) deadline_ms = options_.default_deadline_ms;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(deadline_ms);
+  const uint64_t request_id = next_request_id_++;
+
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  EncodeFrameHeader(request_op, request_id,
+                    static_cast<uint32_t>(payload.size()), &frame);
+  frame += payload;
+  if (!SendAll(fd_, frame.data(), frame.size())) {
+    Close();
+    return Status::Internal("IpcClient: send failed (server gone?)");
+  }
+
+  char header[kFrameHeaderBytes];
+  int rc = ReadFullyDeadline(fd_, header, sizeof(header), deadline);
+  if (rc <= 0) {
+    // Either the server died or the deadline hit mid-stream; both leave
+    // the connection unusable for framing, so drop it.
+    Close();
+    return rc == 0 ? Status::OutOfRange("IpcClient: deadline of " +
+                                        std::to_string(deadline_ms) +
+                                        "ms exceeded")
+                   : Status::Internal("IpcClient: connection lost");
+  }
+  auto decoded = DecodeFrameHeader(header, sizeof(header));
+  if (!decoded.ok()) {
+    Close();
+    return decoded.status();
+  }
+  const FrameHeader& h = decoded.value();
+  if (h.payload_bytes > options_.max_frame_bytes) {
+    Close();
+    return Status::Internal("IpcClient: response frame of " +
+                            std::to_string(h.payload_bytes) +
+                            " bytes exceeds limit");
+  }
+  std::string response(h.payload_bytes, '\0');
+  if (h.payload_bytes > 0) {
+    rc = ReadFullyDeadline(fd_, response.data(), response.size(), deadline);
+    if (rc <= 0) {
+      Close();
+      return rc == 0 ? Status::OutOfRange("IpcClient: deadline of " +
+                                          std::to_string(deadline_ms) +
+                                          "ms exceeded")
+                     : Status::Internal("IpcClient: connection lost");
+    }
+  }
+  if (h.request_id != request_id ||
+      h.op != static_cast<uint8_t>(expected_response_op)) {
+    // One outstanding request per client, so any mismatch means the
+    // stream is confused; responses can no longer be trusted.
+    Close();
+    return Status::Internal("IpcClient: response does not match request");
+  }
+  return response;
+}
+
+Result<InferencePrediction> IpcClient::Predict(int db_index,
+                                               const query::Query& query,
+                                               const query::PlanNode& plan,
+                                               int deadline_ms) {
+  std::string payload;
+  EncodeInferRequest(db_index, query, plan, &payload);
+  auto response = RoundTrip(IpcOp::kInferRequest, IpcOp::kInferResponse,
+                            payload, deadline_ms);
+  if (!response.ok()) return response.status();
+  return DecodeInferResponse(response.value());
+}
+
+Result<HealthInfo> IpcClient::Health(int deadline_ms) {
+  auto response = RoundTrip(IpcOp::kHealthRequest, IpcOp::kHealthResponse,
+                            std::string(), deadline_ms);
+  if (!response.ok()) return response.status();
+  return DecodeHealthResponse(response.value());
+}
+
+}  // namespace mtmlf::serve

@@ -1,0 +1,79 @@
+#ifndef MTMLF_SERVE_IPC_CLIENT_H_
+#define MTMLF_SERVE_IPC_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "query/plan.h"
+#include "query/query.h"
+#include "serve/ipc_protocol.h"
+
+namespace mtmlf::serve {
+
+/// Client side of the cross-process serving boundary: the library a DBMS
+/// process embeds to call CardEst/CostEst on a model sidecar without
+/// linking the model code. Speaks ipc_protocol frames over a Unix-domain
+/// or TCP-localhost socket.
+///
+/// Connect() retries with exponential backoff (the sidecar usually races
+/// the DBMS at startup). Predict()/Health() are synchronous round trips
+/// with an optional per-call deadline; a deadline hit mid-frame leaves
+/// the stream unsynchronizable, so the client disconnects — call
+/// Connect() again to resume.
+///
+/// Not thread-safe: one IpcClient per calling thread (connections are
+/// cheap; the server multiplexes).
+class IpcClient {
+ public:
+  struct Options {
+    /// Connect to this Unix-domain socket path, if non-empty ...
+    std::string unix_path;
+    /// ... else to tcp_host:tcp_port (TCP used when unix_path is empty).
+    std::string tcp_host = "127.0.0.1";
+    int tcp_port = -1;
+    /// Connect() attempts before giving up (>= 1).
+    int connect_attempts = 10;
+    /// Backoff before the 2nd, 3rd, ... attempt: initial delay, doubling
+    /// per attempt, capped.
+    int backoff_initial_ms = 5;
+    int backoff_max_ms = 500;
+    /// Per-call deadline when the caller passes deadline_ms <= 0.
+    int default_deadline_ms = 30000;
+    /// Response frames larger than this are rejected (protocol error).
+    size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  };
+
+  explicit IpcClient(const Options& options);
+  ~IpcClient();
+
+  IpcClient(const IpcClient&) = delete;
+  IpcClient& operator=(const IpcClient&) = delete;
+
+  /// Establishes the connection, retrying with exponential backoff.
+  Status Connect();
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// One inference round trip. Mirrors in-process
+  /// InferenceServer::Submit(...).get(): a server-side failure comes back
+  /// as the same Status code/message it would produce in-process.
+  Result<InferencePrediction> Predict(int db_index, const query::Query& query,
+                                      const query::PlanNode& plan,
+                                      int deadline_ms = 0);
+
+  /// Server health/metrics snapshot.
+  Result<HealthInfo> Health(int deadline_ms = 0);
+
+ private:
+  Result<std::string> RoundTrip(IpcOp request_op, IpcOp expected_response_op,
+                                const std::string& payload, int deadline_ms);
+
+  Options options_;
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace mtmlf::serve
+
+#endif  // MTMLF_SERVE_IPC_CLIENT_H_

@@ -1,0 +1,328 @@
+#include "serve/ipc_protocol.h"
+
+#include <cstring>
+
+namespace mtmlf::serve {
+
+namespace {
+
+// Little-endian fixed-width append/read, as in checkpoint.cc: the repo
+// targets little-endian hosts, so these are memcpys that keep the wire
+// format explicit at every call site.
+template <typename T>
+void AppendRaw(std::string* out, T value) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out->append(bytes, sizeof(T));
+}
+
+template <typename T>
+bool ReadRaw(const std::string& buf, size_t* offset, T* value) {
+  if (buf.size() - *offset < sizeof(T)) return false;
+  std::memcpy(value, buf.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+void AppendString(std::string* out, const std::string& s) {
+  AppendRaw<uint32_t>(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+bool ReadString(const std::string& buf, size_t* offset, std::string* s) {
+  uint32_t len = 0;
+  if (!ReadRaw(buf, offset, &len)) return false;
+  if (buf.size() - *offset < len) return false;
+  s->assign(buf.data() + *offset, len);
+  *offset += len;
+  return true;
+}
+
+void AppendValue(std::string* out, const storage::Value& v) {
+  AppendRaw<uint8_t>(out, static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case storage::DataType::kInt64:
+      AppendRaw<int64_t>(out, v.AsInt64());
+      break;
+    case storage::DataType::kDouble:
+      AppendRaw<double>(out, v.AsDouble());
+      break;
+    case storage::DataType::kString:
+      AppendString(out, v.AsString());
+      break;
+  }
+}
+
+bool ReadValue(const std::string& buf, size_t* offset, storage::Value* v) {
+  uint8_t type = 0;
+  if (!ReadRaw(buf, offset, &type)) return false;
+  switch (static_cast<storage::DataType>(type)) {
+    case storage::DataType::kInt64: {
+      int64_t x = 0;
+      if (!ReadRaw(buf, offset, &x)) return false;
+      *v = storage::Value(x);
+      return true;
+    }
+    case storage::DataType::kDouble: {
+      double x = 0;
+      if (!ReadRaw(buf, offset, &x)) return false;
+      *v = storage::Value(x);
+      return true;
+    }
+    case storage::DataType::kString: {
+      std::string s;
+      if (!ReadString(buf, offset, &s)) return false;
+      *v = storage::Value(std::move(s));
+      return true;
+    }
+  }
+  return false;  // unknown type tag
+}
+
+// Pre-order recursive plan codec. Training annotations (true_cardinality
+// etc.) are deliberately not carried: inference depends only on the
+// structure, operators, and scanned tables.
+void AppendPlan(std::string* out, const query::PlanNode& node) {
+  AppendRaw<uint8_t>(out, node.IsLeaf() ? 0 : 1);
+  AppendRaw<uint8_t>(out, static_cast<uint8_t>(node.op));
+  if (node.IsLeaf()) {
+    AppendRaw<int32_t>(out, node.table);
+  } else {
+    AppendPlan(out, *node.left);
+    AppendPlan(out, *node.right);
+  }
+}
+
+// `budget` bounds total decoded nodes (and thus recursion depth), so a
+// crafted payload of nested join markers cannot blow the stack.
+query::PlanPtr ReadPlan(const std::string& buf, size_t* offset,
+                        int* budget) {
+  if (--(*budget) < 0) return nullptr;
+  uint8_t kind = 0, op = 0;
+  if (!ReadRaw(buf, offset, &kind) || !ReadRaw(buf, offset, &op)) {
+    return nullptr;
+  }
+  if (kind > 1 || op >= query::kNumPhysicalOps) return nullptr;
+  auto node = std::make_unique<query::PlanNode>();
+  node->op = static_cast<query::PhysicalOp>(op);
+  if (kind == 0) {
+    int32_t table = 0;
+    if (!ReadRaw(buf, offset, &table) || table < 0) return nullptr;
+    node->table = table;
+    if (query::IsJoinOp(node->op)) return nullptr;  // join op on a leaf
+    return node;
+  }
+  if (!query::IsJoinOp(node->op)) return nullptr;  // scan op on a join
+  node->left = ReadPlan(buf, offset, budget);
+  if (node->left == nullptr) return nullptr;
+  node->right = ReadPlan(buf, offset, budget);
+  if (node->right == nullptr) return nullptr;
+  return node;
+}
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(std::string("ipc: malformed ") + what);
+}
+
+}  // namespace
+
+void EncodeFrameHeader(IpcOp op, uint64_t request_id, uint32_t payload_bytes,
+                       std::string* out) {
+  out->append(reinterpret_cast<const char*>(kIpcMagic), sizeof(kIpcMagic));
+  AppendRaw<uint8_t>(out, kIpcProtocolVersion);
+  AppendRaw<uint8_t>(out, static_cast<uint8_t>(op));
+  AppendRaw<uint16_t>(out, 0);  // reserved
+  AppendRaw<uint64_t>(out, request_id);
+  AppendRaw<uint32_t>(out, payload_bytes);
+}
+
+Result<FrameHeader> DecodeFrameHeader(const char* data, size_t size) {
+  if (size < kFrameHeaderBytes) {
+    return Malformed("frame header: short read");
+  }
+  if (std::memcmp(data, kIpcMagic, sizeof(kIpcMagic)) != 0) {
+    return Malformed("frame header: bad magic");
+  }
+  const auto* bytes = reinterpret_cast<const uint8_t*>(data);
+  if (bytes[4] != kIpcProtocolVersion) {
+    return Status::InvalidArgument(
+        "ipc: protocol version " + std::to_string(bytes[4]) +
+        " unsupported (expected " + std::to_string(kIpcProtocolVersion) +
+        ")");
+  }
+  FrameHeader header;
+  header.op = bytes[5];
+  std::memcpy(&header.request_id, data + 8, sizeof(header.request_id));
+  std::memcpy(&header.payload_bytes, data + 16, sizeof(header.payload_bytes));
+  return header;
+}
+
+void EncodeInferRequest(int db_index, const query::Query& query,
+                        const query::PlanNode& plan, std::string* out) {
+  AppendRaw<int32_t>(out, db_index);
+  AppendRaw<uint32_t>(out, static_cast<uint32_t>(query.tables.size()));
+  for (int t : query.tables) AppendRaw<int32_t>(out, t);
+  AppendRaw<uint32_t>(out, static_cast<uint32_t>(query.joins.size()));
+  for (const auto& j : query.joins) {
+    AppendRaw<int32_t>(out, j.left_table);
+    AppendString(out, j.left_column);
+    AppendRaw<int32_t>(out, j.right_table);
+    AppendString(out, j.right_column);
+  }
+  AppendRaw<uint32_t>(out, static_cast<uint32_t>(query.filters.size()));
+  for (const auto& f : query.filters) {
+    AppendRaw<int32_t>(out, f.table);
+    AppendString(out, f.column);
+    AppendRaw<uint8_t>(out, static_cast<uint8_t>(f.op));
+    AppendValue(out, f.value);
+  }
+  AppendPlan(out, plan);
+}
+
+Result<WireInferenceRequest> DecodeInferRequest(const std::string& payload) {
+  WireInferenceRequest req;
+  size_t offset = 0;
+  int32_t db_index = 0;
+  if (!ReadRaw(payload, &offset, &db_index)) {
+    return Malformed("infer request: db_index");
+  }
+  req.db_index = db_index;
+
+  uint32_t n = 0;
+  if (!ReadRaw(payload, &offset, &n) || n > payload.size()) {
+    return Malformed("infer request: table count");
+  }
+  req.query.tables.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    int32_t t = 0;
+    if (!ReadRaw(payload, &offset, &t)) {
+      return Malformed("infer request: table list");
+    }
+    req.query.tables.push_back(t);
+  }
+
+  if (!ReadRaw(payload, &offset, &n) || n > payload.size()) {
+    return Malformed("infer request: join count");
+  }
+  req.query.joins.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    query::JoinPredicate j;
+    int32_t lt = 0, rt = 0;
+    if (!ReadRaw(payload, &offset, &lt) ||
+        !ReadString(payload, &offset, &j.left_column) ||
+        !ReadRaw(payload, &offset, &rt) ||
+        !ReadString(payload, &offset, &j.right_column)) {
+      return Malformed("infer request: join predicate");
+    }
+    j.left_table = lt;
+    j.right_table = rt;
+    req.query.joins.push_back(std::move(j));
+  }
+
+  if (!ReadRaw(payload, &offset, &n) || n > payload.size()) {
+    return Malformed("infer request: filter count");
+  }
+  req.query.filters.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    query::FilterPredicate f;
+    int32_t table = 0;
+    uint8_t op = 0;
+    if (!ReadRaw(payload, &offset, &table) ||
+        !ReadString(payload, &offset, &f.column) ||
+        !ReadRaw(payload, &offset, &op) ||
+        !ReadValue(payload, &offset, &f.value)) {
+      return Malformed("infer request: filter predicate");
+    }
+    if (op > static_cast<uint8_t>(query::CompareOp::kLike)) {
+      return Malformed("infer request: filter compare op");
+    }
+    f.table = table;
+    f.op = static_cast<query::CompareOp>(op);
+    req.query.filters.push_back(std::move(f));
+  }
+
+  int budget = kMaxWirePlanNodes;
+  req.plan = ReadPlan(payload, &offset, &budget);
+  if (req.plan == nullptr) {
+    return Malformed("infer request: plan tree");
+  }
+  if (offset != payload.size()) {
+    return Malformed("infer request: trailing bytes");
+  }
+  return req;
+}
+
+void EncodeInferResponse(const Result<InferencePrediction>& result,
+                         std::string* out) {
+  AppendRaw<uint8_t>(out, static_cast<uint8_t>(result.status().code()));
+  if (!result.ok()) {
+    AppendString(out, result.status().message());
+    return;
+  }
+  const InferencePrediction& p = result.value();
+  AppendRaw<double>(out, p.card);
+  AppendRaw<double>(out, p.cost_ms);
+  AppendRaw<uint8_t>(out, p.cache_hit ? 1 : 0);
+  AppendRaw<uint64_t>(out, p.model_version);
+}
+
+Result<InferencePrediction> DecodeInferResponse(const std::string& payload) {
+  size_t offset = 0;
+  uint8_t code = 0;
+  if (!ReadRaw(payload, &offset, &code)) {
+    return Malformed("infer response: status code");
+  }
+  if (code > static_cast<uint8_t>(StatusCode::kUnimplemented)) {
+    return Malformed("infer response: unknown status code");
+  }
+  if (code != static_cast<uint8_t>(StatusCode::kOk)) {
+    std::string message;
+    if (!ReadString(payload, &offset, &message)) {
+      return Malformed("infer response: error message");
+    }
+    return Status(static_cast<StatusCode>(code), std::move(message));
+  }
+  InferencePrediction p;
+  uint8_t cache_hit = 0;
+  if (!ReadRaw(payload, &offset, &p.card) ||
+      !ReadRaw(payload, &offset, &p.cost_ms) ||
+      !ReadRaw(payload, &offset, &cache_hit) ||
+      !ReadRaw(payload, &offset, &p.model_version) ||
+      offset != payload.size()) {
+    return Malformed("infer response: prediction body");
+  }
+  p.cache_hit = cache_hit != 0;
+  return p;
+}
+
+void EncodeHealthResponse(const HealthInfo& info, std::string* out) {
+  AppendRaw<uint8_t>(out, info.running ? 1 : 0);
+  AppendRaw<uint64_t>(out, info.model_version);
+  AppendRaw<uint64_t>(out, info.requests);
+  AppendRaw<uint64_t>(out, info.errors);
+  AppendRaw<double>(out, info.p50_us);
+  AppendRaw<double>(out, info.p95_us);
+  AppendRaw<double>(out, info.p99_us);
+  AppendRaw<double>(out, info.cache_hit_rate);
+}
+
+Result<HealthInfo> DecodeHealthResponse(const std::string& payload) {
+  HealthInfo info;
+  size_t offset = 0;
+  uint8_t running = 0;
+  if (!ReadRaw(payload, &offset, &running) ||
+      !ReadRaw(payload, &offset, &info.model_version) ||
+      !ReadRaw(payload, &offset, &info.requests) ||
+      !ReadRaw(payload, &offset, &info.errors) ||
+      !ReadRaw(payload, &offset, &info.p50_us) ||
+      !ReadRaw(payload, &offset, &info.p95_us) ||
+      !ReadRaw(payload, &offset, &info.p99_us) ||
+      !ReadRaw(payload, &offset, &info.cache_hit_rate) ||
+      offset != payload.size()) {
+    return Malformed("health response");
+  }
+  info.running = running != 0;
+  return info;
+}
+
+}  // namespace mtmlf::serve

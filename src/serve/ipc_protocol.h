@@ -1,0 +1,105 @@
+#ifndef MTMLF_SERVE_IPC_PROTOCOL_H_
+#define MTMLF_SERVE_IPC_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "query/plan.h"
+#include "query/query.h"
+#include "serve/server.h"
+
+namespace mtmlf::serve {
+
+/// Wire protocol for cross-process serving (the paper's Section 2
+/// deployment: the customer DBMS process does not link this library — it
+/// talks to a model sidecar over a Unix-domain or TCP-localhost socket).
+///
+/// Every message is one length-prefixed binary frame (little-endian):
+///
+///   offset 0   u32  magic       "MFIP" (0x4D464950 as bytes M,F,I,P)
+///          4   u8   version     kIpcProtocolVersion
+///          5   u8   op          IpcOp
+///          6   u16  reserved    must be 0
+///          8   u64  request_id  echoed verbatim in the response frame
+///         16   u32  payload_bytes
+///         20   ...  payload     op-specific body, payload_bytes long
+///
+/// A response frame reuses the request's request_id, so a pipelining
+/// client can match responses to requests. Frames whose payload fails to
+/// decode are answered with an error response on the same request_id —
+/// the request fails, the connection survives. Frames whose *header* is
+/// unparseable (bad magic/version) leave the byte stream unsynchronizable
+/// and close the connection.
+inline constexpr uint8_t kIpcMagic[4] = {'M', 'F', 'I', 'P'};
+inline constexpr uint8_t kIpcProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 20;
+/// Default cap on payload_bytes; oversized frames fail the request.
+inline constexpr size_t kDefaultMaxFrameBytes = 1u << 20;
+/// Decoder cap on plan-tree nodes (a real plan has one node per join or
+/// scan; crafted deeply-nested payloads must not exhaust the stack).
+inline constexpr int kMaxWirePlanNodes = 4096;
+
+enum class IpcOp : uint8_t {
+  kInferRequest = 1,
+  kInferResponse = 2,
+  kHealthRequest = 3,
+  kHealthResponse = 4,
+};
+
+struct FrameHeader {
+  uint8_t op = 0;
+  uint64_t request_id = 0;
+  uint32_t payload_bytes = 0;
+};
+
+/// Appends the 20-byte header for (`op`, `request_id`, payload size).
+void EncodeFrameHeader(IpcOp op, uint64_t request_id, uint32_t payload_bytes,
+                       std::string* out);
+
+/// Parses a header from exactly kFrameHeaderBytes at `data`. Rejects bad
+/// magic and unknown protocol versions (the stream cannot be resynced
+/// after either). Does NOT bound payload_bytes — transport code checks it
+/// against its own max-frame limit so it can fail the request politely.
+Result<FrameHeader> DecodeFrameHeader(const char* data, size_t size);
+
+/// A deserialized inference request. The wire-side mirror of
+/// InferenceRequest, which only borrows query/plan: the decoded objects
+/// are owned here and must outlive the server's future.
+struct WireInferenceRequest {
+  int db_index = 0;
+  query::Query query;
+  query::PlanPtr plan;
+};
+
+/// Payload codec for IpcOp::kInferRequest.
+void EncodeInferRequest(int db_index, const query::Query& query,
+                        const query::PlanNode& plan, std::string* out);
+Result<WireInferenceRequest> DecodeInferRequest(const std::string& payload);
+
+/// Payload codec for IpcOp::kInferResponse. Carries either the prediction
+/// or the failing Status (code + message), so a server-side error comes
+/// back to the client as the same Status it would get in-process.
+void EncodeInferResponse(const Result<InferencePrediction>& result,
+                         std::string* out);
+Result<InferencePrediction> DecodeInferResponse(const std::string& payload);
+
+/// Health/metrics snapshot served for IpcOp::kHealthRequest (the
+/// monitoring hook a DBMS-side supervisor polls).
+struct HealthInfo {
+  bool running = false;
+  uint64_t model_version = 0;
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double cache_hit_rate = 0.0;
+};
+
+void EncodeHealthResponse(const HealthInfo& info, std::string* out);
+Result<HealthInfo> DecodeHealthResponse(const std::string& payload);
+
+}  // namespace mtmlf::serve
+
+#endif  // MTMLF_SERVE_IPC_PROTOCOL_H_

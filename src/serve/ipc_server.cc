@@ -1,0 +1,435 @@
+#include "serve/ipc_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace mtmlf::serve {
+
+namespace {
+
+bool SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+// MSG_NOSIGNAL: a peer that disconnected mid-response must surface as a
+// send() error on this connection, not a process-wide SIGPIPE.
+bool SendAll(int fd, const char* data, size_t n) {
+  while (n > 0) {
+    ssize_t sent = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += sent;
+    n -= static_cast<size_t>(sent);
+  }
+  return true;
+}
+
+/// Reads exactly `n` bytes. Returns 1 on success, 0 on clean EOF at a
+/// frame boundary (zero bytes read), -1 on error, timeout, or EOF
+/// mid-frame. `timeout_ms` <= 0 waits forever; the timeout applies per
+/// poll, i.e. it is an idle timeout, not a whole-frame deadline.
+int ReadFully(int fd, char* buf, size_t n, int timeout_ms) {
+  size_t got = 0;
+  while (got < n) {
+    pollfd pfd{fd, POLLIN, 0};
+    int pr = ::poll(&pfd, 1, timeout_ms <= 0 ? -1 : timeout_ms);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (pr == 0) return -1;  // idle timeout
+    ssize_t r = ::read(fd, buf + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (r == 0) return got == 0 ? 0 : -1;  // EOF
+    got += static_cast<size_t>(r);
+  }
+  return 1;
+}
+
+// Consumes and discards `n` bytes (an oversized payload) so the stream
+// stays frame-synchronized after the request was rejected.
+bool DrainBytes(int fd, uint64_t n, int timeout_ms) {
+  char scratch[4096];
+  while (n > 0) {
+    size_t chunk = std::min<uint64_t>(n, sizeof(scratch));
+    if (ReadFully(fd, scratch, chunk, timeout_ms) != 1) return false;
+    n -= chunk;
+  }
+  return true;
+}
+
+}  // namespace
+
+SocketFrontEnd::SocketFrontEnd(InferenceServer* server,
+                               ModelRegistry* registry,
+                               const Options& options)
+    : server_(server), registry_(registry), options_(options) {
+  options_.max_frame_bytes =
+      std::max<size_t>(options_.max_frame_bytes, kFrameHeaderBytes);
+  options_.max_connections = std::max(options_.max_connections, 1);
+}
+
+SocketFrontEnd::~SocketFrontEnd() { Shutdown(); }
+
+Status SocketFrontEnd::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) {
+    return Status::FailedPrecondition("SocketFrontEnd already started");
+  }
+  if (options_.unix_path.empty() && options_.tcp_port < 0) {
+    return Status::InvalidArgument(
+        "SocketFrontEnd: no listener configured (set unix_path and/or "
+        "tcp_port)");
+  }
+  auto fail = [this](Status status) {
+    for (int* fd : {&unix_listen_fd_, &tcp_listen_fd_, &wake_pipe_[0],
+                    &wake_pipe_[1]}) {
+      if (*fd >= 0) ::close(*fd);
+      *fd = -1;
+    }
+    return status;
+  };
+
+  if (::pipe(wake_pipe_) != 0) {
+    return fail(Status::Internal("SocketFrontEnd: pipe() failed"));
+  }
+  if (!options_.unix_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_path.size() >= sizeof(addr.sun_path)) {
+      return fail(Status::InvalidArgument(
+          "SocketFrontEnd: unix_path '" + options_.unix_path +
+          "' exceeds sockaddr_un limit"));
+    }
+    std::memcpy(addr.sun_path, options_.unix_path.c_str(),
+                options_.unix_path.size() + 1);
+    unix_listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (unix_listen_fd_ < 0) {
+      return fail(Status::Internal("SocketFrontEnd: socket(AF_UNIX) failed"));
+    }
+    ::unlink(options_.unix_path.c_str());  // stale socket from a crash
+    if (::bind(unix_listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(unix_listen_fd_, 64) != 0 ||
+        !SetNonBlocking(unix_listen_fd_)) {
+      return fail(Status::Internal("SocketFrontEnd: cannot listen on '" +
+                                   options_.unix_path + "': " +
+                                   std::strerror(errno)));
+    }
+  }
+  if (options_.tcp_port >= 0) {
+    tcp_listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (tcp_listen_fd_ < 0) {
+      return fail(Status::Internal("SocketFrontEnd: socket(AF_INET) failed"));
+    }
+    int one = 1;
+    ::setsockopt(tcp_listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(options_.tcp_port));
+    if (::bind(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(tcp_listen_fd_, 64) != 0 ||
+        !SetNonBlocking(tcp_listen_fd_)) {
+      return fail(Status::Internal(
+          "SocketFrontEnd: cannot listen on 127.0.0.1:" +
+          std::to_string(options_.tcp_port) + ": " + std::strerror(errno)));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(tcp_listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) == 0) {
+      bound_tcp_port_ = ntohs(bound.sin_port);
+    }
+  }
+
+  stopping_.store(false, std::memory_order_relaxed);
+  started_ = true;
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+bool SocketFrontEnd::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return started_;
+}
+
+void SocketFrontEnd::Shutdown() {
+  std::thread acceptor;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_) return;
+    started_ = false;
+    stopping_.store(true, std::memory_order_relaxed);
+    acceptor = std::move(acceptor_);
+  }
+  char wake = 1;
+  ssize_t ignored = ::write(wake_pipe_[1], &wake, 1);
+  (void)ignored;
+  if (acceptor.joinable()) acceptor.join();
+
+  for (int* fd : {&unix_listen_fd_, &tcp_listen_fd_}) {
+    if (*fd >= 0) ::close(*fd);
+    *fd = -1;
+  }
+  if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
+  bound_tcp_port_ = -1;
+
+  // Graceful drain: stop reads, let every writer flush its pending
+  // responses, then release the sockets.
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    connections.swap(connections_);
+  }
+  for (auto& conn : connections) {
+    BeginConnectionClose(conn.get());
+    if (conn->reader.joinable()) conn->reader.join();
+    if (conn->writer.joinable()) conn->writer.join();
+    // A response enqueued after its writer bailed out (failed peer) may
+    // still hold a future the InferenceServer is working on; the borrowed
+    // query/plan must stay alive until that future resolves.
+    for (auto& r : conn->pending) {
+      if (r.future.valid()) r.future.wait();
+    }
+    ::close(conn->fd);
+  }
+  for (int* fd : {&wake_pipe_[0], &wake_pipe_[1]}) {
+    if (*fd >= 0) ::close(*fd);
+    *fd = -1;
+  }
+}
+
+void SocketFrontEnd::AcceptLoop() {
+  for (;;) {
+    pollfd fds[3];
+    int nfds = 0;
+    if (unix_listen_fd_ >= 0) fds[nfds++] = {unix_listen_fd_, POLLIN, 0};
+    if (tcp_listen_fd_ >= 0) fds[nfds++] = {tcp_listen_fd_, POLLIN, 0};
+    fds[nfds++] = {wake_pipe_[0], POLLIN, 0};
+    int pr = ::poll(fds, static_cast<nfds_t>(nfds), -1);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (stopping_.load(std::memory_order_relaxed)) return;
+    for (int i = 0; i < nfds - 1; ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      for (;;) {
+        int cfd = ::accept(fds[i].fd, nullptr, nullptr);
+        if (cfd < 0) break;  // EAGAIN: listener drained
+        connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(mu_);
+        // Reap connections whose threads have both exited.
+        for (size_t k = 0; k < connections_.size();) {
+          if (connections_[k]->done.load(std::memory_order_acquire)) {
+            connections_[k]->reader.join();
+            connections_[k]->writer.join();
+            for (auto& r : connections_[k]->pending) {
+              if (r.future.valid()) r.future.wait();
+            }
+            ::close(connections_[k]->fd);
+            connections_.erase(connections_.begin() + k);
+          } else {
+            ++k;
+          }
+        }
+        if (static_cast<int>(connections_.size()) >=
+            options_.max_connections) {
+          ::close(cfd);  // over the cap: refuse politely
+          continue;
+        }
+        auto conn = std::make_unique<Connection>();
+        conn->fd = cfd;
+        Connection* raw = conn.get();
+        conn->reader = std::thread([this, raw] { ReaderLoop(raw); });
+        conn->writer = std::thread([this, raw] { WriterLoop(raw); });
+        connections_.push_back(std::move(conn));
+      }
+    }
+  }
+}
+
+void SocketFrontEnd::BeginConnectionClose(Connection* conn) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->closing = true;
+  }
+  conn->cv.notify_all();
+  // SHUT_RD only: unblocks the reader (read returns 0) while the writer
+  // keeps flushing pending responses — that is the drain.
+  ::shutdown(conn->fd, SHUT_RD);
+}
+
+void SocketFrontEnd::EnqueueResponse(Connection* conn,
+                                     PendingResponse response) {
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->pending.push_back(std::move(response));
+  }
+  conn->cv.notify_all();
+}
+
+std::string SocketFrontEnd::HealthPayload() const {
+  const ServerMetrics& m = server_->metrics();
+  HealthInfo info;
+  info.running = server_->running();
+  info.model_version = registry_ != nullptr ? registry_->CurrentVersion() : 0;
+  info.requests = m.requests();
+  info.errors = m.errors();
+  info.p50_us = m.latency().PercentileUs(0.50);
+  info.p95_us = m.latency().PercentileUs(0.95);
+  info.p99_us = m.latency().PercentileUs(0.99);
+  info.cache_hit_rate = m.CacheHitRate();
+  std::string payload;
+  EncodeHealthResponse(info, &payload);
+  return payload;
+}
+
+void SocketFrontEnd::ReaderLoop(Connection* conn) {
+  char header[kFrameHeaderBytes];
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      if (conn->closing) break;
+    }
+    int rc = ReadFully(conn->fd, header, sizeof(header),
+                       options_.read_timeout_ms);
+    if (rc <= 0) break;  // peer closed, idle timeout, or error
+    auto decoded = DecodeFrameHeader(header, sizeof(header));
+    if (!decoded.ok()) {
+      // Bad magic or unknown protocol version: the stream cannot be
+      // re-synchronized, so this connection is done.
+      MTMLF_LOG(1, "ipc: closing connection: %s",
+                decoded.status().message().c_str());
+      break;
+    }
+    frames_received_.fetch_add(1, std::memory_order_relaxed);
+    const FrameHeader& h = decoded.value();
+
+    if (h.payload_bytes > options_.max_frame_bytes) {
+      // Fail the request, keep the connection: answer an error frame and
+      // discard the oversized payload to stay frame-aligned.
+      frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+      PendingResponse resp;
+      resp.request_id = h.request_id;
+      EncodeInferResponse(
+          Status::InvalidArgument(
+              "ipc: frame payload of " + std::to_string(h.payload_bytes) +
+              " bytes exceeds the " +
+              std::to_string(options_.max_frame_bytes) + "-byte limit"),
+          &resp.payload);
+      EnqueueResponse(conn, std::move(resp));
+      if (!DrainBytes(conn->fd, h.payload_bytes, options_.read_timeout_ms)) {
+        break;
+      }
+      continue;
+    }
+
+    std::string payload(h.payload_bytes, '\0');
+    if (h.payload_bytes > 0 &&
+        ReadFully(conn->fd, payload.data(), payload.size(),
+                  options_.read_timeout_ms) != 1) {
+      break;  // truncated frame: peer died mid-send
+    }
+
+    PendingResponse resp;
+    resp.request_id = h.request_id;
+    switch (static_cast<IpcOp>(h.op)) {
+      case IpcOp::kInferRequest: {
+        auto request = DecodeInferRequest(payload);
+        if (!request.ok()) {
+          frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+          EncodeInferResponse(request.status(), &resp.payload);
+          break;
+        }
+        resp.request = std::make_unique<WireInferenceRequest>(
+            std::move(request.value()));
+        resp.future = server_->Submit({resp.request->db_index,
+                                       &resp.request->query,
+                                       resp.request->plan.get()});
+        break;
+      }
+      case IpcOp::kHealthRequest:
+        resp.op = IpcOp::kHealthResponse;
+        resp.payload = HealthPayload();
+        break;
+      default:
+        frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+        EncodeInferResponse(
+            Status::InvalidArgument("ipc: unknown request op " +
+                                    std::to_string(h.op)),
+            &resp.payload);
+        break;
+    }
+    EnqueueResponse(conn, std::move(resp));
+  }
+  BeginConnectionClose(conn);
+  if (conn->exits.fetch_add(1, std::memory_order_acq_rel) + 1 == 2) {
+    conn->done.store(true, std::memory_order_release);
+  }
+}
+
+void SocketFrontEnd::WriterLoop(Connection* conn) {
+  bool peer_writable = true;
+  for (;;) {
+    PendingResponse resp;
+    {
+      std::unique_lock<std::mutex> lock(conn->mu);
+      conn->cv.wait(lock, [conn] {
+        return conn->closing || !conn->pending.empty();
+      });
+      if (conn->pending.empty()) break;  // closing && fully drained
+      resp = std::move(conn->pending.front());
+      conn->pending.pop_front();
+    }
+    if (resp.future.valid()) {
+      // Blocks until the InferenceServer resolves it. Responses go out in
+      // submission order per connection; the request_id keeps a
+      // pipelining client unambiguous. Waiting here (even when the peer
+      // is gone) also guarantees the server is done borrowing this
+      // request's query/plan before they are destroyed.
+      Result<InferencePrediction> result = resp.future.get();
+      resp.payload.clear();
+      EncodeInferResponse(result, &resp.payload);
+    }
+    if (!peer_writable) continue;  // draining futures only
+    std::string frame;
+    frame.reserve(kFrameHeaderBytes + resp.payload.size());
+    EncodeFrameHeader(resp.op, resp.request_id,
+                      static_cast<uint32_t>(resp.payload.size()), &frame);
+    frame += resp.payload;
+    if (!SendAll(conn->fd, frame.data(), frame.size())) {
+      peer_writable = false;
+      BeginConnectionClose(conn);
+    }
+  }
+  // Everything pending is flushed: send the FIN now so the peer sees EOF
+  // immediately instead of when the connection object is reaped.
+  ::shutdown(conn->fd, SHUT_WR);
+  if (conn->exits.fetch_add(1, std::memory_order_acq_rel) + 1 == 2) {
+    conn->done.store(true, std::memory_order_release);
+  }
+}
+
+}  // namespace mtmlf::serve

@@ -1,0 +1,154 @@
+#ifndef MTMLF_SERVE_IPC_SERVER_H_
+#define MTMLF_SERVE_IPC_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/ipc_protocol.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+
+namespace mtmlf::serve {
+
+/// Socket front end for the InferenceServer: accepts Unix-domain and/or
+/// TCP-localhost connections, decodes ipc_protocol frames, submits them
+/// into the server's micro-batching queue, and writes responses back as
+/// the futures resolve. This is the process boundary of the paper's
+/// deployment story — the DBMS optimizer links only a thin client (or
+/// speaks the frame format directly) instead of this library.
+///
+/// Threading: one acceptor thread polls the listening sockets; each
+/// connection gets a reader thread (frame decode + Submit) and a writer
+/// thread (response encode + send), so a pipelining client keeps the
+/// micro-batcher fed while earlier forwards are still running.
+///
+/// Failure containment, per connection:
+///  - a payload that fails to decode answers an error frame on the same
+///    request_id — the request fails, the connection survives;
+///  - a frame whose payload_bytes exceeds max_frame_bytes is answered
+///    with an error frame and the oversized payload is drained off the
+///    socket, keeping the stream synchronized;
+///  - an unparseable header (bad magic / unknown version), a read
+///    timeout, or a peer disconnect closes only that connection;
+///  - Shutdown() stops accepting, then drains: requests already
+///    submitted still get their responses written before sockets close.
+class SocketFrontEnd {
+ public:
+  struct Options {
+    /// Listen on this Unix-domain socket path if non-empty. The path is
+    /// unlinked before bind and after shutdown.
+    std::string unix_path;
+    /// Listen on 127.0.0.1:tcp_port if >= 0 (0 binds an ephemeral port;
+    /// read the result from tcp_port()). Localhost only by design: the
+    /// protocol has no authentication.
+    int tcp_port = -1;
+    /// Frames with payload_bytes above this fail the request.
+    size_t max_frame_bytes = kDefaultMaxFrameBytes;
+    /// Idle-connection reap: a connection with no complete frame for this
+    /// long is closed. <= 0 disables the timeout.
+    int read_timeout_ms = 60000;
+    /// Connections over this limit are accepted and immediately closed.
+    int max_connections = 64;
+  };
+
+  /// `registry` is optional (nullptr): it only feeds the model_version
+  /// field of health responses.
+  SocketFrontEnd(InferenceServer* server, ModelRegistry* registry,
+                 const Options& options);
+  ~SocketFrontEnd();
+
+  SocketFrontEnd(const SocketFrontEnd&) = delete;
+  SocketFrontEnd& operator=(const SocketFrontEnd&) = delete;
+
+  /// Binds the configured listeners and starts the acceptor thread. Fails
+  /// if no listener is configured, a bind fails, or already started.
+  Status Start();
+
+  /// Graceful drain: stop accepting, stop reading new frames, wait for
+  /// every in-flight response to be written, then close and join.
+  /// Idempotent.
+  void Shutdown();
+
+  bool running() const;
+  /// Bound TCP port after Start() (resolves tcp_port=0), or -1.
+  int tcp_port() const { return bound_tcp_port_; }
+  const std::string& unix_path() const { return options_.unix_path; }
+
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+  uint64_t frames_received() const {
+    return frames_received_.load(std::memory_order_relaxed);
+  }
+  /// Frames answered with an error without reaching the InferenceServer
+  /// (malformed payload, oversized frame, unknown op).
+  uint64_t frames_rejected() const {
+    return frames_rejected_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // One response awaiting its turn on a connection's writer thread.
+  // Either `future` is valid (an accepted inference request; `request`
+  // owns the query/plan the server borrows until the future resolves) or
+  // `payload` is already encoded (health responses, rejections).
+  struct PendingResponse {
+    uint64_t request_id = 0;
+    IpcOp op = IpcOp::kInferResponse;
+    std::unique_ptr<WireInferenceRequest> request;
+    std::future<Result<InferencePrediction>> future;
+    std::string payload;
+  };
+
+  struct Connection {
+    int fd = -1;
+    std::thread reader;
+    std::thread writer;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<PendingResponse> pending;  // guarded by mu
+    bool closing = false;                 // guarded by mu
+    std::atomic<int> exits{0};            // threads that have exited
+    std::atomic<bool> done{false};        // both threads exited
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(Connection* conn);
+  void WriterLoop(Connection* conn);
+  void EnqueueResponse(Connection* conn, PendingResponse response);
+  // Signals a connection to stop reading new frames and lets the writer
+  // finish the pending queue.
+  void BeginConnectionClose(Connection* conn);
+  std::string HealthPayload() const;
+
+  InferenceServer* server_;
+  ModelRegistry* registry_;
+  Options options_;
+
+  int unix_listen_fd_ = -1;
+  int tcp_listen_fd_ = -1;
+  int bound_tcp_port_ = -1;
+  int wake_pipe_[2] = {-1, -1};  // self-pipe: wakes the acceptor poll
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;  // guarded by mu_
+  bool started_ = false;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> frames_received_{0};
+  std::atomic<uint64_t> frames_rejected_{0};
+};
+
+}  // namespace mtmlf::serve
+
+#endif  // MTMLF_SERVE_IPC_SERVER_H_

@@ -124,6 +124,10 @@ void InferenceServer::WorkerLoop() {
         queue_.pop_front();
       }
     }
+    // A sibling may have drained the whole queue while this worker sat in
+    // the micro-batch wait; an empty drain must not reach ProcessBatch
+    // (it would record a zero-size batch and skew MeanBatchSize).
+    if (batch.empty()) continue;
     // If more work remains, wake a sibling before the (long) forward
     // passes below.
     cv_.notify_one();

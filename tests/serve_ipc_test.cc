@@ -1,0 +1,732 @@
+#include <gtest/gtest.h>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "datagen/imdb_like.h"
+#include "model/mtmlf_qo.h"
+#include "optimizer/baseline_card_est.h"
+#include "serve/ipc_client.h"
+#include "serve/ipc_protocol.h"
+#include "serve/ipc_server.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "workload/dataset.h"
+
+namespace mtmlf::serve {
+namespace {
+
+featurize::ModelConfig TinyConfig() {
+  featurize::ModelConfig c;
+  c.d_feat = 8;
+  c.d_model = 16;
+  c.d_ff = 32;
+  c.enc_layers = 1;
+  c.enc_heads = 2;
+  c.share_layers = 1;
+  c.share_heads = 2;
+  c.jo_layers = 1;
+  c.jo_heads = 2;
+  c.head_hidden = 16;
+  return c;
+}
+
+struct Env {
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<optimizer::BaselineCardEstimator> baseline;
+  workload::Dataset dataset;
+  Env() {
+    SetLogLevel(0);
+    Rng rng(7);
+    db = datagen::BuildImdbLike({.scale = 0.05}, &rng).take();
+    baseline = std::make_unique<optimizer::BaselineCardEstimator>(db.get());
+    workload::DatasetOptions opts;
+    opts.num_queries = 20;
+    opts.single_table_queries_per_table = 2;
+    opts.generator.min_tables = 2;
+    opts.generator.max_tables = 4;
+    dataset = workload::BuildDataset(db.get(), baseline.get(), opts).take();
+  }
+};
+
+Env& GetEnv() {
+  static Env* env = new Env();
+  return *env;
+}
+
+std::string SockPath(const std::string& name) {
+  // Keep paths short: sockaddr_un caps sun_path at ~108 bytes.
+  return testing::TempDir() + "/" + name;
+}
+
+// A served stack (registry + inference server) the front-end tests share
+// per test case.
+struct Stack {
+  ModelRegistry registry;
+  std::shared_ptr<const model::MtmlfQo> model;
+  std::unique_ptr<InferenceServer> server;
+  explicit Stack(uint64_t seed = 91, InferenceServer::Options opts = {}) {
+    Env& env = GetEnv();
+    auto m = std::make_unique<model::MtmlfQo>(TinyConfig(), seed);
+    m->AddDatabase(env.db.get(), env.baseline.get());
+    model = std::move(m);
+    EXPECT_TRUE(registry.Register(1, model).ok());
+    EXPECT_TRUE(registry.Publish(1).ok());
+    server = std::make_unique<InferenceServer>(&registry, opts);
+    EXPECT_TRUE(server->Start().ok());
+  }
+  ~Stack() { server->Shutdown(); }
+};
+
+// ---- raw-socket helpers (a client that can misbehave on purpose) --------
+
+template <typename T>
+void AppendRaw(std::string* out, T value) {
+  char bytes[sizeof(T)];
+  std::memcpy(bytes, &value, sizeof(T));
+  out->append(bytes, sizeof(T));
+}
+
+int ConnectUds(const std::string& path) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool SendAll(int fd, const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// 1 = got n bytes, 0 = clean EOF before any byte, -1 = error/timeout.
+int ReadFully(int fd, char* buf, size_t n, int timeout_ms = 10000) {
+  size_t got = 0;
+  while (got < n) {
+    pollfd pfd{fd, POLLIN, 0};
+    int pr = ::poll(&pfd, 1, timeout_ms);
+    if (pr <= 0) return -1;
+    ssize_t r = ::read(fd, buf + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (r == 0) return got == 0 ? 0 : -1;
+    got += static_cast<size_t>(r);
+  }
+  return 1;
+}
+
+void SendFrame(int fd, IpcOp op, uint64_t request_id,
+               const std::string& payload) {
+  std::string frame;
+  EncodeFrameHeader(op, request_id, static_cast<uint32_t>(payload.size()),
+                    &frame);
+  frame += payload;
+  ASSERT_TRUE(SendAll(fd, frame));
+}
+
+// Reads one response frame; fails the test on malformed framing.
+struct RawResponse {
+  FrameHeader header;
+  std::string payload;
+};
+
+bool ReadResponse(int fd, RawResponse* out, int timeout_ms = 10000) {
+  char header[kFrameHeaderBytes];
+  if (ReadFully(fd, header, sizeof(header), timeout_ms) != 1) return false;
+  auto decoded = DecodeFrameHeader(header, sizeof(header));
+  if (!decoded.ok()) return false;
+  out->header = decoded.value();
+  out->payload.assign(out->header.payload_bytes, '\0');
+  if (out->header.payload_bytes == 0) return true;
+  return ReadFully(fd, out->payload.data(), out->payload.size(),
+                   timeout_ms) == 1;
+}
+
+// --------------------------------------------------------------------------
+// Protocol codecs
+// --------------------------------------------------------------------------
+
+TEST(IpcProtocolTest, FrameHeaderRoundTripAndRejections) {
+  std::string buf;
+  EncodeFrameHeader(IpcOp::kInferRequest, 0xDEADBEEFCAFEull, 1234, &buf);
+  ASSERT_EQ(buf.size(), kFrameHeaderBytes);
+  auto h = DecodeFrameHeader(buf.data(), buf.size());
+  ASSERT_TRUE(h.ok()) << h.status().ToString();
+  EXPECT_EQ(h.value().op, static_cast<uint8_t>(IpcOp::kInferRequest));
+  EXPECT_EQ(h.value().request_id, 0xDEADBEEFCAFEull);
+  EXPECT_EQ(h.value().payload_bytes, 1234u);
+
+  // Short buffer.
+  EXPECT_FALSE(DecodeFrameHeader(buf.data(), kFrameHeaderBytes - 1).ok());
+  // Bad magic.
+  std::string bad = buf;
+  bad[0] = 'X';
+  EXPECT_FALSE(DecodeFrameHeader(bad.data(), bad.size()).ok());
+  // Unknown protocol version.
+  bad = buf;
+  bad[4] = static_cast<char>(kIpcProtocolVersion + 1);
+  auto st = DecodeFrameHeader(bad.data(), bad.size());
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.status().message().find("version"), std::string::npos);
+}
+
+TEST(IpcProtocolTest, InferRequestRoundTripPreservesEverythingButLabels) {
+  query::Query q;
+  q.tables = {3, 0, 7};
+  q.joins.push_back({3, "id", 0, "movie_id"});
+  q.joins.push_back({0, "kind;id", 7, ""});  // hostile column names survive
+  q.filters.push_back(
+      {3, "year", query::CompareOp::kGe, storage::Value(int64_t{1994})});
+  q.filters.push_back(
+      {0, "rating", query::CompareOp::kLt, storage::Value(7.25)});
+  q.filters.push_back(
+      {7, "title", query::CompareOp::kLike, storage::Value(std::string("%a_"))});
+  query::PlanPtr plan = query::MakeJoin(
+      query::MakeJoin(query::MakeScan(3, query::PhysicalOp::kIndexScan),
+                      query::MakeScan(0), query::PhysicalOp::kMergeJoin),
+      query::MakeScan(7), query::PhysicalOp::kNestedLoopJoin);
+  plan->true_cardinality = 42.0;  // training label: must NOT travel
+
+  std::string payload;
+  EncodeInferRequest(5, q, *plan, &payload);
+  auto decoded = DecodeInferRequest(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  const WireInferenceRequest& r = decoded.value();
+  EXPECT_EQ(r.db_index, 5);
+  EXPECT_EQ(r.query.tables, q.tables);
+  ASSERT_EQ(r.query.joins.size(), 2u);
+  EXPECT_EQ(r.query.joins[1].left_column, "kind;id");
+  EXPECT_EQ(r.query.joins[1].right_column, "");
+  ASSERT_EQ(r.query.filters.size(), 3u);
+  EXPECT_EQ(r.query.filters[0].op, query::CompareOp::kGe);
+  EXPECT_EQ(r.query.filters[0].value.AsInt64(), 1994);
+  EXPECT_EQ(r.query.filters[1].value.AsDouble(), 7.25);
+  EXPECT_EQ(r.query.filters[2].value.AsString(), "%a_");
+  ASSERT_NE(r.plan, nullptr);
+  EXPECT_EQ(r.plan->op, query::PhysicalOp::kNestedLoopJoin);
+  EXPECT_EQ(r.plan->TreeSize(), 5);
+  EXPECT_EQ(r.plan->left->op, query::PhysicalOp::kMergeJoin);
+  EXPECT_EQ(r.plan->left->left->table, 3);
+  EXPECT_EQ(r.plan->left->left->op, query::PhysicalOp::kIndexScan);
+  EXPECT_EQ(r.plan->right->table, 7);
+  // Annotations deliberately dropped on the wire.
+  EXPECT_LT(r.plan->true_cardinality, 0.0);
+
+  // The codec is strict about length: every proper prefix must fail, and
+  // so must trailing garbage. (This is the truncated-frame satellite case
+  // at the payload layer.)
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(DecodeInferRequest(payload.substr(0, cut)).ok())
+        << "prefix of " << cut << " bytes decoded";
+  }
+  EXPECT_FALSE(DecodeInferRequest(payload + "x").ok());
+}
+
+TEST(IpcProtocolTest, InferRequestRejectsHostilePayloads) {
+  // Absurd element count (reserve bomb / truncation).
+  std::string bomb;
+  AppendRaw<int32_t>(&bomb, 0);
+  AppendRaw<uint32_t>(&bomb, 0xFFFFFFFFu);  // "4 billion tables"
+  EXPECT_FALSE(DecodeInferRequest(bomb).ok());
+
+  auto preamble = [](std::string* out) {
+    AppendRaw<int32_t>(out, 0);   // db_index
+    AppendRaw<uint32_t>(out, 0);  // tables
+    AppendRaw<uint32_t>(out, 0);  // joins
+    AppendRaw<uint32_t>(out, 0);  // filters
+  };
+
+  // Out-of-range filter compare op.
+  {
+    std::string p;
+    AppendRaw<int32_t>(&p, 0);
+    AppendRaw<uint32_t>(&p, 0);
+    AppendRaw<uint32_t>(&p, 0);
+    AppendRaw<uint32_t>(&p, 1);
+    AppendRaw<int32_t>(&p, 0);     // filter table
+    AppendRaw<uint32_t>(&p, 1);    // column len
+    p += 'c';
+    AppendRaw<uint8_t>(&p, 200);   // compare op way past kLike
+    AppendRaw<uint8_t>(&p, 0);     // value type int64
+    AppendRaw<int64_t>(&p, 1);
+    AppendRaw<uint8_t>(&p, 0);     // plan: leaf
+    AppendRaw<uint8_t>(&p, 0);     // seq scan
+    AppendRaw<int32_t>(&p, 0);     // table 0
+    EXPECT_FALSE(DecodeInferRequest(p).ok());
+  }
+  // Unknown value type tag.
+  {
+    std::string p;
+    AppendRaw<int32_t>(&p, 0);
+    AppendRaw<uint32_t>(&p, 0);
+    AppendRaw<uint32_t>(&p, 0);
+    AppendRaw<uint32_t>(&p, 1);
+    AppendRaw<int32_t>(&p, 0);
+    AppendRaw<uint32_t>(&p, 1);
+    p += 'c';
+    AppendRaw<uint8_t>(&p, 0);
+    AppendRaw<uint8_t>(&p, 9);  // no such DataType
+    AppendRaw<int64_t>(&p, 1);
+    AppendRaw<uint8_t>(&p, 0);
+    AppendRaw<uint8_t>(&p, 0);
+    AppendRaw<int32_t>(&p, 0);
+    EXPECT_FALSE(DecodeInferRequest(p).ok());
+  }
+  // Join operator on a leaf / scan operator on a join / negative table.
+  {
+    std::string p;
+    preamble(&p);
+    AppendRaw<uint8_t>(&p, 0);  // leaf
+    AppendRaw<uint8_t>(&p, static_cast<uint8_t>(query::PhysicalOp::kHashJoin));
+    AppendRaw<int32_t>(&p, 0);
+    EXPECT_FALSE(DecodeInferRequest(p).ok());
+  }
+  {
+    std::string p;
+    preamble(&p);
+    AppendRaw<uint8_t>(&p, 1);  // join
+    AppendRaw<uint8_t>(&p, static_cast<uint8_t>(query::PhysicalOp::kSeqScan));
+    EXPECT_FALSE(DecodeInferRequest(p).ok());
+  }
+  {
+    std::string p;
+    preamble(&p);
+    AppendRaw<uint8_t>(&p, 0);
+    AppendRaw<uint8_t>(&p, 0);
+    AppendRaw<int32_t>(&p, -3);
+    EXPECT_FALSE(DecodeInferRequest(p).ok());
+  }
+  // A stack-smashing tower of nested join markers: the node budget stops
+  // the recursion long before the real stack would.
+  {
+    std::string p;
+    preamble(&p);
+    for (int i = 0; i < kMaxWirePlanNodes + 10; ++i) {
+      AppendRaw<uint8_t>(&p, 1);  // join, left child follows...
+      AppendRaw<uint8_t>(&p,
+                         static_cast<uint8_t>(query::PhysicalOp::kHashJoin));
+    }
+    EXPECT_FALSE(DecodeInferRequest(p).ok());
+  }
+}
+
+TEST(IpcProtocolTest, InferResponseRoundTripCarriesValuesAndStatuses) {
+  InferencePrediction p;
+  p.card = 12345.678;
+  p.cost_ms = 0.25;
+  p.cache_hit = true;
+  p.model_version = 17;
+  std::string payload;
+  EncodeInferResponse(p, &payload);
+  auto ok = DecodeInferResponse(payload);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().card, p.card);
+  EXPECT_EQ(ok.value().cost_ms, p.cost_ms);
+  EXPECT_TRUE(ok.value().cache_hit);
+  EXPECT_EQ(ok.value().model_version, 17u);
+
+  // A server-side Status crosses the wire code-and-message intact.
+  std::string err_payload;
+  EncodeInferResponse(
+      Result<InferencePrediction>(
+          Status::FailedPrecondition("no model published")),
+      &err_payload);
+  auto err = DecodeInferResponse(err_payload);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(err.status().message(), "no model published");
+
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(DecodeInferResponse(payload.substr(0, cut)).ok());
+  }
+  std::string bad_code;
+  AppendRaw<uint8_t>(&bad_code, 250);
+  EXPECT_FALSE(DecodeInferResponse(bad_code).ok());
+}
+
+TEST(IpcProtocolTest, HealthResponseRoundTrip) {
+  HealthInfo info;
+  info.running = true;
+  info.model_version = 3;
+  info.requests = 1000;
+  info.errors = 2;
+  info.p50_us = 120.5;
+  info.p95_us = 480.0;
+  info.p99_us = 2000.0;
+  info.cache_hit_rate = 0.75;
+  std::string payload;
+  EncodeHealthResponse(info, &payload);
+  auto r = DecodeHealthResponse(payload);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().running);
+  EXPECT_EQ(r.value().model_version, 3u);
+  EXPECT_EQ(r.value().requests, 1000u);
+  EXPECT_EQ(r.value().errors, 2u);
+  EXPECT_EQ(r.value().cache_hit_rate, 0.75);
+  EXPECT_FALSE(DecodeHealthResponse(payload.substr(1)).ok());
+}
+
+// --------------------------------------------------------------------------
+// Socket front end + client
+// --------------------------------------------------------------------------
+
+TEST(IpcServerTest, UdsPredictionsAreBitIdenticalToInProcessSubmit) {
+  Env& env = GetEnv();
+  Stack stack(91);
+  SocketFrontEnd::Options fopts;
+  fopts.unix_path = SockPath("ipc_eq.sock");
+  SocketFrontEnd front(stack.server.get(), &stack.registry, fopts);
+  ASSERT_TRUE(front.Start().ok());
+
+  IpcClient::Options copts;
+  copts.unix_path = fopts.unix_path;
+  IpcClient client(copts);
+  ASSERT_TRUE(client.Connect().ok());
+
+  int compared = 0;
+  for (size_t qi = 0; qi < env.dataset.queries.size() && compared < 8;
+       ++qi, ++compared) {
+    const auto& lq = env.dataset.queries[qi];
+    auto in_process = stack.server->Submit({0, &lq.query, lq.plan.get()});
+    auto truth = in_process.get();
+    ASSERT_TRUE(truth.ok()) << truth.status().ToString();
+
+    auto remote = client.Predict(0, lq.query, *lq.plan);
+    ASSERT_TRUE(remote.ok()) << remote.status().ToString();
+    // Bit-identical across the socket hop (the cached entry also makes
+    // the remote call a hit).
+    EXPECT_EQ(remote.value().card, truth.value().card);
+    EXPECT_EQ(remote.value().cost_ms, truth.value().cost_ms);
+    EXPECT_EQ(remote.value().model_version, 1u);
+    EXPECT_TRUE(remote.value().cache_hit);
+  }
+  EXPECT_GE(compared, 8);
+
+  // A server-side failure surfaces as the same Status, not a dead socket.
+  const auto& lq = env.dataset.queries.front();
+  auto bad = client.Predict(99, lq.query, *lq.plan);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  auto again = client.Predict(0, lq.query, *lq.plan);
+  EXPECT_TRUE(again.ok());
+
+  EXPECT_EQ(front.frames_rejected(), 0u);
+  EXPECT_GE(front.frames_received(), 10u);
+  EXPECT_EQ(front.connections_accepted(), 1u);
+  front.Shutdown();
+  EXPECT_FALSE(front.running());
+  // The socket file is gone after shutdown.
+  EXPECT_LT(ConnectUds(fopts.unix_path), 0);
+}
+
+TEST(IpcServerTest, TcpLoopbackWithEphemeralPortAndHealth) {
+  Env& env = GetEnv();
+  Stack stack(92);
+  SocketFrontEnd::Options fopts;
+  fopts.tcp_port = 0;  // ephemeral
+  SocketFrontEnd front(stack.server.get(), &stack.registry, fopts);
+  ASSERT_TRUE(front.Start().ok());
+  ASSERT_GT(front.tcp_port(), 0);
+
+  IpcClient::Options copts;
+  copts.tcp_port = front.tcp_port();
+  IpcClient client(copts);
+  ASSERT_TRUE(client.Connect().ok());
+
+  const auto& lq = env.dataset.queries.front();
+  auto r = client.Predict(0, lq.query, *lq.plan);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  auto health = client.Health();
+  ASSERT_TRUE(health.ok()) << health.status().ToString();
+  EXPECT_TRUE(health.value().running);
+  EXPECT_EQ(health.value().model_version, 1u);
+  EXPECT_GE(health.value().requests, 1u);
+  front.Shutdown();
+}
+
+TEST(IpcServerTest, MalformedFramesFailTheRequestNotTheConnection) {
+  Env& env = GetEnv();
+  Stack stack(93);
+  SocketFrontEnd::Options fopts;
+  fopts.unix_path = SockPath("ipc_mal.sock");
+  fopts.max_frame_bytes = 4096;
+  SocketFrontEnd front(stack.server.get(), &stack.registry, fopts);
+  ASSERT_TRUE(front.Start().ok());
+
+  int fd = ConnectUds(fopts.unix_path);
+  ASSERT_GE(fd, 0);
+
+  // 1) Garbage payload of a declared, in-bounds size: error response on
+  //    the same request_id; connection stays up.
+  SendFrame(fd, IpcOp::kInferRequest, 7, std::string(64, '\xAB'));
+  RawResponse resp;
+  ASSERT_TRUE(ReadResponse(fd, &resp));
+  EXPECT_EQ(resp.header.request_id, 7u);
+  auto decoded = DecodeInferResponse(resp.payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+
+  // 2) Oversized frame: rejected with an error, payload drained, stream
+  //    still aligned.
+  SendFrame(fd, IpcOp::kInferRequest, 8, std::string(8192, 'z'));
+  ASSERT_TRUE(ReadResponse(fd, &resp));
+  EXPECT_EQ(resp.header.request_id, 8u);
+  ASSERT_FALSE(DecodeInferResponse(resp.payload).ok());
+
+  // 3) Unknown op: error response, connection survives.
+  {
+    std::string frame;
+    frame.append(reinterpret_cast<const char*>(kIpcMagic), 4);
+    AppendRaw<uint8_t>(&frame, kIpcProtocolVersion);
+    AppendRaw<uint8_t>(&frame, 99);  // no such op
+    AppendRaw<uint16_t>(&frame, 0);
+    AppendRaw<uint64_t>(&frame, 9);
+    AppendRaw<uint32_t>(&frame, 0);
+    ASSERT_TRUE(SendAll(fd, frame));
+  }
+  ASSERT_TRUE(ReadResponse(fd, &resp));
+  EXPECT_EQ(resp.header.request_id, 9u);
+  ASSERT_FALSE(DecodeInferResponse(resp.payload).ok());
+
+  // 4) The same connection still serves a real request afterwards.
+  const auto& lq = env.dataset.queries.front();
+  std::string payload;
+  EncodeInferRequest(0, lq.query, *lq.plan, &payload);
+  SendFrame(fd, IpcOp::kInferRequest, 10, payload);
+  ASSERT_TRUE(ReadResponse(fd, &resp));
+  EXPECT_EQ(resp.header.request_id, 10u);
+  auto good = DecodeInferResponse(resp.payload);
+  ASSERT_TRUE(good.ok()) << good.status().ToString();
+  EXPECT_EQ(good.value().model_version, 1u);
+
+  EXPECT_EQ(front.frames_rejected(), 3u);
+
+  // 5) Bad magic is unsynchronizable: the server closes this connection —
+  //    read must hit EOF, not hang.
+  ASSERT_TRUE(SendAll(fd, std::string(kFrameHeaderBytes, 'Q')));
+  char byte;
+  EXPECT_EQ(ReadFully(fd, &byte, 1), 0);
+  ::close(fd);
+
+  // 6) ... and the listener still accepts fresh clients.
+  int fd2 = ConnectUds(fopts.unix_path);
+  ASSERT_GE(fd2, 0);
+  SendFrame(fd2, IpcOp::kHealthRequest, 11, "");
+  ASSERT_TRUE(ReadResponse(fd2, &resp));
+  EXPECT_EQ(resp.header.op, static_cast<uint8_t>(IpcOp::kHealthResponse));
+  EXPECT_TRUE(DecodeHealthResponse(resp.payload).ok());
+  ::close(fd2);
+  front.Shutdown();
+}
+
+TEST(IpcServerTest, ClientDisconnectMidRequestIsHarmless) {
+  Env& env = GetEnv();
+  Stack stack(94);
+  SocketFrontEnd::Options fopts;
+  fopts.unix_path = SockPath("ipc_dc.sock");
+  SocketFrontEnd front(stack.server.get(), &stack.registry, fopts);
+  ASSERT_TRUE(front.Start().ok());
+
+  const auto& lq = env.dataset.queries.front();
+  std::string payload;
+  EncodeInferRequest(0, lq.query, *lq.plan, &payload);
+
+  // Full request submitted, then the client vanishes without reading.
+  {
+    int fd = ConnectUds(fopts.unix_path);
+    ASSERT_GE(fd, 0);
+    SendFrame(fd, IpcOp::kInferRequest, 1, payload);
+    ::close(fd);
+  }
+  // Half a frame, then gone.
+  {
+    int fd = ConnectUds(fopts.unix_path);
+    ASSERT_GE(fd, 0);
+    std::string frame;
+    EncodeFrameHeader(IpcOp::kInferRequest, 2,
+                      static_cast<uint32_t>(payload.size()), &frame);
+    frame += payload.substr(0, payload.size() / 2);
+    ASSERT_TRUE(SendAll(fd, frame));
+    ::close(fd);
+  }
+  // The server shrugged both off and keeps serving.
+  IpcClient::Options copts;
+  copts.unix_path = fopts.unix_path;
+  IpcClient client(copts);
+  ASSERT_TRUE(client.Connect().ok());
+  auto r = client.Predict(0, lq.query, *lq.plan);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  front.Shutdown();
+  EXPECT_EQ(front.connections_accepted(), 3u);
+}
+
+TEST(IpcServerTest, ShutdownDrainsInFlightResponses) {
+  Env& env = GetEnv();
+  InferenceServer::Options sopts;
+  sopts.num_workers = 2;
+  sopts.enable_cache = false;  // every request takes a real forward pass
+  Stack stack(95, sopts);
+  SocketFrontEnd::Options fopts;
+  fopts.unix_path = SockPath("ipc_drain.sock");
+  SocketFrontEnd front(stack.server.get(), &stack.registry, fopts);
+  ASSERT_TRUE(front.Start().ok());
+
+  int fd = ConnectUds(fopts.unix_path);
+  ASSERT_GE(fd, 0);
+
+  // Pipeline a burst without reading anything back.
+  constexpr int kInFlight = 12;
+  std::string burst;
+  for (int i = 0; i < kInFlight; ++i) {
+    const auto& lq = env.dataset.queries[i % env.dataset.queries.size()];
+    std::string payload;
+    EncodeInferRequest(0, lq.query, *lq.plan, &payload);
+    EncodeFrameHeader(IpcOp::kInferRequest, 100 + i,
+                      static_cast<uint32_t>(payload.size()), &burst);
+    burst += payload;
+  }
+  ASSERT_TRUE(SendAll(fd, burst));
+
+  // Wait until the reader thread has submitted every frame, so Shutdown's
+  // drain — not luck — is what delivers the responses.
+  for (int spin = 0; spin < 2000 && front.frames_received() < kInFlight;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(front.frames_received(), static_cast<uint64_t>(kInFlight));
+
+  front.Shutdown();  // must flush all twelve, then close
+
+  std::vector<uint64_t> ids;
+  for (;;) {
+    RawResponse resp;
+    if (!ReadResponse(fd, &resp)) break;
+    auto decoded = DecodeInferResponse(resp.payload);
+    EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ids.push_back(resp.header.request_id);
+  }
+  ::close(fd);
+  ASSERT_EQ(ids.size(), static_cast<size_t>(kInFlight));
+  for (int i = 0; i < kInFlight; ++i) {
+    EXPECT_EQ(ids[i], static_cast<uint64_t>(100 + i));  // submission order
+  }
+}
+
+TEST(IpcClientTest, ConnectRetriesWithBackoffUntilServerAppears) {
+  Env& env = GetEnv();
+  Stack stack(96);
+  SocketFrontEnd::Options fopts;
+  fopts.unix_path = SockPath("ipc_late.sock");
+  SocketFrontEnd front(stack.server.get(), &stack.registry, fopts);
+
+  // The server binds its socket only after the client begins connecting —
+  // the startup race every sidecar deployment hits.
+  std::thread late_start([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    ASSERT_TRUE(front.Start().ok());
+  });
+  IpcClient::Options copts;
+  copts.unix_path = fopts.unix_path;
+  copts.connect_attempts = 50;
+  copts.backoff_initial_ms = 5;
+  copts.backoff_max_ms = 50;
+  IpcClient client(copts);
+  Status st = client.Connect();
+  late_start.join();
+  ASSERT_TRUE(st.ok()) << st.ToString();
+
+  const auto& lq = env.dataset.queries.front();
+  auto r = client.Predict(0, lq.query, *lq.plan);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  front.Shutdown();
+}
+
+TEST(IpcClientTest, ConfigurationAndConnectionFailuresAreStatuses) {
+  IpcClient no_endpoint{IpcClient::Options{}};
+  EXPECT_EQ(no_endpoint.Connect().code(), StatusCode::kInvalidArgument);
+
+  IpcClient::Options copts;
+  copts.unix_path = SockPath("ipc_nobody.sock");
+  copts.connect_attempts = 2;
+  copts.backoff_initial_ms = 1;
+  IpcClient client(copts);
+  EXPECT_EQ(client.Connect().code(), StatusCode::kInternal);
+  EXPECT_FALSE(client.connected());
+
+  Env& env = GetEnv();
+  const auto& lq = env.dataset.queries.front();
+  auto r = client.Predict(0, lq.query, *lq.plan);
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(IpcClientTest, DeadlineExceededOnSilentServer) {
+  // A listener that accepts and then never answers: the client's deadline
+  // must fire and surface as kOutOfRange, leaving the client disconnected
+  // (the stream can't be trusted mid-frame).
+  const std::string path = SockPath("ipc_mute.sock");
+  ::unlink(path.c_str());
+  int listener = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 4), 0);
+
+  IpcClient::Options copts;
+  copts.unix_path = path;
+  copts.connect_attempts = 1;
+  IpcClient client(copts);
+  ASSERT_TRUE(client.Connect().ok());
+  int accepted = ::accept(listener, nullptr, nullptr);
+  ASSERT_GE(accepted, 0);
+
+  Env& env = GetEnv();
+  const auto& lq = env.dataset.queries.front();
+  auto start = std::chrono::steady_clock::now();
+  auto r = client.Predict(0, lq.query, *lq.plan, /*deadline_ms=*/150);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_FALSE(client.connected());
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            10000);
+  ::close(accepted);
+  ::close(listener);
+  ::unlink(path.c_str());
+}
+
+}  // namespace
+}  // namespace mtmlf::serve

@@ -337,6 +337,85 @@ TEST(CheckpointTest, FuzzedCorruptionsAllRejectedAndLeaveModelUntouched) {
   EXPECT_TRUE(LoadCheckpoint(path, dst.get()).ok());
 }
 
+TEST(CheckpointTest, RejectsManifestWhosePayloadSizeWrapsAround) {
+  // Regression: ReadCheckpointManifest used to accumulate rows*cols into
+  // `payload_floats` unchecked. Three legal-looking i32 shapes can sum to
+  // 2^63 + 2 floats, and (2^63 + 2) * sizeof(float) wraps a 64-bit size_t
+  // to 8 — so a crafted 63-byte file sailed past the expected-size check
+  // with wildly out-of-bounds payload offsets, and LoadCheckpoint's
+  // memcpy read far outside the file buffer.
+  auto append_u32 = [](std::string* out, uint32_t v) {
+    char b[4];
+    std::memcpy(b, &v, 4);
+    out->append(b, 4);
+  };
+  auto append_entry = [&](std::string* out, const std::string& name,
+                          int32_t rows, int32_t cols) {
+    append_u32(out, static_cast<uint32_t>(name.size()));
+    out->append(name);
+    append_u32(out, static_cast<uint32_t>(rows));
+    append_u32(out, static_cast<uint32_t>(cols));
+  };
+
+  std::string buf;
+  buf.append(kCheckpointMagic, sizeof(kCheckpointMagic));
+  append_u32(&buf, kCheckpointFormatVersion);
+  append_u32(&buf, 3);  // tensor count
+  // (2^31-1)^2 + (2^31-1)^2 + 2^17*2^16 = 2^63 + 2 floats in total;
+  // * sizeof(float) == 8 (mod 2^64), matching the 8 payload bytes below.
+  append_entry(&buf, "a", 2147483647, 2147483647);
+  append_entry(&buf, "b", 2147483647, 2147483647);
+  append_entry(&buf, "c", 131072, 65536);
+  buf.append(8, '\0');  // "payload"
+  uint32_t crc = Crc32(buf.data(), buf.size());
+  append_u32(&buf, crc);  // a VALID trailer: only the shape math is evil
+
+  const std::string path = TempPath("wraparound.mtcp");
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  }
+  auto manifest = ReadCheckpointManifest(path);
+  ASSERT_FALSE(manifest.ok());
+  EXPECT_EQ(manifest.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(manifest.status().message().find("larger than the file"),
+            std::string::npos)
+      << manifest.status().ToString();
+
+  // A single huge tensor must be rejected the same way (first-entry path).
+  std::string one;
+  one.append(kCheckpointMagic, sizeof(kCheckpointMagic));
+  append_u32(&one, kCheckpointFormatVersion);
+  append_u32(&one, 1);
+  append_entry(&one, "w", 1 << 20, 1 << 20);
+  one.append(4, '\0');
+  uint32_t crc1 = Crc32(one.data(), one.size());
+  append_u32(&one, crc1);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(one.data(), static_cast<std::streamsize>(one.size()));
+  }
+  EXPECT_FALSE(ReadCheckpointManifest(path).ok());
+
+  // An absurd tensor count must fail as a truncated manifest, not drive a
+  // multi-gigabyte reserve().
+  std::string many;
+  many.append(kCheckpointMagic, sizeof(kCheckpointMagic));
+  append_u32(&many, kCheckpointFormatVersion);
+  append_u32(&many, 0xFFFFFFFFu);
+  uint32_t crc2 = Crc32(many.data(), many.size());
+  append_u32(&many, crc2);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(many.data(), static_cast<std::streamsize>(many.size()));
+  }
+  auto truncated = ReadCheckpointManifest(path);
+  ASSERT_FALSE(truncated.ok());
+  EXPECT_NE(truncated.status().message().find("truncated"),
+            std::string::npos)
+      << truncated.status().ToString();
+}
+
 // --------------------------------------------------------------------------
 // Cache
 // --------------------------------------------------------------------------
@@ -382,6 +461,77 @@ TEST(PredictionCacheTest, FingerprintSeparatesQueriesAndPlans) {
     EXPECT_NE(PlanFingerprint(0, lq.query, *lq.plan),
               PlanFingerprint(0, lq.query, *lq.alt_plans[0]));
     break;
+  }
+}
+
+TEST(PredictionCacheTest, FingerprintFieldAbsorptionCollisionsAreFixed) {
+  // Regression: fields used to be concatenated with at most a trailing
+  // delimiter, so a string field could absorb its integer neighbor. Both
+  // pairs below produced byte-identical keys before fields were
+  // length-prefixed — i.e. different queries shared one cache entry and
+  // the server returned the wrong query's prediction on a "hit".
+  query::PlanPtr plan = query::MakeJoin(query::MakeScan(0),
+                                        query::MakeScan(1));
+
+  // Pair 1 — filter (column "a1", op 2) vs (column "a", op 12): the
+  // column name used to flow straight into the op digits ("a1"+"2;" ==
+  // "a"+"12;").
+  query::Query f1;
+  f1.tables = {0, 1};
+  f1.filters.push_back(
+      {0, "a1", static_cast<query::CompareOp>(2), storage::Value(int64_t{5})});
+  query::Query f2 = f1;
+  f2.filters[0].column = "a";
+  f2.filters[0].op = static_cast<query::CompareOp>(12);
+  EXPECT_NE(PlanFingerprint(0, f1, *plan), PlanFingerprint(0, f2, *plan));
+
+  // Pair 2 — two joins vs one join whose column name embeds the old
+  // separators: "0;a=1;b|0;c=1;d|" was the serialization of both.
+  query::Query j1;
+  j1.tables = {0, 1};
+  j1.joins.push_back({0, "a", 1, "b"});
+  j1.joins.push_back({0, "c", 1, "d"});
+  query::Query j2;
+  j2.tables = {0, 1};
+  j2.joins.push_back({0, "a", 1, "b|0;c=1;d"});
+  EXPECT_NE(PlanFingerprint(0, j1, *plan), PlanFingerprint(0, j2, *plan));
+
+  // Physical-op encoding: '0' + int(op) used to collide with the ';'
+  // delimiter at op == 11, letting an (invalid-but-representable) op
+  // value masquerade as field structure. Delimited integers keep every op
+  // value distinct.
+  query::PlanPtr p1 = query::MakeScan(0, static_cast<query::PhysicalOp>(11));
+  query::PlanPtr p2 = query::MakeScan(0, static_cast<query::PhysicalOp>(1));
+  EXPECT_NE(PlanFingerprint(0, f1, *p1), PlanFingerprint(0, f1, *p2));
+  std::string k = PlanFingerprint(0, f1, *p1);
+  EXPECT_NE(k.find("o=11;"), std::string::npos) << k;
+}
+
+TEST(PredictionCacheTest, TotalResidencyNeverExceedsCapacity) {
+  // Regression: per-shard capacity was ceil(capacity / shards), so 8
+  // shards of a 10-entry cache each held 2 => up to 16 resident entries,
+  // capacity + shards - 1 in the worst case. Capacity is a memory-budget
+  // promise; enforce it globally.
+  PredictionCache cache(10, /*num_shards=*/8);
+  EXPECT_EQ(cache.capacity(), 10u);
+  for (int i = 0; i < 1000; ++i) {
+    cache.Put("key-" + std::to_string(i), {double(i), double(i)});
+    ASSERT_LE(cache.size(), cache.capacity()) << "after insert " << i;
+  }
+  // The cache still actually caches: full (not over-evicting to zero) and
+  // a fresh key is retrievable.
+  EXPECT_EQ(cache.size(), 10u);
+  cache.Put("probe", {1, 2});
+  Prediction out;
+  EXPECT_TRUE(cache.Get("probe", &out));
+  EXPECT_LE(cache.size(), 10u);
+
+  // Capacity smaller than the shard count degrades gracefully (the shard
+  // count is clamped to the capacity) and the global bound still holds.
+  PredictionCache tiny(3, /*num_shards=*/8);
+  for (int i = 0; i < 100; ++i) {
+    tiny.Put("t-" + std::to_string(i), {1, 1});
+    ASSERT_LE(tiny.size(), 3u);
   }
 }
 
@@ -643,6 +793,54 @@ TEST(InferenceServerTest, FusedBatchedForwardMatchesDirectPredictions) {
   EXPECT_GE(server.metrics().MeanFusedGroupSize(), 2.0);
   EXPECT_EQ(server.metrics().requests(),
             static_cast<uint64_t>(kRequests));
+}
+
+TEST(InferenceServerTest, SiblingDrainedQueueDoesNotRecordEmptyBatches) {
+  // Regression: with several workers and a micro-batch window, every
+  // worker that woke for a burst ran ProcessBatch even when a sibling had
+  // already drained the whole queue — recording zero-size batches that
+  // dragged MeanBatchSize toward 0 and spent a registry snapshot per
+  // no-op. A drained worker must go back to sleep instead.
+  Env& env = GetEnv();
+  ModelRegistry registry;
+  std::shared_ptr<const model::MtmlfQo> m = MakeModel(61);
+  ASSERT_TRUE(registry.Register(1, m).ok());
+  ASSERT_TRUE(registry.Publish(1).ok());
+
+  InferenceServer::Options opts;
+  opts.num_workers = 4;  // several candidates to lose the drain race
+  opts.max_batch = 16;
+  opts.max_wait_us = 20000;  // bursts of 8 < 16 drain only at the deadline
+  opts.enable_cache = false;
+  InferenceServer server(&registry, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kIterations = 15;
+  constexpr int kBurst = 8;
+  for (int it = 0; it < kIterations; ++it) {
+    std::vector<std::future<Result<InferencePrediction>>> futures;
+    for (int i = 0; i < kBurst; ++i) {
+      const auto& lq = env.dataset.queries[i];
+      futures.push_back(server.Submit({0, &lq.query, lq.plan.get()}));
+    }
+    for (auto& f : futures) {
+      auto r = f.get();
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+    }
+  }
+  server.Shutdown();
+
+  const auto& metrics = server.metrics();
+  EXPECT_EQ(metrics.requests(),
+            static_cast<uint64_t>(kIterations * kBurst));
+  // Every burst fits one batch, so at most kIterations batches are real;
+  // workers that lost the race must not have recorded anything. Before
+  // the fix the empty drains pushed the mean down toward
+  // kBurst / num_workers.
+  EXPECT_LE(metrics.batches(), static_cast<uint64_t>(2 * kIterations));
+  EXPECT_GE(metrics.MeanBatchSize(), 6.0)
+      << "batches=" << metrics.batches()
+      << " requests=" << metrics.requests();
 }
 
 }  // namespace

@@ -1,0 +1,175 @@
+// Degraded-mode failover, end to end over the serving socket:
+//
+//   1. healthy   — a socket client gets model predictions (degraded=false)
+//   2. outage    — EVERY model forward pass is failed by the fault
+//                  injector; the circuit breaker trips and the server
+//                  answers from the BaselineCardEstimator instead. The
+//                  client keeps getting answers (degraded=true), each one
+//                  bit-identical to the baseline's own estimate.
+//   3. recovery  — faults clear; after the breaker's cooldown the next
+//                  request is the half-open probe, succeeds, and closes
+//                  the breaker. Model predictions resume.
+//
+// This is Baihe's isolation requirement made concrete: a sick model must
+// never take query processing down with it — the optimizer falls back to
+// the classical estimator it had before ML, automatically, and comes
+// back just as automatically.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "datagen/imdb_like.h"
+#include "model/mtmlf_qo.h"
+#include "optimizer/baseline_card_est.h"
+#include "serve/breaker.h"
+#include "serve/faults.h"
+#include "serve/ipc_client.h"
+#include "serve/ipc_server.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "workload/dataset.h"
+
+using namespace mtmlf;  // NOLINT
+
+namespace {
+
+const char* BreakerName(uint8_t s) {
+  return serve::CircuitBreaker::StateName(
+      static_cast<serve::CircuitBreaker::State>(s));
+}
+
+void PrintHealth(const char* phase, const serve::HealthInfo& h) {
+  std::printf(
+      "[health %-8s] requests=%llu degraded=%llu breaker=%s trips=%llu\n",
+      phase, static_cast<unsigned long long>(h.requests),
+      static_cast<unsigned long long>(h.degraded), BreakerName(h.breaker_state),
+      static_cast<unsigned long long>(h.breaker_trips));
+}
+
+}  // namespace
+
+int main() {
+  SetLogLevel(1);
+  Rng rng(2026);
+  auto db = datagen::BuildImdbLike({.scale = 0.05}, &rng).take();
+  auto baseline =
+      std::make_unique<optimizer::BaselineCardEstimator>(db.get());
+  workload::DatasetOptions wopts;
+  wopts.num_queries = 12;
+  wopts.single_table_queries_per_table = 2;
+  wopts.generator.min_tables = 2;
+  wopts.generator.max_tables = 4;
+  workload::Dataset dataset =
+      workload::BuildDataset(db.get(), baseline.get(), wopts).take();
+
+  featurize::ModelConfig config;
+  config.d_model = 32;
+  config.d_ff = 64;
+  auto model = std::make_shared<model::MtmlfQo>(config, /*seed=*/7);
+  model->AddDatabase(db.get(), baseline.get());
+
+  serve::ModelRegistry registry;
+  MTMLF_CHECK(registry.Register(1, model).ok(), "register v1");
+  MTMLF_CHECK(registry.Publish(1).ok(), "publish v1");
+
+  serve::InferenceServer::Options sopts;
+  sopts.enable_cache = false;  // make every request exercise the breaker
+  sopts.enable_breaker = true;
+  sopts.breaker.failure_threshold = 3;
+  sopts.breaker.open_cooldown_ms = 200;
+  sopts.fallbacks = {baseline.get()};
+  serve::InferenceServer server(&registry, sopts);
+  MTMLF_CHECK(server.Start().ok(), "server start");
+
+  const std::string sock_path = "degraded_failover.sock";
+  serve::SocketFrontEnd::Options fopts;
+  fopts.unix_path = sock_path;
+  serve::SocketFrontEnd front(&server, &registry, fopts);
+  MTMLF_CHECK(front.Start().ok(), "front end start");
+
+  serve::IpcClient::Options copts;
+  copts.unix_path = sock_path;
+  serve::IpcClient client(copts);
+  MTMLF_CHECK(client.Connect().ok(), "client connect");
+
+  // ---- phase 1: healthy ---------------------------------------------------
+  for (int i = 0; i < 4; ++i) {
+    const auto& lq = dataset.queries[i];
+    auto r = client.Predict(0, lq.query, *lq.plan);
+    MTMLF_CHECK(r.ok(), r.status().ToString().c_str());
+    MTMLF_CHECK(!r.value().degraded, "healthy phase must use the model");
+    std::printf("[healthy ] q%-2d card=%12.1f (model v%llu)\n", i,
+                r.value().card,
+                static_cast<unsigned long long>(r.value().model_version));
+  }
+  {
+    auto h = client.Health();
+    MTMLF_CHECK(h.ok(), "health");
+    PrintHealth("healthy", h.value());
+  }
+
+  // ---- phase 2: total model outage ---------------------------------------
+  serve::FaultInjector::Spec spec;
+  spec.probability = 1.0;
+  spec.message = "model forward pass failed (injected outage)";
+  serve::FaultInjector::Global().Arm(serve::kFaultModelForward, spec);
+  std::printf("\n>>> fault injected: 100%% of model forwards now fail <<<\n\n");
+
+  int exact = 0;
+  for (int i = 0; i < 8; ++i) {
+    const auto& lq = dataset.queries[i % dataset.queries.size()];
+    auto r = client.Predict(0, lq.query, *lq.plan);
+    MTMLF_CHECK(r.ok(), r.status().ToString().c_str());
+    MTMLF_CHECK(r.value().degraded, "outage phase must degrade");
+    double expect = baseline->EstimateQuery(lq.query);
+    if (std::memcmp(&r.value().card, &expect, sizeof(double)) == 0) ++exact;
+    std::printf("[degraded] q%-2d card=%12.1f (baseline says %12.1f)\n", i,
+                r.value().card, expect);
+  }
+  std::printf("degraded answers bit-identical to baseline: %d/8 %s\n", exact,
+              exact == 8 ? "(OK)" : "(BROKEN)");
+  {
+    auto h = client.Health();
+    MTMLF_CHECK(h.ok(), "health");
+    PrintHealth("outage", h.value());
+    MTMLF_CHECK(h.value().breaker_state ==
+                    static_cast<uint8_t>(serve::CircuitBreaker::State::kOpen),
+                "breaker must be open during a total outage");
+  }
+
+  // ---- phase 3: recovery --------------------------------------------------
+  serve::FaultInjector::Global().DisarmAll();
+  std::printf("\n>>> faults cleared; waiting out the breaker cooldown <<<\n\n");
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(sopts.breaker.open_cooldown_ms + 50));
+
+  // The first request after the cooldown is the half-open probe; it runs
+  // on the (now healthy) model and closes the breaker in one shot.
+  const auto& lq = dataset.queries[0];
+  auto probe = client.Predict(0, lq.query, *lq.plan);
+  MTMLF_CHECK(probe.ok(), probe.status().ToString().c_str());
+  MTMLF_CHECK(!probe.value().degraded, "probe must reach the model");
+  std::printf("[recover ] q0  card=%12.1f (model v%llu, probe succeeded)\n",
+              probe.value().card,
+              static_cast<unsigned long long>(probe.value().model_version));
+  {
+    auto h = client.Health();
+    MTMLF_CHECK(h.ok(), "health");
+    PrintHealth("recovered", h.value());
+    MTMLF_CHECK(
+        h.value().breaker_state ==
+            static_cast<uint8_t>(serve::CircuitBreaker::State::kClosed),
+        "breaker must close within one half-open probe");
+  }
+
+  client.Close();
+  front.Shutdown();
+  server.Shutdown();
+  std::printf("\ndegraded failover pipeline complete.\n");
+  return exact == 8 ? 0 : 1;
+}

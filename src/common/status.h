@@ -18,6 +18,12 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kUnimplemented,
+  /// A bounded resource (serving queue, connection pool) is full and the
+  /// request was rejected or shed by admission control.
+  kResourceExhausted,
+  /// The callee is temporarily refusing work (circuit breaker open, no
+  /// degraded path available). Retry later.
+  kUnavailable,
 };
 
 /// Lightweight success/error value. Cheap to copy when OK (no allocation).
@@ -45,6 +51,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,91 @@
+#include "serve/breaker.h"
+
+#include <algorithm>
+
+namespace mtmlf::serve {
+
+CircuitBreaker::CircuitBreaker(const Options& options) : options_(options) {
+  options_.failure_threshold = std::max(options_.failure_threshold, 1);
+  options_.deadline_miss_threshold =
+      std::max(options_.deadline_miss_threshold, 1);
+  options_.open_cooldown_ms = std::max(options_.open_cooldown_ms, 1);
+}
+
+const char* CircuitBreaker::StateName(State s) {
+  switch (s) {
+    case State::kClosed:
+      return "closed";
+    case State::kOpen:
+      return "open";
+    case State::kHalfOpen:
+      return "half-open";
+  }
+  return "?";
+}
+
+void CircuitBreaker::TripLocked() {
+  state_ = State::kOpen;
+  probe_in_flight_ = false;
+  open_until_ = Clock::now() + std::chrono::milliseconds(
+                                   options_.open_cooldown_ms);
+  consecutive_failures_ = 0;
+  consecutive_deadline_misses_ = 0;
+  trips_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool CircuitBreaker::AllowModelPath() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (Clock::now() < open_until_) return false;
+      // Cooldown over: this caller becomes the half-open probe.
+      state_ = State::kHalfOpen;
+      probe_in_flight_ = true;
+      return true;
+    case State::kHalfOpen:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;  // previous probe resolved inconclusively
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  consecutive_failures_ = 0;
+  consecutive_deadline_misses_ = 0;
+  if (state_ == State::kHalfOpen) {
+    state_ = State::kClosed;
+    probe_in_flight_ = false;
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ == State::kHalfOpen) {
+    // The probe failed: the model path is still sick.
+    TripLocked();
+    return;
+  }
+  if (state_ == State::kOpen) return;
+  if (++consecutive_failures_ >= options_.failure_threshold) {
+    TripLocked();
+  }
+}
+
+void CircuitBreaker::RecordDeadlineMiss() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ != State::kClosed) return;
+  if (++consecutive_deadline_misses_ >= options_.deadline_miss_threshold) {
+    TripLocked();
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+}  // namespace mtmlf::serve

@@ -1,0 +1,86 @@
+#ifndef MTMLF_SERVE_BREAKER_H_
+#define MTMLF_SERVE_BREAKER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace mtmlf::serve {
+
+/// Circuit breaker guarding the model-forward path of the serving layer
+/// (Baihe's isolation requirement: model trouble must never take down
+/// query processing). Classic three-state machine:
+///
+///   CLOSED ──(failure_threshold consecutive model failures, or
+///             deadline_miss_threshold consecutive in-queue expiries)──▶ OPEN
+///   OPEN ──(open_cooldown elapses; next AllowModelPath() claims
+///           the single probe slot)──▶ HALF-OPEN
+///   HALF-OPEN ──(probe succeeds)──▶ CLOSED
+///   HALF-OPEN ──(probe fails)────▶ OPEN (cooldown restarts)
+///
+/// While OPEN (and for non-probe callers while HALF-OPEN),
+/// AllowModelPath() returns false and the InferenceServer answers from
+/// the degraded path (BaselineCardEstimator) instead of touching the
+/// model. All methods are thread-safe; state reads are one mutex
+/// acquisition, record calls are called off the serving queue lock.
+class CircuitBreaker {
+ public:
+  struct Options {
+    /// Consecutive model-forward failures that trip CLOSED -> OPEN.
+    int failure_threshold = 5;
+    /// Consecutive requests expiring in queue that trip CLOSED -> OPEN
+    /// (sustained deadline misses mean the model path is too slow to be
+    /// useful even when it answers).
+    int deadline_miss_threshold = 32;
+    /// How long OPEN lasts before a half-open probe is allowed.
+    int open_cooldown_ms = 1000;
+  };
+
+  enum class State : uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  explicit CircuitBreaker(const Options& options);
+
+  /// True if the caller may attempt the model path. In HALF-OPEN exactly
+  /// one caller (per probe round) gets true — it MUST report back via
+  /// RecordSuccess()/RecordFailure() so the probe slot is released.
+  bool AllowModelPath();
+
+  /// A model forward pass succeeded. Closes a half-open breaker, resets
+  /// the consecutive-failure counters.
+  void RecordSuccess();
+
+  /// A model forward pass failed. May trip the breaker; reopens from
+  /// half-open.
+  void RecordFailure();
+
+  /// A request expired in queue before it could run. Counted toward the
+  /// deadline-miss trip condition while CLOSED.
+  void RecordDeadlineMiss();
+
+  State state() const;
+  /// Total CLOSED/HALF-OPEN -> OPEN transitions.
+  uint64_t trips() const { return trips_.load(std::memory_order_relaxed); }
+
+  static const char* StateName(State s);
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  // All private helpers assume mu_ is held.
+  void TripLocked();
+
+  Options options_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int consecutive_deadline_misses_ = 0;
+  bool probe_in_flight_ = false;
+  Clock::time_point open_until_{};
+  std::atomic<uint64_t> trips_{0};
+};
+
+}  // namespace mtmlf::serve
+
+#endif  // MTMLF_SERVE_BREAKER_H_

@@ -1,11 +1,17 @@
 #include "serve/checkpoint.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <unordered_map>
+
+#include "serve/faults.h"
 
 namespace mtmlf::serve {
 
@@ -93,22 +99,58 @@ Status SaveCheckpoint(const std::string& path,
   }
   AppendRaw<uint32_t>(&buf, Crc32(buf.data(), buf.size()));
 
-  // Write-then-rename: the published path only ever holds complete files.
+  // Write-then-fsync-then-rename: the published path only ever holds
+  // complete files, and the rename is not allowed to land before the data
+  // it points at (a crash between an unsynced write and the rename would
+  // otherwise publish a torn file). Any failure removes the temp file —
+  // a failed save must leave the directory exactly as it found it.
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::Internal("SaveCheckpoint: cannot open '" + tmp + "'");
-    }
-    out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
-    if (!out) {
-      return Status::Internal("SaveCheckpoint: short write to '" + tmp + "'");
-    }
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Internal("SaveCheckpoint: cannot open '" + tmp +
+                            "': " + std::strerror(errno));
   }
+  auto fail = [&](const std::string& what) {
+    if (fd >= 0) ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::Internal("SaveCheckpoint: " + what);
+  };
+  Status fault = FaultInjector::Check(kFaultCheckpointSaveWrite);
+  if (!fault.ok()) return fail(fault.message());
+  const char* data = buf.data();
+  size_t left = buf.size();
+  while (left > 0) {
+    ssize_t w = ::write(fd, data, left);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return fail("short write to '" + tmp + "': " + std::strerror(errno));
+    }
+    data += w;
+    left -= static_cast<size_t>(w);
+  }
+  if (::fsync(fd) != 0) {
+    return fail("fsync of '" + tmp + "' failed: " + std::strerror(errno));
+  }
+  if (::close(fd) != 0) {
+    fd = -1;
+    return fail("close of '" + tmp + "' failed: " + std::strerror(errno));
+  }
+  fd = -1;
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
+    ::unlink(tmp.c_str());
     return Status::Internal("SaveCheckpoint: rename to '" + path +
-                            "' failed");
+                            "' failed: " + std::strerror(errno));
+  }
+  // Persist the rename itself (the directory entry). Failure here is not
+  // fatal: the data is already durable under its final name on any
+  // filesystem that ordered the rename.
+  std::string dir = ".";
+  if (size_t slash = path.find_last_of('/'); slash != std::string::npos) {
+    dir = slash == 0 ? "/" : path.substr(0, slash);
+  }
+  if (int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY); dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
   }
   return Status::OK();
 }
@@ -223,6 +265,9 @@ Result<std::vector<CheckpointEntry>> ReadCheckpointManifest(
 
 Status LoadCheckpoint(const std::string& path,
                       const std::vector<nn::NamedParam>& params) {
+  // Before anything is read — and long before any parameter is written —
+  // so an injected load failure proves the validate-then-write ordering.
+  MTMLF_RETURN_IF_ERROR(FaultInjector::Check(kFaultCheckpointLoad));
   std::string buf;
   auto manifest = ReadCheckpointManifest(path, &buf);
   MTMLF_RETURN_IF_ERROR(manifest.status());

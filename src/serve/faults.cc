@@ -1,0 +1,131 @@
+#include "serve/faults.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace mtmlf::serve {
+
+std::atomic<bool> FaultInjector::enabled_{false};
+
+namespace {
+
+// splitmix64: tiny, seedable, and statistically fine for coin flips. One
+// state word per point keeps draws independent across points.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t HashName(const std::string& name) {
+  // FNV-1a; only used to decorrelate per-point streams.
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+double UnitDraw(uint64_t* state) {
+  return static_cast<double>(SplitMix64(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector() : seed_(1) {
+  if (const char* env = std::getenv("MTMLF_FAULT_SEED")) {
+    char* end = nullptr;
+    unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env) seed_ = static_cast<uint64_t>(v);
+  }
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::Arm(const std::string& point, const Spec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Point p;
+  p.spec = spec;
+  if (p.spec.probability < 0.0) p.spec.probability = 0.0;
+  if (p.spec.probability > 1.0) p.spec.probability = 1.0;
+  if (p.spec.message.empty()) {
+    p.spec.message = "fault injected at " + point;
+  }
+  p.rng_state = seed_ ^ HashName(point);
+  points_[point] = std::move(p);
+  enabled_.store(true, std::memory_order_release);
+}
+
+void FaultInjector::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.erase(point);
+  if (points_.empty()) enabled_.store(false, std::memory_order_release);
+}
+
+void FaultInjector::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  enabled_.store(false, std::memory_order_release);
+}
+
+void FaultInjector::Reseed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  seed_ = seed;
+  for (auto& [name, p] : points_) {
+    p.rng_state = seed_ ^ HashName(name);
+  }
+}
+
+uint64_t FaultInjector::seed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return seed_;
+}
+
+uint64_t FaultInjector::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+uint64_t FaultInjector::failures(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.failures;
+}
+
+Status FaultInjector::CheckSlow(const char* point) {
+  int delay_ms = 0;
+  Status result = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = points_.find(point);
+    if (it == points_.end()) return Status::OK();
+    Point& p = it->second;
+    ++p.hits;
+    delay_ms = p.spec.delay_ms;
+    bool fail = p.spec.probability >= 1.0 ||
+                (p.spec.probability > 0.0 &&
+                 UnitDraw(&p.rng_state) < p.spec.probability);
+    if (fail && p.spec.max_failures >= 0 &&
+        p.failures >= static_cast<uint64_t>(p.spec.max_failures)) {
+      fail = false;
+    }
+    if (fail) {
+      ++p.failures;
+      result = Status(p.spec.code, p.spec.message);
+    }
+  }
+  // Stall outside the lock: a slow point must not serialize other points.
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  return result;
+}
+
+}  // namespace mtmlf::serve

@@ -1,0 +1,136 @@
+#ifndef MTMLF_SERVE_FAULTS_H_
+#define MTMLF_SERVE_FAULTS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace mtmlf::serve {
+
+/// Deterministic fault injection for the serving stack.
+///
+/// Production code declares *named injection points* on its failure-prone
+/// edges (checkpoint I/O, registry publish, model forward, socket
+/// read/write) by calling `FaultInjector::Check(point)`. In normal
+/// operation the call is one relaxed atomic load and a never-taken branch
+/// — no locks, no allocation, no strings touched — so the points can sit
+/// directly on hot paths. Tests (and the chaos example) arm points with a
+/// `Spec` to make them fail, stall, or both, which is how the circuit
+/// breaker, admission control, and degraded mode are proven to trip,
+/// shed, and recover without ever wiring test hooks through the
+/// production call graph.
+///
+/// Determinism: each armed point draws from its own Rng stream seeded as
+/// `seed ^ hash(point)`, so outcomes do not depend on which *other*
+/// points are armed or in what order points fire relative to each other.
+/// With `probability == 1.0` (the default) behavior is fully
+/// deterministic even under concurrency; with partial probabilities the
+/// per-point draw sequence is fixed but its assignment to racing threads
+/// follows the schedule — tests asserting exact outcomes should use
+/// probability 1.0 and `max_failures`.
+///
+/// Canonical point names used in this repo (see DESIGN.md "Failure model
+/// & degraded mode"):
+///   serve.checkpoint_save_write  – temp-file write during SaveCheckpoint
+///   serve.checkpoint_load       – LoadCheckpoint, before any param write
+///   serve.registry_publish      – ModelRegistry::Publish, before the swap
+///   serve.model_forward         – one scalar Run or fused RunBatch call
+///   serve.socket_read           – SocketFrontEnd per-frame read
+///   serve.socket_write          – SocketFrontEnd per-response write
+/// The canonical injection-point names, as compile-time constants so call
+/// sites and tests cannot drift apart.
+inline constexpr char kFaultCheckpointSaveWrite[] =
+    "serve.checkpoint_save_write";
+inline constexpr char kFaultCheckpointLoad[] = "serve.checkpoint_load";
+inline constexpr char kFaultRegistryPublish[] = "serve.registry_publish";
+inline constexpr char kFaultModelForward[] = "serve.model_forward";
+inline constexpr char kFaultSocketRead[] = "serve.socket_read";
+inline constexpr char kFaultSocketWrite[] = "serve.socket_write";
+
+class FaultInjector {
+ public:
+  struct Spec {
+    /// Chance that one hit of the point fails, in [0, 1].
+    double probability = 1.0;
+    /// Total failures to inject before the point auto-disarms itself;
+    /// < 0 means unlimited.
+    int max_failures = -1;
+    /// Milliseconds to stall each hit before deciding failure. Models a
+    /// slow disk / saturated model, and is how the overload tests make
+    /// one worker fall behind deterministically.
+    int delay_ms = 0;
+    /// Status returned on an injected failure.
+    StatusCode code = StatusCode::kInternal;
+    std::string message;  // empty => "fault injected at <point>"
+  };
+
+  /// Process-wide instance. The seed defaults to 1 and can be overridden
+  /// by the MTMLF_FAULT_SEED environment variable (read once, at first
+  /// use) — which is how CI runs the fault suite under several seeds
+  /// without recompiling.
+  static FaultInjector& Global();
+
+  /// Fast-path gate: false whenever no point is armed anywhere.
+  static bool Enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// The production-side hook. Returns OK (without touching the slow
+  /// path) unless some point is armed; otherwise consults `point`'s spec
+  /// and returns the injected Status when the draw says fail.
+  static Status Check(const char* point) {
+    if (!Enabled()) return Status::OK();
+    return Global().CheckSlow(point);
+  }
+
+  /// Arms (or re-arms, resetting counters) a named point.
+  void Arm(const std::string& point, const Spec& spec);
+  /// Disarms one point. No-op if not armed.
+  void Disarm(const std::string& point);
+  /// Disarms everything. Tests call this in teardown.
+  void DisarmAll();
+
+  /// Reseeds the per-point Rng streams of everything armed *and* of
+  /// points armed later. Arm() after Reseed() is deterministic.
+  void Reseed(uint64_t seed);
+  uint64_t seed() const;
+
+  /// Times the point was evaluated while armed / times it failed.
+  uint64_t hits(const std::string& point) const;
+  uint64_t failures(const std::string& point) const;
+
+ private:
+  struct Point {
+    Spec spec;
+    uint64_t rng_state = 0;  // splitmix64 stream, derived from seed^hash
+    uint64_t hits = 0;
+    uint64_t failures = 0;
+  };
+
+  FaultInjector();
+  Status CheckSlow(const char* point);
+
+  static std::atomic<bool> enabled_;
+
+  mutable std::mutex mu_;
+  uint64_t seed_;
+  std::unordered_map<std::string, Point> points_;
+};
+
+/// RAII helper for tests: disarms every fault point on destruction, so a
+/// failing ASSERT can never leak an armed fault into the next test.
+class ScopedFaultClear {
+ public:
+  ScopedFaultClear() = default;
+  ~ScopedFaultClear() { FaultInjector::Global().DisarmAll(); }
+  ScopedFaultClear(const ScopedFaultClear&) = delete;
+  ScopedFaultClear& operator=(const ScopedFaultClear&) = delete;
+};
+
+}  // namespace mtmlf::serve
+
+#endif  // MTMLF_SERVE_FAULTS_H_

@@ -40,7 +40,10 @@ bool SendAll(int fd, const char* data, size_t n) {
 }
 
 // Reads exactly `n` bytes before `deadline`. 1 = success, 0 = deadline
-// expired, -1 = connection error/EOF.
+// expired, -1 = connection error/EOF mid-read, -2 = EOF or connection
+// reset before ANY byte arrived (the signature of an idle pooled
+// connection the server already closed — the one failure that is safe to
+// retry transparently).
 int ReadFullyDeadline(int fd, char* buf, size_t n,
                       Clock::time_point deadline) {
   size_t got = 0;
@@ -57,9 +60,10 @@ int ReadFullyDeadline(int fd, char* buf, size_t n,
     ssize_t r = ::read(fd, buf + got, n - got);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == ECONNRESET && got == 0) return -2;
       return -1;
     }
-    if (r == 0) return -1;  // server closed
+    if (r == 0) return got == 0 ? -2 : -1;  // server closed
     got += static_cast<size_t>(r);
   }
   return 1;
@@ -144,7 +148,8 @@ Status IpcClient::Connect() {
 Result<std::string> IpcClient::RoundTrip(IpcOp request_op,
                                          IpcOp expected_response_op,
                                          const std::string& payload,
-                                         int deadline_ms) {
+                                         int deadline_ms, bool* retryable) {
+  if (retryable != nullptr) *retryable = false;
   if (fd_ < 0) {
     return Status::FailedPrecondition("IpcClient: not connected");
   }
@@ -158,6 +163,11 @@ Result<std::string> IpcClient::RoundTrip(IpcOp request_op,
                     static_cast<uint32_t>(payload.size()), &frame);
   frame += payload;
   if (!SendAll(fd_, frame.data(), frame.size())) {
+    // EPIPE/ECONNRESET here means the server closed this idle connection
+    // before the request left; it cannot have been processed.
+    if (retryable != nullptr) {
+      *retryable = errno == EPIPE || errno == ECONNRESET;
+    }
     Close();
     return Status::Internal("IpcClient: send failed (server gone?)");
   }
@@ -166,7 +176,9 @@ Result<std::string> IpcClient::RoundTrip(IpcOp request_op,
   int rc = ReadFullyDeadline(fd_, header, sizeof(header), deadline);
   if (rc <= 0) {
     // Either the server died or the deadline hit mid-stream; both leave
-    // the connection unusable for framing, so drop it.
+    // the connection unusable for framing, so drop it. EOF before any
+    // response byte (-2) is the stale-idle-connection signature.
+    if (rc == -2 && retryable != nullptr) *retryable = true;
     Close();
     return rc == 0 ? Status::OutOfRange("IpcClient: deadline of " +
                                         std::to_string(deadline_ms) +
@@ -206,21 +218,45 @@ Result<std::string> IpcClient::RoundTrip(IpcOp request_op,
   return response;
 }
 
+Result<std::string> IpcClient::Call(IpcOp request_op,
+                                    IpcOp expected_response_op,
+                                    const std::string& payload,
+                                    int deadline_ms) {
+  bool retryable = false;
+  auto response = RoundTrip(request_op, expected_response_op, payload,
+                            deadline_ms, &retryable);
+  if (response.ok() || !options_.retry_idempotent || !retryable) {
+    return response;
+  }
+  // ONE transparent retry: the connection was stale, the request provably
+  // unanswered. A second failure surfaces to the caller — retrying a
+  // server that keeps dying is its problem to solve.
+  if (!Connect().ok()) return response.status();
+  ++reconnects_;
+  return RoundTrip(request_op, expected_response_op, payload, deadline_ms,
+                   nullptr);
+}
+
 Result<InferencePrediction> IpcClient::Predict(int db_index,
                                                const query::Query& query,
                                                const query::PlanNode& plan,
                                                int deadline_ms) {
+  if (deadline_ms <= 0) deadline_ms = options_.default_deadline_ms;
   std::string payload;
-  EncodeInferRequest(db_index, query, plan, &payload);
-  auto response = RoundTrip(IpcOp::kInferRequest, IpcOp::kInferResponse,
-                            payload, deadline_ms);
+  // The client-side round-trip deadline doubles as the server-side
+  // relative deadline: once this call gives up, the server should not
+  // spend a forward pass on it either.
+  EncodeInferRequest(db_index, query, plan, &payload,
+                     static_cast<uint32_t>(deadline_ms));
+  auto response = Call(IpcOp::kInferRequest, IpcOp::kInferResponse, payload,
+                       deadline_ms);
   if (!response.ok()) return response.status();
   return DecodeInferResponse(response.value());
 }
 
 Result<HealthInfo> IpcClient::Health(int deadline_ms) {
-  auto response = RoundTrip(IpcOp::kHealthRequest, IpcOp::kHealthResponse,
-                            std::string(), deadline_ms);
+  auto response = Call(IpcOp::kHealthRequest, IpcOp::kHealthResponse,
+                       std::string(), deadline_ms);
   if (!response.ok()) return response.status();
   return DecodeHealthResponse(response.value());
 }

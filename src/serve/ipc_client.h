@@ -42,6 +42,14 @@ class IpcClient {
     int default_deadline_ms = 30000;
     /// Response frames larger than this are rejected (protocol error).
     size_t max_frame_bytes = kDefaultMaxFrameBytes;
+    /// A pooled connection that sat idle may have been closed by the
+    /// server (restart, idle timeout): the next call then fails with
+    /// EPIPE/ECONNRESET on send, or EOF before any response byte. Both
+    /// calls this client offers are idempotent, so with this enabled such
+    /// a failure triggers ONE transparent reconnect + resend. Failures
+    /// after response bytes arrived are never retried (the reply may have
+    /// been partially consumed).
+    bool retry_idempotent = true;
   };
 
   explicit IpcClient(const Options& options);
@@ -57,7 +65,10 @@ class IpcClient {
 
   /// One inference round trip. Mirrors in-process
   /// InferenceServer::Submit(...).get(): a server-side failure comes back
-  /// as the same Status code/message it would produce in-process.
+  /// as the same Status code/message it would produce in-process. The
+  /// effective deadline also travels to the server as the request's
+  /// relative deadline, so a call the client has given up on is shed from
+  /// the server queue instead of burning a forward pass.
   Result<InferencePrediction> Predict(int db_index, const query::Query& query,
                                       const query::PlanNode& plan,
                                       int deadline_ms = 0);
@@ -65,13 +76,24 @@ class IpcClient {
   /// Server health/metrics snapshot.
   Result<HealthInfo> Health(int deadline_ms = 0);
 
+  /// Transparent reconnects performed by the idempotent-retry path.
+  uint64_t reconnects() const { return reconnects_; }
+
  private:
+  /// `retryable` (may be null) is set true only when the failure proves
+  /// the request cannot have been *answered*: send failed, or EOF/reset
+  /// arrived before any response byte.
   Result<std::string> RoundTrip(IpcOp request_op, IpcOp expected_response_op,
-                                const std::string& payload, int deadline_ms);
+                                const std::string& payload, int deadline_ms,
+                                bool* retryable);
+  /// RoundTrip + the one-shot reconnect policy of `retry_idempotent`.
+  Result<std::string> Call(IpcOp request_op, IpcOp expected_response_op,
+                           const std::string& payload, int deadline_ms);
 
   Options options_;
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
+  uint64_t reconnects_ = 0;
 };
 
 }  // namespace mtmlf::serve

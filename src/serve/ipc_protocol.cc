@@ -158,8 +158,10 @@ Result<FrameHeader> DecodeFrameHeader(const char* data, size_t size) {
 }
 
 void EncodeInferRequest(int db_index, const query::Query& query,
-                        const query::PlanNode& plan, std::string* out) {
+                        const query::PlanNode& plan, std::string* out,
+                        uint32_t deadline_ms) {
   AppendRaw<int32_t>(out, db_index);
+  AppendRaw<uint32_t>(out, deadline_ms);
   AppendRaw<uint32_t>(out, static_cast<uint32_t>(query.tables.size()));
   for (int t : query.tables) AppendRaw<int32_t>(out, t);
   AppendRaw<uint32_t>(out, static_cast<uint32_t>(query.joins.size()));
@@ -187,6 +189,9 @@ Result<WireInferenceRequest> DecodeInferRequest(const std::string& payload) {
     return Malformed("infer request: db_index");
   }
   req.db_index = db_index;
+  if (!ReadRaw(payload, &offset, &req.deadline_ms)) {
+    return Malformed("infer request: deadline_ms");
+  }
 
   uint32_t n = 0;
   if (!ReadRaw(payload, &offset, &n) || n > payload.size()) {
@@ -264,6 +269,7 @@ void EncodeInferResponse(const Result<InferencePrediction>& result,
   AppendRaw<double>(out, p.cost_ms);
   AppendRaw<uint8_t>(out, p.cache_hit ? 1 : 0);
   AppendRaw<uint64_t>(out, p.model_version);
+  AppendRaw<uint8_t>(out, p.degraded ? 1 : 0);
 }
 
 Result<InferencePrediction> DecodeInferResponse(const std::string& payload) {
@@ -272,7 +278,7 @@ Result<InferencePrediction> DecodeInferResponse(const std::string& payload) {
   if (!ReadRaw(payload, &offset, &code)) {
     return Malformed("infer response: status code");
   }
-  if (code > static_cast<uint8_t>(StatusCode::kUnimplemented)) {
+  if (code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
     return Malformed("infer response: unknown status code");
   }
   if (code != static_cast<uint8_t>(StatusCode::kOk)) {
@@ -284,14 +290,17 @@ Result<InferencePrediction> DecodeInferResponse(const std::string& payload) {
   }
   InferencePrediction p;
   uint8_t cache_hit = 0;
+  uint8_t degraded = 0;
   if (!ReadRaw(payload, &offset, &p.card) ||
       !ReadRaw(payload, &offset, &p.cost_ms) ||
       !ReadRaw(payload, &offset, &cache_hit) ||
       !ReadRaw(payload, &offset, &p.model_version) ||
+      !ReadRaw(payload, &offset, &degraded) ||
       offset != payload.size()) {
     return Malformed("infer response: prediction body");
   }
   p.cache_hit = cache_hit != 0;
+  p.degraded = degraded != 0;
   return p;
 }
 
@@ -304,6 +313,13 @@ void EncodeHealthResponse(const HealthInfo& info, std::string* out) {
   AppendRaw<double>(out, info.p95_us);
   AppendRaw<double>(out, info.p99_us);
   AppendRaw<double>(out, info.cache_hit_rate);
+  AppendRaw<uint64_t>(out, info.queue_depth);
+  AppendRaw<uint64_t>(out, info.shed);
+  AppendRaw<uint64_t>(out, info.rejected);
+  AppendRaw<uint64_t>(out, info.expired);
+  AppendRaw<uint64_t>(out, info.degraded);
+  AppendRaw<uint8_t>(out, info.breaker_state);
+  AppendRaw<uint64_t>(out, info.breaker_trips);
 }
 
 Result<HealthInfo> DecodeHealthResponse(const std::string& payload) {
@@ -318,6 +334,13 @@ Result<HealthInfo> DecodeHealthResponse(const std::string& payload) {
       !ReadRaw(payload, &offset, &info.p95_us) ||
       !ReadRaw(payload, &offset, &info.p99_us) ||
       !ReadRaw(payload, &offset, &info.cache_hit_rate) ||
+      !ReadRaw(payload, &offset, &info.queue_depth) ||
+      !ReadRaw(payload, &offset, &info.shed) ||
+      !ReadRaw(payload, &offset, &info.rejected) ||
+      !ReadRaw(payload, &offset, &info.expired) ||
+      !ReadRaw(payload, &offset, &info.degraded) ||
+      !ReadRaw(payload, &offset, &info.breaker_state) ||
+      !ReadRaw(payload, &offset, &info.breaker_trips) ||
       offset != payload.size()) {
     return Malformed("health response");
   }

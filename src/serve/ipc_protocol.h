@@ -32,7 +32,11 @@ namespace mtmlf::serve {
 /// unparseable (bad magic/version) leave the byte stream unsynchronizable
 /// and close the connection.
 inline constexpr uint8_t kIpcMagic[4] = {'M', 'F', 'I', 'P'};
-inline constexpr uint8_t kIpcProtocolVersion = 1;
+/// v2: infer requests carry a relative deadline_ms after db_index; infer
+/// responses carry a degraded flag; health responses grew overload and
+/// breaker fields. v1 peers are rejected at the header (versions are not
+/// negotiated — both ends ship in one artifact).
+inline constexpr uint8_t kIpcProtocolVersion = 2;
 inline constexpr size_t kFrameHeaderBytes = 20;
 /// Default cap on payload_bytes; oversized frames fail the request.
 inline constexpr size_t kDefaultMaxFrameBytes = 1u << 20;
@@ -68,13 +72,19 @@ Result<FrameHeader> DecodeFrameHeader(const char* data, size_t size);
 /// are owned here and must outlive the server's future.
 struct WireInferenceRequest {
   int db_index = 0;
+  /// Relative deadline in milliseconds, measured from when the server
+  /// decodes the frame; 0 means none. Relative (not absolute) because the
+  /// two processes share no clock.
+  uint32_t deadline_ms = 0;
   query::Query query;
   query::PlanPtr plan;
 };
 
-/// Payload codec for IpcOp::kInferRequest.
+/// Payload codec for IpcOp::kInferRequest. `deadline_ms` of 0 sends no
+/// deadline.
 void EncodeInferRequest(int db_index, const query::Query& query,
-                        const query::PlanNode& plan, std::string* out);
+                        const query::PlanNode& plan, std::string* out,
+                        uint32_t deadline_ms = 0);
 Result<WireInferenceRequest> DecodeInferRequest(const std::string& payload);
 
 /// Payload codec for IpcOp::kInferResponse. Carries either the prediction
@@ -95,6 +105,16 @@ struct HealthInfo {
   double p95_us = 0.0;
   double p99_us = 0.0;
   double cache_hit_rate = 0.0;
+  // Overload / degraded-mode visibility (v2).
+  uint64_t queue_depth = 0;
+  uint64_t shed = 0;
+  uint64_t rejected = 0;
+  uint64_t expired = 0;
+  uint64_t degraded = 0;
+  /// CircuitBreaker::State as its numeric value (0 closed, 1 open,
+  /// 2 half-open); 0 when the server runs without a breaker.
+  uint8_t breaker_state = 0;
+  uint64_t breaker_trips = 0;
 };
 
 void EncodeHealthResponse(const HealthInfo& info, std::string* out);

@@ -14,6 +14,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "serve/faults.h"
 
 namespace mtmlf::serve {
 
@@ -301,6 +302,15 @@ std::string SocketFrontEnd::HealthPayload() const {
   info.p95_us = m.latency().PercentileUs(0.95);
   info.p99_us = m.latency().PercentileUs(0.99);
   info.cache_hit_rate = m.CacheHitRate();
+  info.queue_depth = m.queue_depth();
+  info.shed = m.shed();
+  info.rejected = m.rejected();
+  info.expired = m.expired();
+  info.degraded = m.degraded();
+  if (const CircuitBreaker* b = server_->breaker()) {
+    info.breaker_state = static_cast<uint8_t>(b->state());
+    info.breaker_trips = b->trips();
+  }
   std::string payload;
   EncodeHealthResponse(info, &payload);
   return payload;
@@ -316,6 +326,9 @@ void SocketFrontEnd::ReaderLoop(Connection* conn) {
     int rc = ReadFully(conn->fd, header, sizeof(header),
                        options_.read_timeout_ms);
     if (rc <= 0) break;  // peer closed, idle timeout, or error
+    if (!FaultInjector::Check(kFaultSocketRead).ok()) {
+      break;  // injected transport fault: same path as a real read error
+    }
     auto decoded = DecodeFrameHeader(header, sizeof(header));
     if (!decoded.ok()) {
       // Bad magic or unknown protocol version: the stream cannot be
@@ -365,9 +378,17 @@ void SocketFrontEnd::ReaderLoop(Connection* conn) {
         }
         resp.request = std::make_unique<WireInferenceRequest>(
             std::move(request.value()));
-        resp.future = server_->Submit({resp.request->db_index,
-                                       &resp.request->query,
-                                       resp.request->plan.get()});
+        InferenceRequest req;
+        req.db_index = resp.request->db_index;
+        req.query = &resp.request->query;
+        req.plan = resp.request->plan.get();
+        // The wire carries a relative deadline (no shared clock across
+        // processes); anchor it to this server's clock at decode time.
+        if (resp.request->deadline_ms > 0) {
+          req.deadline = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(resp.request->deadline_ms);
+        }
+        resp.future = server_->Submit(req);
         break;
       }
       case IpcOp::kHealthRequest:
@@ -419,7 +440,8 @@ void SocketFrontEnd::WriterLoop(Connection* conn) {
     EncodeFrameHeader(resp.op, resp.request_id,
                       static_cast<uint32_t>(resp.payload.size()), &frame);
     frame += resp.payload;
-    if (!SendAll(conn->fd, frame.data(), frame.size())) {
+    if (!FaultInjector::Check(kFaultSocketWrite).ok() ||
+        !SendAll(conn->fd, frame.data(), frame.size())) {
       peer_writable = false;
       BeginConnectionClose(conn);
     }

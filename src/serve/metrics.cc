@@ -88,17 +88,24 @@ double ServerMetrics::MeanFusedGroupSize() const {
 }
 
 std::string ServerMetrics::Summary() const {
-  char buf[320];
+  char buf[448];
   std::snprintf(buf, sizeof(buf),
                 "reqs=%llu p50=%.0fus p95=%.0fus p99=%.0fus mean=%.0fus "
-                "hit-rate=%.2f batch=%.2f fused=%llu/%.2f errors=%llu",
+                "hit-rate=%.2f batch=%.2f fused=%llu/%.2f errors=%llu "
+                "depth=%llu shed=%llu rejected=%llu expired=%llu "
+                "degraded=%llu",
                 static_cast<unsigned long long>(requests()),
                 latency_.PercentileUs(0.50), latency_.PercentileUs(0.95),
                 latency_.PercentileUs(0.99), latency_.MeanUs(),
                 CacheHitRate(), MeanBatchSize(),
                 static_cast<unsigned long long>(fused_forwards()),
                 MeanFusedGroupSize(),
-                static_cast<unsigned long long>(errors()));
+                static_cast<unsigned long long>(errors()),
+                static_cast<unsigned long long>(queue_depth()),
+                static_cast<unsigned long long>(shed()),
+                static_cast<unsigned long long>(rejected()),
+                static_cast<unsigned long long>(expired()),
+                static_cast<unsigned long long>(degraded()));
   return buf;
 }
 
@@ -112,6 +119,11 @@ void ServerMetrics::Reset() {
   cache_misses_.store(0, std::memory_order_relaxed);
   fused_forwards_.store(0, std::memory_order_relaxed);
   fused_requests_.store(0, std::memory_order_relaxed);
+  rejected_.store(0, std::memory_order_relaxed);
+  shed_.store(0, std::memory_order_relaxed);
+  expired_.store(0, std::memory_order_relaxed);
+  degraded_.store(0, std::memory_order_relaxed);
+  queue_depth_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace mtmlf::serve

@@ -59,6 +59,26 @@ class ServerMetrics {
     fused_requests_.fetch_add(group_size, std::memory_order_relaxed);
   }
   void RecordError() { errors_.fetch_add(1, std::memory_order_relaxed); }
+  /// Admission control failed a NEW request because the queue was full
+  /// (OverloadPolicy::kRejectNew).
+  void RecordRejected() {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Admission control failed the OLDEST queued request to make room
+  /// (OverloadPolicy::kShedOldest).
+  void RecordShed() { shed_.fetch_add(1, std::memory_order_relaxed); }
+  /// A request's deadline expired before its forward pass could run.
+  void RecordExpired() { expired_.fetch_add(1, std::memory_order_relaxed); }
+  /// A request was answered from the degraded path (baseline estimator)
+  /// instead of the model.
+  void RecordDegraded() {
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// Current queue depth gauge; maintained by the server on every
+  /// enqueue/drain.
+  void SetQueueDepth(size_t depth) {
+    queue_depth_.store(depth, std::memory_order_relaxed);
+  }
 
   const LatencyHistogram& latency() const { return latency_; }
   uint64_t requests() const {
@@ -77,6 +97,19 @@ class ServerMetrics {
   }
   uint64_t fused_requests() const {
     return fused_requests_.load(std::memory_order_relaxed);
+  }
+  uint64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+  uint64_t shed() const { return shed_.load(std::memory_order_relaxed); }
+  uint64_t expired() const {
+    return expired_.load(std::memory_order_relaxed);
+  }
+  uint64_t degraded() const {
+    return degraded_.load(std::memory_order_relaxed);
+  }
+  uint64_t queue_depth() const {
+    return queue_depth_.load(std::memory_order_relaxed);
   }
   /// Mean requests per fused forward pass (GEMM amortization factor).
   double MeanFusedGroupSize() const;
@@ -100,6 +133,11 @@ class ServerMetrics {
   std::atomic<uint64_t> cache_misses_{0};
   std::atomic<uint64_t> fused_forwards_{0};
   std::atomic<uint64_t> fused_requests_{0};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> expired_{0};
+  std::atomic<uint64_t> degraded_{0};
+  std::atomic<uint64_t> queue_depth_{0};
 };
 
 }  // namespace mtmlf::serve

@@ -3,6 +3,8 @@
 #include <string>
 #include <utility>
 
+#include "serve/faults.h"
+
 namespace mtmlf::serve {
 
 Status ModelRegistry::Register(uint64_t version,
@@ -27,6 +29,9 @@ Status ModelRegistry::Register(uint64_t version,
 }
 
 Status ModelRegistry::Publish(uint64_t version) {
+  // Before the swap: an injected publish failure must leave current_
+  // untouched (callers rely on failed swaps keeping the old model live).
+  MTMLF_RETURN_IF_ERROR(FaultInjector::Check(kFaultRegistryPublish));
   std::lock_guard<std::mutex> lock(mu_);
   auto it = versions_.find(version);
   if (it == versions_.end()) {

@@ -5,6 +5,8 @@
 #include <optional>
 #include <utility>
 
+#include "optimizer/baseline_card_est.h"
+#include "serve/faults.h"
 #include "tensor/tensor.h"
 
 namespace mtmlf::serve {
@@ -15,10 +17,21 @@ InferenceServer::InferenceServer(ModelRegistry* registry,
                                  const Options& options)
     : registry_(registry),
       options_(options),
-      cache_(options.cache_capacity, options.cache_shards) {
+      cache_(options.cache_capacity, options.cache_shards),
+      breaker_(options.breaker) {
   options_.num_workers = std::max(options_.num_workers, 1);
   options_.max_batch = std::max(options_.max_batch, 1);
   options_.max_wait_us = std::max(options_.max_wait_us, 0);
+  options_.max_queue = std::max<size_t>(options_.max_queue, 1);
+}
+
+const optimizer::BaselineCardEstimator* InferenceServer::FallbackFor(
+    int db_index) const {
+  if (db_index < 0 ||
+      static_cast<size_t>(db_index) >= options_.fallbacks.size()) {
+    return nullptr;
+  }
+  return options_.fallbacks[db_index];
 }
 
 InferenceServer::~InferenceServer() { Shutdown(); }
@@ -79,11 +92,21 @@ std::future<Result<InferencePrediction>> InferenceServer::Submit(
         Status::InvalidArgument("Submit: null query or plan"));
     return future;
   }
+  // Deadline-aware admission: a request that is already dead must not
+  // occupy a queue slot or a forward pass.
+  if (request.has_deadline() && pending.enqueued_at >= request.deadline) {
+    metrics_.RecordExpired();
+    pending.promise.set_value(
+        Status::OutOfRange("Submit: deadline already expired"));
+    return future;
+  }
   if (options_.enable_cache) {
     // Fingerprint outside the queue lock — it walks the plan tree.
     pending.fingerprint =
         PlanFingerprint(request.db_index, *request.query, *request.plan);
   }
+  // Resolved outside the lock: set_value can unblock a waiter.
+  std::optional<Pending> shed;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!started_ || stop_) {
@@ -91,7 +114,27 @@ std::future<Result<InferencePrediction>> InferenceServer::Submit(
           Status::FailedPrecondition("InferenceServer not running"));
       return future;
     }
+    if (queue_.size() >= options_.max_queue) {
+      if (options_.overload_policy == OverloadPolicy::kRejectNew) {
+        metrics_.RecordRejected();
+        pending.promise.set_value(Status::ResourceExhausted(
+            "Submit: queue full (" + std::to_string(options_.max_queue) +
+            " pending), request rejected"));
+        return future;
+      }
+      // kShedOldest: the head of the queue has waited longest and is the
+      // most likely to miss its deadline anyway — trade it for the
+      // freshest request.
+      shed = std::move(queue_.front());
+      queue_.pop_front();
+      metrics_.RecordShed();
+    }
     queue_.push_back(std::move(pending));
+    metrics_.SetQueueDepth(queue_.size());
+  }
+  if (shed.has_value()) {
+    shed->promise.set_value(Status::ResourceExhausted(
+        "InferenceServer: shed from a full queue by a newer request"));
   }
   cv_.notify_one();
   return future;
@@ -123,6 +166,7 @@ void InferenceServer::WorkerLoop() {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
+      metrics_.SetQueueDepth(queue_.size());
     }
     // A sibling may have drained the whole queue while this worker sat in
     // the micro-batch wait; an empty drain must not reach ProcessBatch
@@ -158,13 +202,46 @@ void InferenceServer::ProcessBatch(std::vector<Pending>* batch) {
   std::vector<std::optional<Result<InferencePrediction>>> results(n);
   std::vector<std::string> keys(n);
 
-  // Pass 1 — validate and probe the cache; only misses need a forward.
+  // Degraded-mode answer: the baseline histogram+MCV estimator stands in
+  // for a model that is unpublished, tripped, or failing. `why` is what
+  // the caller sees when no fallback estimator covers this db.
+  auto degrade_or = [&](size_t i, const Status& why) {
+    const Pending& p = (*batch)[i];
+    const optimizer::BaselineCardEstimator* fb =
+        FallbackFor(p.request.db_index);
+    if (fb == nullptr) {
+      results[i] = why;
+      return;
+    }
+    InferencePrediction pred;
+    pred.card = fb->EstimateQuery(*p.request.query);
+    pred.cost_ms = 0.0;  // the baseline has no cost model
+    pred.degraded = true;
+    pred.model_version = snapshot == nullptr ? 0 : snapshot->version;
+    metrics_.RecordDegraded();
+    // Deliberately NOT cached: a degraded answer must not outlive the
+    // outage and keep masking the recovered model.
+    results[i] = pred;
+  };
+
+  // Pass 1 — expire, validate, and probe the cache; only live misses need
+  // a forward.
   std::vector<size_t> misses;
   misses.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     Pending& p = (*batch)[i];
+    // A deadline that lapsed while the request sat in queue: fail it now
+    // rather than burn a forward pass on an answer nobody is waiting for.
+    if (p.request.has_deadline() &&
+        steady_clock::now() >= p.request.deadline) {
+      results[i] = Status::OutOfRange(
+          "InferenceServer: deadline expired while queued");
+      metrics_.RecordExpired();
+      if (options_.enable_breaker) breaker_.RecordDeadlineMiss();
+      continue;
+    }
     if (snapshot == nullptr) {
-      results[i] = Status::FailedPrecondition("no model published");
+      degrade_or(i, Status::FailedPrecondition("no model published"));
       continue;
     }
     const model::MtmlfQo& m = *snapshot->model;
@@ -205,10 +282,33 @@ void InferenceServer::ProcessBatch(std::vector<Pending>* batch) {
       }
       results[i] = pred;
     };
+    // Gate + fault-check one model forward call (scalar Run or fused
+    // RunBatch). Returns false with `*why` set when the call must not run:
+    // either the breaker is routing traffic away from the model, or the
+    // fault injector failed this forward.
+    auto admit_forward = [&](Status* why) {
+      if (options_.enable_breaker && !breaker_.AllowModelPath()) {
+        *why = Status::Unavailable("circuit breaker open");
+        return false;
+      }
+      Status fault = FaultInjector::Check(kFaultModelForward);
+      if (!fault.ok()) {
+        if (options_.enable_breaker) breaker_.RecordFailure();
+        *why = std::move(fault);
+        return false;
+      }
+      return true;
+    };
     auto run_scalar = [&](size_t i) {
+      Status why;
+      if (!admit_forward(&why)) {
+        degrade_or(i, why);
+        return;
+      }
       const Pending& p = (*batch)[i];
       finish_miss(i, m.Run(p.request.db_index, *p.request.query,
                            *p.request.plan));
+      if (options_.enable_breaker) breaker_.RecordSuccess();
     };
 
     std::map<std::pair<int, int>, std::vector<size_t>> groups;
@@ -220,6 +320,13 @@ void InferenceServer::ProcessBatch(std::vector<Pending>* batch) {
     for (const auto& [key, members] : groups) {
       if (!options_.batched_forward || members.size() < 2) {
         for (size_t i : members) run_scalar(i);
+        continue;
+      }
+      Status why;
+      if (!admit_forward(&why)) {
+        // One fused pass is one model call: the whole group degrades
+        // together, exactly as it would have succeeded together.
+        for (size_t i : members) degrade_or(i, why);
         continue;
       }
       std::vector<model::MtmlfQo::PlanRef> refs;
@@ -235,6 +342,7 @@ void InferenceServer::ProcessBatch(std::vector<Pending>* batch) {
         for (size_t i : members) run_scalar(i);
         continue;
       }
+      if (options_.enable_breaker) breaker_.RecordSuccess();
       metrics_.RecordFusedForward(members.size());
       for (size_t j = 0; j < members.size(); ++j) {
         finish_miss(members[j], fwds[j]);

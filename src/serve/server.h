@@ -14,9 +14,14 @@
 #include "common/status.h"
 #include "query/plan.h"
 #include "query/query.h"
+#include "serve/breaker.h"
 #include "serve/cache.h"
 #include "serve/metrics.h"
 #include "serve/registry.h"
+
+namespace mtmlf::optimizer {
+class BaselineCardEstimator;
+}  // namespace mtmlf::optimizer
 
 namespace mtmlf::serve {
 
@@ -27,6 +32,15 @@ struct InferenceRequest {
   int db_index = 0;
   const query::Query* query = nullptr;
   const query::PlanNode* plan = nullptr;
+  /// Absolute deadline. A request that would expire while still queued is
+  /// failed with kOutOfRange instead of wasting a forward pass; expiry is
+  /// checked at admission and again when a worker drains it. Default
+  /// (epoch zero) means no deadline.
+  std::chrono::steady_clock::time_point deadline{};
+
+  bool has_deadline() const {
+    return deadline != std::chrono::steady_clock::time_point{};
+  }
 };
 
 /// Root-node predictions plus serving provenance.
@@ -35,6 +49,12 @@ struct InferencePrediction {
   double cost_ms = 0.0;
   bool cache_hit = false;
   uint64_t model_version = 0;
+  /// True when the answer came from the degraded path (the histogram+MCV
+  /// BaselineCardEstimator) because the circuit breaker routed traffic
+  /// away from a sick model. Degraded answers carry the baseline's
+  /// cardinality estimate bit-for-bit and cost_ms == 0 (the baseline has
+  /// no cost model); they are never cached.
+  bool degraded = false;
 };
 
 /// Micro-batching concurrent inference server over a ModelRegistry — the
@@ -50,6 +70,17 @@ struct InferencePrediction {
 /// up the new version. With the cache enabled, a batch first probes the
 /// sharded LRU by plan fingerprint and only runs the transformer forward
 /// pass on misses.
+/// What admission control does when a Submit() finds the queue full.
+enum class OverloadPolicy {
+  /// Fail the NEW request with kResourceExhausted. Queued work keeps its
+  /// place — latency-fair under steady overload.
+  kRejectNew,
+  /// Fail the OLDEST queued request and admit the new one. Freshest work
+  /// wins — the right policy when requests carry deadlines, because the
+  /// oldest entry is the one most likely to expire anyway.
+  kShedOldest,
+};
+
 class InferenceServer {
  public:
   struct Options {
@@ -71,6 +102,20 @@ class InferenceServer {
     /// Fused and scalar predictions are bit-identical, so this is purely a
     /// throughput knob.
     bool batched_forward = true;
+    /// Bounded admission queue: Submit() beyond this depth triggers
+    /// `overload_policy` instead of growing the queue without limit. The
+    /// optimizer's hot path must never stall behind an unbounded backlog.
+    size_t max_queue = 1024;
+    OverloadPolicy overload_policy = OverloadPolicy::kRejectNew;
+    /// Enables the circuit breaker on the model-forward path.
+    bool enable_breaker = false;
+    CircuitBreaker::Options breaker;
+    /// Degraded-mode estimators, indexed by db_index (entries may be
+    /// null). When the breaker is open — or a model forward fails, or no
+    /// model is published — a CardEst request whose db has a fallback is
+    /// answered from it (tagged degraded=true) instead of failing.
+    /// Borrowed pointers; must outlive the server.
+    std::vector<const optimizer::BaselineCardEstimator*> fallbacks;
   };
 
   InferenceServer(ModelRegistry* registry, const Options& options);
@@ -97,6 +142,10 @@ class InferenceServer {
   const PredictionCache* cache() const {
     return options_.enable_cache ? &cache_ : nullptr;
   }
+  /// The model-path circuit breaker, or nullptr when disabled.
+  const CircuitBreaker* breaker() const {
+    return options_.enable_breaker ? &breaker_ : nullptr;
+  }
   bool running() const;
 
  private:
@@ -109,11 +158,13 @@ class InferenceServer {
 
   void WorkerLoop();
   void ProcessBatch(std::vector<Pending>* batch);
+  const optimizer::BaselineCardEstimator* FallbackFor(int db_index) const;
 
   ModelRegistry* registry_;
   Options options_;
   PredictionCache cache_;
   ServerMetrics metrics_;
+  CircuitBreaker breaker_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

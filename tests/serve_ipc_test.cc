@@ -217,11 +217,12 @@ TEST(IpcProtocolTest, InferRequestRoundTripPreservesEverythingButLabels) {
   plan->true_cardinality = 42.0;  // training label: must NOT travel
 
   std::string payload;
-  EncodeInferRequest(5, q, *plan, &payload);
+  EncodeInferRequest(5, q, *plan, &payload, /*deadline_ms=*/2500);
   auto decoded = DecodeInferRequest(payload);
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
   const WireInferenceRequest& r = decoded.value();
   EXPECT_EQ(r.db_index, 5);
+  EXPECT_EQ(r.deadline_ms, 2500u);
   EXPECT_EQ(r.query.tables, q.tables);
   ASSERT_EQ(r.query.joins.size(), 2u);
   EXPECT_EQ(r.query.joins[1].left_column, "kind;id");
@@ -255,11 +256,13 @@ TEST(IpcProtocolTest, InferRequestRejectsHostilePayloads) {
   // Absurd element count (reserve bomb / truncation).
   std::string bomb;
   AppendRaw<int32_t>(&bomb, 0);
+  AppendRaw<uint32_t>(&bomb, 0);            // deadline_ms
   AppendRaw<uint32_t>(&bomb, 0xFFFFFFFFu);  // "4 billion tables"
   EXPECT_FALSE(DecodeInferRequest(bomb).ok());
 
   auto preamble = [](std::string* out) {
     AppendRaw<int32_t>(out, 0);   // db_index
+    AppendRaw<uint32_t>(out, 0);  // deadline_ms
     AppendRaw<uint32_t>(out, 0);  // tables
     AppendRaw<uint32_t>(out, 0);  // joins
     AppendRaw<uint32_t>(out, 0);  // filters
@@ -269,6 +272,7 @@ TEST(IpcProtocolTest, InferRequestRejectsHostilePayloads) {
   {
     std::string p;
     AppendRaw<int32_t>(&p, 0);
+    AppendRaw<uint32_t>(&p, 0);  // deadline_ms
     AppendRaw<uint32_t>(&p, 0);
     AppendRaw<uint32_t>(&p, 0);
     AppendRaw<uint32_t>(&p, 1);
@@ -287,6 +291,7 @@ TEST(IpcProtocolTest, InferRequestRejectsHostilePayloads) {
   {
     std::string p;
     AppendRaw<int32_t>(&p, 0);
+    AppendRaw<uint32_t>(&p, 0);  // deadline_ms
     AppendRaw<uint32_t>(&p, 0);
     AppendRaw<uint32_t>(&p, 0);
     AppendRaw<uint32_t>(&p, 1);
@@ -345,6 +350,7 @@ TEST(IpcProtocolTest, InferResponseRoundTripCarriesValuesAndStatuses) {
   p.cost_ms = 0.25;
   p.cache_hit = true;
   p.model_version = 17;
+  p.degraded = true;
   std::string payload;
   EncodeInferResponse(p, &payload);
   auto ok = DecodeInferResponse(payload);
@@ -353,6 +359,18 @@ TEST(IpcProtocolTest, InferResponseRoundTripCarriesValuesAndStatuses) {
   EXPECT_EQ(ok.value().cost_ms, p.cost_ms);
   EXPECT_TRUE(ok.value().cache_hit);
   EXPECT_EQ(ok.value().model_version, 17u);
+  EXPECT_TRUE(ok.value().degraded);
+
+  // The degraded-mode status codes added in protocol v2 cross the wire.
+  for (Status s : {Status::ResourceExhausted("queue full"),
+                   Status::Unavailable("breaker open")}) {
+    std::string sp;
+    EncodeInferResponse(Result<InferencePrediction>(s), &sp);
+    auto back = DecodeInferResponse(sp);
+    ASSERT_FALSE(back.ok());
+    EXPECT_EQ(back.status().code(), s.code());
+    EXPECT_EQ(back.status().message(), s.message());
+  }
 
   // A server-side Status crosses the wire code-and-message intact.
   std::string err_payload;
@@ -383,6 +401,13 @@ TEST(IpcProtocolTest, HealthResponseRoundTrip) {
   info.p95_us = 480.0;
   info.p99_us = 2000.0;
   info.cache_hit_rate = 0.75;
+  info.queue_depth = 12;
+  info.shed = 34;
+  info.rejected = 56;
+  info.expired = 78;
+  info.degraded = 90;
+  info.breaker_state = 2;  // half-open
+  info.breaker_trips = 4;
   std::string payload;
   EncodeHealthResponse(info, &payload);
   auto r = DecodeHealthResponse(payload);
@@ -392,6 +417,13 @@ TEST(IpcProtocolTest, HealthResponseRoundTrip) {
   EXPECT_EQ(r.value().requests, 1000u);
   EXPECT_EQ(r.value().errors, 2u);
   EXPECT_EQ(r.value().cache_hit_rate, 0.75);
+  EXPECT_EQ(r.value().queue_depth, 12u);
+  EXPECT_EQ(r.value().shed, 34u);
+  EXPECT_EQ(r.value().rejected, 56u);
+  EXPECT_EQ(r.value().expired, 78u);
+  EXPECT_EQ(r.value().degraded, 90u);
+  EXPECT_EQ(r.value().breaker_state, 2);
+  EXPECT_EQ(r.value().breaker_trips, 4u);
   EXPECT_FALSE(DecodeHealthResponse(payload.substr(1)).ok());
 }
 

@@ -641,6 +641,77 @@ TEST(InferenceServerTest, FailsWhenNothingPublished) {
   EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
 }
 
+TEST(InferenceServerTest, SubmitRacingShutdownAlwaysResolvesEveryFuture) {
+  // Regression: a Submit that loses the race with Shutdown must still
+  // resolve its future (with kFailedPrecondition), never leave a promise
+  // abandoned. Run several rounds — the interesting interleavings are
+  // narrow.
+  Env& env = GetEnv();
+  const auto& lq = env.dataset.queries.front();
+  for (int round = 0; round < 5; ++round) {
+    ModelRegistry registry;
+    ASSERT_TRUE(registry.Register(1, MakeModel(51)).ok());
+    ASSERT_TRUE(registry.Publish(1).ok());
+    InferenceServer::Options opts;
+    opts.num_workers = 2;
+    opts.enable_cache = false;
+    auto server = std::make_unique<InferenceServer>(&registry, opts);
+    ASSERT_TRUE(server->Start().ok());
+
+    constexpr int kSubmitters = 4;
+    std::vector<std::vector<std::future<Result<InferencePrediction>>>>
+        futures(kSubmitters);
+    std::atomic<bool> go{false};
+    std::vector<std::thread> submitters;
+    submitters.reserve(kSubmitters);
+    for (int t = 0; t < kSubmitters; ++t) {
+      submitters.emplace_back([&, t] {
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        // Submit flat-out until the shutdown is observed — every round is
+        // then certain to have submissions in flight on both sides of the
+        // stop flag — plus a few afterwards that must all be refused.
+        for (int i = 0; server->running() && i < 100000; ++i) {
+          futures[t].push_back(server->Submit({0, &lq.query, lq.plan.get()}));
+        }
+        for (int i = 0; i < 25; ++i) {
+          futures[t].push_back(server->Submit({0, &lq.query, lq.plan.get()}));
+        }
+      });
+    }
+    go.store(true, std::memory_order_release);
+    std::this_thread::sleep_for(std::chrono::microseconds(200 * round));
+    server->Shutdown();
+    for (auto& s : submitters) s.join();
+
+    size_t refused = 0;
+    for (auto& per_thread : futures) {
+      for (auto& f : per_thread) {
+        // A hung promise would block forever; bound the wait so the test
+        // fails with a message instead.
+        ASSERT_EQ(f.wait_for(std::chrono::seconds(30)),
+                  std::future_status::ready)
+            << "future abandoned during shutdown (round " << round << ")";
+        auto r = f.get();
+        if (!r.ok()) {
+          // Full queue (admission control) or shutdown refusal — nothing
+          // else is acceptable here.
+          EXPECT_TRUE(
+              r.status().code() == StatusCode::kFailedPrecondition ||
+              r.status().code() == StatusCode::kResourceExhausted)
+              << r.status().ToString();
+          if (r.status().code() == StatusCode::kFailedPrecondition) {
+            ++refused;
+          }
+        }
+      }
+    }
+    // The post-shutdown submits of every thread land here at minimum.
+    EXPECT_GE(refused, size_t{kSubmitters} * 25)
+        << "shutdown refusals went missing (round " << round << ")";
+  }
+}
+
 TEST(InferenceServerTest, HotSwapMidTrafficIsAtomicAndUntorn) {
   // >= 4 client threads x >= 200 requests racing a publisher thread that
   // flips between two model versions. Every response must exactly match

@@ -8,6 +8,7 @@
 #include "nn/optimizer.h"
 #include "nn/transformer.h"
 #include "tensor/tensor.h"
+#include "tensor/workspace.h"
 
 using namespace mtmlf;  // NOLINT
 
@@ -36,6 +37,35 @@ static void BM_TransformerEncoderForward(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TransformerEncoderForward)->Arg(4)->Arg(15);
+
+// Same encoder-shaped forward, but with every intermediate bump-allocated
+// out of a Workspace that is recycled per iteration — the serving memory
+// model. Counter deltas show the heap-vs-arena allocation split.
+static void BM_TransformerEncoderForwardArena(benchmark::State& state) {
+  int seq = static_cast<int>(state.range(0));
+  Rng rng(1);
+  nn::TransformerEncoder enc(2, 48, 4, 96, &rng);
+  tensor::NoGradGuard guard;
+  // Input lives on the heap so it survives Workspace::Reset below.
+  auto x = tensor::Tensor::Randn(seq, 48, 1.0f, &rng);
+  tensor::Workspace ws;
+  tensor::WorkspaceScope scope(&ws);
+  tensor::AllocCountersSnapshot before = tensor::ReadAllocCounters();
+  for (auto _ : state) {
+    {
+      auto y = enc.Forward(x);
+      benchmark::DoNotOptimize(y.data());
+    }  // output dies before the arena is recycled
+    ws.Reset();
+  }
+  tensor::AllocCountersSnapshot after = tensor::ReadAllocCounters();
+  state.counters["arena_nodes"] =
+      static_cast<double>(after.arena_nodes - before.arena_nodes);
+  state.counters["heap_nodes"] =
+      static_cast<double>(after.heap_nodes - before.heap_nodes);
+  state.counters["arena_hwm_bytes"] = static_cast<double>(ws.high_water());
+}
+BENCHMARK(BM_TransformerEncoderForwardArena)->Arg(4)->Arg(15);
 
 static void BM_TransformerTrainStep(benchmark::State& state) {
   int seq = static_cast<int>(state.range(0));

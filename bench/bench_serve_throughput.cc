@@ -21,6 +21,7 @@
 #include "optimizer/baseline_card_est.h"
 #include "serve/registry.h"
 #include "serve/server.h"
+#include "tensor/workspace.h"
 #include "workload/dataset.h"
 
 using namespace mtmlf;  // NOLINT
@@ -34,22 +35,29 @@ struct RunResult {
   double hit_rate = 0.0;
   double mean_batch = 0.0;
   double mean_fused_group = 0.0;
+  // Tensor allocation traffic over the run, from the global counters.
+  double heap_nodes_per_req = 0.0;
+  double arena_nodes_per_req = 0.0;
+  uint64_t arena_hwm_bytes = 0;
+  uint64_t arena_resets = 0;
 };
 
 RunResult RunConfig(serve::ModelRegistry* registry,
                     const std::vector<const workload::LabeledQuery*>& queries,
                     int client_threads, bool cache, int total_requests,
-                    bool fused = true) {
+                    bool fused = true, bool arena = true) {
   serve::InferenceServer::Options opts;
   opts.num_workers = client_threads == 1 ? 1 : 2;
   opts.max_batch = client_threads == 1 ? 1 : 8;
   opts.max_wait_us = client_threads == 1 ? 0 : 200;
   opts.enable_cache = cache;
   opts.batched_forward = fused;
+  opts.worker_workspace = arena;
   serve::InferenceServer server(registry, opts);
   MTMLF_CHECK(server.Start().ok(), "server start");
 
   const int per_client = total_requests / client_threads;
+  tensor::AllocCountersSnapshot alloc_before = tensor::ReadAllocCounters();
   auto start = Clock::now();
   std::vector<std::thread> clients;
   for (int c = 0; c < client_threads; ++c) {
@@ -64,9 +72,20 @@ RunResult RunConfig(serve::ModelRegistry* registry,
   for (auto& t : clients) t.join();
   double secs = std::chrono::duration<double>(Clock::now() - start).count();
   server.Shutdown();
+  tensor::AllocCountersSnapshot alloc_after = tensor::ReadAllocCounters();
 
   const serve::ServerMetrics& m = server.metrics();
+  const int done = per_client * client_threads;
+  serve::MetricsSnapshot snap = m.Snapshot();
   RunResult res;
+  res.heap_nodes_per_req =
+      static_cast<double>(alloc_after.heap_nodes - alloc_before.heap_nodes) /
+      done;
+  res.arena_nodes_per_req =
+      static_cast<double>(alloc_after.arena_nodes - alloc_before.arena_nodes) /
+      done;
+  res.arena_hwm_bytes = snap.arena_high_water;
+  res.arena_resets = snap.arena_resets;
   res.qps = static_cast<double>(per_client * client_threads) / secs;
   res.p50 = m.latency().PercentileUs(0.50);
   res.p95 = m.latency().PercentileUs(0.95);
@@ -161,5 +180,35 @@ int main() {
               "group %.1f)\n",
               fused.qps / scalar.qps, scalar.p95, fused.p95,
               fused.mean_fused_group);
+
+  // Head-to-head for the inference arena: 8 clients, cache OFF so every
+  // request runs a forward pass. arena-off puts each intermediate tensor
+  // through the global heap; arena-on bump-allocates everything from a
+  // per-worker Workspace recycled between batches. The allocation counters
+  // show where every tensor node of the run actually lived.
+  std::printf("\narena on vs off, 8 clients, cache off:\n");
+  RunResult arena_off = RunConfig(&registry, queries, /*client_threads=*/8,
+                                  /*cache=*/false, total_requests,
+                                  /*fused=*/true, /*arena=*/false);
+  RunResult arena_on = RunConfig(&registry, queries, /*client_threads=*/8,
+                                 /*cache=*/false, total_requests,
+                                 /*fused=*/true, /*arena=*/true);
+  std::printf("%-28s %10.0f %9.0f %9.0f %9.0f  heap/req %7.1f  arena/req "
+              "%7.1f\n",
+              "  arena off (heap tensors)", arena_off.qps, arena_off.p50,
+              arena_off.p95, arena_off.p99, arena_off.heap_nodes_per_req,
+              arena_off.arena_nodes_per_req);
+  std::printf("%-28s %10.0f %9.0f %9.0f %9.0f  heap/req %7.1f  arena/req "
+              "%7.1f\n",
+              "  arena on  (workspace)", arena_on.qps, arena_on.p50,
+              arena_on.p95, arena_on.p99, arena_on.heap_nodes_per_req,
+              arena_on.arena_nodes_per_req);
+  std::printf("arena speedup: %.2fx qps (p95 %.0fus -> %.0fus); steady-state "
+              "heap tensor allocs/request: %.1f -> %.1f, workspace hwm %llu "
+              "KiB over %llu resets\n",
+              arena_on.qps / arena_off.qps, arena_off.p95, arena_on.p95,
+              arena_off.heap_nodes_per_req, arena_on.heap_nodes_per_req,
+              static_cast<unsigned long long>(arena_on.arena_hwm_bytes / 1024),
+              static_cast<unsigned long long>(arena_on.arena_resets));
   return 0;
 }

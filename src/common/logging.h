@@ -34,4 +34,17 @@ void SetLogLevel(int level);
     }                                                                     \
   } while (0)
 
+/// Debug-only invariant check for hot-path accessors (bounds, defined()):
+/// compiled out when NDEBUG is defined. Note the default Release build of
+/// this repo overrides CMAKE_CXX_FLAGS_RELEASE without -DNDEBUG, so these
+/// stay active there and in the Debug CI job; the sanitizer CI builds use
+/// RelWithDebInfo, which defines NDEBUG and compiles them away.
+#ifdef NDEBUG
+#define MTMLF_DCHECK(cond, msg) \
+  do {                          \
+  } while (0)
+#else
+#define MTMLF_DCHECK(cond, msg) MTMLF_CHECK(cond, msg)
+#endif
+
 #endif  // MTMLF_COMMON_LOGGING_H_

@@ -20,6 +20,17 @@ namespace mtmlf::featurize {
 /// memoized and non-memoized encodings are bit-identical.
 struct PlanEncodingCache {
   std::unordered_map<int, Featurizer::TableEncoding> table_enc;
+
+  /// Re-points every cached encoding at a heap-backed deep copy
+  /// (Tensor::Detach). Required before a cache outlives the inference
+  /// Workspace whose arena produced its entries — after DetachAll the
+  /// entries survive Workspace::Reset().
+  void DetachAll() {
+    for (auto& [table, enc] : table_enc) {
+      enc.repr = enc.repr.Detach();
+      enc.log_card = enc.log_card.Detach();
+    }
+  }
 };
 
 /// The paper's serializer (F.iii): converts the tree-structured plan P

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <optional>
 #include <unordered_map>
 
 #include "common/logging.h"
 #include "model/joeu.h"
+#include "tensor/workspace.h"
 
 namespace mtmlf::model {
 
@@ -68,6 +70,11 @@ Tensor BuildJoMemory(const Query& q, const Tensor& shared,
 
 MtmlfQo::Forward MtmlfQo::Run(int db_index, const Query& q,
                               const PlanNode& plan) const {
+  // Arena escape audit (no-op without an active workspace): this call may
+  // leave exactly its four Forward tensors alive in the arena; anything
+  // beyond that is a module caching an inference tensor that would dangle
+  // at the next Workspace::Reset().
+  tensor::WorkspaceAudit audit(/*max_escaping=*/4);
   Forward fwd;
   Tensor inputs =
       plan_encoders_[db_index]->EncodePlan(q, plan, &fwd.nodes);
@@ -82,6 +89,9 @@ MtmlfQo::Forward MtmlfQo::Run(int db_index, const Query& q,
 std::vector<MtmlfQo::Forward> MtmlfQo::RunBatch(
     int db_index, std::span<const PlanRef> plans) const {
   const int batch = static_cast<int>(plans.size());
+  // Four Forward tensors per plan may escape into the arena; the fused
+  // Enc_i caches and padding built below must all die inside this call.
+  tensor::WorkspaceAudit audit(/*max_escaping=*/4 * static_cast<int64_t>(batch));
   std::vector<Forward> out(plans.size());
   if (batch == 0) return out;
   const featurize::PlanEncoder& encoder = *plan_encoders_[db_index];
@@ -299,6 +309,16 @@ Result<std::vector<int>> MtmlfQo::PredictJoinOrder(
   tensor::NoGradGuard guard;
   if (lq.query.tables.size() == 1) {
     return std::vector<int>{lq.query.tables[0]};
+  }
+  // Beam search plus re-ranking builds hundreds of short-lived tensors;
+  // give the whole call a private arena when the caller has none active
+  // (the serve workers bring their own long-lived one). Everything created
+  // below dies before the arena does — the result is plain ints.
+  std::optional<tensor::Workspace> local_arena;
+  std::optional<tensor::WorkspaceScope> scope;
+  if (tensor::Workspace::Current() == nullptr) {
+    local_arena.emplace();
+    scope.emplace(&*local_arena);
   }
   Forward fwd = Run(db_index, lq.query, *lq.plan);
   auto adjacency = lq.query.AdjacencyMatrix();

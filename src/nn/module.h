@@ -20,6 +20,15 @@ using NamedParam = std::pair<std::string, tensor::Tensor>;
 /// meta-learning code can freeze/copy module groups (the paper's (F) vs.
 /// (S)/(T) split), and the serving checkpointer can save/load them by
 /// name.
+///
+/// Arena contract (tensor/workspace.h): a module owns only the parameter
+/// tensors it constructed — Forward()/ForwardBatched() must be pure
+/// functions of their inputs that retain NO intermediate or output tensor
+/// in a member. Under serving, forwards run inside a per-worker Workspace
+/// whose memory is recycled after every request; a module that cached a
+/// forward-pass tensor would hold a dangling arena pointer (the workspace
+/// live-node audit aborts on this). Anything that must legitimately
+/// outlive the request goes through Tensor::Detach().
 class Module {
  public:
   virtual ~Module() = default;

@@ -320,6 +320,10 @@ void EncodeHealthResponse(const HealthInfo& info, std::string* out) {
   AppendRaw<uint64_t>(out, info.degraded);
   AppendRaw<uint8_t>(out, info.breaker_state);
   AppendRaw<uint64_t>(out, info.breaker_trips);
+  AppendRaw<uint64_t>(out, info.arena_bytes_reserved);
+  AppendRaw<uint64_t>(out, info.arena_high_water);
+  AppendRaw<uint64_t>(out, info.arena_resets);
+  AppendRaw<uint64_t>(out, info.arena_heap_fallbacks);
 }
 
 Result<HealthInfo> DecodeHealthResponse(const std::string& payload) {
@@ -341,6 +345,10 @@ Result<HealthInfo> DecodeHealthResponse(const std::string& payload) {
       !ReadRaw(payload, &offset, &info.degraded) ||
       !ReadRaw(payload, &offset, &info.breaker_state) ||
       !ReadRaw(payload, &offset, &info.breaker_trips) ||
+      !ReadRaw(payload, &offset, &info.arena_bytes_reserved) ||
+      !ReadRaw(payload, &offset, &info.arena_high_water) ||
+      !ReadRaw(payload, &offset, &info.arena_resets) ||
+      !ReadRaw(payload, &offset, &info.arena_heap_fallbacks) ||
       offset != payload.size()) {
     return Malformed("health response");
   }

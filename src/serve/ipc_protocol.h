@@ -34,9 +34,11 @@ namespace mtmlf::serve {
 inline constexpr uint8_t kIpcMagic[4] = {'M', 'F', 'I', 'P'};
 /// v2: infer requests carry a relative deadline_ms after db_index; infer
 /// responses carry a degraded flag; health responses grew overload and
-/// breaker fields. v1 peers are rejected at the header (versions are not
-/// negotiated — both ends ship in one artifact).
-inline constexpr uint8_t kIpcProtocolVersion = 2;
+/// breaker fields. v3: health responses grew the worker-arena stats
+/// (bytes reserved, high-water mark, resets, heap fallbacks). v1/v2 peers
+/// are rejected at the header (versions are not negotiated — both ends
+/// ship in one artifact).
+inline constexpr uint8_t kIpcProtocolVersion = 3;
 inline constexpr size_t kFrameHeaderBytes = 20;
 /// Default cap on payload_bytes; oversized frames fail the request.
 inline constexpr size_t kDefaultMaxFrameBytes = 1u << 20;
@@ -115,6 +117,13 @@ struct HealthInfo {
   /// 2 half-open); 0 when the server runs without a breaker.
   uint8_t breaker_state = 0;
   uint64_t breaker_trips = 0;
+  // Worker inference-arena stats (v3): reserved/high-water are the max
+  // over workers, resets/fallbacks sum over them. All zero when the
+  // server runs with Options::worker_workspace off.
+  uint64_t arena_bytes_reserved = 0;
+  uint64_t arena_high_water = 0;
+  uint64_t arena_resets = 0;
+  uint64_t arena_heap_fallbacks = 0;
 };
 
 void EncodeHealthResponse(const HealthInfo& info, std::string* out);

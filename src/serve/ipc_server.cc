@@ -311,6 +311,10 @@ std::string SocketFrontEnd::HealthPayload() const {
     info.breaker_state = static_cast<uint8_t>(b->state());
     info.breaker_trips = b->trips();
   }
+  info.arena_bytes_reserved = m.arena_bytes_reserved();
+  info.arena_high_water = m.arena_high_water();
+  info.arena_resets = m.arena_resets();
+  info.arena_heap_fallbacks = m.arena_heap_fallbacks();
   std::string payload;
   EncodeHealthResponse(info, &payload);
   return payload;

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <vector>
 
+#include "tensor/workspace.h"
+
 namespace mtmlf::serve {
 
 int LatencyHistogram::BucketOf(uint64_t micros) {
@@ -88,12 +90,12 @@ double ServerMetrics::MeanFusedGroupSize() const {
 }
 
 std::string ServerMetrics::Summary() const {
-  char buf[448];
+  char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "reqs=%llu p50=%.0fus p95=%.0fus p99=%.0fus mean=%.0fus "
                 "hit-rate=%.2f batch=%.2f fused=%llu/%.2f errors=%llu "
                 "depth=%llu shed=%llu rejected=%llu expired=%llu "
-                "degraded=%llu",
+                "degraded=%llu arena[resets=%llu hwm=%llu fallbacks=%llu]",
                 static_cast<unsigned long long>(requests()),
                 latency_.PercentileUs(0.50), latency_.PercentileUs(0.95),
                 latency_.PercentileUs(0.99), latency_.MeanUs(),
@@ -105,8 +107,40 @@ std::string ServerMetrics::Summary() const {
                 static_cast<unsigned long long>(shed()),
                 static_cast<unsigned long long>(rejected()),
                 static_cast<unsigned long long>(expired()),
-                static_cast<unsigned long long>(degraded()));
+                static_cast<unsigned long long>(degraded()),
+                static_cast<unsigned long long>(arena_resets()),
+                static_cast<unsigned long long>(arena_high_water()),
+                static_cast<unsigned long long>(arena_heap_fallbacks()));
   return buf;
+}
+
+MetricsSnapshot ServerMetrics::Snapshot() const {
+  MetricsSnapshot s;
+  s.requests = requests();
+  s.errors = errors();
+  s.cache_hits = cache_hits();
+  s.cache_misses = cache_misses();
+  s.fused_forwards = fused_forwards();
+  s.fused_requests = fused_requests();
+  s.rejected = rejected();
+  s.shed = shed();
+  s.expired = expired();
+  s.degraded = degraded();
+  s.queue_depth = queue_depth();
+  s.p50_us = latency_.PercentileUs(0.50);
+  s.p95_us = latency_.PercentileUs(0.95);
+  s.p99_us = latency_.PercentileUs(0.99);
+  s.arena_resets = arena_resets();
+  s.arena_bytes_reserved = arena_bytes_reserved();
+  s.arena_high_water = arena_high_water();
+  s.arena_heap_fallbacks = arena_heap_fallbacks();
+  tensor::AllocCountersSnapshot t = tensor::ReadAllocCounters();
+  s.tensor_ops = t.ops;
+  s.tensor_heap_nodes = t.heap_nodes;
+  s.tensor_arena_nodes = t.arena_nodes;
+  s.tensor_heap_bytes = t.heap_bytes;
+  s.tensor_arena_bytes = t.arena_bytes;
+  return s;
 }
 
 void ServerMetrics::Reset() {
@@ -124,6 +158,10 @@ void ServerMetrics::Reset() {
   expired_.store(0, std::memory_order_relaxed);
   degraded_.store(0, std::memory_order_relaxed);
   queue_depth_.store(0, std::memory_order_relaxed);
+  arena_resets_.store(0, std::memory_order_relaxed);
+  arena_bytes_reserved_.store(0, std::memory_order_relaxed);
+  arena_high_water_.store(0, std::memory_order_relaxed);
+  arena_heap_fallbacks_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace mtmlf::serve

@@ -8,6 +8,40 @@
 
 namespace mtmlf::serve {
 
+/// Plain-value snapshot of a ServerMetrics plus the process-global tensor
+/// allocation counters (tensor/workspace.h). This is the surface benches
+/// and operators use to verify the inference arena is actually on: in
+/// steady state tensor_heap_nodes stops moving while tensor_arena_nodes
+/// tracks request volume.
+struct MetricsSnapshot {
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t fused_forwards = 0;
+  uint64_t fused_requests = 0;
+  uint64_t rejected = 0;
+  uint64_t shed = 0;
+  uint64_t expired = 0;
+  uint64_t degraded = 0;
+  uint64_t queue_depth = 0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  // Worker arena gauges: resets/fallbacks sum over workers, reserved and
+  // high-water are the max over workers.
+  uint64_t arena_resets = 0;
+  uint64_t arena_bytes_reserved = 0;
+  uint64_t arena_high_water = 0;
+  uint64_t arena_heap_fallbacks = 0;
+  // Process-global tensor allocation counters (all threads, since start).
+  uint64_t tensor_ops = 0;
+  uint64_t tensor_heap_nodes = 0;
+  uint64_t tensor_arena_nodes = 0;
+  uint64_t tensor_heap_bytes = 0;
+  uint64_t tensor_arena_bytes = 0;
+};
+
 /// Lock-free latency histogram with logarithmic buckets: 64 octaves
 /// (power-of-two ranges of microseconds), each split into 16 linear
 /// sub-buckets, giving <= ~6% relative quantile error across the full
@@ -79,6 +113,19 @@ class ServerMetrics {
   void SetQueueDepth(size_t depth) {
     queue_depth_.store(depth, std::memory_order_relaxed);
   }
+  /// One worker finished a batch and Reset() its inference arena: bump the
+  /// reset count and fold the worker's size gauges in (max over workers —
+  /// every worker arena converges to the largest batch it has seen).
+  void RecordArenaReset(uint64_t ws_bytes_reserved, uint64_t ws_high_water) {
+    arena_resets_.fetch_add(1, std::memory_order_relaxed);
+    MaxRelaxed(&arena_bytes_reserved_, ws_bytes_reserved);
+    MaxRelaxed(&arena_high_water_, ws_high_water);
+  }
+  /// Tensors that took the heap while a worker arena was active (delta
+  /// since the worker's last report): each one dodged the fast path.
+  void AddArenaHeapFallbacks(uint64_t n) {
+    if (n != 0) arena_heap_fallbacks_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   const LatencyHistogram& latency() const { return latency_; }
   uint64_t requests() const {
@@ -111,6 +158,18 @@ class ServerMetrics {
   uint64_t queue_depth() const {
     return queue_depth_.load(std::memory_order_relaxed);
   }
+  uint64_t arena_resets() const {
+    return arena_resets_.load(std::memory_order_relaxed);
+  }
+  uint64_t arena_bytes_reserved() const {
+    return arena_bytes_reserved_.load(std::memory_order_relaxed);
+  }
+  uint64_t arena_high_water() const {
+    return arena_high_water_.load(std::memory_order_relaxed);
+  }
+  uint64_t arena_heap_fallbacks() const {
+    return arena_heap_fallbacks_.load(std::memory_order_relaxed);
+  }
   /// Mean requests per fused forward pass (GEMM amortization factor).
   double MeanFusedGroupSize() const;
   double CacheHitRate() const;
@@ -121,9 +180,21 @@ class ServerMetrics {
   /// "reqs=... p50=...us p95=...us p99=...us hit-rate=... batch=..."
   std::string Summary() const;
 
+  /// Plain-value snapshot of all counters, including the process-global
+  /// tensor allocation counters. Relaxed reads: a snapshot taken while
+  /// serving threads write is approximate, not torn.
+  MetricsSnapshot Snapshot() const;
+
   void Reset();
 
  private:
+  static void MaxRelaxed(std::atomic<uint64_t>* target, uint64_t value) {
+    uint64_t cur = target->load(std::memory_order_relaxed);
+    while (cur < value && !target->compare_exchange_weak(
+                              cur, value, std::memory_order_relaxed)) {
+    }
+  }
+
   LatencyHistogram latency_;
   std::atomic<uint64_t> requests_{0};
   std::atomic<uint64_t> batches_{0};
@@ -138,6 +209,10 @@ class ServerMetrics {
   std::atomic<uint64_t> expired_{0};
   std::atomic<uint64_t> degraded_{0};
   std::atomic<uint64_t> queue_depth_{0};
+  std::atomic<uint64_t> arena_resets_{0};
+  std::atomic<uint64_t> arena_bytes_reserved_{0};
+  std::atomic<uint64_t> arena_high_water_{0};
+  std::atomic<uint64_t> arena_heap_fallbacks_{0};
 };
 
 }  // namespace mtmlf::serve

@@ -8,6 +8,7 @@
 #include "optimizer/baseline_card_est.h"
 #include "serve/faults.h"
 #include "tensor/tensor.h"
+#include "tensor/workspace.h"
 
 namespace mtmlf::serve {
 
@@ -141,6 +142,16 @@ std::future<Result<InferencePrediction>> InferenceServer::Submit(
 }
 
 void InferenceServer::WorkerLoop() {
+  // Long-lived per-worker inference arena: every tensor a batch's forward
+  // passes create lands here, and Reset() after the batch rewinds the bump
+  // pointer while keeping the memory — so in steady state the worker loop
+  // performs zero heap tensor allocations per request. All tensors die
+  // inside ProcessBatch (only plain doubles leave through the promises),
+  // which the Reset() live-node check enforces.
+  tensor::Workspace workspace;
+  std::optional<tensor::WorkspaceScope> arena;
+  if (options_.worker_workspace) arena.emplace(&workspace);
+  uint64_t reported_fallbacks = 0;
   for (;;) {
     std::vector<Pending> batch;
     {
@@ -176,6 +187,14 @@ void InferenceServer::WorkerLoop() {
     // passes below.
     cv_.notify_one();
     ProcessBatch(&batch);
+    if (options_.worker_workspace) {
+      workspace.Reset();
+      metrics_.RecordArenaReset(workspace.bytes_reserved(),
+                                workspace.high_water());
+      metrics_.AddArenaHeapFallbacks(workspace.heap_fallbacks() -
+                                     reported_fallbacks);
+      reported_fallbacks = workspace.heap_fallbacks();
+    }
   }
 }
 

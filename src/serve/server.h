@@ -102,6 +102,13 @@ class InferenceServer {
     /// Fused and scalar predictions are bit-identical, so this is purely a
     /// throughput knob.
     bool batched_forward = true;
+    /// Give each worker thread a long-lived tensor::Workspace: every
+    /// forward pass in a batch places its tensors in the worker's arena,
+    /// which is Reset() (bump pointer rewound, memory kept) after the
+    /// batch. In steady state the worker loop does zero heap tensor
+    /// allocations per request. Predictions are bit-identical with the
+    /// arena on or off — only memory placement changes.
+    bool worker_workspace = true;
     /// Bounded admission queue: Submit() beyond this depth triggers
     /// `overload_policy` instead of growing the queue without limit. The
     /// optimizer's hot path must never stall behind an unbounded backlog.

@@ -1,0 +1,65 @@
+#ifndef MTMLF_TENSOR_STORAGE_H_
+#define MTMLF_TENSOR_STORAGE_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace mtmlf::tensor {
+
+class Workspace;
+
+/// The data buffer of a tensor, decoupled from the autograd graph node that
+/// owns it. A Storage is either heap-owned (a std::vector<float>, the
+/// training default) or arena-backed (a raw span inside a Workspace, the
+/// inference fast path). Ops address elements through the same vector-like
+/// interface either way, so kernel code is oblivious to the placement.
+///
+/// Arena-backed storage does NOT own its bytes: it stays valid only until
+/// the owning Workspace is Reset() or destroyed. The tensor layer enforces
+/// this with a live-node count (see Workspace); Tensor::Detach() is the
+/// escape hatch that copies an arena tensor back to the heap.
+class Storage {
+ public:
+  Storage() = default;
+
+  // Arena-backed storages alias workspace memory; copying one would let the
+  // copy dangle past the original's audit, so Storage is move-only.
+  Storage(const Storage&) = delete;
+  Storage& operator=(const Storage&) = delete;
+  Storage(Storage&&) = default;
+  Storage& operator=(Storage&&) = default;
+
+  /// Allocates `n` zeroed floats: in `ws` when non-null, on the heap
+  /// otherwise. Defined in workspace.cc (needs the Workspace definition).
+  void Allocate(size_t n, Workspace* ws);
+
+  /// Takes ownership of an existing heap vector without copying.
+  void Adopt(std::vector<float> values) {
+    heap_ = std::move(values);
+    ptr_ = heap_.data();
+    size_ = heap_.size();
+    arena_ = false;
+  }
+
+  bool arena_backed() const { return arena_; }
+
+  size_t size() const { return size_; }
+  float* data() { return ptr_; }
+  const float* data() const { return ptr_; }
+  float& operator[](size_t i) { return ptr_[i]; }
+  const float& operator[](size_t i) const { return ptr_[i]; }
+  float* begin() { return ptr_; }
+  float* end() { return ptr_ + size_; }
+  const float* begin() const { return ptr_; }
+  const float* end() const { return ptr_ + size_; }
+
+ private:
+  float* ptr_ = nullptr;
+  size_t size_ = 0;
+  bool arena_ = false;
+  std::vector<float> heap_;  // empty when arena-backed
+};
+
+}  // namespace mtmlf::tensor
+
+#endif  // MTMLF_TENSOR_STORAGE_H_

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "tensor/workspace.h"
 
 namespace mtmlf::tensor {
 
@@ -13,28 +14,91 @@ namespace {
 
 using Impl = Tensor::Impl;
 
-std::shared_ptr<Impl> MakeImpl(int rows, int cols) {
-  auto impl = std::make_shared<Impl>();
-  impl->rows = rows;
-  impl->cols = cols;
-  impl->data.assign(static_cast<size_t>(rows) * cols, 0.0f);
-  return impl;
-}
-
 // Thread-local so concurrent inference threads (serve/server.cc) can each
 // hold their own NoGradGuard without racing.
 thread_local bool g_no_grad = false;
 
+// The arena a new tensor should land in: only inference-mode tensors
+// (no-grad, not a parameter) with a workspace active on this thread are
+// arena-eligible; everything else -- the whole training path -- takes the
+// heap exactly as before.
+Workspace* ActiveArena(bool requires_grad) {
+  if (!g_no_grad || requires_grad) return nullptr;
+  return Workspace::Current();
+}
+
+std::shared_ptr<Impl> MakeHeapImpl(int rows, int cols) {
+  const size_t n = static_cast<size_t>(rows) * cols;
+  auto impl = std::make_shared<Impl>();
+  impl->rows = rows;
+  impl->cols = cols;
+  impl->data.Allocate(n, nullptr);
+  auto& c = internal::GlobalAllocCounters();
+  c.heap_nodes.fetch_add(1, std::memory_order_relaxed);
+  c.heap_bytes.fetch_add(n * sizeof(float), std::memory_order_relaxed);
+  return impl;
+}
+
+std::shared_ptr<Impl> MakeArenaImpl(int rows, int cols, Workspace* ws) {
+  const size_t n = static_cast<size_t>(rows) * cols;
+  // allocate_shared puts the shared_ptr control block and the Impl in the
+  // arena alongside the data, so one op costs zero heap allocations.
+  auto impl = std::allocate_shared<Impl>(ArenaAllocator<Impl>(ws));
+  impl->rows = rows;
+  impl->cols = cols;
+  impl->data.Allocate(n, ws);
+  auto& c = internal::GlobalAllocCounters();
+  c.arena_nodes.fetch_add(1, std::memory_order_relaxed);
+  c.arena_bytes.fetch_add(n * sizeof(float), std::memory_order_relaxed);
+  return impl;
+}
+
+std::shared_ptr<Impl> MakeImpl(int rows, int cols, bool force_heap = false) {
+  Workspace* ws = ActiveArena(force_heap);
+  if (ws != nullptr) return MakeArenaImpl(rows, cols, ws);
+  if (force_heap && g_no_grad) {
+    // A tensor dodged the arena on the inference path (e.g. requires_grad
+    // storage requested under NoGradGuard) -- count it so the serve
+    // metrics can flag the leak in the fast path.
+    if (Workspace* active = Workspace::Current()) active->NoteHeapFallback();
+  }
+  return MakeHeapImpl(rows, cols);
+}
+
 // Creates the result node of an op, wiring parents and requires_grad.
-// Under NoGradGuard the node is detached (no parents, no grad).
+// Under NoGradGuard the node is detached (no parents, no grad) and the
+// parents list is never materialized -- with an active Workspace this path
+// performs no heap allocation at all.
 std::shared_ptr<Impl> MakeResult(int rows, int cols,
-                                 std::vector<std::shared_ptr<Impl>> parents) {
+                                 std::initializer_list<const Tensor*> parents) {
+  internal::GlobalAllocCounters().ops.fetch_add(1, std::memory_order_relaxed);
   auto impl = MakeImpl(rows, cols);
   if (g_no_grad) return impl;
-  for (const auto& p : parents) {
+  std::vector<std::shared_ptr<Impl>> ps;
+  ps.reserve(parents.size());
+  for (const Tensor* t : parents) {
+    auto p = t->impl();
     if (p->requires_grad) impl->requires_grad = true;
+    ps.push_back(std::move(p));
   }
-  impl->parents = std::move(parents);
+  impl->parents = std::move(ps);
+  return impl;
+}
+
+// Variant for ops with a dynamic parent list (ConcatRows/ConcatCols).
+std::shared_ptr<Impl> MakeResult(int rows, int cols,
+                                 const std::vector<Tensor>& parents) {
+  internal::GlobalAllocCounters().ops.fetch_add(1, std::memory_order_relaxed);
+  auto impl = MakeImpl(rows, cols);
+  if (g_no_grad) return impl;
+  std::vector<std::shared_ptr<Impl>> ps;
+  ps.reserve(parents.size());
+  for (const Tensor& t : parents) {
+    auto p = t.impl();
+    if (p->requires_grad) impl->requires_grad = true;
+    ps.push_back(std::move(p));
+  }
+  impl->parents = std::move(ps);
   return impl;
 }
 
@@ -49,13 +113,13 @@ bool RowBroadcastable(const Impl& a, const Impl& b) {
 }  // namespace
 
 Tensor Tensor::Zeros(int rows, int cols, bool requires_grad) {
-  auto impl = MakeImpl(rows, cols);
+  auto impl = MakeImpl(rows, cols, /*force_heap=*/requires_grad);
   impl->requires_grad = requires_grad;
   return Tensor(std::move(impl));
 }
 
 Tensor Tensor::Full(int rows, int cols, float value, bool requires_grad) {
-  auto impl = MakeImpl(rows, cols);
+  auto impl = MakeImpl(rows, cols, /*force_heap=*/requires_grad);
   std::fill(impl->data.begin(), impl->data.end(), value);
   impl->requires_grad = requires_grad;
   return Tensor(std::move(impl));
@@ -65,11 +129,24 @@ Tensor Tensor::FromVector(int rows, int cols, std::vector<float> values,
                           bool requires_grad) {
   MTMLF_CHECK(values.size() == static_cast<size_t>(rows) * cols,
               "FromVector: size mismatch");
+  if (Workspace* ws = ActiveArena(requires_grad)) {
+    // Copy into the arena instead of adopting the caller's vector: the
+    // tensor layer then attributes zero heap traffic to the inference
+    // path, and the caller's buffer (usually a reused scratch vector)
+    // stays with the caller.
+    auto impl = MakeArenaImpl(rows, cols, ws);
+    std::copy(values.begin(), values.end(), impl->data.begin());
+    return Tensor(std::move(impl));
+  }
   auto impl = std::make_shared<Impl>();
   impl->rows = rows;
   impl->cols = cols;
-  impl->data = std::move(values);
+  impl->data.Adopt(std::move(values));
   impl->requires_grad = requires_grad;
+  auto& c = internal::GlobalAllocCounters();
+  c.heap_nodes.fetch_add(1, std::memory_order_relaxed);
+  c.heap_bytes.fetch_add(impl->data.size() * sizeof(float),
+                         std::memory_order_relaxed);
   return Tensor(std::move(impl));
 }
 
@@ -79,11 +156,18 @@ Tensor Tensor::Scalar(float value) {
 
 Tensor Tensor::Randn(int rows, int cols, float stddev, Rng* rng,
                      bool requires_grad) {
-  auto impl = MakeImpl(rows, cols);
+  auto impl = MakeImpl(rows, cols, /*force_heap=*/requires_grad);
   for (auto& v : impl->data) {
     v = static_cast<float>(rng->Normal(0.0, stddev));
   }
   impl->requires_grad = requires_grad;
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Detach() const {
+  MTMLF_CHECK(impl_ != nullptr, "Detach on undefined tensor");
+  auto impl = MakeHeapImpl(impl_->rows, impl_->cols);
+  std::copy(impl_->data.begin(), impl_->data.end(), impl->data.begin());
   return Tensor(std::move(impl));
 }
 
@@ -146,7 +230,7 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, BinOpKind kind) {
     MTMLF_CHECK(RowBroadcastable(ai, bi),
                 "BinaryOp: shapes incompatible (need equal or (1, cols))");
   }
-  auto out = MakeResult(ai.rows, ai.cols, {a.impl(), b.impl()});
+  auto out = MakeResult(ai.rows, ai.cols, {&a, &b});
   const size_t n = out->data.size();
   const size_t bc = static_cast<size_t>(bi.cols);
   for (size_t i = 0; i < n; ++i) {
@@ -207,7 +291,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const auto& ai = *a.impl();
   const auto& bi = *b.impl();
   MTMLF_CHECK(ai.cols == bi.rows, "MatMul: inner dimensions differ");
-  auto out = MakeResult(ai.rows, bi.cols, {a.impl(), b.impl()});
+  auto out = MakeResult(ai.rows, bi.cols, {&a, &b});
   const int m = ai.rows, k = ai.cols, n = bi.cols;
   // i-k-j loop order for streaming access to b and out.
   for (int i = 0; i < m; ++i) {
@@ -248,7 +332,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 
 Tensor Transpose(const Tensor& a) {
   const auto& ai = *a.impl();
-  auto out = MakeResult(ai.cols, ai.rows, {a.impl()});
+  auto out = MakeResult(ai.cols, ai.rows, {&a});
   for (int i = 0; i < ai.rows; ++i) {
     for (int j = 0; j < ai.cols; ++j) {
       out->data[static_cast<size_t>(j) * ai.rows + i] =
@@ -277,7 +361,7 @@ namespace {
 template <typename Fwd, typename Bwd>
 Tensor UnaryOp(const Tensor& a, Fwd fwd, Bwd bwd_from_in_out) {
   const auto& ai = *a.impl();
-  auto out = MakeResult(ai.rows, ai.cols, {a.impl()});
+  auto out = MakeResult(ai.rows, ai.cols, {&a});
   const size_t n = out->data.size();
   for (size_t i = 0; i < n; ++i) out->data[i] = fwd(ai.data[i]);
   if (out->requires_grad) {
@@ -351,7 +435,7 @@ Tensor SoftmaxRows(const Tensor& a, const std::vector<float>* additive_mask) {
     MTMLF_CHECK(additive_mask->size() == ai.data.size(),
                 "SoftmaxRows: mask size mismatch");
   }
-  auto out = MakeResult(ai.rows, ai.cols, {a.impl()});
+  auto out = MakeResult(ai.rows, ai.cols, {&a});
   const int rows = ai.rows, cols = ai.cols;
   for (int r = 0; r < rows; ++r) {
     const float* in = &ai.data[static_cast<size_t>(r) * cols];
@@ -389,7 +473,7 @@ Tensor SoftmaxRows(const Tensor& a, const std::vector<float>* additive_mask) {
 
 Tensor SumAll(const Tensor& a) {
   const auto& ai = *a.impl();
-  auto out = MakeResult(1, 1, {a.impl()});
+  auto out = MakeResult(1, 1, {&a});
   float acc = 0.0f;
   for (float v : ai.data) acc += v;
   out->data[0] = acc;
@@ -410,7 +494,7 @@ Tensor MeanAll(const Tensor& a) {
 
 Tensor MeanRows(const Tensor& a) {
   const auto& ai = *a.impl();
-  auto out = MakeResult(1, ai.cols, {a.impl()});
+  auto out = MakeResult(1, ai.cols, {&a});
   const int rows = ai.rows, cols = ai.cols;
   float inv = 1.0f / static_cast<float>(rows);
   for (int r = 0; r < rows; ++r) {
@@ -435,13 +519,11 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
   MTMLF_CHECK(!parts.empty(), "ConcatRows: empty input");
   int cols = parts[0].cols();
   int rows = 0;
-  std::vector<std::shared_ptr<Impl>> parents;
   for (const auto& p : parts) {
     MTMLF_CHECK(p.cols() == cols, "ConcatRows: column mismatch");
     rows += p.rows();
-    parents.push_back(p.impl());
   }
-  auto out = MakeResult(rows, cols, std::move(parents));
+  auto out = MakeResult(rows, cols, parts);
   size_t offset = 0;
   for (const auto& p : parts) {
     std::copy(p.data(), p.data() + p.size(), out->data.begin() + offset);
@@ -464,13 +546,11 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
   MTMLF_CHECK(!parts.empty(), "ConcatCols: empty input");
   int rows = parts[0].rows();
   int cols = 0;
-  std::vector<std::shared_ptr<Impl>> parents;
   for (const auto& p : parts) {
     MTMLF_CHECK(p.rows() == rows, "ConcatCols: row mismatch");
     cols += p.cols();
-    parents.push_back(p.impl());
   }
-  auto out = MakeResult(rows, cols, std::move(parents));
+  auto out = MakeResult(rows, cols, parts);
   int col_off = 0;
   for (const auto& p : parts) {
     for (int r = 0; r < rows; ++r) {
@@ -501,7 +581,7 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
 Tensor SliceRows(const Tensor& a, int start, int len) {
   const auto& ai = *a.impl();
   MTMLF_CHECK(start >= 0 && start + len <= ai.rows, "SliceRows: out of range");
-  auto out = MakeResult(len, ai.cols, {a.impl()});
+  auto out = MakeResult(len, ai.cols, {&a});
   std::copy(ai.data.begin() + static_cast<size_t>(start) * ai.cols,
             ai.data.begin() + static_cast<size_t>(start + len) * ai.cols,
             out->data.begin());
@@ -520,7 +600,7 @@ Tensor SliceRows(const Tensor& a, int start, int len) {
 Tensor SliceCols(const Tensor& a, int start, int len) {
   const auto& ai = *a.impl();
   MTMLF_CHECK(start >= 0 && start + len <= ai.cols, "SliceCols: out of range");
-  auto out = MakeResult(ai.rows, len, {a.impl()});
+  auto out = MakeResult(ai.rows, len, {&a});
   for (int r = 0; r < ai.rows; ++r) {
     std::copy(ai.data.begin() + static_cast<size_t>(r) * ai.cols + start,
               ai.data.begin() + static_cast<size_t>(r) * ai.cols + start + len,
@@ -544,7 +624,7 @@ Tensor SliceCols(const Tensor& a, int start, int len) {
 Tensor EmbedRows(const Tensor& table, const std::vector<int>& ids) {
   const auto& ti = *table.impl();
   auto out =
-      MakeResult(static_cast<int>(ids.size()), ti.cols, {table.impl()});
+      MakeResult(static_cast<int>(ids.size()), ti.cols, {&table});
   for (size_t r = 0; r < ids.size(); ++r) {
     MTMLF_CHECK(ids[r] >= 0 && ids[r] < ti.rows, "EmbedRows: id out of range");
     std::copy(ti.data.begin() + static_cast<size_t>(ids[r]) * ti.cols,
@@ -574,11 +654,15 @@ Tensor LayerNormRows(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   MTMLF_CHECK(beta.rows() == 1 && beta.cols() == xi.cols,
               "LayerNormRows: beta shape");
   auto out =
-      MakeResult(xi.rows, xi.cols, {x.impl(), gamma.impl(), beta.impl()});
+      MakeResult(xi.rows, xi.cols, {&x, &gamma, &beta});
   const int rows = xi.rows, cols = xi.cols;
-  // Cache per-row mean and inverse stddev for backward.
-  auto stats = std::make_shared<std::vector<float>>(
-      static_cast<size_t>(rows) * 2);
+  // Cache per-row mean and inverse stddev for backward; training only, so
+  // the inference path allocates nothing here.
+  std::shared_ptr<std::vector<float>> stats;
+  if (out->requires_grad) {
+    stats =
+        std::make_shared<std::vector<float>>(static_cast<size_t>(rows) * 2);
+  }
   const auto& gi = *gamma.impl();
   const auto& bi = *beta.impl();
   for (int r = 0; r < rows; ++r) {
@@ -594,8 +678,10 @@ Tensor LayerNormRows(const Tensor& x, const Tensor& gamma, const Tensor& beta,
     }
     var /= static_cast<float>(cols);
     float inv_std = 1.0f / std::sqrt(var + eps);
-    (*stats)[static_cast<size_t>(r) * 2] = mean;
-    (*stats)[static_cast<size_t>(r) * 2 + 1] = inv_std;
+    if (stats) {
+      (*stats)[static_cast<size_t>(r) * 2] = mean;
+      (*stats)[static_cast<size_t>(r) * 2 + 1] = inv_std;
+    }
     for (int c = 0; c < cols; ++c) {
       float xhat = (in[c] - mean) * inv_std;
       o[c] = xhat * gi.data[c] + bi.data[c];
@@ -640,7 +726,7 @@ Tensor CrossEntropyWithLogits(const Tensor& logits,
   const auto& li = *logits.impl();
   MTMLF_CHECK(targets.size() == static_cast<size_t>(li.rows),
               "CrossEntropyWithLogits: one target per row required");
-  auto out = MakeResult(1, 1, {logits.impl()});
+  auto out = MakeResult(1, 1, {&logits});
   const int rows = li.rows, cols = li.cols;
   // Cache row softmax for backward.
   auto probs = std::make_shared<std::vector<float>>(li.data.size());
@@ -721,7 +807,7 @@ Tensor BatchedMatMul(const Tensor& a, const Tensor& b, int batch) {
   const int m = ai.rows / batch, k = ai.cols;
   const int n = bi.cols;
   MTMLF_CHECK(bi.rows / batch == k, "BatchedMatMul: inner dimensions differ");
-  auto out = MakeResult(batch * m, n, {a.impl(), b.impl()});
+  auto out = MakeResult(batch * m, n, {&a, &b});
   for (int bb = 0; bb < batch; ++bb) {
     MatMulAccumulate(&ai.data[static_cast<size_t>(bb) * m * k],
                      &bi.data[static_cast<size_t>(bb) * k * n],
@@ -766,7 +852,7 @@ Tensor BatchedTranspose(const Tensor& a, int batch) {
   MTMLF_CHECK(batch >= 1 && ai.rows % batch == 0,
               "BatchedTranspose: rows not divisible by batch");
   const int r = ai.rows / batch, c = ai.cols;
-  auto out = MakeResult(batch * c, r, {a.impl()});
+  auto out = MakeResult(batch * c, r, {&a});
   for (int bb = 0; bb < batch; ++bb) {
     const float* in = &ai.data[static_cast<size_t>(bb) * r * c];
     float* o = &out->data[static_cast<size_t>(bb) * r * c];
@@ -806,7 +892,7 @@ Tensor MaskedSoftmaxRows(const Tensor& a, int batch,
   for (int vc : valid_cols) {
     MTMLF_CHECK(vc >= 0 && vc <= cols, "MaskedSoftmaxRows: valid_cols range");
   }
-  auto out = MakeResult(rows, cols, {a.impl()});
+  auto out = MakeResult(rows, cols, {&a});
   for (int r = 0; r < rows; ++r) {
     const int vc = valid_cols[r / rows_per_batch];
     if (vc == 0) continue;  // fully masked row stays all-zero
@@ -862,9 +948,13 @@ Tensor MaskedLayerNormRows(const Tensor& x, const Tensor& gamma,
                 "MaskedLayerNormRows: valid_rows range");
   }
   auto out =
-      MakeResult(rows, cols, {x.impl(), gamma.impl(), beta.impl()});
-  auto stats = std::make_shared<std::vector<float>>(
-      static_cast<size_t>(rows) * 2);
+      MakeResult(rows, cols, {&x, &gamma, &beta});
+  // Backward-only cache, skipped entirely on the inference path.
+  std::shared_ptr<std::vector<float>> stats;
+  if (out->requires_grad) {
+    stats =
+        std::make_shared<std::vector<float>>(static_cast<size_t>(rows) * 2);
+  }
   const auto& gi = *gamma.impl();
   const auto& bi = *beta.impl();
   for (int r = 0; r < rows; ++r) {
@@ -881,8 +971,10 @@ Tensor MaskedLayerNormRows(const Tensor& x, const Tensor& gamma,
     }
     var /= static_cast<float>(cols);
     float inv_std = 1.0f / std::sqrt(var + eps);
-    (*stats)[static_cast<size_t>(r) * 2] = mean;
-    (*stats)[static_cast<size_t>(r) * 2 + 1] = inv_std;
+    if (stats) {
+      (*stats)[static_cast<size_t>(r) * 2] = mean;
+      (*stats)[static_cast<size_t>(r) * 2 + 1] = inv_std;
+    }
     for (int c = 0; c < cols; ++c) {
       float xhat = (in[c] - mean) * inv_std;
       o[c] = xhat * gi.data[c] + bi.data[c];

@@ -7,7 +7,9 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/rng.h"
+#include "tensor/storage.h"
 
 namespace mtmlf::tensor {
 
@@ -18,6 +20,11 @@ namespace mtmlf::tensor {
 /// Shapes are (rows, cols). Sequences use (seq_len, d_model); scalars are
 /// (1, 1). Handles are cheap shared references to a graph node; the graph
 /// for one forward pass is freed when the last handle goes out of scope.
+///
+/// Storage is decoupled from the graph node (see tensor/storage.h): under
+/// NoGradGuard with an active Workspace (tensor/workspace.h), ops place
+/// both the node and its data in a bump-pointer arena — the serving fast
+/// path. Everywhere else storage is heap-owned exactly as before.
 ///
 /// Training is single-threaded by design (the evaluation machine has one
 /// core) and individual handles must not be shared between writers.
@@ -30,7 +37,7 @@ class Tensor {
   struct Impl {
     int rows = 0;
     int cols = 0;
-    std::vector<float> data;
+    Storage data;
     std::vector<float> grad;  // lazily sized in Backward()
     bool requires_grad = false;
     std::vector<std::shared_ptr<Impl>> parents;
@@ -59,10 +66,34 @@ class Tensor {
   int rows() const { return impl_->rows; }
   int cols() const { return impl_->cols; }
   size_t size() const { return impl_->data.size(); }
-  float* data() { return impl_->data.data(); }
-  const float* data() const { return impl_->data.data(); }
-  float at(int r, int c) const { return impl_->data[r * impl_->cols + c]; }
+  float* data() {
+    MTMLF_DCHECK(impl_ != nullptr, "Tensor::data() on undefined tensor");
+    return impl_->data.data();
+  }
+  const float* data() const {
+    MTMLF_DCHECK(impl_ != nullptr, "Tensor::data() on undefined tensor");
+    return impl_->data.data();
+  }
+  float at(int r, int c) const {
+    MTMLF_DCHECK(impl_ != nullptr, "Tensor::at() on undefined tensor");
+    MTMLF_DCHECK(r >= 0 && r < impl_->rows && c >= 0 && c < impl_->cols,
+                 "Tensor::at(): index out of bounds");
+    return impl_->data[static_cast<size_t>(r) * impl_->cols + c];
+  }
   bool requires_grad() const { return impl_->requires_grad; }
+
+  /// True when the data buffer lives in a Workspace arena (inference-mode
+  /// tensor created under an active workspace) rather than on the heap.
+  bool arena_backed() const {
+    return impl_ != nullptr && impl_->data.arena_backed();
+  }
+
+  /// Deep-copies the values into a fresh heap-backed leaf tensor (no
+  /// parents, no grad). This is the escape hatch for persisting an
+  /// arena-backed tensor past its request: anything cached across
+  /// Workspace::Reset() (e.g. PlanEncodingCache entries) must be detached
+  /// or the arena audit aborts.
+  Tensor Detach() const;
 
   /// Gradient buffer; valid after Backward() has touched this node.
   std::vector<float>& grad() { return impl_->grad; }
@@ -70,7 +101,11 @@ class Tensor {
   void ZeroGrad() { impl_->grad.assign(impl_->data.size(), 0.0f); }
 
   /// Value of a (1,1) tensor.
-  float item() const { return impl_->data[0]; }
+  float item() const {
+    MTMLF_DCHECK(impl_ != nullptr, "Tensor::item() on undefined tensor");
+    MTMLF_DCHECK(impl_->data.size() == 1, "Tensor::item() requires (1,1)");
+    return impl_->data[0];
+  }
 
   /// Runs reverse-mode autodiff from this scalar node. Accumulates into
   /// .grad() of every reachable node with requires_grad (and of every

@@ -1,0 +1,138 @@
+#include "tensor/workspace.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "tensor/storage.h"
+
+namespace mtmlf::tensor {
+
+namespace internal {
+
+AllocCounters& GlobalAllocCounters() {
+  static AllocCounters counters;
+  return counters;
+}
+
+}  // namespace internal
+
+AllocCountersSnapshot ReadAllocCounters() {
+  auto& c = internal::GlobalAllocCounters();
+  AllocCountersSnapshot s;
+  s.ops = c.ops.load(std::memory_order_relaxed);
+  s.heap_nodes = c.heap_nodes.load(std::memory_order_relaxed);
+  s.arena_nodes = c.arena_nodes.load(std::memory_order_relaxed);
+  s.heap_bytes = c.heap_bytes.load(std::memory_order_relaxed);
+  s.arena_bytes = c.arena_bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+namespace {
+
+thread_local Workspace* g_current_workspace = nullptr;
+
+size_t RoundUp(size_t v, size_t align) {
+  return (v + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+Workspace::Workspace(size_t initial_bytes) {
+  if (initial_bytes > 0) AddChunk(initial_bytes);
+}
+
+Workspace::~Workspace() {
+  MTMLF_CHECK(live_ == 0,
+              "Workspace destroyed with live arena tensors -- a module "
+              "retained an inference tensor past its request; use "
+              "Tensor::Detach() to persist it to the heap");
+}
+
+void Workspace::AddChunk(size_t capacity) {
+  Chunk c;
+  c.mem = std::make_unique<std::byte[]>(capacity);
+  c.capacity = capacity;
+  chunks_.push_back(std::move(c));
+  reserved_ += capacity;
+}
+
+void* Workspace::Allocate(size_t bytes, size_t align) {
+  Chunk* c = chunks_.empty() ? nullptr : &chunks_.back();
+  size_t aligned = c ? RoundUp(c->used, align) : 0;
+  if (c == nullptr || aligned + bytes > c->capacity) {
+    // Geometric growth: each new chunk at least doubles total capacity, so
+    // a workspace reaches its steady-state size in O(log) growths.
+    AddChunk(std::max(reserved_, bytes + align));
+    c = &chunks_.back();
+    aligned = 0;
+  }
+  void* p = c->mem.get() + aligned;
+  in_use_ += (aligned - c->used) + bytes;
+  c->used = aligned + bytes;
+  high_water_ = std::max(high_water_, in_use_);
+  return p;
+}
+
+float* Workspace::AllocateFloats(size_t n) {
+  if (n == 0) return nullptr;
+  auto* p =
+      static_cast<float*>(Allocate(n * sizeof(float), alignof(float)));
+  std::memset(p, 0, n * sizeof(float));
+  return p;
+}
+
+void Workspace::Reset() {
+  MTMLF_CHECK(live_ == 0,
+              "Workspace::Reset with live arena tensors -- a module "
+              "retained an inference tensor past its request; use "
+              "Tensor::Detach() to persist it to the heap");
+  if (chunks_.size() > 1) {
+    // The last request outgrew the arena: replace the chunk list with one
+    // chunk of the combined capacity so the next request fits without
+    // growing again.
+    size_t total = reserved_;
+    chunks_.clear();
+    reserved_ = 0;
+    AddChunk(total);
+  } else if (!chunks_.empty()) {
+    chunks_.back().used = 0;
+  }
+  in_use_ = 0;
+  ++resets_;
+}
+
+Workspace* Workspace::Current() { return g_current_workspace; }
+
+WorkspaceScope::WorkspaceScope(Workspace* ws) : previous_(g_current_workspace) {
+  g_current_workspace = ws;
+}
+
+WorkspaceScope::~WorkspaceScope() { g_current_workspace = previous_; }
+
+WorkspaceAudit::WorkspaceAudit(int64_t max_escaping)
+    : ws_(Workspace::Current()),
+      entry_live_(ws_ ? ws_->live_nodes() : 0),
+      max_escaping_(max_escaping) {}
+
+WorkspaceAudit::~WorkspaceAudit() {
+  if (ws_ == nullptr) return;
+  MTMLF_CHECK(ws_->live_nodes() <= entry_live_ + max_escaping_,
+              "WorkspaceAudit: more arena tensors escaped an inference call "
+              "than it returns -- some module retained one; use "
+              "Tensor::Detach() for anything cached past the request");
+}
+
+void Storage::Allocate(size_t n, Workspace* ws) {
+  size_ = n;
+  if (ws != nullptr) {
+    ptr_ = ws->AllocateFloats(n);
+    arena_ = true;
+  } else {
+    heap_.assign(n, 0.0f);
+    ptr_ = heap_.data();
+    arena_ = false;
+  }
+}
+
+}  // namespace mtmlf::tensor

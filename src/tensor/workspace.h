@@ -1,0 +1,194 @@
+#ifndef MTMLF_TENSOR_WORKSPACE_H_
+#define MTMLF_TENSOR_WORKSPACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace mtmlf::tensor {
+
+// ---------------------------------------------------------------------------
+// Global allocation counters. Every tensor node the process creates is
+// tallied here (relaxed atomics: counters are statistics, never
+// synchronization). serve::ServerMetrics::Snapshot and the benches read
+// them to prove the arena path does zero heap tensor traffic.
+// ---------------------------------------------------------------------------
+
+struct AllocCountersSnapshot {
+  uint64_t ops = 0;          // op result nodes created (MakeResult calls)
+  uint64_t heap_nodes = 0;   // tensor nodes whose storage went to the heap
+  uint64_t arena_nodes = 0;  // tensor nodes placed in a Workspace arena
+  uint64_t heap_bytes = 0;   // data bytes requested from the heap
+  uint64_t arena_bytes = 0;  // data bytes requested from arenas
+};
+
+/// Reads a consistent-enough (relaxed) snapshot of the global counters.
+AllocCountersSnapshot ReadAllocCounters();
+
+namespace internal {
+
+struct AllocCounters {
+  std::atomic<uint64_t> ops{0};
+  std::atomic<uint64_t> heap_nodes{0};
+  std::atomic<uint64_t> arena_nodes{0};
+  std::atomic<uint64_t> heap_bytes{0};
+  std::atomic<uint64_t> arena_bytes{0};
+};
+
+AllocCounters& GlobalAllocCounters();
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Workspace: a bump-pointer arena for inference-mode tensors.
+// ---------------------------------------------------------------------------
+
+/// A bump-pointer arena that backs every tensor an op creates while the
+/// workspace is active on the current thread (via WorkspaceScope) AND
+/// NoGradGuard is on. Both the data buffer and the graph node's shared_ptr
+/// control block land in the arena, so the steady-state inference loop does
+/// zero per-op heap traffic; Reset() between requests reuses the same
+/// memory. Chunks grow geometrically and Reset() coalesces them, so after
+/// warmup a workspace is a single chunk sized to the largest request seen.
+///
+/// A workspace is owned by exactly one thread (a serve worker, a bench
+/// loop); it is not thread-safe and arena tensors must not cross threads.
+/// Training is unaffected: with grad enabled (or no active workspace) every
+/// allocation takes the heap path, byte for byte as before.
+///
+/// Lifetime is enforced, not hoped for: the workspace counts live arena
+/// nodes and Reset()/the destructor abort if any tensor created in the
+/// arena still exists — an escaped tensor would dangle. Persist a tensor
+/// past the request with Tensor::Detach(), which deep-copies to the heap.
+class Workspace {
+ public:
+  static constexpr size_t kDefaultInitialBytes = 64 * 1024;
+
+  explicit Workspace(size_t initial_bytes = kDefaultInitialBytes);
+  ~Workspace();
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  /// Bump-allocates `bytes` with the given alignment, growing by a new
+  /// geometrically larger chunk when the current one is exhausted.
+  void* Allocate(size_t bytes, size_t align);
+
+  /// Allocates `n` zeroed floats (the Storage fast path).
+  float* AllocateFloats(size_t n);
+
+  /// Rewinds the arena to empty for reuse by the next request. Aborts if
+  /// any arena tensor is still alive (see class comment). If the last
+  /// request spilled into multiple chunks, they are coalesced into one
+  /// chunk of the combined capacity so the next request bump-allocates
+  /// without growing again.
+  void Reset();
+
+  /// Total bytes of chunk capacity currently reserved from the heap.
+  size_t bytes_reserved() const { return reserved_; }
+  /// Bytes handed out since the last Reset().
+  size_t bytes_in_use() const { return in_use_; }
+  /// Maximum bytes_in_use() ever observed (across Resets).
+  size_t high_water() const { return high_water_; }
+  /// Number of Reset() calls (≈ requests served from this arena).
+  uint64_t resets() const { return resets_; }
+  /// Heap allocations taken while this workspace was active and no-grad
+  /// was on (e.g. a requires_grad tensor forced to the heap): each one is
+  /// a tensor that dodged the arena on the hot path.
+  uint64_t heap_fallbacks() const { return heap_fallbacks_; }
+  /// Live tensor nodes currently placed in this arena.
+  int64_t live_nodes() const { return live_; }
+
+  // Bookkeeping hooks for the tensor layer (ArenaAllocator / MakeImpl).
+  void NoteNodeCreated() { ++live_; }
+  void NoteNodeDestroyed() { --live_; }
+  void NoteHeapFallback() { ++heap_fallbacks_; }
+
+  /// The workspace active on the current thread, or nullptr.
+  static Workspace* Current();
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> mem;
+    size_t capacity = 0;
+    size_t used = 0;
+  };
+
+  void AddChunk(size_t capacity);
+
+  std::vector<Chunk> chunks_;
+  size_t reserved_ = 0;
+  size_t in_use_ = 0;
+  size_t high_water_ = 0;
+  uint64_t resets_ = 0;
+  uint64_t heap_fallbacks_ = 0;
+  int64_t live_ = 0;
+};
+
+/// RAII activation of a workspace on the current thread. Scopes nest: the
+/// previously active workspace (if any) is restored on exit.
+class WorkspaceScope {
+ public:
+  explicit WorkspaceScope(Workspace* ws);
+  ~WorkspaceScope();
+  WorkspaceScope(const WorkspaceScope&) = delete;
+  WorkspaceScope& operator=(const WorkspaceScope&) = delete;
+
+ private:
+  Workspace* previous_;
+};
+
+/// Escape audit for one inference call frame. Records the active
+/// workspace's live-node count on entry; on exit asserts that at most
+/// `max_escaping` additional arena nodes survived the frame — the tensors
+/// the call intentionally returns (e.g. the four Forward outputs of
+/// MtmlfQo::Run). Anything beyond that is a module caching an arena tensor,
+/// which would dangle at the next Reset(). No-op when no workspace is
+/// active.
+class WorkspaceAudit {
+ public:
+  explicit WorkspaceAudit(int64_t max_escaping);
+  ~WorkspaceAudit();
+  WorkspaceAudit(const WorkspaceAudit&) = delete;
+  WorkspaceAudit& operator=(const WorkspaceAudit&) = delete;
+
+ private:
+  Workspace* ws_;
+  int64_t entry_live_;
+  int64_t max_escaping_;
+};
+
+/// Minimal std allocator that places allocations (shared_ptr control block
+/// + Impl, via std::allocate_shared) in a Workspace and keeps the arena's
+/// live-node count. deallocate() only decrements the count — arena memory
+/// is reclaimed wholesale by Reset().
+template <typename T>
+struct ArenaAllocator {
+  using value_type = T;
+
+  explicit ArenaAllocator(Workspace* w) : ws(w) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : ws(other.ws) {}
+
+  T* allocate(size_t n) {
+    ws->NoteNodeCreated();
+    return static_cast<T*>(ws->Allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T*, size_t) noexcept { ws->NoteNodeDestroyed(); }
+
+  template <typename U>
+  bool operator==(const ArenaAllocator<U>& other) const {
+    return ws == other.ws;
+  }
+  template <typename U>
+  bool operator!=(const ArenaAllocator<U>& other) const {
+    return ws != other.ws;
+  }
+
+  Workspace* ws;
+};
+
+}  // namespace mtmlf::tensor
+
+#endif  // MTMLF_TENSOR_WORKSPACE_H_

@@ -11,6 +11,7 @@
 #include "model/mtmlf_qo.h"
 #include "optimizer/join_order.h"
 #include "model/trans_jo.h"
+#include "tensor/workspace.h"
 #include "workload/dataset.h"
 
 namespace mtmlf::model {
@@ -316,6 +317,52 @@ TEST(MtmlfQoTest, RunBatchMatchesScalarRunBitForBit) {
       EXPECT_EQ(env.model->NodeCostPredictions(fwds[i])[0],
                 env.model->NodeCostPredictions(want)[0]);
     }
+  }
+}
+
+TEST(MtmlfQoTest, ArenaRunMatchesHeapRunBitForBit) {
+  // The inference arena changes where tensors live, never what they hold:
+  // Run and RunBatch must produce byte-for-byte identical outputs with a
+  // workspace active vs. plain heap allocation.
+  QoEnv& env = GetQoEnv();
+  tensor::NoGradGuard guard;
+  const auto& queries = env.dataset.queries;
+  for (int B : {1, 2, 7, 16}) {
+    std::vector<MtmlfQo::PlanRef> refs;
+    for (int i = 0; i < B; ++i) {
+      const auto& lq = queries[i % queries.size()];
+      refs.push_back({&lq.query, &*lq.plan});
+    }
+    std::vector<MtmlfQo::Forward> heap_fwds = env.model->RunBatch(env.dbi, refs);
+    ASSERT_EQ(heap_fwds.size(), static_cast<size_t>(B));
+
+    tensor::Workspace ws;
+    {
+      tensor::WorkspaceScope scope(&ws);
+      std::vector<MtmlfQo::Forward> arena_fwds =
+          env.model->RunBatch(env.dbi, refs);
+      ASSERT_EQ(arena_fwds.size(), static_cast<size_t>(B));
+      ASSERT_TRUE(arena_fwds[0].shared.arena_backed()) << "B=" << B;
+      for (int i = 0; i < B; ++i) {
+        ExpectTensorBitEq(arena_fwds[i].shared, heap_fwds[i].shared, "shared",
+                          i);
+        ExpectTensorBitEq(arena_fwds[i].log_card, heap_fwds[i].log_card,
+                          "log_card", i);
+        ExpectTensorBitEq(arena_fwds[i].log_cost, heap_fwds[i].log_cost,
+                          "log_cost", i);
+        ExpectTensorBitEq(arena_fwds[i].jo_memory, heap_fwds[i].jo_memory,
+                          "jo_memory", i);
+      }
+      // The scalar path too, with the workspace already warm.
+      MtmlfQo::Forward arena_single =
+          env.model->Run(env.dbi, *refs[0].query, *refs[0].plan);
+      ExpectTensorBitEq(arena_single.shared, heap_fwds[0].shared,
+                        "single/shared", 0);
+      ExpectTensorBitEq(arena_single.log_card, heap_fwds[0].log_card,
+                        "single/log_card", 0);
+    }
+    ws.Reset();  // all request tensors died with the scope block
+    EXPECT_GT(ws.high_water(), 0u) << "B=" << B;
   }
 }
 

@@ -408,6 +408,10 @@ TEST(IpcProtocolTest, HealthResponseRoundTrip) {
   info.degraded = 90;
   info.breaker_state = 2;  // half-open
   info.breaker_trips = 4;
+  info.arena_bytes_reserved = 1 << 20;
+  info.arena_high_water = 700 * 1024;
+  info.arena_resets = 4321;
+  info.arena_heap_fallbacks = 7;
   std::string payload;
   EncodeHealthResponse(info, &payload);
   auto r = DecodeHealthResponse(payload);
@@ -424,6 +428,10 @@ TEST(IpcProtocolTest, HealthResponseRoundTrip) {
   EXPECT_EQ(r.value().degraded, 90u);
   EXPECT_EQ(r.value().breaker_state, 2);
   EXPECT_EQ(r.value().breaker_trips, 4u);
+  EXPECT_EQ(r.value().arena_bytes_reserved, static_cast<uint64_t>(1 << 20));
+  EXPECT_EQ(r.value().arena_high_water, 700u * 1024u);
+  EXPECT_EQ(r.value().arena_resets, 4321u);
+  EXPECT_EQ(r.value().arena_heap_fallbacks, 7u);
   EXPECT_FALSE(DecodeHealthResponse(payload.substr(1)).ok());
 }
 

@@ -24,6 +24,7 @@
 #include "serve/metrics.h"
 #include "serve/registry.h"
 #include "serve/server.h"
+#include "tensor/workspace.h"
 #include "workload/dataset.h"
 
 namespace mtmlf::serve {
@@ -912,6 +913,57 @@ TEST(InferenceServerTest, SiblingDrainedQueueDoesNotRecordEmptyBatches) {
   EXPECT_GE(metrics.MeanBatchSize(), 6.0)
       << "batches=" << metrics.batches()
       << " requests=" << metrics.requests();
+}
+
+TEST(InferenceServerTest, SteadyStateServingMakesNoHeapTensorAllocations) {
+  Env& env = GetEnv();
+  ModelRegistry registry;
+  std::shared_ptr<const model::MtmlfQo> m = MakeModel(33);
+  ASSERT_TRUE(registry.Register(1, m).ok());
+  ASSERT_TRUE(registry.Publish(1).ok());
+
+  InferenceServer::Options opts;
+  opts.num_workers = 1;       // one worker == one arena, deterministic counts
+  opts.enable_cache = false;  // every request must take the forward path
+  InferenceServer server(&registry, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto wave = [&](int bursts) {
+    for (int it = 0; it < bursts; ++it) {
+      std::vector<std::future<Result<InferencePrediction>>> futures;
+      for (int i = 0; i < 8; ++i) {
+        const auto& lq =
+            env.dataset.queries[i % env.dataset.queries.size()];
+        futures.push_back(server.Submit({0, &lq.query, lq.plan.get()}));
+      }
+      for (auto& f : futures) {
+        auto r = f.get();
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+      }
+    }
+  };
+
+  wave(4);  // warmup: grows the worker arena to its steady-state footprint
+  tensor::AllocCountersSnapshot before = tensor::ReadAllocCounters();
+  wave(8);  // steady state — the measured stretch
+  tensor::AllocCountersSnapshot after = tensor::ReadAllocCounters();
+
+  // Across the measured traffic every tensor the forward pass made lived
+  // in the worker arena: zero tensor nodes or payload bytes from the heap.
+  EXPECT_EQ(after.heap_nodes, before.heap_nodes);
+  EXPECT_EQ(after.heap_bytes, before.heap_bytes);
+  EXPECT_GT(after.arena_nodes, before.arena_nodes);
+  EXPECT_GT(after.ops, before.ops);
+
+  server.Shutdown();
+
+  MetricsSnapshot snap = server.metrics().Snapshot();
+  EXPECT_GT(snap.arena_resets, 0u);  // worker resets after every batch
+  EXPECT_GT(snap.arena_bytes_reserved, 0u);
+  EXPECT_GT(snap.arena_high_water, 0u);
+  EXPECT_LE(snap.arena_high_water, snap.arena_bytes_reserved);
+  EXPECT_EQ(snap.arena_heap_fallbacks, 0u);  // nothing asked for grad
+  EXPECT_GE(snap.tensor_arena_nodes, after.arena_nodes - before.arena_nodes);
 }
 
 }  // namespace

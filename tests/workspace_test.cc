@@ -1,0 +1,323 @@
+#include "tensor/workspace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "featurize/plan_encoder.h"
+#include "nn/transformer.h"
+#include "tensor/tensor.h"
+
+namespace mtmlf::tensor {
+namespace {
+
+// Bytes of two same-shaped tensors compare equal.
+void ExpectBitEq(const Tensor& got, const Tensor& want) {
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  EXPECT_EQ(std::memcmp(got.data(), want.data(), got.size() * sizeof(float)),
+            0);
+}
+
+TEST(WorkspaceTest, BumpAllocationAndStats) {
+  Workspace ws(/*initial_bytes=*/256);
+  EXPECT_EQ(ws.bytes_reserved(), 256u);
+  EXPECT_EQ(ws.bytes_in_use(), 0u);
+
+  float* a = ws.AllocateFloats(16);  // 64 bytes
+  ASSERT_NE(a, nullptr);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a[i], 0.0f);  // zeroed
+  EXPECT_EQ(ws.bytes_in_use(), 64u);
+
+  float* b = ws.AllocateFloats(16);
+  EXPECT_EQ(b, a + 16);  // bump-pointer: contiguous
+  EXPECT_EQ(ws.bytes_in_use(), 128u);
+  EXPECT_EQ(ws.high_water(), 128u);
+}
+
+TEST(WorkspaceTest, GeometricGrowthAndResetCoalescing) {
+  Workspace ws(/*initial_bytes=*/128);
+  ws.AllocateFloats(16);   // 64 bytes, fits
+  ws.AllocateFloats(100);  // 400 bytes: forces a second, larger chunk
+  size_t reserved_after_growth = ws.bytes_reserved();
+  EXPECT_GE(reserved_after_growth, 128u + 400u);
+
+  ws.Reset();
+  EXPECT_EQ(ws.resets(), 1u);
+  EXPECT_EQ(ws.bytes_in_use(), 0u);
+  // Coalesced: same total capacity, but now one chunk, so the allocation
+  // pattern that previously grew fits without growing again.
+  EXPECT_EQ(ws.bytes_reserved(), reserved_after_growth);
+  ws.AllocateFloats(16);
+  ws.AllocateFloats(100);
+  EXPECT_EQ(ws.bytes_reserved(), reserved_after_growth);
+  // High-water mark survives Reset.
+  EXPECT_GE(ws.high_water(), 464u);
+}
+
+TEST(WorkspaceTest, ResetReusesTheSameMemory) {
+  Workspace ws;
+  float* first = ws.AllocateFloats(32);
+  ws.Reset();
+  float* second = ws.AllocateFloats(32);
+  EXPECT_EQ(first, second);
+}
+
+TEST(WorkspaceTest, OpsUnderNoGradAndScopeAreArenaBacked) {
+  Tensor a = Tensor::FromVector(2, 2, {1, 2, 3, 4});
+  Tensor b = Tensor::FromVector(2, 2, {5, 6, 7, 8});
+  Workspace ws;
+  NoGradGuard guard;
+  AllocCountersSnapshot before = ReadAllocCounters();
+  {
+    WorkspaceScope scope(&ws);
+    Tensor c = Add(a, b);
+    EXPECT_TRUE(c.arena_backed());
+    EXPECT_EQ(ws.live_nodes(), 1);
+    AllocCountersSnapshot after = ReadAllocCounters();
+    EXPECT_EQ(after.arena_nodes, before.arena_nodes + 1);
+    EXPECT_EQ(after.arena_bytes, before.arena_bytes + 4 * sizeof(float));
+    EXPECT_EQ(after.heap_nodes, before.heap_nodes);
+    EXPECT_EQ(after.ops, before.ops + 1);
+  }
+  EXPECT_EQ(ws.live_nodes(), 0);
+  ws.Reset();  // must not abort: everything died in scope
+}
+
+TEST(WorkspaceTest, NoWorkspaceMeansHeapEvenUnderNoGrad) {
+  Tensor a = Tensor::FromVector(1, 2, {1, 2});
+  NoGradGuard guard;
+  Tensor c = Add(a, a);
+  EXPECT_FALSE(c.arena_backed());
+}
+
+TEST(WorkspaceTest, GradModeIgnoresActiveWorkspace) {
+  // Training path: even with a workspace active, grad-tracking ops build
+  // heap tensors with parents, and backward works as always.
+  Workspace ws;
+  WorkspaceScope scope(&ws);
+  Tensor a = Tensor::FromVector(1, 2, {3, 4}, /*requires_grad=*/true);
+  Tensor loss = SumAll(Mul(a, a));
+  EXPECT_FALSE(loss.arena_backed());
+  loss.Backward();
+  EXPECT_FLOAT_EQ(a.grad()[0], 6.0f);
+  EXPECT_FLOAT_EQ(a.grad()[1], 8.0f);
+  EXPECT_EQ(ws.live_nodes(), 0);
+}
+
+TEST(WorkspaceTest, RequiresGradTensorUnderScopeIsHeapFallback) {
+  Workspace ws;
+  NoGradGuard guard;
+  WorkspaceScope scope(&ws);
+  Tensor p = Tensor::Zeros(2, 2, /*requires_grad=*/true);
+  EXPECT_FALSE(p.arena_backed());
+  EXPECT_EQ(ws.heap_fallbacks(), 1u);
+  EXPECT_EQ(ws.live_nodes(), 0);
+}
+
+TEST(WorkspaceTest, FromVectorCopiesIntoArena) {
+  Workspace ws;
+  NoGradGuard guard;
+  WorkspaceScope scope(&ws);
+  {
+    Tensor t = Tensor::FromVector(2, 2, {1, 2, 3, 4});
+    EXPECT_TRUE(t.arena_backed());
+    EXPECT_FLOAT_EQ(t.at(1, 1), 4.0f);
+  }
+  ws.Reset();
+}
+
+TEST(WorkspaceTest, ScopesNestAndRestore) {
+  Workspace outer, inner;
+  EXPECT_EQ(Workspace::Current(), nullptr);
+  {
+    WorkspaceScope s1(&outer);
+    EXPECT_EQ(Workspace::Current(), &outer);
+    {
+      WorkspaceScope s2(&inner);
+      EXPECT_EQ(Workspace::Current(), &inner);
+    }
+    EXPECT_EQ(Workspace::Current(), &outer);
+  }
+  EXPECT_EQ(Workspace::Current(), nullptr);
+}
+
+TEST(WorkspaceTest, OpChainBitIdenticalArenaVsHeap) {
+  // The arena changes memory placement only — every kernel must produce
+  // byte-for-byte the same values either way.
+  Rng rng(7);
+  Tensor x = Tensor::Randn(6, 8, 1.0f, &rng);
+  Tensor w = Tensor::Randn(8, 8, 0.5f, &rng);
+  Tensor gamma = Tensor::Full(1, 8, 1.0f);
+  Tensor beta = Tensor::Zeros(1, 8);
+
+  auto run_chain = [&]() {
+    Tensor h = Relu(MatMul(x, w));
+    h = LayerNormRows(h, gamma, beta);
+    h = SoftmaxRows(h);
+    h = ConcatRows({SliceRows(h, 0, 3), SliceRows(h, 3, 3)});
+    Tensor bt = BatchedTranspose(h, /*batch=*/2);
+    return ConcatCols({h, BatchedMatMul(h, bt, /*batch=*/2)});
+  };
+
+  NoGradGuard guard;
+  Tensor heap_out = run_chain();
+  ASSERT_FALSE(heap_out.arena_backed());
+
+  Workspace ws;
+  {
+    WorkspaceScope scope(&ws);
+    Tensor arena_out = run_chain();
+    ASSERT_TRUE(arena_out.arena_backed());
+    ExpectBitEq(arena_out, heap_out);
+  }
+  ws.Reset();
+}
+
+TEST(WorkspaceTest, TransformerForwardBitIdenticalArenaVsHeap) {
+  Rng rng(11);
+  nn::TransformerEncoder enc(2, 32, 4, 64, &rng);
+  Tensor x = Tensor::Randn(5, 32, 1.0f, &rng);
+
+  NoGradGuard guard;
+  Tensor heap_out = enc.Forward(x);
+
+  Workspace ws;
+  {
+    WorkspaceScope scope(&ws);
+    Tensor arena_out = enc.Forward(x);
+    ASSERT_TRUE(arena_out.arena_backed());
+    ExpectBitEq(arena_out, heap_out);
+  }
+  ws.Reset();
+  EXPECT_GT(ws.high_water(), 0u);
+}
+
+TEST(WorkspaceTest, DetachSurvivesReset) {
+  Workspace ws;
+  NoGradGuard guard;
+  Tensor detached;
+  {
+    WorkspaceScope scope(&ws);
+    Tensor t = Tensor::FromVector(1, 3, {1.5f, 2.5f, 3.5f});
+    ASSERT_TRUE(t.arena_backed());
+    detached = t.Detach();
+    EXPECT_FALSE(detached.arena_backed());
+  }
+  ws.Reset();
+  // A fresh request scribbles over the recycled arena; the detached copy
+  // must be unaffected.
+  {
+    WorkspaceScope scope(&ws);
+    Tensor clobber = Tensor::Full(1, 3, -9.0f);
+    (void)clobber;
+  }
+  EXPECT_FLOAT_EQ(detached.at(0, 0), 1.5f);
+  EXPECT_FLOAT_EQ(detached.at(0, 1), 2.5f);
+  EXPECT_FLOAT_EQ(detached.at(0, 2), 3.5f);
+}
+
+TEST(WorkspaceTest, PlanEncodingCacheDetachAllSurvivesReset) {
+  // The serve-layer pattern: Enc_i encodings computed in an arena must be
+  // DetachAll()ed before the cache outlives the request.
+  Workspace ws;
+  NoGradGuard guard;
+  featurize::PlanEncodingCache cache;
+  {
+    WorkspaceScope scope(&ws);
+    featurize::Featurizer::TableEncoding enc;
+    enc.repr = Tensor::FromVector(1, 4, {1, 2, 3, 4});
+    enc.log_card = Tensor::Scalar(5.0f);
+    ASSERT_TRUE(enc.repr.arena_backed());
+    cache.table_enc.emplace(0, std::move(enc));
+    cache.DetachAll();
+  }
+  ws.Reset();
+  const auto& enc = cache.table_enc.at(0);
+  EXPECT_FALSE(enc.repr.arena_backed());
+  EXPECT_FLOAT_EQ(enc.repr.at(0, 3), 4.0f);
+  EXPECT_FLOAT_EQ(enc.log_card.item(), 5.0f);
+}
+
+// ---------------------------------------------------------------------------
+// Lifetime enforcement. These MTMLF_CHECKs stay on in every build type.
+// ---------------------------------------------------------------------------
+
+TEST(WorkspaceDeathTest, ResetWithLiveArenaTensorAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Tensor a = Tensor::FromVector(1, 2, {1, 2});
+  Workspace ws;
+  {
+    NoGradGuard guard;
+    WorkspaceScope scope(&ws);
+    Tensor leaked = Add(a, a);
+    EXPECT_DEATH(ws.Reset(), "live arena tensors");
+  }
+  ws.Reset();  // fine once the tensor is gone
+}
+
+TEST(WorkspaceDeathTest, AuditCatchesEscapingTensor) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Tensor a = Tensor::FromVector(1, 2, {1, 2});
+  NoGradGuard guard;
+  EXPECT_DEATH(
+      {
+        Workspace ws;
+        WorkspaceScope scope(&ws);
+        Tensor kept;
+        {
+          WorkspaceAudit audit(/*max_escaping=*/0);
+          kept = Add(a, a);  // escapes the audited frame
+        }
+      },
+      "escaped");
+}
+
+TEST(WorkspaceDeathTest, AuditAllowsDeclaredEscapes) {
+  Tensor a = Tensor::FromVector(1, 2, {1, 2});
+  NoGradGuard guard;
+  Workspace ws;
+  {
+    WorkspaceScope scope(&ws);
+    Tensor kept;
+    {
+      WorkspaceAudit audit(/*max_escaping=*/1);
+      kept = Add(a, a);
+    }
+  }
+  ws.Reset();
+}
+
+// ---------------------------------------------------------------------------
+// Debug-build accessor checks (satellite: at()/data()/item() misuse fails
+// loudly instead of reading out of bounds). Compiled out under NDEBUG.
+// ---------------------------------------------------------------------------
+
+#ifndef NDEBUG
+TEST(TensorDebugCheckDeathTest, AtOutOfBoundsAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Tensor t = Tensor::Zeros(2, 3);
+  EXPECT_DEATH((void)t.at(2, 0), "out of bounds");
+  EXPECT_DEATH((void)t.at(0, 3), "out of bounds");
+  EXPECT_DEATH((void)t.at(-1, 0), "out of bounds");
+}
+
+TEST(TensorDebugCheckDeathTest, UndefinedTensorAccessAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Tensor undefined;
+  EXPECT_DEATH((void)undefined.data(), "undefined tensor");
+  EXPECT_DEATH((void)undefined.at(0, 0), "undefined tensor");
+  EXPECT_DEATH((void)undefined.item(), "undefined tensor");
+}
+
+TEST(TensorDebugCheckDeathTest, ItemOnNonScalarAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Tensor t = Tensor::Zeros(2, 2);
+  EXPECT_DEATH((void)t.item(), "requires");
+}
+#endif  // NDEBUG
+
+}  // namespace
+}  // namespace mtmlf::tensor

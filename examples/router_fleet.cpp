@@ -1,0 +1,368 @@
+// Replicated serving tier, end to end: one router process in front of a
+// three-replica fleet, each replica its own OS process. One binary, four
+// processes:
+//
+//   parent (router + driver)           3x replica (fork + exec)
+//   ------------------------           ------------------------
+//   build workload from fixed seeds    rebuild the same db/workload
+//   save v1 + v2 MTCP checkpoints      load the v1 checkpoint
+//   RouterFrontEnd on a Unix socket    registry + InferenceServer +
+//     -> 3 replica sockets               SocketFrontEnd with control
+//   drive traffic via IpcClient          hooks (kLoadCheckpoint reads
+//                                        the checkpoint off disk)
+//
+// Three phases, each a hard check:
+//   1. fleet answers == single in-process server, bit for bit;
+//   2. rolling rollout v1 -> v2 under continuous traffic: never fewer
+//      than 2 replicas serving, zero failed requests, fleet lands on v2;
+//   3. one replica is SIGKILLed mid-traffic: every client request still
+//      succeeds (failovers tagged degraded), the health poller ejects
+//      the corpse from the ring.
+//
+// Exit code 0 only if all three phases hold.
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "datagen/imdb_like.h"
+#include "model/mtmlf_qo.h"
+#include "optimizer/baseline_card_est.h"
+#include "serve/checkpoint.h"
+#include "serve/ipc_client.h"
+#include "serve/ipc_server.h"
+#include "serve/registry.h"
+#include "serve/router/rollout.h"
+#include "serve/router/router.h"
+#include "serve/server.h"
+#include "workload/dataset.h"
+
+using namespace mtmlf;  // NOLINT
+
+namespace {
+
+constexpr int kReplicas = 3;
+constexpr int kQueries = 16;
+
+// Every process rebuilds the identical db + workload from fixed seeds;
+// model parameters travel only as checkpoints.
+workload::Dataset BuildWorkload(
+    std::unique_ptr<storage::Database>* db,
+    std::unique_ptr<optimizer::BaselineCardEstimator>* baseline) {
+  Rng rng(2026);
+  *db = datagen::BuildImdbLike({.scale = 0.05}, &rng).take();
+  *baseline = std::make_unique<optimizer::BaselineCardEstimator>(db->get());
+  workload::DatasetOptions opts;
+  opts.num_queries = kQueries;
+  opts.single_table_queries_per_table = 2;
+  opts.generator.min_tables = 2;
+  opts.generator.max_tables = 4;
+  return workload::BuildDataset(db->get(), baseline->get(), opts).take();
+}
+
+featurize::ModelConfig FleetModelConfig() {
+  featurize::ModelConfig config;
+  config.d_model = 32;
+  config.d_ff = 64;  // small model: the subject here is the tier, not the net
+  return config;
+}
+
+// ---- replica role --------------------------------------------------------
+
+volatile sig_atomic_t g_stop = 0;
+void OnTerm(int) { g_stop = 1; }
+
+int RunReplica(const std::string& sock_path, const std::string& ckpt_v1) {
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<optimizer::BaselineCardEstimator> baseline;
+  workload::Dataset dataset = BuildWorkload(&db, &baseline);
+  (void)dataset;
+
+  auto load_model = [&](const std::string& path)
+      -> Result<std::shared_ptr<model::MtmlfQo>> {
+    // Fresh shell (any seed — the load overwrites every parameter), db
+    // registered BEFORE the load so the per-db encoder shapes exist.
+    auto m = std::make_shared<model::MtmlfQo>(FleetModelConfig(), /*seed=*/1);
+    m->AddDatabase(db.get(), baseline.get());
+    Status st = serve::LoadCheckpoint(path, m.get());
+    if (!st.ok()) return st;
+    return m;
+  };
+
+  serve::ModelRegistry registry;
+  auto v1 = load_model(ckpt_v1);
+  MTMLF_CHECK(v1.ok(), v1.status().ToString().c_str());
+  MTMLF_CHECK(registry.Register(1, v1.value()).ok(), "register v1");
+  MTMLF_CHECK(registry.Publish(1).ok(), "publish v1");
+
+  serve::InferenceServer server(&registry, {});
+  MTMLF_CHECK(server.Start().ok(), "server start");
+
+  serve::SocketFrontEnd::Options fopts;
+  fopts.unix_path = sock_path;
+  // The rollout control surface: stage a checkpoint under a new version
+  // (kPublish then uses the registry default).
+  fopts.control.load_checkpoint = [&](uint64_t version,
+                                      const std::string& path) -> Status {
+    auto m = load_model(path);
+    if (!m.ok()) return m.status();
+    return registry.Register(version, m.value());
+  };
+  serve::SocketFrontEnd front(&server, &registry, fopts);
+  MTMLF_CHECK(front.Start().ok(), "front start");
+  std::printf("[replica %d] serving v1 on %s\n", getpid(), sock_path.c_str());
+
+  signal(SIGTERM, OnTerm);
+  while (!g_stop) usleep(20 * 1000);
+  front.Shutdown();
+  server.Shutdown();
+  return 0;
+}
+
+// ---- driver --------------------------------------------------------------
+
+struct Truth {
+  std::vector<double> card;
+  std::vector<double> cost;
+};
+
+// In-process reference server over `model`; predictions the fleet must
+// reproduce bit for bit.
+Truth ComputeTruth(std::shared_ptr<model::MtmlfQo> model,
+                   const workload::Dataset& dataset, uint64_t version) {
+  serve::ModelRegistry registry;
+  MTMLF_CHECK(registry.Register(version, std::move(model)).ok(), "register");
+  MTMLF_CHECK(registry.Publish(version).ok(), "publish");
+  serve::InferenceServer server(&registry, {});
+  MTMLF_CHECK(server.Start().ok(), "truth server start");
+  Truth t;
+  for (const auto& lq : dataset.queries) {
+    auto r = server.Submit({0, &lq.query, lq.plan.get()}).get();
+    MTMLF_CHECK(r.ok(), r.status().ToString().c_str());
+    t.card.push_back(r.value().card);
+    t.cost.push_back(r.value().cost_ms);
+  }
+  server.Shutdown();
+  return t;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(1);
+  if (argc == 4 && std::strcmp(argv[1], "--replica") == 0) {
+    return RunReplica(argv[2], argv[3]);
+  }
+
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<optimizer::BaselineCardEstimator> baseline;
+  workload::Dataset dataset = BuildWorkload(&db, &baseline);
+  std::printf("[router %d] workload: %zu labeled queries\n", getpid(),
+              dataset.queries.size());
+
+  // The two model versions, as checkpoints (the only way parameters cross
+  // the process boundary).
+  auto v1_model = std::make_shared<model::MtmlfQo>(FleetModelConfig(), 7);
+  v1_model->AddDatabase(db.get(), baseline.get());
+  auto v2_model = std::make_shared<model::MtmlfQo>(FleetModelConfig(), 8);
+  v2_model->AddDatabase(db.get(), baseline.get());
+  // Pid-unique paths: a crashed earlier run must not leave orphans bound
+  // to the sockets this run is about to use.
+  const std::string tag = std::to_string(getpid());
+  const std::string ckpt_v1 = "router_fleet_" + tag + "_v1.ckpt";
+  const std::string ckpt_v2 = "router_fleet_" + tag + "_v2.ckpt";
+  MTMLF_CHECK(serve::SaveCheckpoint(ckpt_v1, *v1_model).ok(), "save v1");
+  MTMLF_CHECK(serve::SaveCheckpoint(ckpt_v2, *v2_model).ok(), "save v2");
+
+  std::vector<pid_t> children;
+  std::vector<std::string> socks;
+  for (int i = 0; i < kReplicas; ++i) {
+    socks.push_back("router_fleet_" + tag + "_r" + std::to_string(i) + ".sock");
+    pid_t child = fork();
+    MTMLF_CHECK(child >= 0, "fork failed");
+    if (child == 0) {
+      execl("/proc/self/exe", argv[0], "--replica", socks.back().c_str(),
+            ckpt_v1.c_str(), static_cast<char*>(nullptr));
+      std::perror("execl");
+      _exit(127);
+    }
+    children.push_back(child);
+  }
+
+  serve::router::RouterFrontEnd::Options ropts;
+  ropts.listen.unix_path = "router_fleet_" + tag + ".sock";
+  ropts.health_poll_interval_ms = 50;
+  serve::router::RouterFrontEnd fleet_router(ropts);
+  for (int i = 0; i < kReplicas; ++i) {
+    serve::router::ReplicaEndpoint ep;
+    ep.id = "replica-" + std::to_string(i);
+    ep.client.unix_path = socks[static_cast<size_t>(i)];
+    ep.client.connect_attempts = 40;  // races the replicas' bind
+    ep.client.backoff_initial_ms = 5;
+    ep.client.backoff_max_ms = 200;
+    MTMLF_CHECK(fleet_router.AddReplica(ep).ok(), "add replica");
+  }
+  MTMLF_CHECK(fleet_router.Start().ok(), "router start");
+  std::printf("[router %d] fronting %d replicas on %s\n", getpid(), kReplicas,
+              ropts.listen.unix_path.c_str());
+
+  // Replicas rebuild the workload before they bind; wait until the health
+  // poller has seen every one of them up and admitted (forward dials are
+  // deliberately single-attempt — failover, not patience, handles a dead
+  // replica — so traffic must not race the fleet's startup).
+  auto fleet_up = [&] {
+    for (int i = 0; i < kReplicas; ++i) {
+      const std::string id = "replica-" + std::to_string(i);
+      if (!fleet_router.IsAdmitted(id) ||
+          fleet_router.ReplicaHealth(id).model_version != 1) {
+        return false;
+      }
+    }
+    return true;
+  };
+  const auto up_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (!fleet_up() && std::chrono::steady_clock::now() < up_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  MTMLF_CHECK(fleet_up(), "replicas failed to come up");
+
+  // The "DBMS optimizer" client dials the ROUTER's socket; it cannot tell
+  // it from a single server.
+  serve::IpcClient::Options copts;
+  copts.unix_path = ropts.listen.unix_path;
+  copts.connect_attempts = 40;
+  copts.backoff_initial_ms = 5;
+  serve::IpcClient client(copts);
+  MTMLF_CHECK(client.Connect().ok(), "client connect");
+
+  bool all_ok = true;
+
+  // ---- phase 1: bit-identical to a single server -------------------------
+  Truth truth_v1 = ComputeTruth(v1_model, dataset, 1);
+  int mismatches = 0;
+  for (size_t i = 0; i < dataset.queries.size(); ++i) {
+    const auto& lq = dataset.queries[i];
+    auto r = client.Predict(0, lq.query, *lq.plan);
+    MTMLF_CHECK(r.ok(), r.status().ToString().c_str());
+    if (std::memcmp(&r.value().card, &truth_v1.card[i], sizeof(double)) != 0 ||
+        std::memcmp(&r.value().cost_ms, &truth_v1.cost[i], sizeof(double)) !=
+            0) {
+      ++mismatches;
+    }
+  }
+  std::printf("[phase 1] %zu fleet predictions vs single server: %d "
+              "mismatches %s\n",
+              dataset.queries.size(), mismatches,
+              mismatches == 0 ? "(bit-identical)" : "(BROKEN)");
+  all_ok = all_ok && mismatches == 0;
+
+  // ---- phase 2: rolling rollout v1 -> v2 under traffic -------------------
+  Truth truth_v2 = ComputeTruth(v2_model, dataset, 2);
+  const auto& canary = dataset.queries.front();
+  serve::InferencePrediction expected;
+  expected.card = truth_v2.card[0];
+  expected.cost_ms = truth_v2.cost[0];
+
+  std::atomic<bool> stop_traffic{false};
+  std::atomic<int> traffic_failures{0};
+  std::atomic<int> traffic_sent{0};
+  std::atomic<int> min_admitted{kReplicas};
+  std::thread traffic([&] {
+    // Own connection: IpcClient is single-caller.
+    serve::IpcClient tc(copts);
+    MTMLF_CHECK(tc.Connect().ok(), "traffic connect");
+    size_t qi = 0;
+    while (!stop_traffic.load()) {
+      const auto& lq = dataset.queries[qi++ % dataset.queries.size()];
+      if (!tc.Predict(0, lq.query, *lq.plan).ok()) traffic_failures.fetch_add(1);
+      traffic_sent.fetch_add(1);
+      int admitted = fleet_router.AdmittedCount();
+      int cur = min_admitted.load();
+      while (admitted < cur && !min_admitted.compare_exchange_weak(cur, admitted)) {
+      }
+    }
+  });
+
+  serve::router::RolloutController::Options roll_opts;
+  roll_opts.target_version = 2;
+  roll_opts.checkpoint_path = ckpt_v2;
+  roll_opts.min_serving = 2;
+  serve::router::RolloutController rollout(&fleet_router, roll_opts);
+  auto report = rollout.Run(0, canary.query, *canary.plan, &expected);
+  stop_traffic.store(true);
+  traffic.join();
+
+  bool fleet_on_v2 = true;
+  for (int i = 0; i < kReplicas; ++i) {
+    auto r = fleet_router.DirectPredict("replica-" + std::to_string(i), 0,
+                                  canary.query, *canary.plan);
+    fleet_on_v2 = fleet_on_v2 && r.ok() && r.value().model_version == 2 &&
+                  std::memcmp(&r.value().card, &expected.card,
+                              sizeof(double)) == 0;
+  }
+  std::printf("[phase 2] rollout %s; %d requests during rollout, %d failed; "
+              "min admitted %d (floor 2); fleet on v2: %s\n",
+              report.completed ? "completed" : "HALTED",
+              traffic_sent.load(), traffic_failures.load(),
+              min_admitted.load(), fleet_on_v2 ? "yes" : "NO");
+  all_ok = all_ok && report.completed && traffic_failures.load() == 0 &&
+           min_admitted.load() >= 2 && fleet_on_v2;
+
+  // ---- phase 3: SIGKILL a replica under traffic --------------------------
+  kill(children[0], SIGKILL);
+  int wstatus = 0;
+  waitpid(children[0], &wstatus, 0);  // reap the corpse; socket now dead
+  int killed_failures = 0, degraded = 0;
+  for (int i = 0; i < 2 * static_cast<int>(dataset.queries.size()); ++i) {
+    const auto& lq = dataset.queries[static_cast<size_t>(i) %
+                                     dataset.queries.size()];
+    auto r = client.Predict(0, lq.query, *lq.plan);
+    if (!r.ok()) {
+      ++killed_failures;
+    } else if (r.value().degraded) {
+      ++degraded;
+    }
+  }
+  // The health poller notices the refused connections and ejects it.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (fleet_router.IsAdmitted("replica-0") &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  std::printf("[phase 3] replica-0 SIGKILLed: %d/%d requests failed "
+              "(%d served degraded via failover); ejected from ring: %s; "
+              "%d replicas serving\n",
+              killed_failures, 2 * static_cast<int>(dataset.queries.size()),
+              degraded, fleet_router.IsAdmitted("replica-0") ? "NO" : "yes",
+              fleet_router.AdmittedCount());
+  all_ok = all_ok && killed_failures == 0 && !fleet_router.IsAdmitted("replica-0");
+
+  std::printf("[router] %s\n", fleet_router.metrics().Summary().c_str());
+
+  client.Close();
+  fleet_router.Shutdown();
+  for (size_t i = 1; i < children.size(); ++i) kill(children[i], SIGTERM);
+  for (size_t i = 1; i < children.size(); ++i) {
+    waitpid(children[i], &wstatus, 0);
+  }
+  std::remove(ckpt_v1.c_str());
+  std::remove(ckpt_v2.c_str());
+  // The SIGKILLed replica never unlinked its socket.
+  for (const auto& s : socks) std::remove(s.c_str());
+  std::printf("[router] %s\n", all_ok ? "ALL CHECKS PASSED" : "CHECKS FAILED");
+  return all_ok ? 0 : 1;
+}

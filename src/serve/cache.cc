@@ -33,6 +33,21 @@ void AppendValue(std::string* out, const storage::Value& v) {
   AppendStr(out, v.ToString());
 }
 
+// splitmix64 finalizer over std::hash: CM rows index with independent
+// reshuffles of one 64-bit hash, so the string is hashed once per access.
+uint64_t MixHash(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
 }  // namespace
 
 std::string PlanFingerprint(int db_index, const query::Query& q,
@@ -98,8 +113,68 @@ std::string PlanFingerprint(int db_index, const query::Query& q,
   return key;
 }
 
-PredictionCache::PredictionCache(size_t capacity, int num_shards)
-    : capacity_(std::max<size_t>(capacity, 1)) {
+PredictionCache::FrequencySketch::FrequencySketch(size_t shard_capacity) {
+  // ~8 counters per cache slot keeps CM over-estimation negligible at
+  // this scale; 4-bit counters cap at 15, which is plenty to order a
+  // victim against a challenger.
+  width = NextPow2(std::max<size_t>(shard_capacity * 8, 64));
+  rows.assign(width * 4, 0);
+  doorkeeper.assign((width + 63) / 64, 0);
+  // Age after ~10x capacity accesses: recent enough to track workload
+  // shift, long enough that hot keys accumulate clear separation.
+  sample_limit = std::max<uint64_t>(shard_capacity * 10, 640);
+}
+
+void PredictionCache::FrequencySketch::RecordAccess(uint64_t key_hash) {
+  const uint64_t mask = width - 1;
+  // Doorkeeper first: a key's initial access sets two bloom bits and
+  // goes no further, so one-hit wonders never touch the CM counters.
+  uint64_t b0 = MixHash(key_hash) & mask;
+  uint64_t b1 = MixHash(key_hash ^ 0x5bd1e995u) & mask;
+  bool in_door = (doorkeeper[b0 >> 6] >> (b0 & 63)) & 1 &&
+                 (doorkeeper[b1 >> 6] >> (b1 & 63)) & 1;
+  if (!in_door) {
+    doorkeeper[b0 >> 6] |= 1ull << (b0 & 63);
+    doorkeeper[b1 >> 6] |= 1ull << (b1 & 63);
+  } else {
+    uint64_t h = key_hash;
+    for (int row = 0; row < 4; ++row) {
+      h = MixHash(h);
+      uint8_t& counter = rows[static_cast<size_t>(row) * width + (h & mask)];
+      if (counter < 15) ++counter;
+    }
+  }
+  if (++sample_count >= sample_limit) Age();
+}
+
+uint32_t PredictionCache::FrequencySketch::Estimate(uint64_t key_hash) const {
+  const uint64_t mask = width - 1;
+  uint64_t b0 = MixHash(key_hash) & mask;
+  uint64_t b1 = MixHash(key_hash ^ 0x5bd1e995u) & mask;
+  uint32_t door = ((doorkeeper[b0 >> 6] >> (b0 & 63)) & 1 &&
+                   (doorkeeper[b1 >> 6] >> (b1 & 63)) & 1)
+                      ? 1
+                      : 0;
+  if (door == 0) return 0;
+  uint32_t est = 15;
+  uint64_t h = key_hash;
+  for (int row = 0; row < 4; ++row) {
+    h = MixHash(h);
+    est = std::min<uint32_t>(
+        est, rows[static_cast<size_t>(row) * width + (h & mask)]);
+  }
+  return door + est;
+}
+
+void PredictionCache::FrequencySketch::Age() {
+  for (uint8_t& counter : rows) counter >>= 1;
+  std::fill(doorkeeper.begin(), doorkeeper.end(), 0);
+  sample_count = 0;
+}
+
+PredictionCache::PredictionCache(size_t capacity, int num_shards,
+                                 CacheAdmission admission)
+    : capacity_(std::max<size_t>(capacity, 1)), admission_(admission) {
   size_t shards = std::clamp<size_t>(
       num_shards <= 0 ? 1 : static_cast<size_t>(num_shards), 1, capacity_);
   // Distribute capacity exactly: the first (capacity % shards) shards get
@@ -111,6 +186,10 @@ PredictionCache::PredictionCache(size_t capacity, int num_shards)
   for (size_t i = 0; i < shards; ++i) {
     shards_.push_back(std::make_unique<Shard>());
     shards_.back()->capacity = base + (i < remainder ? 1 : 0);
+    if (admission_ == CacheAdmission::kTinyLfu) {
+      shards_.back()->sketch = std::make_unique<FrequencySketch>(
+          std::max<size_t>(shards_.back()->capacity, 1));
+    }
   }
 }
 
@@ -121,6 +200,12 @@ PredictionCache::Shard& PredictionCache::ShardFor(const std::string& key) {
 bool PredictionCache::Get(const std::string& key, Prediction* out) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
+  // Frequency is recorded on LOOKUPS (hits and misses both), not on
+  // inserts: the sketch must reflect demand for a key, and a missed
+  // lookup is exactly the evidence that admitting it would have paid.
+  if (shard.sketch) {
+    shard.sketch->RecordAccess(std::hash<std::string>{}(key));
+  }
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
@@ -140,6 +225,21 @@ void PredictionCache::Put(const std::string& key, const Prediction& value) {
     it->second->second = value;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     return;
+  }
+  // TinyLFU admission duel: a new key may only displace the LRU victim
+  // when its recent access frequency beats the victim's. Ties keep the
+  // victim (churn costs; the challenger will win once it is provably
+  // hotter).
+  if (shard.sketch && shard.lru.size() >= shard.capacity &&
+      !shard.lru.empty()) {
+    uint32_t challenger =
+        shard.sketch->Estimate(std::hash<std::string>{}(key));
+    uint32_t victim = shard.sketch->Estimate(
+        std::hash<std::string>{}(shard.lru.back().first));
+    if (challenger <= victim) {
+      admission_rejects_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
   }
   shard.lru.emplace_front(key, value);
   shard.index.emplace(key, shard.lru.begin());

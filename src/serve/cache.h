@@ -33,18 +33,43 @@ struct Prediction {
 std::string PlanFingerprint(int db_index, const query::Query& q,
                             const query::PlanNode& plan);
 
+/// Eviction-side admission policy for PredictionCache.
+enum class CacheAdmission {
+  /// Classic LRU: every Put of a new key is admitted, evicting the
+  /// shard's least-recently-used entry when full.
+  kAlwaysAdmit,
+  /// TinyLFU admission (Einziger et al.): a new key only displaces the
+  /// LRU victim when its estimated access frequency exceeds the
+  /// victim's. Frequencies come from a per-shard doorkeeper bloom filter
+  /// (absorbs one-hit wonders) backed by a 4-row count-min sketch with
+  /// periodic aging. Protects a skew-hot working set from being flushed
+  /// by scans of cold plans — exactly the access pattern a router's
+  /// affinity miss-storm or a bulk EXPLAIN sweep produces.
+  kTinyLfu,
+};
+
 /// Sharded LRU cache mapping plan fingerprints to predictions. Shards cut
 /// lock contention under concurrent serving threads: a key hashes to one
 /// shard, each shard holds its own mutex + LRU list, and capacity is split
 /// across shards (remainder slots go to the first shards), so total
 /// residency never exceeds the requested capacity. Hit/miss counters are atomics (readable without
 /// locks for metrics export).
+///
+/// With CacheAdmission::kTinyLfu, Get() additionally records each lookup
+/// (hit or miss) in the shard's frequency sketch, and Put() of a new key
+/// into a full shard consults the sketch before displacing the LRU
+/// victim; rejected inserts are counted in admission_rejects(). The
+/// sketch ages itself (all counters halve, doorkeeper clears) every
+/// ~10x shard capacity recorded accesses, so estimates track the recent
+/// workload rather than all time.
 class PredictionCache {
  public:
   /// `capacity` = max total entries (>=1); `num_shards` is clamped to
   /// [1, capacity]. Use num_shards=1 for deterministic global LRU order
   /// (tests); the server default of 8 favors concurrency.
-  explicit PredictionCache(size_t capacity, int num_shards = 8);
+  explicit PredictionCache(size_t capacity, int num_shards = 8,
+                           CacheAdmission admission =
+                               CacheAdmission::kAlwaysAdmit);
 
   /// Returns true and fills `out` on hit (promoting the entry to
   /// most-recently-used); false on miss.
@@ -58,12 +83,37 @@ class PredictionCache {
 
   size_t size() const;
   size_t capacity() const { return capacity_; }
+  CacheAdmission admission() const { return admission_; }
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  /// New-key Puts the TinyLFU policy refused (always 0 under
+  /// kAlwaysAdmit).
+  uint64_t admission_rejects() const {
+    return admission_rejects_.load(std::memory_order_relaxed);
+  }
   /// Hits / (hits + misses); 0 when nothing was looked up.
   double HitRate() const;
 
  private:
+  /// TinyLFU frequency sketch for one shard: doorkeeper bloom (2 hash
+  /// probes) in front of a 4-row count-min sketch of 4-bit-saturating
+  /// counters (stored one per byte; capped at 15). Estimate = doorkeeper
+  /// bit + CM minimum. Guarded by the owning shard's mutex.
+  struct FrequencySketch {
+    explicit FrequencySketch(size_t shard_capacity);
+    void RecordAccess(uint64_t key_hash);
+    /// Estimated recent access count for a key.
+    uint32_t Estimate(uint64_t key_hash) const;
+
+    void Age();
+
+    size_t width = 0;           // power of two, per CM row
+    uint64_t sample_count = 0;  // accesses since the last Age()
+    uint64_t sample_limit = 0;
+    std::vector<uint8_t> rows;  // 4 rows x width counters
+    std::vector<uint64_t> doorkeeper;  // bitset, width bits
+  };
+
   struct Shard {
     std::mutex mu;
     // Max entries this shard may hold; shard capacities sum to capacity_.
@@ -74,14 +124,18 @@ class PredictionCache {
         std::string,
         std::list<std::pair<std::string, Prediction>>::iterator>
         index;
+    // Non-null only under CacheAdmission::kTinyLfu; guarded by mu.
+    std::unique_ptr<FrequencySketch> sketch;
   };
 
   Shard& ShardFor(const std::string& key);
 
   size_t capacity_;
+  CacheAdmission admission_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> admission_rejects_{0};
 };
 
 }  // namespace mtmlf::serve

@@ -41,6 +41,9 @@ namespace mtmlf::serve {
 ///   serve.model_forward         – one scalar Run or fused RunBatch call
 ///   serve.socket_read           – SocketFrontEnd per-frame read
 ///   serve.socket_write          – SocketFrontEnd per-response write
+///   serve.router_forward        – RouterFrontEnd, per forward attempt to
+///                                 one replica (a failure is classified as
+///                                 a transport error → failover)
 /// The canonical injection-point names, as compile-time constants so call
 /// sites and tests cannot drift apart.
 inline constexpr char kFaultCheckpointSaveWrite[] =
@@ -50,6 +53,7 @@ inline constexpr char kFaultRegistryPublish[] = "serve.registry_publish";
 inline constexpr char kFaultModelForward[] = "serve.model_forward";
 inline constexpr char kFaultSocketRead[] = "serve.socket_read";
 inline constexpr char kFaultSocketWrite[] = "serve.socket_write";
+inline constexpr char kFaultRouterForward[] = "serve.router_forward";
 
 class FaultInjector {
  public:

@@ -79,6 +79,9 @@ IpcClient::IpcClient(const Options& options) : options_(options) {
   if (options_.default_deadline_ms <= 0) {
     options_.default_deadline_ms = 30000;
   }
+  options_.reconnect_attempts = std::max(options_.reconnect_attempts, 1);
+  options_.reconnect_backoff_max_ms =
+      std::max(options_.reconnect_backoff_max_ms, 1);
 }
 
 IpcClient::~IpcClient() { Close(); }
@@ -91,18 +94,22 @@ void IpcClient::Close() {
 }
 
 Status IpcClient::Connect() {
+  return ConnectInternal(options_.connect_attempts, options_.backoff_max_ms);
+}
+
+Status IpcClient::ConnectInternal(int attempts, int backoff_max_ms) {
   Close();
   if (options_.unix_path.empty() && options_.tcp_port < 0) {
     return Status::InvalidArgument(
         "IpcClient: no endpoint configured (set unix_path or tcp_port)");
   }
-  int backoff_ms = options_.backoff_initial_ms;
+  int backoff_ms = std::min(options_.backoff_initial_ms, backoff_max_ms);
   std::string last_error;
-  for (int attempt = 0; attempt < options_.connect_attempts; ++attempt) {
+  for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
       // Exponential backoff: the sidecar may still be binding its socket.
       std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-      backoff_ms = std::min(backoff_ms * 2, options_.backoff_max_ms);
+      backoff_ms = std::min(backoff_ms * 2, backoff_max_ms);
     }
     int fd = -1;
     if (!options_.unix_path.empty()) {
@@ -140,9 +147,9 @@ Status IpcClient::Connect() {
     last_error = std::strerror(errno);
     if (fd >= 0) ::close(fd);
   }
-  return Status::Internal(
-      "IpcClient: connect failed after " +
-      std::to_string(options_.connect_attempts) + " attempts: " + last_error);
+  return Status::Internal("IpcClient: connect failed after " +
+                          std::to_string(attempts) +
+                          " attempts: " + last_error);
 }
 
 Result<std::string> IpcClient::RoundTrip(IpcOp request_op,
@@ -230,8 +237,13 @@ Result<std::string> IpcClient::Call(IpcOp request_op,
   }
   // ONE transparent retry: the connection was stale, the request provably
   // unanswered. A second failure surfaces to the caller — retrying a
-  // server that keeps dying is its problem to solve.
-  if (!Connect().ok()) return response.status();
+  // server that keeps dying is its problem to solve. The reconnect uses
+  // its own (fast) attempt budget, not the startup one.
+  if (!ConnectInternal(options_.reconnect_attempts,
+                       options_.reconnect_backoff_max_ms)
+           .ok()) {
+    return response.status();
+  }
   ++reconnects_;
   return RoundTrip(request_op, expected_response_op, payload, deadline_ms,
                    nullptr);
@@ -259,6 +271,27 @@ Result<HealthInfo> IpcClient::Health(int deadline_ms) {
                        std::string(), deadline_ms);
   if (!response.ok()) return response.status();
   return DecodeHealthResponse(response.value());
+}
+
+Result<HealthInfo> IpcClient::TryHealth(int deadline_ms) {
+  if (fd_ < 0) {
+    return Status::Unavailable("IpcClient: not connected");
+  }
+  if (deadline_ms <= 0) deadline_ms = 50;
+  auto response = RoundTrip(IpcOp::kHealthRequest, IpcOp::kHealthResponse,
+                            std::string(), deadline_ms, nullptr);
+  if (!response.ok()) return response.status();
+  return DecodeHealthResponse(response.value());
+}
+
+Result<uint64_t> IpcClient::Control(ControlCommand command, uint64_t version,
+                                    const std::string& arg, int deadline_ms) {
+  std::string payload;
+  EncodeControlRequest(command, version, arg, &payload);
+  auto response = Call(IpcOp::kControlRequest, IpcOp::kControlResponse,
+                       payload, deadline_ms);
+  if (!response.ok()) return response.status();
+  return DecodeControlResponse(response.value());
 }
 
 }  // namespace mtmlf::serve

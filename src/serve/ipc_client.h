@@ -44,12 +44,19 @@ class IpcClient {
     size_t max_frame_bytes = kDefaultMaxFrameBytes;
     /// A pooled connection that sat idle may have been closed by the
     /// server (restart, idle timeout): the next call then fails with
-    /// EPIPE/ECONNRESET on send, or EOF before any response byte. Both
+    /// EPIPE/ECONNRESET on send, or EOF before any response byte. The
     /// calls this client offers are idempotent, so with this enabled such
     /// a failure triggers ONE transparent reconnect + resend. Failures
     /// after response bytes arrived are never retried (the reply may have
     /// been partially consumed).
     bool retry_idempotent = true;
+    /// Transparent-reconnect policy (see retry_idempotent): dial attempts
+    /// and backoff cap used for the MID-CALL reconnect, kept separate from
+    /// Connect()'s startup values. A router data path failing over between
+    /// replicas must decide in milliseconds; it cannot ride the full
+    /// startup backoff that tolerates a sidecar still binding its socket.
+    int reconnect_attempts = 1;
+    int reconnect_backoff_max_ms = 50;
   };
 
   explicit IpcClient(const Options& options);
@@ -76,10 +83,27 @@ class IpcClient {
   /// Server health/metrics snapshot.
   Result<HealthInfo> Health(int deadline_ms = 0);
 
+  /// Health probe for pollers: never dials (fails immediately with
+  /// kUnavailable when not connected), never takes the transparent-retry
+  /// path, and defaults to a short deadline — so a wedged or dead replica
+  /// costs a poll loop at most `deadline_ms`, instead of head-of-line
+  /// blocking it behind connect backoff or a long default deadline.
+  Result<HealthInfo> TryHealth(int deadline_ms = 50);
+
+  /// One control-plane round trip (ControlCommand, v4): the rollout
+  /// controller's hook to stage a checkpoint on a replica and flip the
+  /// served version. The returned value is command-specific (see
+  /// ipc_protocol.h).
+  Result<uint64_t> Control(ControlCommand command, uint64_t version,
+                           const std::string& arg = std::string(),
+                           int deadline_ms = 0);
+
   /// Transparent reconnects performed by the idempotent-retry path.
   uint64_t reconnects() const { return reconnects_; }
 
  private:
+  /// Dial once per attempt with exponential backoff between attempts.
+  Status ConnectInternal(int attempts, int backoff_max_ms);
   /// `retryable` (may be null) is set true only when the failure proves
   /// the request cannot have been *answered*: send failed, or EOF/reset
   /// arrived before any response byte.

@@ -326,6 +326,64 @@ void EncodeHealthResponse(const HealthInfo& info, std::string* out) {
   AppendRaw<uint64_t>(out, info.arena_heap_fallbacks);
 }
 
+void EncodeControlRequest(ControlCommand command, uint64_t version,
+                          const std::string& arg, std::string* out) {
+  AppendRaw<uint8_t>(out, static_cast<uint8_t>(command));
+  AppendRaw<uint64_t>(out, version);
+  AppendString(out, arg);
+}
+
+Result<WireControlRequest> DecodeControlRequest(const std::string& payload) {
+  WireControlRequest req;
+  size_t offset = 0;
+  uint8_t command = 0;
+  if (!ReadRaw(payload, &offset, &command)) {
+    return Malformed("control request: command");
+  }
+  if (command < static_cast<uint8_t>(ControlCommand::kLoadCheckpoint) ||
+      command > static_cast<uint8_t>(ControlCommand::kPublish)) {
+    return Malformed("control request: unknown command");
+  }
+  req.command = static_cast<ControlCommand>(command);
+  if (!ReadRaw(payload, &offset, &req.version) ||
+      !ReadString(payload, &offset, &req.arg) || offset != payload.size()) {
+    return Malformed("control request: body");
+  }
+  return req;
+}
+
+void EncodeControlResponse(const Result<uint64_t>& result, std::string* out) {
+  AppendRaw<uint8_t>(out, static_cast<uint8_t>(result.status().code()));
+  if (!result.ok()) {
+    AppendString(out, result.status().message());
+    return;
+  }
+  AppendRaw<uint64_t>(out, result.value());
+}
+
+Result<uint64_t> DecodeControlResponse(const std::string& payload) {
+  size_t offset = 0;
+  uint8_t code = 0;
+  if (!ReadRaw(payload, &offset, &code)) {
+    return Malformed("control response: status code");
+  }
+  if (code > static_cast<uint8_t>(StatusCode::kUnavailable)) {
+    return Malformed("control response: unknown status code");
+  }
+  if (code != static_cast<uint8_t>(StatusCode::kOk)) {
+    std::string message;
+    if (!ReadString(payload, &offset, &message)) {
+      return Malformed("control response: error message");
+    }
+    return Status(static_cast<StatusCode>(code), std::move(message));
+  }
+  uint64_t value = 0;
+  if (!ReadRaw(payload, &offset, &value) || offset != payload.size()) {
+    return Malformed("control response: value");
+  }
+  return value;
+}
+
 Result<HealthInfo> DecodeHealthResponse(const std::string& payload) {
   HealthInfo info;
   size_t offset = 0;

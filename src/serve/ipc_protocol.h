@@ -35,10 +35,12 @@ inline constexpr uint8_t kIpcMagic[4] = {'M', 'F', 'I', 'P'};
 /// v2: infer requests carry a relative deadline_ms after db_index; infer
 /// responses carry a degraded flag; health responses grew overload and
 /// breaker fields. v3: health responses grew the worker-arena stats
-/// (bytes reserved, high-water mark, resets, heap fallbacks). v1/v2 peers
-/// are rejected at the header (versions are not negotiated — both ends
-/// ship in one artifact).
-inline constexpr uint8_t kIpcProtocolVersion = 3;
+/// (bytes reserved, high-water mark, resets, heap fallbacks). v4: control
+/// ops (kControlRequest/kControlResponse) for fleet administration — the
+/// rolling-rollout path of the router tier; existing frame formats are
+/// unchanged. Older peers are rejected at the header (versions are not
+/// negotiated — both ends ship in one artifact).
+inline constexpr uint8_t kIpcProtocolVersion = 4;
 inline constexpr size_t kFrameHeaderBytes = 20;
 /// Default cap on payload_bytes; oversized frames fail the request.
 inline constexpr size_t kDefaultMaxFrameBytes = 1u << 20;
@@ -51,6 +53,8 @@ enum class IpcOp : uint8_t {
   kInferResponse = 2,
   kHealthRequest = 3,
   kHealthResponse = 4,
+  kControlRequest = 5,
+  kControlResponse = 6,
 };
 
 struct FrameHeader {
@@ -128,6 +132,37 @@ struct HealthInfo {
 
 void EncodeHealthResponse(const HealthInfo& info, std::string* out);
 Result<HealthInfo> DecodeHealthResponse(const std::string& payload);
+
+/// Control-plane commands (IpcOp::kControlRequest, v4) — the admin surface
+/// a router/rollout controller drives on a replica. Deliberately tiny:
+/// everything else (drain, scoring, candidate order) is router-side state.
+enum class ControlCommand : uint8_t {
+  /// Register model version `version` from the MTCP checkpoint at `arg`.
+  /// Registration does not serve it — that is kPublish, so a rollout can
+  /// stage the artifact and flip traffic as two separate, retryable steps.
+  kLoadCheckpoint = 1,
+  /// Atomically publish registered version `version`. The response value
+  /// is the previously published version — what a halted rollout republishes
+  /// to roll back.
+  kPublish = 2,
+};
+
+struct WireControlRequest {
+  ControlCommand command = ControlCommand::kPublish;
+  uint64_t version = 0;
+  /// Command-specific argument (checkpoint path for kLoadCheckpoint).
+  std::string arg;
+};
+
+void EncodeControlRequest(ControlCommand command, uint64_t version,
+                          const std::string& arg, std::string* out);
+Result<WireControlRequest> DecodeControlRequest(const std::string& payload);
+
+/// Payload codec for IpcOp::kControlResponse: the failing Status, or a
+/// command-specific u64 value (kPublish: previously published version;
+/// kLoadCheckpoint: the registered version).
+void EncodeControlResponse(const Result<uint64_t>& result, std::string* out);
+Result<uint64_t> DecodeControlResponse(const std::string& payload);
 
 }  // namespace mtmlf::serve
 

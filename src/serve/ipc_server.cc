@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -77,12 +78,109 @@ bool DrainBytes(int fd, uint64_t n, int timeout_ms) {
   return true;
 }
 
+// The built-in handler of the (InferenceServer, ModelRegistry)
+// constructor: submits inference frames into the local micro-batching
+// queue and answers health/control from the server's metrics and the
+// registry. This is what a *replica* process runs; the router tier plugs
+// in its own InferenceHandler instead.
+class LocalInferenceHandler : public InferenceHandler {
+ public:
+  LocalInferenceHandler(InferenceServer* server, ModelRegistry* registry,
+                        SocketFrontEnd::Options::ControlHooks control)
+      : server_(server), registry_(registry), control_(std::move(control)) {}
+
+  std::future<Result<InferencePrediction>> HandleInfer(
+      const WireInferenceRequest& request) override {
+    InferenceRequest req;
+    req.db_index = request.db_index;
+    req.query = &request.query;
+    req.plan = request.plan.get();
+    // The wire carries a relative deadline (no shared clock across
+    // processes); anchor it to this server's clock at decode time.
+    if (request.deadline_ms > 0) {
+      req.deadline = std::chrono::steady_clock::now() +
+                     std::chrono::milliseconds(request.deadline_ms);
+    }
+    return server_->Submit(req);
+  }
+
+  HealthInfo HandleHealth() override {
+    const ServerMetrics& m = server_->metrics();
+    HealthInfo info;
+    info.running = server_->running();
+    info.model_version =
+        registry_ != nullptr ? registry_->CurrentVersion() : 0;
+    info.requests = m.requests();
+    info.errors = m.errors();
+    info.p50_us = m.latency().PercentileUs(0.50);
+    info.p95_us = m.latency().PercentileUs(0.95);
+    info.p99_us = m.latency().PercentileUs(0.99);
+    info.cache_hit_rate = m.CacheHitRate();
+    info.queue_depth = m.queue_depth();
+    info.shed = m.shed();
+    info.rejected = m.rejected();
+    info.expired = m.expired();
+    info.degraded = m.degraded();
+    if (const CircuitBreaker* b = server_->breaker()) {
+      info.breaker_state = static_cast<uint8_t>(b->state());
+      info.breaker_trips = b->trips();
+    }
+    info.arena_bytes_reserved = m.arena_bytes_reserved();
+    info.arena_high_water = m.arena_high_water();
+    info.arena_resets = m.arena_resets();
+    info.arena_heap_fallbacks = m.arena_heap_fallbacks();
+    return info;
+  }
+
+  Result<uint64_t> HandleControl(const WireControlRequest& request) override {
+    switch (request.command) {
+      case ControlCommand::kLoadCheckpoint: {
+        if (!control_.load_checkpoint) {
+          return Status::Unimplemented(
+              "ipc: no load_checkpoint control hook configured");
+        }
+        Status st = control_.load_checkpoint(request.version, request.arg);
+        if (!st.ok()) return st;
+        return request.version;
+      }
+      case ControlCommand::kPublish: {
+        if (control_.publish) return control_.publish(request.version);
+        if (registry_ == nullptr) {
+          return Status::Unimplemented(
+              "ipc: no registry or publish control hook configured");
+        }
+        uint64_t previous = registry_->CurrentVersion();
+        Status st = registry_->Publish(request.version);
+        if (!st.ok()) return st;
+        return previous;
+      }
+    }
+    return Status::InvalidArgument("ipc: unknown control command");
+  }
+
+ private:
+  InferenceServer* server_;
+  ModelRegistry* registry_;
+  SocketFrontEnd::Options::ControlHooks control_;
+};
+
 }  // namespace
 
 SocketFrontEnd::SocketFrontEnd(InferenceServer* server,
                                ModelRegistry* registry,
                                const Options& options)
-    : server_(server), registry_(registry), options_(options) {
+    : owned_handler_(std::make_unique<LocalInferenceHandler>(
+          server, registry, options.control)),
+      handler_(owned_handler_.get()),
+      options_(options) {
+  options_.max_frame_bytes =
+      std::max<size_t>(options_.max_frame_bytes, kFrameHeaderBytes);
+  options_.max_connections = std::max(options_.max_connections, 1);
+}
+
+SocketFrontEnd::SocketFrontEnd(InferenceHandler* handler,
+                               const Options& options)
+    : handler_(handler), options_(options) {
   options_.max_frame_bytes =
       std::max<size_t>(options_.max_frame_bytes, kFrameHeaderBytes);
   options_.max_connections = std::max(options_.max_connections, 1);
@@ -291,35 +389,6 @@ void SocketFrontEnd::EnqueueResponse(Connection* conn,
   conn->cv.notify_all();
 }
 
-std::string SocketFrontEnd::HealthPayload() const {
-  const ServerMetrics& m = server_->metrics();
-  HealthInfo info;
-  info.running = server_->running();
-  info.model_version = registry_ != nullptr ? registry_->CurrentVersion() : 0;
-  info.requests = m.requests();
-  info.errors = m.errors();
-  info.p50_us = m.latency().PercentileUs(0.50);
-  info.p95_us = m.latency().PercentileUs(0.95);
-  info.p99_us = m.latency().PercentileUs(0.99);
-  info.cache_hit_rate = m.CacheHitRate();
-  info.queue_depth = m.queue_depth();
-  info.shed = m.shed();
-  info.rejected = m.rejected();
-  info.expired = m.expired();
-  info.degraded = m.degraded();
-  if (const CircuitBreaker* b = server_->breaker()) {
-    info.breaker_state = static_cast<uint8_t>(b->state());
-    info.breaker_trips = b->trips();
-  }
-  info.arena_bytes_reserved = m.arena_bytes_reserved();
-  info.arena_high_water = m.arena_high_water();
-  info.arena_resets = m.arena_resets();
-  info.arena_heap_fallbacks = m.arena_heap_fallbacks();
-  std::string payload;
-  EncodeHealthResponse(info, &payload);
-  return payload;
-}
-
 void SocketFrontEnd::ReaderLoop(Connection* conn) {
   char header[kFrameHeaderBytes];
   for (;;) {
@@ -382,23 +451,25 @@ void SocketFrontEnd::ReaderLoop(Connection* conn) {
         }
         resp.request = std::make_unique<WireInferenceRequest>(
             std::move(request.value()));
-        InferenceRequest req;
-        req.db_index = resp.request->db_index;
-        req.query = &resp.request->query;
-        req.plan = resp.request->plan.get();
-        // The wire carries a relative deadline (no shared clock across
-        // processes); anchor it to this server's clock at decode time.
-        if (resp.request->deadline_ms > 0) {
-          req.deadline = std::chrono::steady_clock::now() +
-                         std::chrono::milliseconds(resp.request->deadline_ms);
-        }
-        resp.future = server_->Submit(req);
+        resp.future = handler_->HandleInfer(*resp.request);
         break;
       }
       case IpcOp::kHealthRequest:
         resp.op = IpcOp::kHealthResponse;
-        resp.payload = HealthPayload();
+        EncodeHealthResponse(handler_->HandleHealth(), &resp.payload);
         break;
+      case IpcOp::kControlRequest: {
+        resp.op = IpcOp::kControlResponse;
+        auto request = DecodeControlRequest(payload);
+        if (!request.ok()) {
+          frames_rejected_.fetch_add(1, std::memory_order_relaxed);
+          EncodeControlResponse(request.status(), &resp.payload);
+          break;
+        }
+        EncodeControlResponse(handler_->HandleControl(request.value()),
+                              &resp.payload);
+        break;
+      }
       default:
         frames_rejected_.fetch_add(1, std::memory_order_relaxed);
         EncodeInferResponse(

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -18,6 +19,31 @@
 #include "serve/server.h"
 
 namespace mtmlf::serve {
+
+/// The request-serving backend behind a SocketFrontEnd. The front end owns
+/// the sockets, framing, and failure containment; the handler decides what
+/// a frame *means*. Two implementations exist: the built-in local handler
+/// (submits into an InferenceServer — a replica), and the router tier
+/// (serve/router), which implements this interface by forwarding to a
+/// fleet of replicas. All methods may be called concurrently from
+/// per-connection reader threads.
+class InferenceHandler {
+ public:
+  virtual ~InferenceHandler() = default;
+
+  /// One inference request. `request` is owned by the front end and stays
+  /// alive until the returned future has resolved (the handler may borrow
+  /// its query/plan for that long).
+  virtual std::future<Result<InferencePrediction>> HandleInfer(
+      const WireInferenceRequest& request) = 0;
+
+  /// Health/metrics snapshot for kHealthRequest frames.
+  virtual HealthInfo HandleHealth() = 0;
+
+  /// Control-plane command (kControlRequest frames). Implementations that
+  /// expose no admin surface return kUnimplemented.
+  virtual Result<uint64_t> HandleControl(const WireControlRequest& request) = 0;
+};
 
 /// Socket front end for the InferenceServer: accepts Unix-domain and/or
 /// TCP-localhost connections, decodes ipc_protocol frames, submits them
@@ -58,12 +84,30 @@ class SocketFrontEnd {
     int read_timeout_ms = 60000;
     /// Connections over this limit are accepted and immediately closed.
     int max_connections = 64;
+    /// Admin surface behind kControlRequest frames, used by the
+    /// (InferenceServer, ModelRegistry) constructor's built-in handler.
+    /// A replica that should accept rolling checkpoint rollouts sets
+    /// `load_checkpoint`; `publish` defaults to ModelRegistry::Publish
+    /// when a registry was passed. Unset hooks answer kUnimplemented.
+    struct ControlHooks {
+      /// Register model version `version` from the MTCP checkpoint at
+      /// `path` (must validate + Register, NOT Publish).
+      std::function<Status(uint64_t version, const std::string& path)>
+          load_checkpoint;
+      /// Publish registered `version`; returns the previously published
+      /// version (the rollback target). Overrides the registry default.
+      std::function<Result<uint64_t>(uint64_t version)> publish;
+    };
+    ControlHooks control;
   };
 
   /// `registry` is optional (nullptr): it only feeds the model_version
-  /// field of health responses.
+  /// field of health responses and the default publish control hook.
   SocketFrontEnd(InferenceServer* server, ModelRegistry* registry,
                  const Options& options);
+  /// Serves frames through an external handler (the router tier). The
+  /// handler is borrowed and must outlive this front end.
+  SocketFrontEnd(InferenceHandler* handler, const Options& options);
   ~SocketFrontEnd();
 
   SocketFrontEnd(const SocketFrontEnd&) = delete;
@@ -127,10 +171,11 @@ class SocketFrontEnd {
   // Signals a connection to stop reading new frames and lets the writer
   // finish the pending queue.
   void BeginConnectionClose(Connection* conn);
-  std::string HealthPayload() const;
 
-  InferenceServer* server_;
-  ModelRegistry* registry_;
+  // Set when constructed over a local InferenceServer; handler_ then
+  // points at owned_handler_.
+  std::unique_ptr<InferenceHandler> owned_handler_;
+  InferenceHandler* handler_;
   Options options_;
 
   int unix_listen_fd_ = -1;

@@ -143,6 +143,40 @@ MetricsSnapshot ServerMetrics::Snapshot() const {
   return s;
 }
 
+std::string RouterMetrics::Summary() const {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "reqs=%llu p50=%.0fus p95=%.0fus errors=%llu failovers=%llu "
+      "retries=%llu exhausted=%llu ejects=%llu readmits=%llu "
+      "polls=%llu/%llu-failed",
+      static_cast<unsigned long long>(requests()),
+      forward_latency_.PercentileUs(0.50),
+      forward_latency_.PercentileUs(0.95),
+      static_cast<unsigned long long>(errors()),
+      static_cast<unsigned long long>(failovers()),
+      static_cast<unsigned long long>(retries()),
+      static_cast<unsigned long long>(exhausted()),
+      static_cast<unsigned long long>(ejects()),
+      static_cast<unsigned long long>(readmits()),
+      static_cast<unsigned long long>(health_polls()),
+      static_cast<unsigned long long>(health_poll_failures()));
+  return buf;
+}
+
+void RouterMetrics::Reset() {
+  forward_latency_.Reset();
+  requests_.store(0, std::memory_order_relaxed);
+  errors_.store(0, std::memory_order_relaxed);
+  failovers_.store(0, std::memory_order_relaxed);
+  retries_.store(0, std::memory_order_relaxed);
+  exhausted_.store(0, std::memory_order_relaxed);
+  ejects_.store(0, std::memory_order_relaxed);
+  readmits_.store(0, std::memory_order_relaxed);
+  health_polls_.store(0, std::memory_order_relaxed);
+  health_poll_failures_.store(0, std::memory_order_relaxed);
+}
+
 void ServerMetrics::Reset() {
   latency_.Reset();
   requests_.store(0, std::memory_order_relaxed);

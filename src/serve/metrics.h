@@ -215,6 +215,78 @@ class ServerMetrics {
   std::atomic<uint64_t> arena_heap_fallbacks_{0};
 };
 
+/// Counters + forward latency for one RouterFrontEnd (serve/router). Same
+/// contract as ServerMetrics: every mutator is a relaxed atomic op, safe
+/// to call from any forwarder/health thread while readers snapshot.
+class RouterMetrics {
+ public:
+  void RecordRequest(uint64_t latency_us) {
+    forward_latency_.Record(latency_us);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordError() { errors_.fetch_add(1, std::memory_order_relaxed); }
+  /// A request was answered by a replica other than its ring primary.
+  void RecordFailover() {
+    failovers_.fetch_add(1, std::memory_order_relaxed);
+  }
+  /// One forward attempt failed with a retryable status and the request
+  /// moved on to the next ring candidate.
+  void RecordRetry() { retries_.fetch_add(1, std::memory_order_relaxed); }
+  /// Every candidate failed (or none were admitted): the request's
+  /// failure was surfaced to the client.
+  void RecordExhausted() {
+    exhausted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordEject() { ejects_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordReadmit() {
+    readmits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordHealthPoll(bool ok) {
+    health_polls_.fetch_add(1, std::memory_order_relaxed);
+    if (!ok) health_poll_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const LatencyHistogram& forward_latency() const { return forward_latency_; }
+  uint64_t requests() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+  uint64_t errors() const { return errors_.load(std::memory_order_relaxed); }
+  uint64_t failovers() const {
+    return failovers_.load(std::memory_order_relaxed);
+  }
+  uint64_t retries() const { return retries_.load(std::memory_order_relaxed); }
+  uint64_t exhausted() const {
+    return exhausted_.load(std::memory_order_relaxed);
+  }
+  uint64_t ejects() const { return ejects_.load(std::memory_order_relaxed); }
+  uint64_t readmits() const {
+    return readmits_.load(std::memory_order_relaxed);
+  }
+  uint64_t health_polls() const {
+    return health_polls_.load(std::memory_order_relaxed);
+  }
+  uint64_t health_poll_failures() const {
+    return health_poll_failures_.load(std::memory_order_relaxed);
+  }
+
+  /// "reqs=... p95=...us failovers=... ejects=..." one-liner for logs.
+  std::string Summary() const;
+
+  void Reset();
+
+ private:
+  LatencyHistogram forward_latency_;
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> failovers_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> exhausted_{0};
+  std::atomic<uint64_t> ejects_{0};
+  std::atomic<uint64_t> readmits_{0};
+  std::atomic<uint64_t> health_polls_{0};
+  std::atomic<uint64_t> health_poll_failures_{0};
+};
+
 }  // namespace mtmlf::serve
 
 #endif  // MTMLF_SERVE_METRICS_H_

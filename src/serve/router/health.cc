@@ -1,0 +1,75 @@
+#include "serve/router/health.h"
+
+#include <algorithm>
+
+namespace mtmlf::serve::router {
+
+double ScoreReplica(const HealthInfo& health, uint64_t delta_requests,
+                    uint64_t delta_errors, uint64_t delta_heap_fallbacks,
+                    const ScoreOptions& options) {
+  if (!health.running) return 0.0;
+  double score = 100.0;
+
+  double queue_ref = std::max(options.queue_ref, 1.0);
+  double queue_load =
+      std::min(static_cast<double>(health.queue_depth) / queue_ref, 1.0);
+  score -= options.queue_weight * queue_load;
+
+  if (delta_requests > 0) {
+    double error_rate = static_cast<double>(delta_errors) /
+                        static_cast<double>(delta_requests);
+    score -= options.error_weight * std::min(error_rate, 1.0);
+  }
+
+  // breaker_state uses CircuitBreaker::State: 0 closed, 1 open, 2 half.
+  if (health.breaker_state == 1) {
+    score -= options.breaker_open_penalty;
+  } else if (health.breaker_state == 2) {
+    score -= options.breaker_half_open_penalty;
+  }
+
+  if (delta_heap_fallbacks > 0) {
+    score -= options.arena_fallback_penalty;
+  }
+
+  return std::clamp(score, 0.0, 100.0);
+}
+
+ReplicaGate::ReplicaGate(const Options& options) : options_(options) {}
+
+ReplicaGate::Verdict ReplicaGate::OnScore(double score) {
+  last_score_ = score;
+  consecutive_poll_failures_ = 0;
+  if (admitted_) {
+    consecutive_good_polls_ = 0;
+    if (score < options_.eject_below) {
+      admitted_ = false;
+      return Verdict::kEject;
+    }
+    return Verdict::kNoChange;
+  }
+  if (score > options_.readmit_above) {
+    if (++consecutive_good_polls_ >= options_.readmit_after_good_polls) {
+      admitted_ = true;
+      consecutive_good_polls_ = 0;
+      return Verdict::kReadmit;
+    }
+  } else {
+    consecutive_good_polls_ = 0;
+  }
+  return Verdict::kNoChange;
+}
+
+ReplicaGate::Verdict ReplicaGate::OnPollFailure() {
+  last_score_ = 0.0;
+  consecutive_good_polls_ = 0;
+  if (!admitted_) return Verdict::kNoChange;
+  if (++consecutive_poll_failures_ >= options_.eject_after_poll_failures) {
+    admitted_ = false;
+    consecutive_poll_failures_ = 0;
+    return Verdict::kEject;
+  }
+  return Verdict::kNoChange;
+}
+
+}  // namespace mtmlf::serve::router

@@ -1,0 +1,81 @@
+#ifndef MTMLF_SERVE_ROUTER_HEALTH_H_
+#define MTMLF_SERVE_ROUTER_HEALTH_H_
+
+#include <cstdint>
+
+#include "serve/ipc_protocol.h"
+
+namespace mtmlf::serve::router {
+
+/// Weights for turning one replica health frame (v3 HealthInfo) into a
+/// scalar score in [0, 100]. 100 = perfectly healthy; the router's
+/// ReplicaGate ejects below `eject_below` and readmits above
+/// `readmit_above` (hysteresis, see below).
+///
+/// Score = 100
+///   - queue_weight     * min(queue_depth / queue_ref, 1)
+///   - error_weight     * error_rate_since_last_poll
+///   - breaker penalty  (open/half-open)
+///   - arena_fallback_penalty if heap fallbacks grew since last poll
+/// clamped to [0, 100]. A replica whose health frame reports
+/// running=false scores 0 regardless of weights.
+struct ScoreOptions {
+  double queue_weight = 40.0;
+  /// Queue depth treated as "fully loaded" (saturates the queue term).
+  double queue_ref = 64.0;
+  double error_weight = 60.0;
+  double breaker_open_penalty = 100.0;
+  double breaker_half_open_penalty = 25.0;
+  /// Applied when arena heap fallbacks grew since the previous poll —
+  /// memory pressure is a leading indicator of latency trouble.
+  double arena_fallback_penalty = 10.0;
+};
+
+/// Scores one health snapshot. `delta_requests`/`delta_errors` are the
+/// counter deltas since the previous poll of the same replica (pass 0/0
+/// on the first poll); `delta_heap_fallbacks` likewise.
+double ScoreReplica(const HealthInfo& health, uint64_t delta_requests,
+                    uint64_t delta_errors, uint64_t delta_heap_fallbacks,
+                    const ScoreOptions& options);
+
+/// Hysteresis gate deciding replica admission from a stream of scores
+/// and poll failures. Two-threshold design so a replica hovering at the
+/// boundary does not flap in and out of the ring: ejection requires the
+/// score below `eject_below` (or `eject_after_poll_failures` consecutive
+/// failed polls); readmission requires `readmit_after_good_polls`
+/// consecutive scores above `readmit_above`.
+///
+/// Not thread-safe: owned and driven by the router's single health
+/// thread.
+class ReplicaGate {
+ public:
+  struct Options {
+    double eject_below = 20.0;
+    double readmit_above = 50.0;
+    int eject_after_poll_failures = 2;
+    int readmit_after_good_polls = 2;
+  };
+
+  enum class Verdict { kNoChange, kEject, kReadmit };
+
+  explicit ReplicaGate(const Options& options);
+
+  /// Feeds one successful poll's score.
+  Verdict OnScore(double score);
+  /// Feeds one failed poll (replica unreachable / deadline).
+  Verdict OnPollFailure();
+
+  bool admitted() const { return admitted_; }
+  double last_score() const { return last_score_; }
+
+ private:
+  Options options_;
+  bool admitted_ = true;
+  int consecutive_poll_failures_ = 0;
+  int consecutive_good_polls_ = 0;
+  double last_score_ = 100.0;
+};
+
+}  // namespace mtmlf::serve::router
+
+#endif  // MTMLF_SERVE_ROUTER_HEALTH_H_

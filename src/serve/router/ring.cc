@@ -1,0 +1,95 @@
+#include "serve/router/ring.h"
+
+#include <algorithm>
+
+namespace mtmlf::serve::router {
+
+namespace {
+
+uint64_t Mix64(uint64_t x) {
+  // splitmix64 finalizer: full-avalanche, cheap, stable.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t RingHash(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a 64
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return Mix64(h);
+}
+
+bool HashRing::Add(const std::string& id) {
+  auto it = std::lower_bound(
+      members_.begin(), members_.end(), id,
+      [](const Member& m, const std::string& v) { return m.id < v; });
+  if (it != members_.end() && it->id == id) return false;
+  members_.insert(it, Member{id, RingHash(id)});
+  return true;
+}
+
+bool HashRing::Remove(const std::string& id) {
+  auto it = std::lower_bound(
+      members_.begin(), members_.end(), id,
+      [](const Member& m, const std::string& v) { return m.id < v; });
+  if (it == members_.end() || it->id != id) return false;
+  members_.erase(it);
+  return true;
+}
+
+bool HashRing::Contains(const std::string& id) const {
+  auto it = std::lower_bound(
+      members_.begin(), members_.end(), id,
+      [](const Member& m, const std::string& v) { return m.id < v; });
+  return it != members_.end() && it->id == id;
+}
+
+std::vector<std::string> HashRing::members() const {
+  std::vector<std::string> out;
+  out.reserve(members_.size());
+  for (const Member& m : members_) out.push_back(m.id);
+  return out;
+}
+
+std::vector<std::string> HashRing::Ordered(uint64_t key) const {
+  struct Weighted {
+    uint64_t weight;
+    const Member* member;
+  };
+  std::vector<Weighted> weighted;
+  weighted.reserve(members_.size());
+  for (const Member& m : members_) {
+    weighted.push_back({Mix64(m.hash ^ key), &m});
+  }
+  std::sort(weighted.begin(), weighted.end(),
+            [](const Weighted& a, const Weighted& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              return a.member->id < b.member->id;  // total order on ties
+            });
+  std::vector<std::string> out;
+  out.reserve(weighted.size());
+  for (const Weighted& w : weighted) out.push_back(w.member->id);
+  return out;
+}
+
+std::string HashRing::Primary(uint64_t key) const {
+  if (members_.empty()) return std::string();
+  const Member* best = &members_[0];
+  uint64_t best_weight = Mix64(members_[0].hash ^ key);
+  for (size_t i = 1; i < members_.size(); ++i) {
+    uint64_t w = Mix64(members_[i].hash ^ key);
+    if (w > best_weight || (w == best_weight && members_[i].id < best->id)) {
+      best = &members_[i];
+      best_weight = w;
+    }
+  }
+  return best->id;
+}
+
+}  // namespace mtmlf::serve::router

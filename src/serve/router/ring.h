@@ -1,0 +1,60 @@
+#ifndef MTMLF_SERVE_ROUTER_RING_H_
+#define MTMLF_SERVE_ROUTER_RING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mtmlf::serve::router {
+
+/// Stable 64-bit hash used for ring membership and affinity keys
+/// (FNV-1a folded through a splitmix64 finalizer). Deliberately not
+/// std::hash: routing must agree across builds and standard libraries —
+/// a router restart may not reshuffle every key.
+uint64_t RingHash(const std::string& s);
+
+/// Rendezvous (highest-random-weight) hashing over a set of replica ids.
+///
+/// For a key k, each member m gets weight mix(hash(m) ^ hash(k)); the
+/// routing order is members sorted by descending weight. Properties that
+/// make this the right shape for an affinity router:
+///  - removing a member only reassigns the keys whose winner it was
+///    (its keys spread over the survivors; nobody else's keys move), so
+///    replica-local PredictionCaches stay warm through membership churn;
+///  - every key has a total order over members, which doubles as the
+///    failover order — "next candidate" is well-defined without extra
+///    state;
+///  - no virtual-node tuning: HRW is uniform by construction.
+///
+/// Not thread-safe; RouterFrontEnd guards its ring with a mutex (reads
+/// vastly outnumber membership changes, and Ordered() is a few dozen
+/// nanoseconds for fleet sizes that fit on one machine).
+class HashRing {
+ public:
+  /// Adds a member. Returns false (no change) if already present.
+  bool Add(const std::string& id);
+  /// Removes a member. Returns false (no change) if absent.
+  bool Remove(const std::string& id);
+  bool Contains(const std::string& id) const;
+  size_t size() const { return members_.size(); }
+  bool empty() const { return members_.empty(); }
+  /// Member ids in insertion-independent (sorted) order.
+  std::vector<std::string> members() const;
+
+  /// All members ordered by descending HRW weight for `key` — index 0 is
+  /// the primary, the rest is the failover order. Empty if no members.
+  std::vector<std::string> Ordered(uint64_t key) const;
+  /// The primary member for `key`, or empty string if no members.
+  std::string Primary(uint64_t key) const;
+
+ private:
+  struct Member {
+    std::string id;
+    uint64_t hash = 0;
+  };
+  std::vector<Member> members_;  // kept sorted by id
+};
+
+}  // namespace mtmlf::serve::router
+
+#endif  // MTMLF_SERVE_ROUTER_RING_H_

@@ -1,0 +1,158 @@
+#include "serve/router/rollout.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace mtmlf::serve::router {
+
+namespace {
+
+bool BitEqual(double a, double b) {
+  // Bit comparison, not ==: the canary must prove the replica loaded the
+  // exact checkpoint, and 0.0 == -0.0 (or NaN != NaN) would lie.
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+}  // namespace
+
+RolloutController::RolloutController(RouterFrontEnd* router,
+                                     const Options& options)
+    : router_(router), options_(options) {
+  if (options_.drain_timeout_ms <= 0) options_.drain_timeout_ms = 5000;
+  if (options_.control_deadline_ms <= 0) options_.control_deadline_ms = 5000;
+  if (options_.canary_deadline_ms <= 0) options_.canary_deadline_ms = 2000;
+  if (options_.canary_repeats <= 0) options_.canary_repeats = 1;
+  if (options_.min_serving < 0) options_.min_serving = 0;
+}
+
+Status RolloutController::SwapAndVerify(const std::string& id,
+                                        int canary_db_index,
+                                        const query::Query& canary_query,
+                                        const query::PlanNode& canary_plan,
+                                        const InferencePrediction* expected,
+                                        ReplicaOutcome* outcome) {
+  auto loaded = router_->SendControl(id, ControlCommand::kLoadCheckpoint,
+                                     options_.target_version,
+                                     options_.checkpoint_path,
+                                     options_.control_deadline_ms);
+  if (!loaded.ok()) {
+    return Status(loaded.status().code(),
+                  "load checkpoint failed: " + loaded.status().message());
+  }
+  auto published =
+      router_->SendControl(id, ControlCommand::kPublish,
+                           options_.target_version, std::string(),
+                           options_.control_deadline_ms);
+  if (!published.ok()) {
+    return Status(published.status().code(),
+                  "publish failed: " + published.status().message());
+  }
+  outcome->previous_version = published.value();
+  outcome->stage = Stage::kSwapped;
+
+  for (int i = 0; i < options_.canary_repeats; ++i) {
+    auto canary =
+        router_->DirectPredict(id, canary_db_index, canary_query, canary_plan,
+                               options_.canary_deadline_ms);
+    if (!canary.ok()) {
+      return Status(canary.status().code(),
+                    "canary inference failed: " + canary.status().message());
+    }
+    const InferencePrediction& p = canary.value();
+    if (p.degraded) {
+      return Status::Internal("canary answered from the degraded path");
+    }
+    if (p.model_version != options_.target_version) {
+      return Status::Internal(
+          "canary served by version " + std::to_string(p.model_version) +
+          ", expected " + std::to_string(options_.target_version));
+    }
+    if (expected != nullptr && (!BitEqual(p.card, expected->card) ||
+                                !BitEqual(p.cost_ms, expected->cost_ms))) {
+      return Status::Internal(
+          "canary prediction does not bit-match the reference model");
+    }
+  }
+  outcome->stage = Stage::kCanaryOk;
+  return Status::OK();
+}
+
+RolloutController::Report RolloutController::Run(
+    int canary_db_index, const query::Query& canary_query,
+    const query::PlanNode& canary_plan, const InferencePrediction* expected) {
+  Report report;
+  if (options_.target_version == 0) {
+    report.halted = true;
+    report.halt_reason = "target_version must be non-zero";
+    return report;
+  }
+  for (const std::string& id : router_->ReplicaIds()) {
+    report.replicas.push_back(ReplicaOutcome{id});
+    ReplicaOutcome& outcome = report.replicas.back();
+
+    // Guard: while this replica is out, the rest must hold the floor.
+    // (-1 only if it is currently admitted — a health-ejected replica is
+    // already out of the ring.)
+    int serving_while_out =
+        router_->AdmittedCount() - (router_->IsAdmitted(id) ? 1 : 0);
+    if (serving_while_out < options_.min_serving) {
+      outcome.stage = Stage::kFailed;
+      outcome.status = Status::FailedPrecondition(
+          "draining '" + id + "' would leave " +
+          std::to_string(serving_while_out) + " serving replicas (min " +
+          std::to_string(options_.min_serving) + ")");
+      report.halted = true;
+      report.halt_reason = outcome.status.message();
+      return report;
+    }
+
+    Status st = router_->BeginDrain(id);
+    if (!st.ok()) {
+      outcome.stage = Stage::kFailed;
+      outcome.status = st;
+      report.halted = true;
+      report.halt_reason = st.message();
+      return report;
+    }
+    if (!router_->WaitDrained(id, options_.drain_timeout_ms)) {
+      // Proceed anyway: stragglers finish on the registry snapshot they
+      // resolved, which Publish never tears.
+      MTMLF_LOG(1, "rollout: '%s' still has in-flight work after %dms",
+                id.c_str(), options_.drain_timeout_ms);
+    }
+    outcome.stage = Stage::kDrained;
+
+    Status swap = SwapAndVerify(id, canary_db_index, canary_query,
+                                canary_plan, expected, &outcome);
+    if (!swap.ok()) {
+      outcome.status = swap;
+      report.halted = true;
+      report.halt_reason = "replica '" + id + "': " + swap.message();
+      // Roll back if the new version was ever published there.
+      if (outcome.stage == Stage::kSwapped ||
+          outcome.stage == Stage::kCanaryOk) {
+        if (outcome.previous_version != 0) {
+          auto back = router_->SendControl(
+              id, ControlCommand::kPublish, outcome.previous_version,
+              std::string(), options_.control_deadline_ms);
+          report.rolled_back = back.ok();
+          if (back.ok()) outcome.stage = Stage::kRolledBack;
+        }
+      } else {
+        // Nothing was published; the replica still serves its old
+        // version untouched.
+        report.rolled_back = true;
+      }
+      // Readmit regardless: a replica on the old version is healthy.
+      router_->Readmit(id);
+      return report;
+    }
+    router_->Readmit(id);
+    outcome.stage = Stage::kReadmitted;
+  }
+  report.completed = true;
+  return report;
+}
+
+}  // namespace mtmlf::serve::router

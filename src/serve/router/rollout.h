@@ -1,0 +1,105 @@
+#ifndef MTMLF_SERVE_ROUTER_ROLLOUT_H_
+#define MTMLF_SERVE_ROUTER_ROLLOUT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/plan.h"
+#include "query/query.h"
+#include "serve/router/router.h"
+
+namespace mtmlf::serve::router {
+
+/// Rolling checkpoint rollout across a router's replica fleet, one
+/// replica at a time:
+///
+///   for each replica:
+///     guard    – halt unless the rest of the fleet keeps >= min_serving
+///     drain    – BeginDrain + WaitDrained (timeout tolerated: the
+///                registry pins the old snapshot for stragglers)
+///     swap     – kLoadCheckpoint(version, path) then kPublish(version),
+///                remembering the previously published version
+///     canary   – DirectPredict through the drained replica, repeated;
+///                every answer must be ok, non-degraded, and tagged with
+///                the target version (and bit-match `expected` when
+///                given)
+///     readmit  – back into the ring
+///
+/// Any failure halts the rollout: the current replica is rolled back
+/// (republish its previous version) and readmitted, replicas not yet
+/// touched keep the old version, and the report says why. Replicas
+/// already completed are NOT rolled back — mid-rollout the fleet
+/// legitimately serves two versions, which is why responses carry
+/// model_version on the wire.
+class RolloutController {
+ public:
+  struct Options {
+    uint64_t target_version = 0;
+    /// MTCP checkpoint path, as resolvable by the *replica* process.
+    std::string checkpoint_path;
+    int drain_timeout_ms = 5000;
+    int control_deadline_ms = 5000;
+    int canary_deadline_ms = 2000;
+    /// Canary inferences per replica; all must pass.
+    int canary_repeats = 3;
+    /// Minimum replicas that must stay in the ring while one drains.
+    int min_serving = 2;
+  };
+
+  enum class Stage {
+    kPending,
+    kDrained,
+    kSwapped,
+    kCanaryOk,
+    kReadmitted,
+    kRolledBack,
+    kFailed,
+  };
+
+  struct ReplicaOutcome {
+    std::string id;
+    Stage stage = Stage::kPending;
+    Status status = Status::OK();
+    /// Version that was published before the swap (the rollback target).
+    uint64_t previous_version = 0;
+  };
+
+  struct Report {
+    bool completed = false;
+    bool halted = false;
+    /// True when the halting replica was rolled back to its previous
+    /// version (false only if the rollback itself also failed).
+    bool rolled_back = false;
+    std::string halt_reason;
+    std::vector<ReplicaOutcome> replicas;
+  };
+
+  RolloutController(RouterFrontEnd* router, const Options& options);
+
+  /// Runs the rollout to completion or halt. `canary_query`/`canary_plan`
+  /// drive the per-replica verification inference (db `canary_db_index`);
+  /// when `expected` is non-null the canary prediction must match it
+  /// bit-for-bit — the caller computes it on a reference model loaded
+  /// from the same checkpoint.
+  Report Run(int canary_db_index, const query::Query& canary_query,
+             const query::PlanNode& canary_plan,
+             const InferencePrediction* expected = nullptr);
+
+ private:
+  /// The swap+canary for one drained replica. On failure the outcome
+  /// carries the failing status; rollback is the caller's job.
+  Status SwapAndVerify(const std::string& id, int canary_db_index,
+                       const query::Query& canary_query,
+                       const query::PlanNode& canary_plan,
+                       const InferencePrediction* expected,
+                       ReplicaOutcome* outcome);
+
+  RouterFrontEnd* router_;
+  Options options_;
+};
+
+}  // namespace mtmlf::serve::router
+
+#endif  // MTMLF_SERVE_ROUTER_ROLLOUT_H_

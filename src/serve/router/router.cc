@@ -1,0 +1,604 @@
+#include "serve/router/router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "common/logging.h"
+#include "serve/cache.h"
+#include "serve/faults.h"
+
+namespace mtmlf::serve::router {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Statuses worth a failover attempt on another replica: the failure is
+/// about *that replica's* state (dead, overloaded, breaker-open, shut
+/// down), not about the request. kOutOfRange (deadline exceeded) is
+/// deliberately not here — the time is already spent.
+bool Retryable(StatusCode code) {
+  switch (code) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kInternal:
+    case StatusCode::kFailedPrecondition:
+      return true;
+    default:
+      return false;
+  }
+}
+
+template <typename T>
+std::future<Result<T>> ReadyFuture(Result<T> value) {
+  std::promise<Result<T>> p;
+  p.set_value(std::move(value));
+  return p.get_future();
+}
+
+}  // namespace
+
+RouterFrontEnd::Replica::Replica(const ReplicaEndpoint& endpoint,
+                                 const ReplicaGate::Options& gate_options)
+    : id(endpoint.id), client_options(endpoint.client), gate(gate_options) {
+  // The health poller must never block a whole poll round on one dead
+  // replica's startup backoff: dial once, fail fast, count it.
+  IpcClient::Options health_options = endpoint.client;
+  health_options.connect_attempts = 1;
+  health_client = std::make_unique<IpcClient>(health_options);
+}
+
+/// RAII checkout of one pooled connection to a replica. Checkout reuses
+/// an idle pooled client or dials a fresh one; check-in returns it only
+/// while it is still connected (a client that saw a transport error has
+/// closed itself) and the pool has room. Also owns the replica's
+/// in-flight count, which is what WaitDrained() watches.
+class RouterFrontEnd::PooledCall {
+ public:
+  PooledCall(Replica* replica, int max_pooled)
+      : replica_(replica), max_pooled_(max_pooled) {
+    replica_->in_flight.fetch_add(1, std::memory_order_acq_rel);
+  }
+
+  ~PooledCall() {
+    if (client_ != nullptr && client_->connected()) {
+      std::lock_guard<std::mutex> lock(replica_->pool_mu);
+      if (replica_->pool.size() < static_cast<size_t>(max_pooled_)) {
+        replica_->pool.push_back(std::move(client_));
+      }
+    }
+    replica_->in_flight.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+  PooledCall(const PooledCall&) = delete;
+  PooledCall& operator=(const PooledCall&) = delete;
+
+  /// Obtains a connected client. Failure means the replica is unreachable
+  /// right now — always a retryable condition.
+  Status Acquire() {
+    {
+      std::lock_guard<std::mutex> lock(replica_->pool_mu);
+      if (!replica_->pool.empty()) {
+        client_ = std::move(replica_->pool.back());
+        replica_->pool.pop_back();
+      }
+    }
+    if (client_ != nullptr) return Status::OK();
+    // Fresh dial: single fast attempt. Failover latency is bounded by
+    // this, not by the startup backoff a sidecar-racing client uses.
+    IpcClient::Options options = replica_->client_options;
+    options.connect_attempts = 1;
+    client_ = std::make_unique<IpcClient>(options);
+    Status st = client_->Connect();
+    if (!st.ok()) {
+      client_.reset();
+      return Status::Unavailable("router: replica '" + replica_->id +
+                                 "' unreachable: " + st.message());
+    }
+    return Status::OK();
+  }
+
+  IpcClient* client() { return client_.get(); }
+
+ private:
+  Replica* replica_;
+  int max_pooled_;
+  std::unique_ptr<IpcClient> client_;
+};
+
+RouterFrontEnd::RouterFrontEnd(const Options& options) : options_(options) {
+  options_.forward_threads = std::max(options_.forward_threads, 1);
+  options_.max_pooled_per_replica =
+      std::max(options_.max_pooled_per_replica, 1);
+  options_.health_poll_interval_ms =
+      std::max(options_.health_poll_interval_ms, 1);
+  options_.health_deadline_ms = std::max(options_.health_deadline_ms, 1);
+  options_.max_failover_attempts = std::max(options_.max_failover_attempts, 1);
+  if (options_.default_deadline_ms <= 0) options_.default_deadline_ms = 30000;
+}
+
+RouterFrontEnd::~RouterFrontEnd() { Shutdown(); }
+
+Status RouterFrontEnd::AddReplica(const ReplicaEndpoint& endpoint) {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  if (started_) {
+    return Status::FailedPrecondition(
+        "router: AddReplica after Start is not supported");
+  }
+  if (endpoint.id.empty()) {
+    return Status::InvalidArgument("router: replica id must be non-empty");
+  }
+  for (const auto& r : replicas_) {
+    if (r->id == endpoint.id) {
+      return Status::InvalidArgument("router: duplicate replica id '" +
+                                     endpoint.id + "'");
+    }
+  }
+  replicas_.push_back(std::make_unique<Replica>(endpoint, options_.gate));
+  ring_.Add(endpoint.id);
+  return Status::OK();
+}
+
+Status RouterFrontEnd::Start() {
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    if (started_) return Status::FailedPrecondition("router: already started");
+    if (replicas_.empty()) {
+      return Status::FailedPrecondition("router: no replicas registered");
+    }
+    started_ = true;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_forwarders_ = false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(health_cv_mu_);
+    stop_health_ = false;
+  }
+  running_.store(true, std::memory_order_release);
+  forwarders_.reserve(static_cast<size_t>(options_.forward_threads));
+  for (int i = 0; i < options_.forward_threads; ++i) {
+    forwarders_.emplace_back([this] { ForwarderLoop(); });
+  }
+  health_thread_ = std::thread([this] { HealthLoop(); });
+
+  if (!options_.listen.unix_path.empty() || options_.listen.tcp_port >= 0) {
+    front_ = std::make_unique<SocketFrontEnd>(this, options_.listen);
+    Status st = front_->Start();
+    if (!st.ok()) {
+      front_.reset();
+      Shutdown();
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
+void RouterFrontEnd::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    if (!started_) return;
+    started_ = false;
+  }
+  // Stop admitting first: Submit()/HandleInfer() now fail fast, so the
+  // front end's connection drain below cannot grow the queue.
+  running_.store(false, std::memory_order_release);
+  // Front end drains while the forwarders still run: its writer threads
+  // block on futures that only the forwarders resolve.
+  if (front_) front_->Shutdown();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stop_forwarders_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : forwarders_) t.join();
+  forwarders_.clear();
+  // Defensive: the forwarder loop drains before exiting, so this should
+  // find nothing; but a promise must never be dropped unresolved.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    while (!queue_.empty()) {
+      queue_.front()->promise.set_value(
+          Status::Unavailable("router: shut down"));
+      queue_.pop_front();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(health_cv_mu_);
+    stop_health_ = true;
+  }
+  health_cv_.notify_all();
+  if (health_thread_.joinable()) health_thread_.join();
+  for (auto& replica : replicas_) {
+    std::lock_guard<std::mutex> lock(replica->pool_mu);
+    replica->pool.clear();
+  }
+}
+
+std::future<Result<InferencePrediction>> RouterFrontEnd::Submit(
+    int db_index, const query::Query& query, const query::PlanNode& plan,
+    int deadline_ms) {
+  if (!running()) {
+    return ReadyFuture<InferencePrediction>(
+        Status::Unavailable("router: not running"));
+  }
+  auto job = std::make_unique<PendingForward>();
+  job->db_index = db_index;
+  job->query = &query;
+  job->plan = &plan;
+  job->deadline_ms =
+      deadline_ms > 0 ? deadline_ms : options_.default_deadline_ms;
+  job->fingerprint = PlanFingerprint(db_index, query, plan);
+  std::future<Result<InferencePrediction>> future =
+      job->promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stop_forwarders_) {
+      // Shutdown raced us between the running() check and here; resolve
+      // instead of enqueueing into a queue nobody drains.
+      job->promise.set_value(Status::Unavailable("router: shutting down"));
+      return future;
+    }
+    queue_.push_back(std::move(job));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+std::future<Result<InferencePrediction>> RouterFrontEnd::HandleInfer(
+    const WireInferenceRequest& request) {
+  // The front end keeps `request` alive until the future resolves, which
+  // is exactly Submit's borrow contract.
+  return Submit(request.db_index, request.query, *request.plan,
+                static_cast<int>(request.deadline_ms));
+}
+
+HealthInfo RouterFrontEnd::HandleHealth() {
+  HealthInfo info;
+  info.running = running();
+  info.requests = metrics_.requests();
+  info.errors = metrics_.errors();
+  info.p50_us = metrics_.forward_latency().PercentileUs(0.50);
+  info.p95_us = metrics_.forward_latency().PercentileUs(0.95);
+  info.p99_us = metrics_.forward_latency().PercentileUs(0.99);
+  // Failovers are the router-level analogue of degraded answers.
+  info.degraded = metrics_.failovers();
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    info.queue_depth = queue_.size();
+  }
+  // Fold in the admitted replicas: queue depth sums; model_version is the
+  // MINIMUM published version (the only version a client may rely on
+  // fleet-wide, e.g. mid-rollout); cache hit rate averages.
+  double hit_rate_sum = 0.0;
+  int admitted = 0;
+  for (const auto& replica : replicas_) {
+    if (!IsAdmitted(replica->id)) continue;
+    std::lock_guard<std::mutex> lock(replica->health_mu);
+    ++admitted;
+    info.queue_depth += replica->last_health.queue_depth;
+    hit_rate_sum += replica->last_health.cache_hit_rate;
+    if (replica->last_health.model_version > 0 &&
+        (info.model_version == 0 ||
+         replica->last_health.model_version < info.model_version)) {
+      info.model_version = replica->last_health.model_version;
+    }
+  }
+  if (admitted > 0) info.cache_hit_rate = hit_rate_sum / admitted;
+  return info;
+}
+
+Result<uint64_t> RouterFrontEnd::HandleControl(
+    const WireControlRequest& request) {
+  (void)request;
+  return Status::Unimplemented(
+      "router: no control surface (drive rollouts via RolloutController)");
+}
+
+Status RouterFrontEnd::BeginDrain(const std::string& id) {
+  Replica* replica = Find(id);
+  if (replica == nullptr) {
+    return Status::NotFound("router: unknown replica '" + id + "'");
+  }
+  replica->draining.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  ring_.Remove(id);
+  return Status::OK();
+}
+
+bool RouterFrontEnd::WaitDrained(const std::string& id, int timeout_ms) {
+  Replica* replica = Find(id);
+  if (replica == nullptr) return false;
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (replica->in_flight.load(std::memory_order_acquire) != 0) {
+    if (Clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+Status RouterFrontEnd::Readmit(const std::string& id) {
+  Replica* replica = Find(id);
+  if (replica == nullptr) {
+    return Status::NotFound("router: unknown replica '" + id + "'");
+  }
+  replica->draining.store(false, std::memory_order_release);
+  // Fresh gate: an ejection history must not demand extra good polls
+  // from an operator-readmitted replica.
+  {
+    std::lock_guard<std::mutex> lock(replica->health_mu);
+    replica->gate = ReplicaGate(options_.gate);
+  }
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  if (ring_.Add(id)) metrics_.RecordReadmit();
+  return Status::OK();
+}
+
+Result<InferencePrediction> RouterFrontEnd::DirectPredict(
+    const std::string& id, int db_index, const query::Query& query,
+    const query::PlanNode& plan, int deadline_ms) {
+  Replica* replica = Find(id);
+  if (replica == nullptr) {
+    return Status::NotFound("router: unknown replica '" + id + "'");
+  }
+  if (deadline_ms <= 0) deadline_ms = options_.default_deadline_ms;
+  PooledCall call(replica, options_.max_pooled_per_replica);
+  Status st = call.Acquire();
+  if (!st.ok()) return st;
+  return call.client()->Predict(db_index, query, plan, deadline_ms);
+}
+
+Result<uint64_t> RouterFrontEnd::SendControl(const std::string& id,
+                                             ControlCommand command,
+                                             uint64_t version,
+                                             const std::string& arg,
+                                             int deadline_ms) {
+  Replica* replica = Find(id);
+  if (replica == nullptr) {
+    return Status::NotFound("router: unknown replica '" + id + "'");
+  }
+  PooledCall call(replica, options_.max_pooled_per_replica);
+  Status st = call.Acquire();
+  if (!st.ok()) return st;
+  return call.client()->Control(command, version, arg, deadline_ms);
+}
+
+std::vector<std::string> RouterFrontEnd::ReplicaIds() const {
+  std::vector<std::string> out;
+  out.reserve(replicas_.size());
+  for (const auto& replica : replicas_) out.push_back(replica->id);
+  return out;
+}
+
+int RouterFrontEnd::AdmittedCount() const {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  return static_cast<int>(ring_.size());
+}
+
+bool RouterFrontEnd::IsAdmitted(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  return ring_.Contains(id);
+}
+
+uint64_t RouterFrontEnd::InFlight(const std::string& id) const {
+  Replica* replica = Find(id);
+  return replica == nullptr
+             ? 0
+             : replica->in_flight.load(std::memory_order_acquire);
+}
+
+uint64_t RouterFrontEnd::ForwardedTo(const std::string& id) const {
+  Replica* replica = Find(id);
+  return replica == nullptr
+             ? 0
+             : replica->forwarded.load(std::memory_order_relaxed);
+}
+
+HealthInfo RouterFrontEnd::ReplicaHealth(const std::string& id) const {
+  Replica* replica = Find(id);
+  if (replica == nullptr) return HealthInfo{};
+  std::lock_guard<std::mutex> lock(replica->health_mu);
+  return replica->last_health;
+}
+
+RouterFrontEnd::Replica* RouterFrontEnd::Find(const std::string& id) const {
+  for (const auto& replica : replicas_) {
+    if (replica->id == id) return replica.get();
+  }
+  return nullptr;
+}
+
+void RouterFrontEnd::ForwarderLoop() {
+  for (;;) {
+    std::unique_ptr<PendingForward> job;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [this] { return stop_forwarders_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and fully drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Forward(job.get());
+  }
+}
+
+std::vector<std::string> RouterFrontEnd::CandidatesFor(
+    const PendingForward& job) {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  std::vector<std::string> candidates;
+  if (options_.policy == RoutingPolicy::kAffinity) {
+    candidates = ring_.Ordered(RingHash(job.fingerprint));
+  } else {
+    candidates = ring_.members();
+    if (!candidates.empty()) {
+      std::rotate(candidates.begin(),
+                  candidates.begin() +
+                      (round_robin_counter_++ % candidates.size()),
+                  candidates.end());
+    }
+  }
+  if (candidates.size() > static_cast<size_t>(options_.max_failover_attempts)) {
+    candidates.resize(static_cast<size_t>(options_.max_failover_attempts));
+  }
+  return candidates;
+}
+
+void RouterFrontEnd::Forward(PendingForward* job) {
+  const auto start = Clock::now();
+  std::vector<std::string> candidates = CandidatesFor(*job);
+  if (candidates.empty()) {
+    metrics_.RecordError();
+    metrics_.RecordExhausted();
+    job->promise.set_value(
+        Status::Unavailable("router: no admitted replicas"));
+    return;
+  }
+  Status last_failure = Status::OK();
+  for (size_t attempt = 0; attempt < candidates.size(); ++attempt) {
+    Replica* replica = Find(candidates[attempt]);
+    if (replica == nullptr ||
+        replica->draining.load(std::memory_order_acquire)) {
+      continue;  // drained between CandidatesFor and here
+    }
+    auto result = ForwardOnce(replica, *job);
+    if (result.ok()) {
+      replica->forwarded.fetch_add(1, std::memory_order_relaxed);
+      InferencePrediction prediction = result.value();
+      if (attempt > 0) {
+        // Served off the primary path: valid answer, but the affinity
+        // cache was cold and the fleet is in a degraded configuration
+        // for this key. Same flag the in-process degraded path uses.
+        prediction.degraded = true;
+        metrics_.RecordFailover();
+      }
+      metrics_.RecordRequest(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              Clock::now() - start)
+              .count()));
+      job->promise.set_value(prediction);
+      return;
+    }
+    replica->errors.fetch_add(1, std::memory_order_relaxed);
+    if (!Retryable(result.status().code())) {
+      metrics_.RecordError();
+      job->promise.set_value(result.status());
+      return;
+    }
+    last_failure = result.status();
+    metrics_.RecordRetry();
+    MTMLF_LOG(1, "router: forward to '%s' failed (%s), trying next",
+              replica->id.c_str(), result.status().message().c_str());
+  }
+  metrics_.RecordError();
+  metrics_.RecordExhausted();
+  job->promise.set_value(last_failure.ok()
+                             ? Status::Unavailable(
+                                   "router: no admitted replicas")
+                             : last_failure);
+}
+
+Result<InferencePrediction> RouterFrontEnd::ForwardOnce(
+    Replica* replica, const PendingForward& job) {
+  Status injected = FaultInjector::Check(kFaultRouterForward);
+  if (!injected.ok()) {
+    // Injected transport fault: same classification a dead socket gets.
+    return Status::Unavailable("router: injected forward fault to '" +
+                               replica->id + "': " + injected.message());
+  }
+  PooledCall call(replica, options_.max_pooled_per_replica);
+  Status st = call.Acquire();
+  if (!st.ok()) return st;
+  return call.client()->Predict(job.db_index, *job.query, *job.plan,
+                                job.deadline_ms);
+}
+
+void RouterFrontEnd::HealthLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(health_cv_mu_);
+      health_cv_.wait_for(
+          lock,
+          std::chrono::milliseconds(options_.health_poll_interval_ms),
+          [this] { return stop_health_; });
+      if (stop_health_) return;
+    }
+    for (auto& replica : replicas_) {
+      if (!replica->health_client->connected()) {
+        if (!replica->health_client->Connect().ok()) {
+          metrics_.RecordHealthPoll(false);
+          RecordPollFailure(*replica);
+          continue;
+        }
+      }
+      auto health =
+          replica->health_client->TryHealth(options_.health_deadline_ms);
+      if (!health.ok()) {
+        metrics_.RecordHealthPoll(false);
+        RecordPollFailure(*replica);
+        continue;
+      }
+      metrics_.RecordHealthPoll(true);
+      const HealthInfo& info = health.value();
+      uint64_t delta_requests =
+          info.requests >= replica->prev_requests
+              ? info.requests - replica->prev_requests
+              : 0;
+      uint64_t delta_errors = info.errors >= replica->prev_errors
+                                  ? info.errors - replica->prev_errors
+                                  : 0;
+      uint64_t delta_fallbacks =
+          info.arena_heap_fallbacks >= replica->prev_heap_fallbacks
+              ? info.arena_heap_fallbacks - replica->prev_heap_fallbacks
+              : 0;
+      replica->prev_requests = info.requests;
+      replica->prev_errors = info.errors;
+      replica->prev_heap_fallbacks = info.arena_heap_fallbacks;
+      double score = ScoreReplica(info, delta_requests, delta_errors,
+                                  delta_fallbacks, options_.score);
+      ReplicaGate::Verdict verdict;
+      {
+        std::lock_guard<std::mutex> lock(replica->health_mu);
+        replica->last_health = info;
+        verdict = replica->gate.OnScore(score);
+      }
+      ApplyVerdict(*replica, verdict, score);
+    }
+  }
+}
+
+void RouterFrontEnd::RecordPollFailure(Replica& replica) {
+  ReplicaGate::Verdict verdict;
+  {
+    std::lock_guard<std::mutex> lock(replica.health_mu);
+    verdict = replica.gate.OnPollFailure();
+  }
+  ApplyVerdict(replica, verdict, 0.0);
+}
+
+void RouterFrontEnd::ApplyVerdict(Replica& replica,
+                                  ReplicaGate::Verdict verdict,
+                                  double last_score) {
+  if (verdict == ReplicaGate::Verdict::kEject) {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    if (ring_.Remove(replica.id)) {
+      metrics_.RecordEject();
+      MTMLF_LOG(1, "router: ejected replica '%s' (score %.1f)",
+                replica.id.c_str(), last_score);
+    }
+  } else if (verdict == ReplicaGate::Verdict::kReadmit) {
+    if (replica.draining.load(std::memory_order_acquire)) {
+      return;  // admin drain outranks the health gate
+    }
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    if (ring_.Add(replica.id)) {
+      metrics_.RecordReadmit();
+      MTMLF_LOG(1, "router: readmitted replica '%s' (score %.1f)",
+                replica.id.c_str(), last_score);
+    }
+  }
+}
+
+}  // namespace mtmlf::serve::router

@@ -1,0 +1,260 @@
+#ifndef MTMLF_SERVE_ROUTER_ROUTER_H_
+#define MTMLF_SERVE_ROUTER_ROUTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "query/plan.h"
+#include "query/query.h"
+#include "serve/ipc_client.h"
+#include "serve/ipc_protocol.h"
+#include "serve/ipc_server.h"
+#include "serve/metrics.h"
+#include "serve/router/health.h"
+#include "serve/router/ring.h"
+
+namespace mtmlf::serve::router {
+
+/// One backend replica: an id (the ring member name) plus how to dial its
+/// SocketFrontEnd.
+struct ReplicaEndpoint {
+  std::string id;
+  IpcClient::Options client;
+};
+
+/// How the router picks a replica for a request.
+enum class RoutingPolicy {
+  /// Rendezvous-hash on (db_index, plan fingerprint): the same logical
+  /// request always lands on the same replica, so that replica's
+  /// PredictionCache sees every repeat — fleet-wide cache residency
+  /// approaches one copy per entry instead of one per replica.
+  kAffinity,
+  /// Rotate over admitted replicas; baseline for the affinity benchmark.
+  kRoundRobin,
+};
+
+/// Replicated serving tier: a router process that speaks MFIP on its
+/// front (it *is* an InferenceHandler behind a SocketFrontEnd) and fans
+/// out to N backend replicas over pooled IpcClients.
+///
+/// The pieces:
+///  - affinity routing: requests are keyed by the same fingerprint the
+///    replica PredictionCache uses, placed with rendezvous hashing
+///    (serve/router/ring.h) so membership churn only remaps the keys of
+///    the changed replica;
+///  - health management: a poll thread scores each replica's health frame
+///    (serve/router/health.h) and ejects/readmits it from the ring with
+///    hysteresis;
+///  - breaker-aware failover: a forward that fails with a transport error
+///    or a retryable status (kUnavailable, kResourceExhausted, kInternal,
+///    kFailedPrecondition) moves to the next ring candidate; answers
+///    served off the primary path are tagged degraded=true (extending the
+///    in-process meaning: the answer is valid but did not come from where
+///    routing wanted it). Non-retryable statuses (kInvalidArgument,
+///    kNotFound, kOutOfRange, kUnimplemented) surface immediately — the
+///    request itself is bad, no replica will do better.
+///
+/// Draining (the rollout path, serve/router/rollout.h): BeginDrain(id)
+/// removes a replica from the ring but keeps it connected; in-flight
+/// requests finish, DirectPredict() still reaches it (canary), and
+/// Readmit(id) puts it back.
+///
+/// Thread-safety: all public methods are safe to call concurrently.
+/// Submit() borrows query/plan until the returned future resolves, same
+/// contract as InferenceServer::Submit.
+class RouterFrontEnd : public InferenceHandler {
+ public:
+  struct Options {
+    /// Front-end listener. Leave both unix_path empty and tcp_port=-1 to
+    /// run the router embedded (Submit()/DirectPredict() only, no
+    /// sockets) — the in-process test configuration.
+    SocketFrontEnd::Options listen;
+    /// Forwarder threads draining the router's request queue. Each
+    /// forward is a blocking round trip to a replica, so this bounds
+    /// fan-out concurrency.
+    int forward_threads = 4;
+    /// Idle IpcClients kept pooled per replica (each forward checks one
+    /// out or dials a new connection; at most this many are kept on
+    /// check-in).
+    int max_pooled_per_replica = 4;
+    int health_poll_interval_ms = 200;
+    int health_deadline_ms = 100;
+    ScoreOptions score;
+    ReplicaGate::Options gate;
+    /// Ring candidates tried per request (primary + failovers).
+    int max_failover_attempts = 3;
+    /// Per-forward deadline when the request carries none.
+    int default_deadline_ms = 30000;
+    RoutingPolicy policy = RoutingPolicy::kAffinity;
+  };
+
+  explicit RouterFrontEnd(const Options& options);
+  ~RouterFrontEnd() override;
+
+  RouterFrontEnd(const RouterFrontEnd&) = delete;
+  RouterFrontEnd& operator=(const RouterFrontEnd&) = delete;
+
+  /// Registers a replica. Only before Start().
+  Status AddReplica(const ReplicaEndpoint& endpoint);
+
+  /// Spawns forwarders + health poller and (if configured) the front-end
+  /// listener. Fails if already started or no replicas registered.
+  Status Start();
+
+  /// Stops the front end and drains: queued requests are still forwarded,
+  /// every future resolves. Idempotent.
+  void Shutdown();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Enqueues one request for forwarding. Borrows query/plan until the
+  /// future resolves.
+  std::future<Result<InferencePrediction>> Submit(int db_index,
+                                                  const query::Query& query,
+                                                  const query::PlanNode& plan,
+                                                  int deadline_ms = 0);
+
+  // InferenceHandler — the router behind its own SocketFrontEnd.
+  std::future<Result<InferencePrediction>> HandleInfer(
+      const WireInferenceRequest& request) override;
+  /// Fleet-aggregate health: running, sum of requests/errors/queue depth
+  /// over admitted replicas, min published model version (the version a
+  /// client can rely on fleet-wide), and the router's own forward
+  /// latency percentiles.
+  HealthInfo HandleHealth() override;
+  /// The router exposes no replica-mutating control surface on its
+  /// front; rollouts are driven by RolloutController against the
+  /// replicas directly. Always kUnimplemented.
+  Result<uint64_t> HandleControl(const WireControlRequest& request) override;
+
+  /// Takes `id` out of the ring (stops NEW requests; in-flight forwards
+  /// finish; DirectPredict still works). No-op if already draining.
+  Status BeginDrain(const std::string& id);
+  /// Waits until `id` has no in-flight forwards. False on timeout.
+  bool WaitDrained(const std::string& id, int timeout_ms);
+  /// Puts a drained (or health-ejected) replica back into the ring and
+  /// resets its health gate.
+  Status Readmit(const std::string& id);
+
+  /// One direct round trip to a specific replica, bypassing the ring and
+  /// admission state — the rollout controller's canary probe. Counts as
+  /// in-flight for WaitDrained.
+  Result<InferencePrediction> DirectPredict(const std::string& id,
+                                            int db_index,
+                                            const query::Query& query,
+                                            const query::PlanNode& plan,
+                                            int deadline_ms = 0);
+  /// One control round trip to a specific replica (rollout staging).
+  Result<uint64_t> SendControl(const std::string& id, ControlCommand command,
+                               uint64_t version,
+                               const std::string& arg = std::string(),
+                               int deadline_ms = 5000);
+
+  std::vector<std::string> ReplicaIds() const;
+  /// Replicas currently in the ring (admitted and not draining).
+  int AdmittedCount() const;
+  bool IsAdmitted(const std::string& id) const;
+  uint64_t InFlight(const std::string& id) const;
+  /// Requests forwarded to (answered by) `id` since Start().
+  uint64_t ForwardedTo(const std::string& id) const;
+  /// Last successfully polled health frame for `id` (zero-initialized
+  /// before the first poll).
+  HealthInfo ReplicaHealth(const std::string& id) const;
+
+  const RouterMetrics& metrics() const { return metrics_; }
+  /// The front-end listener, when one is configured and started.
+  const SocketFrontEnd* front() const { return front_.get(); }
+  int tcp_port() const { return front_ ? front_->tcp_port() : -1; }
+
+ private:
+  struct Replica {
+    std::string id;
+    IpcClient::Options client_options;
+    // Pool of idle connections (each checked out by one forward at a
+    // time; IpcClient itself is not thread-safe).
+    std::mutex pool_mu;
+    std::vector<std::unique_ptr<IpcClient>> pool;  // guarded by pool_mu
+    std::atomic<uint64_t> in_flight{0};
+    std::atomic<uint64_t> forwarded{0};
+    std::atomic<uint64_t> errors{0};
+    std::atomic<bool> draining{false};
+    // Health-poll state, owned by the health thread...
+    std::unique_ptr<IpcClient> health_client;
+    uint64_t prev_requests = 0;
+    uint64_t prev_errors = 0;
+    uint64_t prev_heap_fallbacks = 0;
+    // ... except the last snapshot and the gate, which other threads may
+    // read or reset (Readmit() swaps in a fresh gate).
+    mutable std::mutex health_mu;
+    HealthInfo last_health;  // guarded by health_mu
+    ReplicaGate gate;        // guarded by health_mu
+
+    Replica(const ReplicaEndpoint& endpoint, const ReplicaGate::Options& gate);
+  };
+
+  struct PendingForward {
+    int db_index = 0;
+    const query::Query* query = nullptr;
+    const query::PlanNode* plan = nullptr;
+    int deadline_ms = 0;
+    std::string fingerprint;
+    std::promise<Result<InferencePrediction>> promise;
+  };
+
+  // RAII checkout of one pooled connection.
+  class PooledCall;
+
+  void ForwarderLoop();
+  void HealthLoop();
+  /// Feeds a failed poll to the gate (under health_mu) and applies it.
+  void RecordPollFailure(Replica& replica);
+  /// Applies a gate verdict to the ring (health thread only).
+  void ApplyVerdict(Replica& replica, ReplicaGate::Verdict verdict,
+                    double last_score);
+  void Forward(PendingForward* job);
+  /// Routing order for `job` under the current ring + policy.
+  std::vector<std::string> CandidatesFor(const PendingForward& job);
+  Replica* Find(const std::string& id) const;
+  /// One forward attempt against one replica. Transport failures and the
+  /// kFaultRouterForward injection point come back as retryable statuses.
+  Result<InferencePrediction> ForwardOnce(Replica* replica,
+                                          const PendingForward& job);
+
+  Options options_;
+  RouterMetrics metrics_;
+
+  std::vector<std::unique_ptr<Replica>> replicas_;  // fixed after Start()
+
+  mutable std::mutex ring_mu_;
+  HashRing ring_;  // guarded by ring_mu_
+  uint64_t round_robin_counter_ = 0;  // guarded by ring_mu_
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::unique_ptr<PendingForward>> queue_;  // guarded by queue_mu_
+  bool stop_forwarders_ = false;                       // guarded by queue_mu_
+
+  std::vector<std::thread> forwarders_;
+  std::thread health_thread_;
+  std::mutex health_cv_mu_;
+  std::condition_variable health_cv_;
+  bool stop_health_ = false;  // guarded by health_cv_mu_
+
+  std::unique_ptr<SocketFrontEnd> front_;
+
+  std::atomic<bool> running_{false};
+  bool started_ = false;  // guarded by ring_mu_
+};
+
+}  // namespace mtmlf::serve::router
+
+#endif  // MTMLF_SERVE_ROUTER_ROUTER_H_

@@ -18,7 +18,8 @@ InferenceServer::InferenceServer(ModelRegistry* registry,
                                  const Options& options)
     : registry_(registry),
       options_(options),
-      cache_(options.cache_capacity, options.cache_shards),
+      cache_(options.cache_capacity, options.cache_shards,
+             options.cache_admission),
       breaker_(options.breaker) {
   options_.num_workers = std::max(options_.num_workers, 1);
   options_.max_batch = std::max(options_.max_batch, 1);

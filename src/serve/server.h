@@ -94,6 +94,10 @@ class InferenceServer {
     bool enable_cache = true;
     size_t cache_capacity = 4096;
     int cache_shards = 8;
+    /// Eviction-side admission policy (see serve/cache.h). kTinyLfu
+    /// protects the hot working set when the fingerprint stream is
+    /// skewed with scan pollution; kAlwaysAdmit is plain LRU.
+    CacheAdmission cache_admission = CacheAdmission::kAlwaysAdmit;
     /// Fuse cache-missing requests of one drained micro-batch into
     /// MtmlfQo::RunBatch forward passes, grouped by (db_index,
     /// next-power-of-two plan size bucket) so plans padded together are of

@@ -1,0 +1,884 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "datagen/imdb_like.h"
+#include "model/mtmlf_qo.h"
+#include "optimizer/baseline_card_est.h"
+#include "serve/cache.h"
+#include "serve/checkpoint.h"
+#include "serve/faults.h"
+#include "serve/ipc_protocol.h"
+#include "serve/ipc_server.h"
+#include "serve/registry.h"
+#include "serve/router/health.h"
+#include "serve/router/ring.h"
+#include "serve/router/rollout.h"
+#include "serve/router/router.h"
+#include "serve/server.h"
+#include "workload/dataset.h"
+
+namespace mtmlf::serve {
+namespace {
+
+using router::HashRing;
+using router::ReplicaGate;
+using router::RingHash;
+using router::RolloutController;
+using router::RouterFrontEnd;
+using router::ScoreOptions;
+using router::ScoreReplica;
+
+featurize::ModelConfig TinyConfig() {
+  featurize::ModelConfig c;
+  c.d_feat = 8;
+  c.d_model = 16;
+  c.d_ff = 32;
+  c.enc_layers = 1;
+  c.enc_heads = 2;
+  c.share_layers = 1;
+  c.share_heads = 2;
+  c.jo_layers = 1;
+  c.jo_heads = 2;
+  c.head_hidden = 16;
+  return c;
+}
+
+struct Env {
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<optimizer::BaselineCardEstimator> baseline;
+  workload::Dataset dataset;
+  Env() {
+    SetLogLevel(0);
+    Rng rng(7);
+    db = datagen::BuildImdbLike({.scale = 0.05}, &rng).take();
+    baseline = std::make_unique<optimizer::BaselineCardEstimator>(db.get());
+    workload::DatasetOptions opts;
+    opts.num_queries = 20;
+    opts.single_table_queries_per_table = 2;
+    opts.generator.min_tables = 2;
+    opts.generator.max_tables = 4;
+    dataset = workload::BuildDataset(db.get(), baseline.get(), opts).take();
+  }
+};
+
+Env& GetEnv() {
+  static Env* env = new Env();
+  return *env;
+}
+
+std::string SockPath(const std::string& name) {
+  // Keep paths short: sockaddr_un caps sun_path at ~108 bytes.
+  return testing::TempDir() + "/" + name;
+}
+
+/// Builds a model the way every fleet node does, so identical seeds give
+/// bit-identical replicas.
+std::shared_ptr<model::MtmlfQo> BuildModel(uint64_t seed) {
+  Env& env = GetEnv();
+  auto m = std::make_shared<model::MtmlfQo>(TinyConfig(), seed);
+  m->AddDatabase(env.db.get(), env.baseline.get());
+  return m;
+}
+
+/// One replica process, in-process: registry + server + UDS front end,
+/// with the rollout control hooks a production replica would configure.
+struct Node {
+  ModelRegistry registry;
+  std::unique_ptr<InferenceServer> server;
+  std::unique_ptr<SocketFrontEnd> front;
+  std::string sock_path;
+
+  Node(const std::string& name, uint64_t model_seed,
+       InferenceServer::Options sopts = {}) {
+    auto m = BuildModel(model_seed);
+    EXPECT_TRUE(registry.Register(1, m).ok());
+    EXPECT_TRUE(registry.Publish(1).ok());
+    server = std::make_unique<InferenceServer>(&registry, sopts);
+    EXPECT_TRUE(server->Start().ok());
+    sock_path = SockPath(name);
+    SocketFrontEnd::Options fopts;
+    fopts.unix_path = sock_path;
+    // The rollout path: stage a checkpoint under a new version. Publish
+    // uses the built-in registry default.
+    fopts.control.load_checkpoint = [this](uint64_t version,
+                                           const std::string& path) {
+      auto fresh = BuildModel(/*seed=*/1);  // params replaced by the load
+      Status st = LoadCheckpoint(path, fresh.get());
+      if (!st.ok()) return st;
+      return registry.Register(version, fresh);
+    };
+    front = std::make_unique<SocketFrontEnd>(server.get(), &registry, fopts);
+    EXPECT_TRUE(front->Start().ok());
+  }
+
+  ~Node() {
+    front->Shutdown();
+    server->Shutdown();
+  }
+};
+
+/// N replicas behind one RouterFrontEnd (embedded: no router listener —
+/// the router's own socket front is exercised in examples/router_fleet).
+struct Fleet {
+  std::vector<std::unique_ptr<Node>> nodes;
+  std::unique_ptr<RouterFrontEnd> router;
+
+  explicit Fleet(int n, const std::string& prefix,
+                 RouterFrontEnd::Options ropts = {},
+                 InferenceServer::Options sopts = {},
+                 uint64_t model_seed = 91) {
+    // Fast polls so eject/readmit tests converge quickly.
+    ropts.health_poll_interval_ms = 25;
+    for (int i = 0; i < n; ++i) {
+      nodes.push_back(std::make_unique<Node>(
+          prefix + std::to_string(i) + ".sock", model_seed, sopts));
+    }
+    router = std::make_unique<RouterFrontEnd>(ropts);
+    for (int i = 0; i < n; ++i) {
+      router::ReplicaEndpoint ep;
+      ep.id = "replica-" + std::to_string(i);
+      ep.client.unix_path = nodes[static_cast<size_t>(i)]->sock_path;
+      ep.client.connect_attempts = 2;
+      ep.client.backoff_initial_ms = 1;
+      EXPECT_TRUE(router->AddReplica(ep).ok());
+    }
+    EXPECT_TRUE(router->Start().ok());
+  }
+
+  ~Fleet() {
+    router->Shutdown();  // before the fronts it forwards to
+  }
+
+  std::string Id(int i) const { return "replica-" + std::to_string(i); }
+};
+
+bool WaitFor(const std::function<bool()>& pred, int timeout_ms = 5000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return true;
+}
+
+// --------------------------------------------------------------------------
+// Rendezvous ring
+// --------------------------------------------------------------------------
+
+TEST(HashRingTest, OrderedIsDeterministicCompleteAndDuplicateFree) {
+  HashRing ring;
+  EXPECT_TRUE(ring.Add("a"));
+  EXPECT_TRUE(ring.Add("b"));
+  EXPECT_TRUE(ring.Add("c"));
+  EXPECT_FALSE(ring.Add("b"));  // duplicate
+  EXPECT_EQ(ring.size(), 3u);
+
+  uint64_t key = RingHash("some-plan-fingerprint");
+  auto order1 = ring.Ordered(key);
+  auto order2 = ring.Ordered(key);
+  EXPECT_EQ(order1, order2);
+  ASSERT_EQ(order1.size(), 3u);
+  // A permutation of the membership.
+  auto sorted = order1;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, ring.members());
+  EXPECT_EQ(ring.Primary(key), order1[0]);
+
+  EXPECT_TRUE(ring.Remove("b"));
+  EXPECT_FALSE(ring.Remove("b"));
+  EXPECT_FALSE(ring.Contains("b"));
+  EXPECT_TRUE(ring.Primary(key) == "a" || ring.Primary(key) == "c");
+
+  HashRing empty;
+  EXPECT_EQ(empty.Primary(key), "");
+  EXPECT_TRUE(empty.Ordered(key).empty());
+}
+
+TEST(HashRingTest, RemovalOnlyRemapsTheRemovedMembersKeys) {
+  HashRing ring;
+  const std::vector<std::string> members = {"r0", "r1", "r2", "r3", "r4"};
+  for (const auto& m : members) ring.Add(m);
+
+  constexpr int kKeys = 400;
+  std::vector<uint64_t> keys;
+  std::vector<std::string> primary_before;
+  std::vector<std::string> runner_up;
+  for (int i = 0; i < kKeys; ++i) {
+    keys.push_back(RingHash("key-" + std::to_string(i)));
+    auto order = ring.Ordered(keys.back());
+    primary_before.push_back(order[0]);
+    runner_up.push_back(order[1]);
+  }
+
+  ring.Remove("r2");
+  int moved = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    std::string now = ring.Primary(keys[i]);
+    if (primary_before[static_cast<size_t>(i)] == "r2") {
+      ++moved;
+      // The orphaned key falls exactly to its old runner-up.
+      EXPECT_EQ(now, runner_up[static_cast<size_t>(i)]);
+    } else {
+      // Everyone else's placement is untouched — the minimal-remap
+      // property that keeps replica caches warm through churn.
+      EXPECT_EQ(now, primary_before[static_cast<size_t>(i)]);
+    }
+  }
+  // HRW is uniform: roughly 1/5 of the keys lived on r2.
+  EXPECT_GT(moved, kKeys / 10);
+  EXPECT_LT(moved, kKeys / 3);
+
+  // Adding it back restores the original placement exactly.
+  ring.Add("r2");
+  for (int i = 0; i < kKeys; ++i) {
+    EXPECT_EQ(ring.Primary(keys[i]), primary_before[static_cast<size_t>(i)]);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Health scoring + hysteresis gate
+// --------------------------------------------------------------------------
+
+TEST(ReplicaGateTest, ScoreReflectsQueueErrorsBreakerAndLiveness) {
+  ScoreOptions opts;
+  HealthInfo h;
+  h.running = true;
+  EXPECT_EQ(ScoreReplica(h, 0, 0, 0, opts), 100.0);
+
+  h.running = false;
+  EXPECT_EQ(ScoreReplica(h, 0, 0, 0, opts), 0.0);
+  h.running = true;
+
+  // Queue saturation costs queue_weight, linearly up to queue_ref.
+  h.queue_depth = static_cast<uint64_t>(opts.queue_ref);
+  EXPECT_NEAR(ScoreReplica(h, 0, 0, 0, opts), 100.0 - opts.queue_weight,
+              1e-9);
+  h.queue_depth = static_cast<uint64_t>(opts.queue_ref) * 10;  // clamps
+  EXPECT_NEAR(ScoreReplica(h, 0, 0, 0, opts), 100.0 - opts.queue_weight,
+              1e-9);
+  h.queue_depth = 0;
+
+  // Recent error rate, not lifetime: deltas drive the term.
+  EXPECT_NEAR(ScoreReplica(h, 100, 50, 0, opts),
+              100.0 - opts.error_weight * 0.5, 1e-9);
+
+  // Breaker open is disqualifying on its own.
+  h.breaker_state = 1;
+  EXPECT_EQ(ScoreReplica(h, 0, 0, 0, opts), 0.0);
+  h.breaker_state = 2;
+  EXPECT_NEAR(ScoreReplica(h, 0, 0, 0, opts),
+              100.0 - opts.breaker_half_open_penalty, 1e-9);
+  h.breaker_state = 0;
+
+  // Arena heap fallbacks: a fixed nudge, only when growing.
+  EXPECT_NEAR(ScoreReplica(h, 0, 0, 5, opts),
+              100.0 - opts.arena_fallback_penalty, 1e-9);
+}
+
+TEST(ReplicaGateTest, HysteresisEjectsFastReadmitsSlow) {
+  ReplicaGate::Options opts;
+  opts.eject_below = 20.0;
+  opts.readmit_above = 50.0;
+  opts.eject_after_poll_failures = 2;
+  opts.readmit_after_good_polls = 2;
+  ReplicaGate gate(opts);
+  EXPECT_TRUE(gate.admitted());
+
+  // Healthy scores keep it in.
+  EXPECT_EQ(gate.OnScore(90.0), ReplicaGate::Verdict::kNoChange);
+  // One bad score ejects immediately.
+  EXPECT_EQ(gate.OnScore(5.0), ReplicaGate::Verdict::kEject);
+  EXPECT_FALSE(gate.admitted());
+
+  // The dead zone between thresholds readmits nothing.
+  EXPECT_EQ(gate.OnScore(35.0), ReplicaGate::Verdict::kNoChange);
+  // One good poll is not enough...
+  EXPECT_EQ(gate.OnScore(80.0), ReplicaGate::Verdict::kNoChange);
+  // ...and a relapse resets the streak.
+  EXPECT_EQ(gate.OnScore(10.0), ReplicaGate::Verdict::kNoChange);
+  EXPECT_EQ(gate.OnScore(80.0), ReplicaGate::Verdict::kNoChange);
+  EXPECT_EQ(gate.OnScore(80.0), ReplicaGate::Verdict::kReadmit);
+  EXPECT_TRUE(gate.admitted());
+
+  // Poll failures need two in a row.
+  EXPECT_EQ(gate.OnPollFailure(), ReplicaGate::Verdict::kNoChange);
+  EXPECT_EQ(gate.OnScore(90.0), ReplicaGate::Verdict::kNoChange);  // resets
+  EXPECT_EQ(gate.OnPollFailure(), ReplicaGate::Verdict::kNoChange);
+  EXPECT_EQ(gate.OnPollFailure(), ReplicaGate::Verdict::kEject);
+  EXPECT_FALSE(gate.admitted());
+}
+
+// --------------------------------------------------------------------------
+// Control-op codecs (protocol v4)
+// --------------------------------------------------------------------------
+
+TEST(RouterControlCodecTest, ControlRequestRoundTripAndRejections) {
+  std::string payload;
+  EncodeControlRequest(ControlCommand::kLoadCheckpoint, 7,
+                       "/tmp/x;with\0hostile bytes", &payload);
+  auto decoded = DecodeControlRequest(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded.value().command, ControlCommand::kLoadCheckpoint);
+  EXPECT_EQ(decoded.value().version, 7u);
+
+  payload.clear();  // encoders append
+  EncodeControlRequest(ControlCommand::kPublish, 3, "", &payload);
+  decoded = DecodeControlRequest(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value().command, ControlCommand::kPublish);
+  EXPECT_EQ(decoded.value().version, 3u);
+  EXPECT_TRUE(decoded.value().arg.empty());
+
+  // Strict length: every proper prefix and any trailing garbage fail.
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(DecodeControlRequest(payload.substr(0, cut)).ok());
+  }
+  EXPECT_FALSE(DecodeControlRequest(payload + "z").ok());
+
+  // Unknown command byte.
+  std::string bad = payload;
+  bad[0] = 0;
+  EXPECT_FALSE(DecodeControlRequest(bad).ok());
+  bad[0] = 99;
+  EXPECT_FALSE(DecodeControlRequest(bad).ok());
+}
+
+TEST(RouterControlCodecTest, ControlResponseCarriesValueAndStatus) {
+  std::string payload;
+  EncodeControlResponse(Result<uint64_t>(uint64_t{42}), &payload);
+  auto ok = DecodeControlResponse(payload);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 42u);
+
+  payload.clear();  // encoders append
+  EncodeControlResponse(
+      Result<uint64_t>(Status::Unimplemented("no hook")), &payload);
+  auto err = DecodeControlResponse(payload);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(err.status().message(), "no hook");
+
+  EXPECT_FALSE(DecodeControlResponse(std::string()).ok());
+}
+
+// --------------------------------------------------------------------------
+// Cache admission (TinyLFU satellite)
+// --------------------------------------------------------------------------
+
+TEST(CacheAdmissionTest, DefaultLruBehaviorIsUnchanged) {
+  PredictionCache cache(3, 1);  // default kAlwaysAdmit
+  EXPECT_EQ(cache.admission(), CacheAdmission::kAlwaysAdmit);
+  for (int i = 0; i < 5; ++i) {
+    cache.Put("k" + std::to_string(i), {double(i), 0.0});
+  }
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.admission_rejects(), 0u);
+  Prediction p;
+  // LRU evicted the two oldest; the three newest are resident.
+  EXPECT_FALSE(cache.Get("k0", &p));
+  EXPECT_FALSE(cache.Get("k1", &p));
+  EXPECT_TRUE(cache.Get("k2", &p));
+  EXPECT_TRUE(cache.Get("k4", &p));
+}
+
+TEST(CacheAdmissionTest, TinyLfuRejectsColdChallengersUntilProvenHot) {
+  PredictionCache cache(2, 1, CacheAdmission::kTinyLfu);
+  Prediction p;
+  // Establish two hot residents (lookups build frequency; misses too).
+  for (int round = 0; round < 3; ++round) {
+    cache.Get("hot-a", &p);
+    cache.Get("hot-b", &p);
+  }
+  cache.Put("hot-a", {1.0, 0.0});
+  cache.Put("hot-b", {2.0, 0.0});
+  ASSERT_TRUE(cache.Get("hot-a", &p));
+  ASSERT_TRUE(cache.Get("hot-b", &p));
+
+  // A once-seen key must not displace either resident.
+  cache.Get("cold", &p);  // one miss = frequency 1
+  cache.Put("cold", {3.0, 0.0});
+  EXPECT_EQ(cache.admission_rejects(), 1u);
+  EXPECT_FALSE(cache.Get("cold", &p));
+  EXPECT_TRUE(cache.Get("hot-a", &p));
+  EXPECT_TRUE(cache.Get("hot-b", &p));
+
+  // ...but once its demand provably exceeds the victim's, it gets in.
+  for (int i = 0; i < 12; ++i) cache.Get("cold", &p);
+  cache.Put("cold", {3.0, 0.0});
+  EXPECT_TRUE(cache.Get("cold", &p));
+}
+
+TEST(CacheAdmissionTest, TinyLfuSurvivesScanPollutionThatFlushesLru) {
+  // Hot working set fits the cache; then a one-shot scan of cold keys
+  // sweeps through. Plain LRU forgets the hot set; TinyLFU keeps it.
+  constexpr int kHot = 8;
+  constexpr int kScan = 64;
+  auto run = [&](CacheAdmission admission) {
+    PredictionCache cache(kHot, 1, admission);
+    Prediction p;
+    for (int round = 0; round < 4; ++round) {
+      for (int i = 0; i < kHot; ++i) {
+        std::string key = "hot-" + std::to_string(i);
+        if (!cache.Get(key, &p)) cache.Put(key, {double(i), 0.0});
+      }
+    }
+    for (int i = 0; i < kScan; ++i) {
+      std::string key = "scan-" + std::to_string(i);
+      if (!cache.Get(key, &p)) cache.Put(key, {double(i), 0.0});
+    }
+    int hot_resident = 0;
+    for (int i = 0; i < kHot; ++i) {
+      if (cache.Get("hot-" + std::to_string(i), &p)) ++hot_resident;
+    }
+    return std::make_pair(hot_resident, cache.admission_rejects());
+  };
+
+  auto [lru_resident, lru_rejects] = run(CacheAdmission::kAlwaysAdmit);
+  auto [lfu_resident, lfu_rejects] = run(CacheAdmission::kTinyLfu);
+  // LRU: the scan flushed everything.
+  EXPECT_EQ(lru_resident, 0);
+  EXPECT_EQ(lru_rejects, 0u);
+  // TinyLFU: the doorkeeper absorbed the one-hit scan; hot set intact.
+  EXPECT_EQ(lfu_resident, kHot);
+  EXPECT_EQ(lfu_rejects, static_cast<uint64_t>(kScan));
+}
+
+// --------------------------------------------------------------------------
+// Router fleet (in-process chaos)
+// --------------------------------------------------------------------------
+
+TEST(ServeRouterTest, PredictionsBitIdenticalToSingleServer) {
+  Env& env = GetEnv();
+  Fleet fleet(3, "rt_bit");
+
+  // In-process single-server truth, same model seed.
+  ModelRegistry truth_registry;
+  ASSERT_TRUE(truth_registry.Register(1, BuildModel(91)).ok());
+  ASSERT_TRUE(truth_registry.Publish(1).ok());
+  InferenceServer truth(&truth_registry, {});
+  ASSERT_TRUE(truth.Start().ok());
+
+  for (const auto& lq : env.dataset.queries) {
+    auto expected = truth.Submit({0, &lq.query, lq.plan.get()}).get();
+    ASSERT_TRUE(expected.ok()) << expected.status().ToString();
+    auto got = fleet.router->Submit(0, lq.query, *lq.plan).get();
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(got.value().card, expected.value().card);
+    EXPECT_EQ(got.value().cost_ms, expected.value().cost_ms);
+    EXPECT_EQ(got.value().model_version, 1u);
+    EXPECT_FALSE(got.value().degraded);  // healthy fleet: primary path
+  }
+  EXPECT_EQ(fleet.router->metrics().errors(), 0u);
+  EXPECT_EQ(fleet.router->metrics().failovers(), 0u);
+  truth.Shutdown();
+}
+
+TEST(ServeRouterTest, AffinityPinsAKeyToOneReplica) {
+  Env& env = GetEnv();
+  Fleet fleet(3, "rt_aff");
+
+  // The same logical request, many times: exactly one replica sees it.
+  const auto& lq = env.dataset.queries.front();
+  for (int i = 0; i < 6; ++i) {
+    auto r = fleet.router->Submit(0, lq.query, *lq.plan).get();
+    ASSERT_TRUE(r.ok());
+  }
+  int serving_replicas = 0;
+  uint64_t total = 0;
+  for (int i = 0; i < 3; ++i) {
+    uint64_t n = fleet.router->ForwardedTo(fleet.Id(i));
+    total += n;
+    if (n > 0) ++serving_replicas;
+  }
+  EXPECT_EQ(total, 6u);
+  EXPECT_EQ(serving_replicas, 1);
+
+  // Distinct keys spread: with 20 queries over 3 replicas, more than one
+  // replica serves (deterministic under the fixed hash).
+  uint64_t before[3];
+  for (int i = 0; i < 3; ++i) before[i] = fleet.router->ForwardedTo(fleet.Id(i));
+  for (const auto& q : env.dataset.queries) {
+    ASSERT_TRUE(fleet.router->Submit(0, q.query, *q.plan).get().ok());
+  }
+  serving_replicas = 0;
+  for (int i = 0; i < 3; ++i) {
+    if (fleet.router->ForwardedTo(fleet.Id(i)) > before[i]) ++serving_replicas;
+  }
+  EXPECT_GE(serving_replicas, 2);
+}
+
+TEST(ServeRouterTest, InjectedForwardFaultsFailOverWithoutClientFailures) {
+  ScopedFaultClear clear;
+  Env& env = GetEnv();
+  Fleet fleet(3, "rt_fault");
+
+  // Deterministic under every MTMLF_FAULT_SEED: probability 1 with a
+  // capped failure budget. The first two forward attempts die on the
+  // "wire"; the third candidate answers.
+  FaultInjector::Spec spec;
+  spec.probability = 1.0;
+  spec.max_failures = 2;
+  FaultInjector::Global().Arm(kFaultRouterForward, spec);
+
+  const auto& lq = env.dataset.queries.front();
+  auto r = fleet.router->Submit(0, lq.query, *lq.plan).get();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Served off the primary path and flagged as such.
+  EXPECT_TRUE(r.value().degraded);
+  EXPECT_EQ(fleet.router->metrics().retries(), 2u);
+  EXPECT_EQ(fleet.router->metrics().failovers(), 1u);
+  EXPECT_EQ(fleet.router->metrics().errors(), 0u);
+
+  // Exhaustion: more injected failures than candidates surfaces the last
+  // failure to the client instead of hanging.
+  spec.max_failures = 3;
+  FaultInjector::Global().Arm(kFaultRouterForward, spec);
+  auto dead = fleet.router->Submit(0, lq.query, *lq.plan).get();
+  ASSERT_FALSE(dead.ok());
+  EXPECT_EQ(dead.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(fleet.router->metrics().exhausted(), 1u);
+
+  FaultInjector::Global().DisarmAll();
+  auto again = fleet.router->Submit(0, lq.query, *lq.plan).get();
+  EXPECT_TRUE(again.ok());
+}
+
+TEST(ServeRouterTest, CrashedReplicaIsEjectedTrafficContinuesThenReadmits) {
+  Env& env = GetEnv();
+  Fleet fleet(3, "rt_crash");
+
+  // Warm: every replica reachable.
+  for (const auto& lq : env.dataset.queries) {
+    ASSERT_TRUE(fleet.router->Submit(0, lq.query, *lq.plan).get().ok());
+  }
+
+  // "Crash" replica 1's serving backend mid-fleet (front stays up: the
+  // process is alive but its server loop is gone — the lagging-replica
+  // shape). Every request keeps succeeding; the ones whose primary died
+  // fail over and come back flagged degraded.
+  fleet.nodes[1]->server->Shutdown();
+  uint64_t degraded = 0;
+  for (const auto& lq : env.dataset.queries) {
+    auto r = fleet.router->Submit(0, lq.query, *lq.plan).get();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    if (r.value().degraded) ++degraded;
+  }
+  EXPECT_GT(degraded, 0u);  // replica-1 owned some keys (fixed hash)
+
+  // The health poller sees running=false and ejects it.
+  ASSERT_TRUE(WaitFor(
+      [&] { return !fleet.router->IsAdmitted(fleet.Id(1)); }));
+  EXPECT_EQ(fleet.router->AdmittedCount(), 2);
+  EXPECT_GE(fleet.router->metrics().ejects(), 1u);
+
+  // With the dead replica out of the ring, traffic is clean again — no
+  // failover detours, zero failures.
+  uint64_t failovers_before = fleet.router->metrics().failovers();
+  for (const auto& lq : env.dataset.queries) {
+    auto r = fleet.router->Submit(0, lq.query, *lq.plan).get();
+    ASSERT_TRUE(r.ok());
+  }
+  EXPECT_EQ(fleet.router->metrics().failovers(), failovers_before);
+
+  // Replica recovers; the gate readmits it after consecutive good polls.
+  ASSERT_TRUE(fleet.nodes[1]->server->Start().ok());
+  ASSERT_TRUE(WaitFor(
+      [&] { return fleet.router->IsAdmitted(fleet.Id(1)); }));
+  EXPECT_EQ(fleet.router->AdmittedCount(), 3);
+  EXPECT_GE(fleet.router->metrics().readmits(), 1u);
+  auto r = fleet.router->Submit(0, env.dataset.queries[0].query,
+                                *env.dataset.queries[0].plan)
+               .get();
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(ServeRouterTest, DeadFrontIsEjectedViaPollFailures) {
+  Env& env = GetEnv();
+  Fleet fleet(3, "rt_dead");
+  for (const auto& lq : env.dataset.queries) {
+    ASSERT_TRUE(fleet.router->Submit(0, lq.query, *lq.plan).get().ok());
+  }
+
+  // Hard crash: the whole front goes away (connection refused). Ejection
+  // comes from consecutive poll failures instead of a health frame.
+  fleet.nodes[2]->front->Shutdown();
+  fleet.nodes[2]->server->Shutdown();
+  ASSERT_TRUE(WaitFor(
+      [&] { return !fleet.router->IsAdmitted(fleet.Id(2)); }));
+
+  // Zero failed client requests throughout.
+  for (const auto& lq : env.dataset.queries) {
+    ASSERT_TRUE(fleet.router->Submit(0, lq.query, *lq.plan).get().ok());
+  }
+  EXPECT_GE(fleet.router->metrics().health_poll_failures(), 2u);
+}
+
+TEST(ServeRouterTest, SubmitRacingDrainAndShutdownResolvesEveryFuture) {
+  Env& env = GetEnv();
+  auto fleet = std::make_unique<Fleet>(3, "rt_race");
+
+  // One thread cycles a replica through drain/readmit while another
+  // hammers Submit: nothing may hang, and while >= 2 replicas serve, no
+  // request may fail.
+  std::atomic<bool> stop{false};
+  std::thread drainer([&] {
+    while (!stop.load()) {
+      ASSERT_TRUE(fleet->router->BeginDrain(fleet->Id(0)).ok());
+      fleet->router->WaitDrained(fleet->Id(0), 500);
+      ASSERT_TRUE(fleet->router->Readmit(fleet->Id(0)).ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  int submitted = 0;
+  int failed = 0;
+  for (int round = 0; round < 4; ++round) {
+    std::vector<std::future<Result<InferencePrediction>>> futures;
+    for (const auto& lq : env.dataset.queries) {
+      futures.push_back(fleet->router->Submit(0, lq.query, *lq.plan));
+      ++submitted;
+    }
+    for (auto& f : futures) {
+      if (!f.get().ok()) ++failed;
+    }
+  }
+  stop.store(true);
+  drainer.join();
+  EXPECT_EQ(failed, 0) << "of " << submitted;
+
+  // Now race Submit against Shutdown: every future must resolve (with an
+  // answer or kUnavailable), never hang or break a promise.
+  std::vector<std::future<Result<InferencePrediction>>> racing;
+  std::atomic<bool> go{false};
+  std::thread submitter([&] {
+    while (!go.load()) std::this_thread::sleep_for(std::chrono::microseconds(50));
+    for (int i = 0; i < 50; ++i) {
+      const auto& lq = env.dataset.queries[static_cast<size_t>(i) %
+                                           env.dataset.queries.size()];
+      racing.push_back(fleet->router->Submit(0, lq.query, *lq.plan));
+    }
+  });
+  go.store(true);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  fleet->router->Shutdown();
+  submitter.join();
+  for (auto& f : racing) {
+    auto r = f.get();  // must not hang
+    if (!r.ok()) {
+      EXPECT_EQ(r.status().code(), StatusCode::kUnavailable);
+    }
+  }
+  // Post-shutdown Submit fails fast.
+  auto late = fleet->router
+                  ->Submit(0, env.dataset.queries[0].query,
+                           *env.dataset.queries[0].plan)
+                  .get();
+  EXPECT_EQ(late.status().code(), StatusCode::kUnavailable);
+  fleet.reset();
+}
+
+TEST(ServeRouterTest, RollingRolloutKeepsFleetServingAndLandsNewVersion) {
+  Env& env = GetEnv();
+  Fleet fleet(3, "rt_roll");
+
+  // The v2 artifact: a checkpoint from a different-seed model, plus an
+  // in-process reference for the canary bits.
+  auto v2_model = BuildModel(8);
+  const std::string ckpt = SockPath("rt_roll_v2.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(ckpt, *v2_model).ok());
+
+  const auto& canary = env.dataset.queries.front();
+  ModelRegistry ref_registry;
+  ASSERT_TRUE(ref_registry.Register(2, v2_model).ok());
+  ASSERT_TRUE(ref_registry.Publish(2).ok());
+  InferenceServer ref(&ref_registry, {});
+  ASSERT_TRUE(ref.Start().ok());
+  auto expected = ref.Submit({0, &canary.query, canary.plan.get()}).get();
+  ASSERT_TRUE(expected.ok());
+
+  // Background traffic throughout the rollout; also samples the serving
+  // floor: the ring must never go below 2 replicas.
+  std::atomic<bool> stop{false};
+  std::atomic<int> traffic_failures{0};
+  std::atomic<int> min_admitted{3};
+  std::thread traffic([&] {
+    size_t qi = 0;
+    while (!stop.load()) {
+      const auto& lq = env.dataset.queries[qi++ % env.dataset.queries.size()];
+      if (!fleet.router->Submit(0, lq.query, *lq.plan).get().ok()) {
+        traffic_failures.fetch_add(1);
+      }
+      int admitted = fleet.router->AdmittedCount();
+      int cur = min_admitted.load();
+      while (admitted < cur &&
+             !min_admitted.compare_exchange_weak(cur, admitted)) {
+      }
+    }
+  });
+
+  RolloutController::Options ropts;
+  ropts.target_version = 2;
+  ropts.checkpoint_path = ckpt;
+  ropts.min_serving = 2;
+  RolloutController rollout(fleet.router.get(), ropts);
+  auto report =
+      rollout.Run(0, canary.query, *canary.plan, &expected.value());
+  stop.store(true);
+  traffic.join();
+
+  EXPECT_TRUE(report.completed) << report.halt_reason;
+  EXPECT_FALSE(report.halted);
+  ASSERT_EQ(report.replicas.size(), 3u);
+  for (const auto& outcome : report.replicas) {
+    EXPECT_EQ(outcome.stage, RolloutController::Stage::kReadmitted);
+    EXPECT_EQ(outcome.previous_version, 1u);
+  }
+  EXPECT_EQ(traffic_failures.load(), 0);
+  EXPECT_GE(min_admitted.load(), 2);
+  EXPECT_EQ(fleet.router->AdmittedCount(), 3);
+
+  // The whole fleet now answers with v2 bits.
+  for (int i = 0; i < 3; ++i) {
+    auto r = fleet.router->DirectPredict(fleet.Id(i), 0, canary.query,
+                                         *canary.plan);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value().model_version, 2u);
+    EXPECT_EQ(r.value().card, expected.value().card);
+    EXPECT_EQ(r.value().cost_ms, expected.value().cost_ms);
+  }
+  ref.Shutdown();
+  std::remove(ckpt.c_str());
+}
+
+TEST(ServeRouterTest, RolloutHaltsAndRollsBackOnCanaryFailure) {
+  ScopedFaultClear clear;
+  Env& env = GetEnv();
+  Fleet fleet(3, "rt_halt");
+
+  auto v2_model = BuildModel(8);
+  const std::string ckpt = SockPath("rt_halt_v2.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(ckpt, *v2_model).ok());
+
+  const auto& canary = env.dataset.queries.front();
+
+  // No other traffic is running, so arming the model-forward point only
+  // hits the canary inference: the checkpoint loads and publishes fine,
+  // then verification fails — the halt-and-rollback path.
+  FaultInjector::Spec spec;
+  spec.probability = 1.0;
+  FaultInjector::Global().Arm(kFaultModelForward, spec);
+
+  RolloutController::Options ropts;
+  ropts.target_version = 2;
+  ropts.checkpoint_path = ckpt;
+  ropts.min_serving = 2;
+  RolloutController rollout(fleet.router.get(), ropts);
+  auto report = rollout.Run(0, canary.query, *canary.plan);
+  FaultInjector::Global().DisarmAll();
+
+  EXPECT_FALSE(report.completed);
+  EXPECT_TRUE(report.halted);
+  EXPECT_TRUE(report.rolled_back);
+  // Halted on the FIRST replica: the rest were never touched.
+  ASSERT_EQ(report.replicas.size(), 1u);
+  EXPECT_EQ(report.replicas[0].stage, RolloutController::Stage::kRolledBack);
+  EXPECT_EQ(report.replicas[0].previous_version, 1u);
+
+  // The fleet is whole again and still serves v1 everywhere.
+  EXPECT_EQ(fleet.router->AdmittedCount(), 3);
+  for (int i = 0; i < 3; ++i) {
+    auto r = fleet.router->DirectPredict(fleet.Id(i), 0, canary.query,
+                                         *canary.plan);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value().model_version, 1u);
+  }
+  std::remove(ckpt.c_str());
+}
+
+TEST(ServeRouterTest, MinServingFloorHaltsRolloutBeforeDraining) {
+  Env& env = GetEnv();
+  Fleet fleet(2, "rt_floor");
+
+  auto v2_model = BuildModel(8);
+  const std::string ckpt = SockPath("rt_floor_v2.ckpt");
+  ASSERT_TRUE(SaveCheckpoint(ckpt, *v2_model).ok());
+
+  // 2 replicas, floor of 2: draining any one would violate the floor.
+  RolloutController::Options ropts;
+  ropts.target_version = 2;
+  ropts.checkpoint_path = ckpt;
+  ropts.min_serving = 2;
+  RolloutController rollout(fleet.router.get(), ropts);
+  const auto& canary = env.dataset.queries.front();
+  auto report = rollout.Run(0, canary.query, *canary.plan);
+  EXPECT_FALSE(report.completed);
+  EXPECT_TRUE(report.halted);
+  ASSERT_EQ(report.replicas.size(), 1u);
+  EXPECT_EQ(report.replicas[0].stage, RolloutController::Stage::kFailed);
+  EXPECT_EQ(report.replicas[0].status.code(),
+            StatusCode::kFailedPrecondition);
+  // Nothing was drained or swapped.
+  EXPECT_EQ(fleet.router->AdmittedCount(), 2);
+  for (int i = 0; i < 2; ++i) {
+    auto r = fleet.router->DirectPredict(fleet.Id(i), 0, canary.query,
+                                         *canary.plan);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().model_version, 1u);
+  }
+  std::remove(ckpt.c_str());
+}
+
+TEST(ServeRouterTest, ControlSurfaceDefaultsAndAggregateHealth) {
+  Env& env = GetEnv();
+  Fleet fleet(3, "rt_ctrl");
+
+  // The router's own control surface is intentionally absent.
+  WireControlRequest req;
+  req.command = ControlCommand::kPublish;
+  req.version = 1;
+  EXPECT_EQ(fleet.router->HandleControl(req).status().code(),
+            StatusCode::kUnimplemented);
+
+  // Publishing an unregistered version on a replica is a clean error
+  // through the control channel, not a wedge.
+  auto bad = fleet.router->SendControl(fleet.Id(0), ControlCommand::kPublish,
+                                       /*version=*/99);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+
+  // Unknown replica id.
+  EXPECT_EQ(fleet.router
+                ->SendControl("nobody", ControlCommand::kPublish, 1)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+
+  // Aggregate health: after traffic and at least one poll round, the
+  // fleet view reports running, the min model version, and the router's
+  // request count.
+  for (const auto& lq : env.dataset.queries) {
+    ASSERT_TRUE(fleet.router->Submit(0, lq.query, *lq.plan).get().ok());
+  }
+  ASSERT_TRUE(WaitFor([&] {
+    return fleet.router->ReplicaHealth(fleet.Id(0)).model_version == 1;
+  }));
+  HealthInfo agg = fleet.router->HandleHealth();
+  EXPECT_TRUE(agg.running);
+  EXPECT_EQ(agg.model_version, 1u);
+  EXPECT_EQ(agg.requests, static_cast<uint64_t>(env.dataset.queries.size()));
+  EXPECT_EQ(agg.errors, 0u);
+}
+
+}  // namespace
+}  // namespace mtmlf::serve

@@ -9,9 +9,12 @@
 // cached configurations to clear the baseline by well over 2x.
 //
 // MTMLF_SERVE_REQUESTS overrides the per-configuration request count.
+// Writes BENCH_tape.json (path override: MTMLF_BENCH_JSON) with the
+// execution-tape head-to-head results.
 
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -40,12 +43,14 @@ struct RunResult {
   double arena_nodes_per_req = 0.0;
   uint64_t arena_hwm_bytes = 0;
   uint64_t arena_resets = 0;
+  uint64_t tape_replays = 0;
+  uint64_t tape_records = 0;
 };
 
 RunResult RunConfig(serve::ModelRegistry* registry,
                     const std::vector<const workload::LabeledQuery*>& queries,
                     int client_threads, bool cache, int total_requests,
-                    bool fused = true, bool arena = true) {
+                    bool fused = true, bool arena = true, bool tape = true) {
   serve::InferenceServer::Options opts;
   opts.num_workers = client_threads == 1 ? 1 : 2;
   opts.max_batch = client_threads == 1 ? 1 : 8;
@@ -53,6 +58,7 @@ RunResult RunConfig(serve::ModelRegistry* registry,
   opts.enable_cache = cache;
   opts.batched_forward = fused;
   opts.worker_workspace = arena;
+  opts.execution_tape = tape;
   serve::InferenceServer server(registry, opts);
   MTMLF_CHECK(server.Start().ok(), "server start");
 
@@ -86,6 +92,8 @@ RunResult RunConfig(serve::ModelRegistry* registry,
       done;
   res.arena_hwm_bytes = snap.arena_high_water;
   res.arena_resets = snap.arena_resets;
+  res.tape_replays = snap.tape_replays;
+  res.tape_records = snap.tape_records;
   res.qps = static_cast<double>(per_client * client_threads) / secs;
   res.p50 = m.latency().PercentileUs(0.50);
   res.p95 = m.latency().PercentileUs(0.95);
@@ -210,5 +218,90 @@ int main() {
               arena_off.heap_nodes_per_req, arena_on.heap_nodes_per_req,
               static_cast<unsigned long long>(arena_on.arena_hwm_bytes / 1024),
               static_cast<unsigned long long>(arena_on.arena_resets));
-  return 0;
+
+  // Head-to-head for the execution tape: cache OFF so every request takes
+  // a forward pass. The batch-1 configuration (1 client, 1 worker, no
+  // micro-batching) is the headline — it is pure per-request dispatch
+  // overhead, exactly what record-once/replay-fast removes. The workload
+  // replays each distinct plan many times, so after the first pass over
+  // the query set every forward is a tape replay.
+  std::printf("\nexecution tape on vs off, cache off:\n");
+  RunResult tape_off_b1 = RunConfig(&registry, queries, /*client_threads=*/1,
+                                    /*cache=*/false, total_requests,
+                                    /*fused=*/true, /*arena=*/true,
+                                    /*tape=*/false);
+  RunResult tape_on_b1 = RunConfig(&registry, queries, /*client_threads=*/1,
+                                   /*cache=*/false, total_requests,
+                                   /*fused=*/true, /*arena=*/true,
+                                   /*tape=*/true);
+  RunResult tape_off_mc = RunConfig(&registry, queries, /*client_threads=*/8,
+                                    /*cache=*/false, total_requests,
+                                    /*fused=*/true, /*arena=*/true,
+                                    /*tape=*/false);
+  RunResult tape_on_mc = RunConfig(&registry, queries, /*client_threads=*/8,
+                                   /*cache=*/false, total_requests,
+                                   /*fused=*/true, /*arena=*/true,
+                                   /*tape=*/true);
+  std::printf("%-28s %10.0f %9.0f %9.0f %9.0f\n", "  batch-1, tape off",
+              tape_off_b1.qps, tape_off_b1.p50, tape_off_b1.p95,
+              tape_off_b1.p99);
+  std::printf("%-28s %10.0f %9.0f %9.0f %9.0f  replays %llu/%llu recorded\n",
+              "  batch-1, tape on", tape_on_b1.qps, tape_on_b1.p50,
+              tape_on_b1.p95, tape_on_b1.p99,
+              static_cast<unsigned long long>(tape_on_b1.tape_replays),
+              static_cast<unsigned long long>(tape_on_b1.tape_records));
+  std::printf("%-28s %10.0f %9.0f %9.0f %9.0f\n", "  8 clients, tape off",
+              tape_off_mc.qps, tape_off_mc.p50, tape_off_mc.p95,
+              tape_off_mc.p99);
+  std::printf("%-28s %10.0f %9.0f %9.0f %9.0f  replays %llu/%llu recorded\n",
+              "  8 clients, tape on", tape_on_mc.qps, tape_on_mc.p50,
+              tape_on_mc.p95, tape_on_mc.p99,
+              static_cast<unsigned long long>(tape_on_mc.tape_replays),
+              static_cast<unsigned long long>(tape_on_mc.tape_records));
+  double tape_speedup_b1 = tape_on_b1.qps / tape_off_b1.qps;
+  double tape_speedup_mc = tape_on_mc.qps / tape_off_mc.qps;
+  std::printf("tape speedup: %.2fx batch-1 qps (headline), %.2fx at 8 "
+              "clients (p95 %.0fus -> %.0fus)\n",
+              tape_speedup_b1, tape_speedup_mc, tape_off_b1.p95,
+              tape_on_b1.p95);
+
+  // ---- JSON ----------------------------------------------------------------
+  const char* json_path = std::getenv("MTMLF_BENCH_JSON");
+  std::string out_path = json_path != nullptr ? json_path : "BENCH_tape.json";
+  std::ofstream out(out_path, std::ios::trunc);
+  char buf[2048];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\n"
+      "  \"description\": \"Static execution tape: record-once/replay-fast "
+      "forward path vs eager define-by-run dispatch, cache off so every "
+      "request is a forward pass.\",\n"
+      "  \"requests_per_config\": %d,\n"
+      "  \"batch1_qps_tape_off\": %.1f,\n"
+      "  \"batch1_qps_tape_on\": %.1f,\n"
+      "  \"batch1_tape_speedup\": %.3f,\n"
+      "  \"batch1_p95_us_tape_off\": %.1f,\n"
+      "  \"batch1_p95_us_tape_on\": %.1f,\n"
+      "  \"clients8_qps_tape_off\": %.1f,\n"
+      "  \"clients8_qps_tape_on\": %.1f,\n"
+      "  \"clients8_tape_speedup\": %.3f,\n"
+      "  \"batch1_tape_replays\": %llu,\n"
+      "  \"batch1_tape_records\": %llu\n"
+      "}\n",
+      total_requests, tape_off_b1.qps, tape_on_b1.qps, tape_speedup_b1,
+      tape_off_b1.p95, tape_on_b1.p95, tape_off_mc.qps, tape_on_mc.qps,
+      tape_speedup_mc,
+      static_cast<unsigned long long>(tape_on_b1.tape_replays),
+      static_cast<unsigned long long>(tape_on_b1.tape_records));
+  out << buf;
+  out.close();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  // The batch-1 replay path must clear 1.15x at the default budget; short
+  // smoke runs (CI) spend a larger share of requests on recording and
+  // timer noise, so only require that the tape is clearly not a loss.
+  double min_tape_speedup = total_requests >= 600 ? 1.15 : 1.0;
+  bool ok = tape_speedup_b1 >= min_tape_speedup && tape_on_b1.tape_replays > 0;
+  std::printf("%s\n", ok ? "BENCH CHECKS PASSED" : "BENCH CHECKS FAILED");
+  return ok ? 0 : 1;
 }

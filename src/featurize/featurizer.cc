@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "tensor/workspace.h"
 
 namespace mtmlf::featurize {
 
@@ -96,17 +97,82 @@ Tensor Featurizer::EmbedPredicate(const FilterPredicate& f) const {
 }
 
 Featurizer::TableEncoding Featurizer::EncodeTableFilters(
-    int table, const std::vector<FilterPredicate>& filters) const {
+    int table, const std::vector<FilterPredicate>& filters,
+    tensor::TapeCache* tapes, int db_index) const {
+  const bool tape_path = tapes != nullptr && tensor::NoGradGuard::enabled() &&
+                         tensor::Workspace::Current() != nullptr &&
+                         tensor::TapeRecorder::Active() == nullptr;
+  // With no filters the encoding has NO request-dependent input at all —
+  // it is a pure function of the frozen weights. NodeStats still asks for
+  // it for every unfiltered table of every join, so fold it to a constant
+  // per (db, table, model version) instead of replaying a whole
+  // transformer forward. The stored tensors are detached heap copies of
+  // the eager result, so the bits served are exactly the eager bits.
+  if (tape_path && filters.empty()) {
+    // Marker 3: constant-folded Enc_i (no filters). Markers 0/1/2 are the
+    // scalar tail, batched tail, and filtered Enc_i signatures.
+    std::vector<int32_t> sig = {3, table};
+    tensor::TapeKey key;
+    key.db_index = db_index;
+    key.bucket = 1;
+    key.model_version = tapes->model_version();
+    key.signature_hash = tensor::TapeCache::HashSignature(sig);
+    key.batched = false;
+    if (const std::vector<Tensor>* c = tapes->FindConst(key, sig)) {
+      ++tapes->stats().replays;
+      return {(*c)[0], (*c)[1]};
+    }
+    ++tapes->stats().records;
+    TableEncoding out = EncodeTableFilters(table, filters);
+    tapes->InsertConst(key, std::move(sig),
+                       {out.repr.Detach(), out.log_card.Detach()});
+    return out;
+  }
   std::vector<Tensor> rows = {cls_};
   for (const auto& f : filters) {
     MTMLF_CHECK(f.table == table, "EncodeTableFilters: wrong table");
     rows.push_back(EmbedPredicate(f));
   }
   Tensor seq = tensor::ConcatRows(rows);
-  Tensor enc = encoders_[table]->Forward(seq);
-  Tensor repr = tensor::SliceRows(enc, 0, 1);
-  Tensor log_card = enc_card_heads_[table]->Forward(repr);
-  return {repr, log_card};
+  // Everything above depends on the filter VALUES and must run eagerly;
+  // everything below is a pure function of `seq` and the frozen weights,
+  // so for a fixed (table, sequence length) it is the same op sequence on
+  // every request — exactly what the execution tape captures.
+  auto eager_forward = [&]() -> TableEncoding {
+    Tensor enc = encoders_[table]->Forward(seq);
+    Tensor repr = tensor::SliceRows(enc, 0, 1);
+    Tensor log_card = enc_card_heads_[table]->Forward(repr);
+    return {repr, log_card};
+  };
+  if (!tape_path) {
+    return eager_forward();
+  }
+  // Marker 2 distinguishes Enc_i tape signatures from the scalar (0) and
+  // batched (1) model-tail signatures sharing the worker's cache.
+  std::vector<int32_t> sig = {2, table, seq.rows(), seq.cols()};
+  tensor::TapeKey key;
+  key.db_index = db_index;
+  key.bucket = tensor::TapeCache::NextPow2(seq.rows());
+  key.model_version = tapes->model_version();
+  key.signature_hash = tensor::TapeCache::HashSignature(sig);
+  key.batched = false;
+  if (tensor::Tape* tape = tapes->Find(key, sig)) {
+    std::vector<Tensor> outs;
+    if (tape->Replay(seq, &outs)) {
+      ++tapes->stats().replays;
+      return {std::move(outs[0]), std::move(outs[1])};
+    }
+    ++tapes->stats().eager_fallbacks;
+    return eager_forward();
+  }
+  ++tapes->stats().records;
+  tensor::TapeRecorder recorder(seq);
+  TableEncoding out = eager_forward();
+  std::unique_ptr<tensor::Tape> tape =
+      recorder.Finish({out.repr, out.log_card}, std::move(sig));
+  if (!tape->valid()) ++tapes->stats().invalid_tapes;
+  tapes->Insert(key, std::move(tape));
+  return out;
 }
 
 std::vector<Featurizer::TableEncoding> Featurizer::EncodeTableFiltersBatch(

@@ -14,6 +14,7 @@
 #include "optimizer/baseline_card_est.h"
 #include "query/predicate.h"
 #include "storage/database.h"
+#include "tensor/tape.h"
 #include "tensor/tensor.h"
 #include "workload/generator.h"
 
@@ -41,8 +42,15 @@ class Featurizer : public nn::Module {
   };
 
   /// Encodes the filter predicates applied to `table` (possibly none).
+  /// With `tapes` non-null (serving fast path, NoGradGuard + active
+  /// Workspace), the Enc_i transformer forward is recorded once per
+  /// (db_index, table, sequence length) into the worker's execution-tape
+  /// cache and replayed afterwards; predicate embedding and sequence
+  /// assembly stay eager because they depend on the filter values. Replay
+  /// is bit-identical to the eager forward.
   TableEncoding EncodeTableFilters(
-      int table, const std::vector<query::FilterPredicate>& filters) const;
+      int table, const std::vector<query::FilterPredicate>& filters,
+      tensor::TapeCache* tapes = nullptr, int db_index = 0) const;
 
   /// Encodes several filter sets on the SAME table in one fused Enc_i
   /// forward pass (sequences padded to the longest set, padding masked).

@@ -16,9 +16,9 @@ const Featurizer::TableEncoding& PlanEncoder::CachedEncoding(
   auto it = cache->table_enc.find(table);
   if (it == cache->table_enc.end()) {
     it = cache->table_enc
-             .emplace(table,
-                      featurizer_->EncodeTableFilters(table,
-                                                      q.FiltersOf(table)))
+             .emplace(table, featurizer_->EncodeTableFilters(
+                                 table, q.FiltersOf(table), cache->tapes,
+                                 cache->db_index))
              .first;
   }
   return it->second;

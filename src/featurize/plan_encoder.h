@@ -7,6 +7,7 @@
 #include "featurize/featurizer.h"
 #include "query/plan.h"
 #include "query/query.h"
+#include "tensor/tape.h"
 #include "tensor/tensor.h"
 
 namespace mtmlf::featurize {
@@ -20,6 +21,14 @@ namespace mtmlf::featurize {
 /// memoized and non-memoized encodings are bit-identical.
 struct PlanEncodingCache {
   std::unordered_map<int, Featurizer::TableEncoding> table_enc;
+
+  /// When set, cache-miss Enc_i forwards route through the worker's
+  /// execution-tape cache (record once per (db, table, sequence length),
+  /// replay after). Replayed encodings are bit-identical to eager ones, so
+  /// downstream consumers cannot tell the difference. Left null by
+  /// training and by any caller outside the serving fast path.
+  tensor::TapeCache* tapes = nullptr;
+  int db_index = 0;
 
   /// Re-points every cached encoding at a heap-backed deep copy
   /// (Tensor::Detach). Required before a cache outlives the inference

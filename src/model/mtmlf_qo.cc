@@ -8,6 +8,7 @@
 
 #include "common/logging.h"
 #include "model/joeu.h"
+#include "tensor/tape.h"
 #include "tensor/workspace.h"
 
 namespace mtmlf::model {
@@ -46,12 +47,13 @@ int MtmlfQo::AddDatabase(const storage::Database* db,
 
 namespace {
 
-// Join-order memory: the leaf rows of the shared representation, one per
-// query table, in q.tables order.
-Tensor BuildJoMemory(const Query& q, const Tensor& shared,
-                     const std::vector<const PlanNode*>& nodes) {
-  std::vector<Tensor> mem_rows;
-  mem_rows.reserve(q.tables.size());
+// Pre-order row index of each query table's leaf node, in q.tables order.
+// These positions are part of the tape signature: the join-order memory
+// slices depend on them.
+std::vector<int> LeafRows(const Query& q,
+                          const std::vector<const PlanNode*>& nodes) {
+  std::vector<int> rows;
+  rows.reserve(q.tables.size());
   for (int t : q.tables) {
     int row = -1;
     for (size_t i = 0; i < nodes.size(); ++i) {
@@ -61,12 +63,61 @@ Tensor BuildJoMemory(const Query& q, const Tensor& shared,
       }
     }
     MTMLF_CHECK(row >= 0, "Run: plan does not cover a query table");
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+// Join-order memory: the leaf rows of the shared representation.
+Tensor BuildJoMemory(const Tensor& shared, const std::vector<int>& leaf_rows) {
+  std::vector<Tensor> mem_rows;
+  mem_rows.reserve(leaf_rows.size());
+  for (int row : leaf_rows) {
     mem_rows.push_back(tensor::SliceRows(shared, row, 1));
   }
   return tensor::ConcatRows(mem_rows);
 }
 
+// Shape signatures: two requests may share a tape only when these agree
+// exactly. Element counts are interleaved so distinct layouts can never
+// flatten to the same vector.
+std::vector<int32_t> ScalarSignature(int rows,
+                                     const std::vector<int>& leaf_rows) {
+  std::vector<int32_t> sig;
+  sig.reserve(3 + leaf_rows.size());
+  sig.push_back(0);  // scalar marker
+  sig.push_back(rows);
+  sig.push_back(static_cast<int32_t>(leaf_rows.size()));
+  for (int r : leaf_rows) sig.push_back(r);
+  return sig;
+}
+
+std::vector<int32_t> BatchSignature(
+    int batch, int l_pad, const std::vector<int>& valid_lens,
+    const std::vector<std::vector<int>>& leaf_rows) {
+  std::vector<int32_t> sig;
+  sig.push_back(1);  // batched marker
+  sig.push_back(batch);
+  sig.push_back(l_pad);
+  for (int p = 0; p < batch; ++p) {
+    sig.push_back(valid_lens[p]);
+    sig.push_back(static_cast<int32_t>(leaf_rows[p].size()));
+    for (int r : leaf_rows[p]) sig.push_back(r);
+  }
+  return sig;
+}
+
 }  // namespace
+
+void MtmlfQo::RunScalarTail(const Tensor& inputs,
+                            const std::vector<int>& leaf_rows,
+                            Forward* fwd) const {
+  Tensor projected = input_proj_->Forward(inputs);
+  fwd->shared = trans_share_->Forward(projected);  // (L, d_model)
+  fwd->log_card = card_head_->Forward(fwd->shared);
+  fwd->log_cost = cost_head_->Forward(fwd->shared);
+  fwd->jo_memory = BuildJoMemory(fwd->shared, leaf_rows);
+}
 
 MtmlfQo::Forward MtmlfQo::Run(int db_index, const Query& q,
                               const PlanNode& plan) const {
@@ -76,24 +127,74 @@ MtmlfQo::Forward MtmlfQo::Run(int db_index, const Query& q,
   // at the next Workspace::Reset().
   tensor::WorkspaceAudit audit(/*max_escaping=*/4);
   Forward fwd;
+  // Per-request encoding cache: every node of the plan that scans the same
+  // table shares one Enc_i forward instead of re-running the featurizer's
+  // encoder per node. Pure memoization of a deterministic computation, so
+  // the encoded rows are bit-identical with the cache on or off (the fused
+  // RunBatch path has always encoded this way).
+  featurize::PlanEncodingCache enc_cache;
   Tensor inputs =
-      plan_encoders_[db_index]->EncodePlan(q, plan, &fwd.nodes);
-  Tensor projected = input_proj_->Forward(inputs);
-  fwd.shared = trans_share_->Forward(projected);  // (L, d_model)
-  fwd.log_card = card_head_->Forward(fwd.shared);
-  fwd.log_cost = cost_head_->Forward(fwd.shared);
-  fwd.jo_memory = BuildJoMemory(q, fwd.shared, fwd.nodes);
+      plan_encoders_[db_index]->EncodePlan(q, plan, &fwd.nodes, &enc_cache);
+  RunScalarTail(inputs, LeafRows(q, fwd.nodes), &fwd);
   return fwd;
 }
 
-std::vector<MtmlfQo::Forward> MtmlfQo::RunBatch(
-    int db_index, std::span<const PlanRef> plans) const {
-  const int batch = static_cast<int>(plans.size());
-  // Four Forward tensors per plan may escape into the arena; the fused
-  // Enc_i caches and padding built below must all die inside this call.
-  tensor::WorkspaceAudit audit(/*max_escaping=*/4 * static_cast<int64_t>(batch));
-  std::vector<Forward> out(plans.size());
-  if (batch == 0) return out;
+MtmlfQo::Forward MtmlfQo::Run(int db_index, const Query& q,
+                              const PlanNode& plan,
+                              tensor::TapeCache* tapes) const {
+  if (tapes == nullptr || !tensor::NoGradGuard::enabled() ||
+      tensor::Workspace::Current() == nullptr ||
+      tensor::TapeRecorder::Active() != nullptr) {
+    return Run(db_index, q, plan);
+  }
+  tensor::WorkspaceAudit audit(/*max_escaping=*/4);
+  Forward fwd;
+  featurize::PlanEncodingCache enc_cache;
+  // Route cache-miss Enc_i forwards through the tape cache too: the encode
+  // phase is roughly half of a scalar request, and its transformer forward
+  // is just as static per (db, table, #filters) as the model tail.
+  enc_cache.tapes = tapes;
+  enc_cache.db_index = db_index;
+  Tensor inputs =
+      plan_encoders_[db_index]->EncodePlan(q, plan, &fwd.nodes, &enc_cache);
+  std::vector<int> leaf_rows = LeafRows(q, fwd.nodes);
+  std::vector<int32_t> sig = ScalarSignature(inputs.rows(), leaf_rows);
+  tensor::TapeKey key;
+  key.db_index = db_index;
+  key.bucket = tensor::TapeCache::NextPow2(inputs.rows());
+  key.model_version = tapes->model_version();
+  key.signature_hash = tensor::TapeCache::HashSignature(sig);
+  key.batched = false;
+  if (tensor::Tape* tape = tapes->Find(key, sig)) {
+    std::vector<Tensor> outs;
+    if (tape->Replay(inputs, &outs)) {
+      fwd.shared = std::move(outs[0]);
+      fwd.log_card = std::move(outs[1]);
+      fwd.log_cost = std::move(outs[2]);
+      fwd.jo_memory = std::move(outs[3]);
+      ++tapes->stats().replays;
+      return fwd;
+    }
+    // Negative entry (recording once failed here) or a precondition
+    // mismatch: serve eagerly without re-recording every request.
+    ++tapes->stats().eager_fallbacks;
+    RunScalarTail(inputs, leaf_rows, &fwd);
+    return fwd;
+  }
+  ++tapes->stats().records;
+  tensor::TapeRecorder recorder(inputs);
+  RunScalarTail(inputs, leaf_rows, &fwd);
+  std::unique_ptr<tensor::Tape> tape = recorder.Finish(
+      {fwd.shared, fwd.log_card, fwd.log_cost, fwd.jo_memory}, std::move(sig));
+  if (!tape->valid()) ++tapes->stats().invalid_tapes;
+  tapes->Insert(key, std::move(tape));
+  return fwd;
+}
+
+Tensor MtmlfQo::EncodeBatchInputs(int db_index, std::span<const PlanRef> plans,
+                                  std::vector<Forward>* out,
+                                  std::vector<int>* valid_lens, int* l_pad,
+                                  tensor::TapeCache* tapes) const {
   const featurize::PlanEncoder& encoder = *plan_encoders_[db_index];
   const featurize::Featurizer& feat = *featurizers_[db_index];
 
@@ -110,57 +211,153 @@ std::vector<MtmlfQo::Forward> MtmlfQo::RunBatch(
   }
   for (const auto& [table, members] : plans_of_table) {
     std::vector<const std::vector<query::FilterPredicate>*> sets;
+    std::vector<size_t> fused_members;
     sets.reserve(members.size());
+    fused_members.reserve(members.size());
     for (size_t p : members) {
-      filters[p].push_back(plans[p].query->FiltersOf(table));
+      std::vector<query::FilterPredicate> fs = plans[p].query->FiltersOf(table);
+      if (tapes != nullptr && fs.empty()) {
+        // An unfiltered table's encoding is a constant per model version;
+        // serve it from the tape cache's constant-fold store and keep it
+        // out of the fused forward. EncodeTableFiltersBatch is documented
+        // bit-identical per element to the scalar call, so dropping these
+        // elements from the batch never changes any plan's encoding.
+        caches[p].table_enc.emplace(
+            table, feat.EncodeTableFilters(table, fs, tapes, db_index));
+        continue;
+      }
+      filters[p].push_back(std::move(fs));
       sets.push_back(&filters[p].back());
+      fused_members.push_back(p);
     }
+    if (sets.empty()) continue;
     std::vector<featurize::Featurizer::TableEncoding> encs =
         feat.EncodeTableFiltersBatch(table, sets);
-    for (size_t i = 0; i < members.size(); ++i) {
-      caches[members[i]].table_enc.emplace(table, std::move(encs[i]));
+    for (size_t i = 0; i < fused_members.size(); ++i) {
+      caches[fused_members[i]].table_enc.emplace(table, std::move(encs[i]));
     }
   }
 
   // Stage 2 — per-plan serialization (cheap: the Enc_i forwards are all
   // memoized now), padded to the longest plan.
   std::vector<Tensor> encodings(plans.size());
-  std::vector<int> valid_lens(plans.size());
-  int l_pad = 0;
+  valid_lens->assign(plans.size(), 0);
+  *l_pad = 0;
   for (size_t p = 0; p < plans.size(); ++p) {
     encodings[p] = encoder.EncodePlan(*plans[p].query, *plans[p].plan,
-                                      &out[p].nodes, &caches[p]);
-    valid_lens[p] = encodings[p].rows();
-    l_pad = std::max(l_pad, valid_lens[p]);
+                                      &(*out)[p].nodes, &caches[p]);
+    (*valid_lens)[p] = encodings[p].rows();
+    *l_pad = std::max(*l_pad, (*valid_lens)[p]);
   }
   std::vector<Tensor> stacked;
   stacked.reserve(plans.size() * 2);
   for (size_t p = 0; p < plans.size(); ++p) {
     stacked.push_back(encodings[p]);
-    if (valid_lens[p] < l_pad) {
+    if ((*valid_lens)[p] < *l_pad) {
       stacked.push_back(
-          Tensor::Zeros(l_pad - valid_lens[p], encodings[p].cols()));
+          Tensor::Zeros(*l_pad - (*valid_lens)[p], encodings[p].cols()));
     }
   }
-  Tensor inputs = tensor::ConcatRows(stacked);  // (B * l_pad, input_dim)
+  return tensor::ConcatRows(stacked);  // (B * l_pad, input_dim)
+}
 
-  // Stage 3 — one fused pass through (S) and the (T) heads. The heads run
-  // over padding rows too (their outputs are discarded below); that wastes
-  // a few GEMM rows but keeps everything a single call.
+void MtmlfQo::RunBatchTail(const Tensor& inputs, int batch,
+                           const std::vector<int>& valid_lens, int l_pad,
+                           const std::vector<std::vector<int>>& leaf_rows,
+                           std::vector<Forward>* out) const {
+  // One fused pass through (S) and the (T) heads. The heads run over
+  // padding rows too (their outputs are discarded below); that wastes a
+  // few GEMM rows but keeps everything a single call.
   Tensor projected = input_proj_->Forward(inputs);
   Tensor shared = trans_share_->ForwardBatched(projected, batch, valid_lens);
   Tensor log_card = card_head_->Forward(shared);
   Tensor log_cost = cost_head_->Forward(shared);
 
-  // Stage 4 — unpack each plan's rows.
-  for (size_t p = 0; p < plans.size(); ++p) {
-    const int start = static_cast<int>(p) * l_pad;
-    out[p].shared = tensor::SliceRows(shared, start, valid_lens[p]);
-    out[p].log_card = tensor::SliceRows(log_card, start, valid_lens[p]);
-    out[p].log_cost = tensor::SliceRows(log_cost, start, valid_lens[p]);
-    out[p].jo_memory =
-        BuildJoMemory(*plans[p].query, out[p].shared, out[p].nodes);
+  // Unpack each plan's rows.
+  for (int p = 0; p < batch; ++p) {
+    const int start = p * l_pad;
+    (*out)[p].shared = tensor::SliceRows(shared, start, valid_lens[p]);
+    (*out)[p].log_card = tensor::SliceRows(log_card, start, valid_lens[p]);
+    (*out)[p].log_cost = tensor::SliceRows(log_cost, start, valid_lens[p]);
+    (*out)[p].jo_memory = BuildJoMemory((*out)[p].shared, leaf_rows[p]);
   }
+}
+
+std::vector<MtmlfQo::Forward> MtmlfQo::RunBatch(
+    int db_index, std::span<const PlanRef> plans) const {
+  const int batch = static_cast<int>(plans.size());
+  // Four Forward tensors per plan may escape into the arena; the fused
+  // Enc_i caches and padding built below must all die inside this call.
+  tensor::WorkspaceAudit audit(/*max_escaping=*/4 * static_cast<int64_t>(batch));
+  std::vector<Forward> out(plans.size());
+  if (batch == 0) return out;
+  std::vector<int> valid_lens;
+  int l_pad = 0;
+  Tensor inputs = EncodeBatchInputs(db_index, plans, &out, &valid_lens, &l_pad);
+  std::vector<std::vector<int>> leaf_rows(plans.size());
+  for (size_t p = 0; p < plans.size(); ++p) {
+    leaf_rows[p] = LeafRows(*plans[p].query, out[p].nodes);
+  }
+  RunBatchTail(inputs, batch, valid_lens, l_pad, leaf_rows, &out);
+  return out;
+}
+
+std::vector<MtmlfQo::Forward> MtmlfQo::RunBatch(
+    int db_index, std::span<const PlanRef> plans,
+    tensor::TapeCache* tapes) const {
+  if (tapes == nullptr || plans.empty() || !tensor::NoGradGuard::enabled() ||
+      tensor::Workspace::Current() == nullptr ||
+      tensor::TapeRecorder::Active() != nullptr) {
+    return RunBatch(db_index, plans);
+  }
+  const int batch = static_cast<int>(plans.size());
+  tensor::WorkspaceAudit audit(/*max_escaping=*/4 * static_cast<int64_t>(batch));
+  std::vector<Forward> out(plans.size());
+  std::vector<int> valid_lens;
+  int l_pad = 0;
+  Tensor inputs =
+      EncodeBatchInputs(db_index, plans, &out, &valid_lens, &l_pad, tapes);
+  std::vector<std::vector<int>> leaf_rows(plans.size());
+  for (size_t p = 0; p < plans.size(); ++p) {
+    leaf_rows[p] = LeafRows(*plans[p].query, out[p].nodes);
+  }
+  std::vector<int32_t> sig = BatchSignature(batch, l_pad, valid_lens, leaf_rows);
+  tensor::TapeKey key;
+  key.db_index = db_index;
+  key.bucket = tensor::TapeCache::NextPow2(l_pad);
+  key.model_version = tapes->model_version();
+  key.signature_hash = tensor::TapeCache::HashSignature(sig);
+  key.batched = true;
+  if (tensor::Tape* tape = tapes->Find(key, sig)) {
+    std::vector<Tensor> outs;
+    if (tape->Replay(inputs, &outs)) {
+      for (int p = 0; p < batch; ++p) {
+        out[p].shared = std::move(outs[static_cast<size_t>(p) * 4]);
+        out[p].log_card = std::move(outs[static_cast<size_t>(p) * 4 + 1]);
+        out[p].log_cost = std::move(outs[static_cast<size_t>(p) * 4 + 2]);
+        out[p].jo_memory = std::move(outs[static_cast<size_t>(p) * 4 + 3]);
+      }
+      ++tapes->stats().replays;
+      return out;
+    }
+    ++tapes->stats().eager_fallbacks;
+    RunBatchTail(inputs, batch, valid_lens, l_pad, leaf_rows, &out);
+    return out;
+  }
+  ++tapes->stats().records;
+  tensor::TapeRecorder recorder(inputs);
+  RunBatchTail(inputs, batch, valid_lens, l_pad, leaf_rows, &out);
+  std::vector<Tensor> flat;
+  flat.reserve(static_cast<size_t>(batch) * 4);
+  for (int p = 0; p < batch; ++p) {
+    flat.push_back(out[p].shared);
+    flat.push_back(out[p].log_card);
+    flat.push_back(out[p].log_cost);
+    flat.push_back(out[p].jo_memory);
+  }
+  std::unique_ptr<tensor::Tape> tape = recorder.Finish(flat, std::move(sig));
+  if (!tape->valid()) ++tapes->stats().invalid_tapes;
+  tapes->Insert(key, std::move(tape));
   return out;
 }
 

@@ -15,6 +15,10 @@
 #include "nn/transformer.h"
 #include "workload/labeler.h"
 
+namespace mtmlf::tensor {
+class TapeCache;
+}
+
 namespace mtmlf::model {
 
 /// Task-enable flags; single-task ablations (MTMLF-CardEst / -CostEst /
@@ -63,6 +67,15 @@ class MtmlfQo : public nn::Module {
   Forward Run(int db_index, const query::Query& q,
               const query::PlanNode& plan) const;
 
+  /// Tape-accelerated variant: under NoGradGuard with an active Workspace,
+  /// the post-encoding forward is served from `tapes` (replaying a
+  /// previously recorded instruction tape, bit-identical to the eager
+  /// path) and recorded on a cache miss. Falls back to the plain overload
+  /// when `tapes` is null or the preconditions don't hold. `tapes` is not
+  /// thread-safe: one cache per worker thread.
+  Forward Run(int db_index, const query::Query& q, const query::PlanNode& plan,
+              tensor::TapeCache* tapes) const;
+
   /// One (query, plan) element of a RunBatch call. Both pointers must stay
   /// valid for the duration of the call.
   struct PlanRef {
@@ -81,6 +94,12 @@ class MtmlfQo : public nn::Module {
   /// amortization entry point.
   std::vector<Forward> RunBatch(int db_index,
                                 std::span<const PlanRef> plans) const;
+
+  /// Tape-accelerated batched variant; see the tape Run overload. Stages
+  /// 1-2 (featurization, padding) always run eagerly — they are
+  /// value-dependent C++ — and only the fused (S)/(T) forward is taped.
+  std::vector<Forward> RunBatch(int db_index, std::span<const PlanRef> plans,
+                                tensor::TapeCache* tapes) const;
 
   /// The joint loss of Eq. 1: w_card*L_card + w_cost*L_cost + w_jo*L_jo.
   /// Card/cost losses are log-space q-error (|pred - log1p(truth)|,
@@ -122,6 +141,26 @@ class MtmlfQo : public nn::Module {
   const TransJo& trans_jo() const { return *trans_jo_; }
 
  private:
+  // The post-encoding forward (the taped region): input projection,
+  // Trans_Share, card/cost heads, join-order memory. leaf_rows are the
+  // plan-node rows of q.tables, in order.
+  void RunScalarTail(const tensor::Tensor& inputs,
+                     const std::vector<int>& leaf_rows, Forward* fwd) const;
+  void RunBatchTail(const tensor::Tensor& inputs, int batch,
+                    const std::vector<int>& valid_lens, int l_pad,
+                    const std::vector<std::vector<int>>& leaf_rows,
+                    std::vector<Forward>* out) const;
+  // Stages 1-2 of RunBatch: fused Enc_i featurization + per-plan encoding
+  // padded to l_pad rows. Fills out[p].nodes; returns the (B * l_pad,
+  // input_dim) stacked input tensor. With `tapes` non-null (caller has
+  // verified the tape preconditions), unfiltered tables are served from
+  // the constant-fold store instead of the fused Enc_i forward.
+  tensor::Tensor EncodeBatchInputs(int db_index,
+                                   std::span<const PlanRef> plans,
+                                   std::vector<Forward>* out,
+                                   std::vector<int>* valid_lens, int* l_pad,
+                                   tensor::TapeCache* tapes = nullptr) const;
+
   featurize::ModelConfig config_;
   Rng rng_;
   std::vector<std::unique_ptr<featurize::Featurizer>> featurizers_;

@@ -1,8 +1,12 @@
 #include "serve/faults.h"
 
+#include <cctype>
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <thread>
+
+#include "common/logging.h"
 
 namespace mtmlf::serve {
 
@@ -35,11 +39,32 @@ double UnitDraw(uint64_t* state) {
 
 }  // namespace
 
+bool ParseFaultSeed(const char* text, uint64_t* seed) {
+  if (text == nullptr || *text == '\0') return false;
+  // strtoull alone is too permissive for a config knob: it accepts
+  // leading whitespace and a sign, stops at the first non-digit ("3abc"
+  // parses as 3), and saturates to ULLONG_MAX on overflow with only errno
+  // to tell. Require the whole string to be digits, then let strtoull do
+  // the range check.
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (!std::isdigit(static_cast<unsigned char>(*p))) return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(text, &end, 10);
+  if (errno == ERANGE || end == text || *end != '\0') return false;
+  *seed = static_cast<uint64_t>(v);
+  return true;
+}
+
 FaultInjector::FaultInjector() : seed_(1) {
   if (const char* env = std::getenv("MTMLF_FAULT_SEED")) {
-    char* end = nullptr;
-    unsigned long long v = std::strtoull(env, &end, 10);
-    if (end != env) seed_ = static_cast<uint64_t>(v);
+    if (!ParseFaultSeed(env, &seed_)) {
+      MTMLF_LOG(1,
+                "MTMLF_FAULT_SEED=\"%s\" is not a valid uint64; "
+                "keeping default seed %llu",
+                env, static_cast<unsigned long long>(seed_));
+    }
   }
 }
 

@@ -55,6 +55,13 @@ inline constexpr char kFaultSocketRead[] = "serve.socket_read";
 inline constexpr char kFaultSocketWrite[] = "serve.socket_write";
 inline constexpr char kFaultRouterForward[] = "serve.router_forward";
 
+/// Strict parse of an MTMLF_FAULT_SEED value: base-10 digits only, no
+/// sign, no leading/trailing garbage, and the value must fit in uint64.
+/// Returns false (leaving *seed untouched) on anything else — "3abc",
+/// "-1", "", or an out-of-range value must not silently become a seed, or
+/// CI's seed matrix would quietly collapse onto clamped/truncated values.
+bool ParseFaultSeed(const char* text, uint64_t* seed);
+
 class FaultInjector {
  public:
   struct Spec {

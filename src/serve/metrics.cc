@@ -23,7 +23,12 @@ int LatencyHistogram::BucketOf(uint64_t micros) {
 double LatencyHistogram::BucketMidpointUs(int bucket) {
   int octave = bucket / kSubBuckets;
   int sub = bucket % kSubBuckets;
-  if (octave == 0) return static_cast<double>(sub);
+  // First-octave sub-buckets each cover exactly [sub, sub+1) microseconds;
+  // their midpoint is sub + 0.5, same as the general base + (sub+0.5)*width
+  // formula with base 0 and width 1. Returning the left edge here (as an
+  // earlier version did) biased every sub-16us percentile low by half a
+  // microsecond relative to the other octaves.
+  if (octave == 0) return static_cast<double>(sub) + 0.5;
   double base = static_cast<double>(1ull << octave);
   double width = base / kSubBuckets;
   return base + (sub + 0.5) * width;
@@ -95,7 +100,8 @@ std::string ServerMetrics::Summary() const {
                 "reqs=%llu p50=%.0fus p95=%.0fus p99=%.0fus mean=%.0fus "
                 "hit-rate=%.2f batch=%.2f fused=%llu/%.2f errors=%llu "
                 "depth=%llu shed=%llu rejected=%llu expired=%llu "
-                "degraded=%llu arena[resets=%llu hwm=%llu fallbacks=%llu]",
+                "degraded=%llu arena[resets=%llu hwm=%llu fallbacks=%llu] "
+                "tape[replays=%llu records=%llu entries=%llu]",
                 static_cast<unsigned long long>(requests()),
                 latency_.PercentileUs(0.50), latency_.PercentileUs(0.95),
                 latency_.PercentileUs(0.99), latency_.MeanUs(),
@@ -110,7 +116,10 @@ std::string ServerMetrics::Summary() const {
                 static_cast<unsigned long long>(degraded()),
                 static_cast<unsigned long long>(arena_resets()),
                 static_cast<unsigned long long>(arena_high_water()),
-                static_cast<unsigned long long>(arena_heap_fallbacks()));
+                static_cast<unsigned long long>(arena_heap_fallbacks()),
+                static_cast<unsigned long long>(tape_replays()),
+                static_cast<unsigned long long>(tape_records()),
+                static_cast<unsigned long long>(tape_entries()));
   return buf;
 }
 
@@ -134,6 +143,10 @@ MetricsSnapshot ServerMetrics::Snapshot() const {
   s.arena_bytes_reserved = arena_bytes_reserved();
   s.arena_high_water = arena_high_water();
   s.arena_heap_fallbacks = arena_heap_fallbacks();
+  s.tape_replays = tape_replays();
+  s.tape_records = tape_records();
+  s.tape_invalidations = tape_invalidations();
+  s.tape_entries = tape_entries();
   tensor::AllocCountersSnapshot t = tensor::ReadAllocCounters();
   s.tensor_ops = t.ops;
   s.tensor_heap_nodes = t.heap_nodes;
@@ -196,6 +209,10 @@ void ServerMetrics::Reset() {
   arena_bytes_reserved_.store(0, std::memory_order_relaxed);
   arena_high_water_.store(0, std::memory_order_relaxed);
   arena_heap_fallbacks_.store(0, std::memory_order_relaxed);
+  tape_replays_.store(0, std::memory_order_relaxed);
+  tape_records_.store(0, std::memory_order_relaxed);
+  tape_invalidations_.store(0, std::memory_order_relaxed);
+  tape_entries_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace mtmlf::serve

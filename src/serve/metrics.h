@@ -34,6 +34,13 @@ struct MetricsSnapshot {
   uint64_t arena_bytes_reserved = 0;
   uint64_t arena_high_water = 0;
   uint64_t arena_heap_fallbacks = 0;
+  // Execution-tape counters: replays/records/invalidations sum over
+  // workers, entries is the max over workers (each worker owns a private
+  // tape cache).
+  uint64_t tape_replays = 0;
+  uint64_t tape_records = 0;
+  uint64_t tape_invalidations = 0;
+  uint64_t tape_entries = 0;
   // Process-global tensor allocation counters (all threads, since start).
   uint64_t tensor_ops = 0;
   uint64_t tensor_heap_nodes = 0;
@@ -126,6 +133,25 @@ class ServerMetrics {
   void AddArenaHeapFallbacks(uint64_t n) {
     if (n != 0) arena_heap_fallbacks_.fetch_add(n, std::memory_order_relaxed);
   }
+  /// One worker's execution-tape activity since its last report (delta
+  /// counters, same reporting pattern as AddArenaHeapFallbacks).
+  void AddTapeActivity(uint64_t replays, uint64_t records,
+                       uint64_t invalidations) {
+    if (replays != 0) {
+      tape_replays_.fetch_add(replays, std::memory_order_relaxed);
+    }
+    if (records != 0) {
+      tape_records_.fetch_add(records, std::memory_order_relaxed);
+    }
+    if (invalidations != 0) {
+      tape_invalidations_.fetch_add(invalidations, std::memory_order_relaxed);
+    }
+  }
+  /// Tape-cache size gauge (max over workers — every worker's cache
+  /// converges to the shape working set it serves).
+  void RecordTapeEntries(uint64_t entries) {
+    MaxRelaxed(&tape_entries_, entries);
+  }
 
   const LatencyHistogram& latency() const { return latency_; }
   uint64_t requests() const {
@@ -170,6 +196,18 @@ class ServerMetrics {
   uint64_t arena_heap_fallbacks() const {
     return arena_heap_fallbacks_.load(std::memory_order_relaxed);
   }
+  uint64_t tape_replays() const {
+    return tape_replays_.load(std::memory_order_relaxed);
+  }
+  uint64_t tape_records() const {
+    return tape_records_.load(std::memory_order_relaxed);
+  }
+  uint64_t tape_invalidations() const {
+    return tape_invalidations_.load(std::memory_order_relaxed);
+  }
+  uint64_t tape_entries() const {
+    return tape_entries_.load(std::memory_order_relaxed);
+  }
   /// Mean requests per fused forward pass (GEMM amortization factor).
   double MeanFusedGroupSize() const;
   double CacheHitRate() const;
@@ -213,6 +251,10 @@ class ServerMetrics {
   std::atomic<uint64_t> arena_bytes_reserved_{0};
   std::atomic<uint64_t> arena_high_water_{0};
   std::atomic<uint64_t> arena_heap_fallbacks_{0};
+  std::atomic<uint64_t> tape_replays_{0};
+  std::atomic<uint64_t> tape_records_{0};
+  std::atomic<uint64_t> tape_invalidations_{0};
+  std::atomic<uint64_t> tape_entries_{0};
 };
 
 /// Counters + forward latency for one RouterFrontEnd (serve/router). Same

@@ -7,6 +7,7 @@
 
 #include "optimizer/baseline_card_est.h"
 #include "serve/faults.h"
+#include "tensor/tape.h"
 #include "tensor/tensor.h"
 #include "tensor/workspace.h"
 
@@ -152,7 +153,15 @@ void InferenceServer::WorkerLoop() {
   tensor::Workspace workspace;
   std::optional<tensor::WorkspaceScope> arena;
   if (options_.worker_workspace) arena.emplace(&workspace);
+  // Per-worker execution-tape cache: the post-encoding forward of every
+  // (db, shape-bucket, model-version) this worker serves is recorded once
+  // and replayed on repeats. Replay writes into the worker arena, so the
+  // tape path requires the workspace; single-threaded by construction
+  // (each worker owns its cache), which is why TapeCache needs no locks.
+  std::optional<tensor::TapeCache> tapes;
+  if (options_.execution_tape && options_.worker_workspace) tapes.emplace();
   uint64_t reported_fallbacks = 0;
+  tensor::TapeCache::Stats reported_tape;
   for (;;) {
     std::vector<Pending> batch;
     {
@@ -187,7 +196,7 @@ void InferenceServer::WorkerLoop() {
     // If more work remains, wake a sibling before the (long) forward
     // passes below.
     cv_.notify_one();
-    ProcessBatch(&batch);
+    ProcessBatch(&batch, tapes.has_value() ? &*tapes : nullptr);
     if (options_.worker_workspace) {
       workspace.Reset();
       metrics_.RecordArenaReset(workspace.bytes_reserved(),
@@ -195,6 +204,14 @@ void InferenceServer::WorkerLoop() {
       metrics_.AddArenaHeapFallbacks(workspace.heap_fallbacks() -
                                      reported_fallbacks);
       reported_fallbacks = workspace.heap_fallbacks();
+    }
+    if (tapes.has_value()) {
+      const tensor::TapeCache::Stats& s = tapes->stats();
+      metrics_.AddTapeActivity(s.replays - reported_tape.replays,
+                               s.records - reported_tape.records,
+                               s.invalidations - reported_tape.invalidations);
+      reported_tape = s;
+      metrics_.RecordTapeEntries(tapes->size());
     }
   }
 }
@@ -211,11 +228,18 @@ int ShapeBucket(int tree_size) {
 
 }  // namespace
 
-void InferenceServer::ProcessBatch(std::vector<Pending>* batch) {
+void InferenceServer::ProcessBatch(std::vector<Pending>* batch,
+                                   tensor::TapeCache* tapes) {
   // One registry resolution per batch: a concurrent Publish() affects the
   // NEXT batch; this one serves a consistent model version end to end.
   std::shared_ptr<const ServableModel> snapshot = registry_->Current();
   tensor::NoGradGuard no_grad;  // thread-local: no graph construction
+  if (tapes != nullptr && snapshot != nullptr) {
+    // Hot-swap / rollout invalidation: tapes are keyed by model version,
+    // and switching versions drops every recorded tape — a tape recorded
+    // against the old checkpoint can never serve the new one.
+    tapes->SetModelVersion(snapshot->version);
+  }
 
   metrics_.RecordBatch(batch->size());
   const size_t n = batch->size();
@@ -327,7 +351,7 @@ void InferenceServer::ProcessBatch(std::vector<Pending>* batch) {
       }
       const Pending& p = (*batch)[i];
       finish_miss(i, m.Run(p.request.db_index, *p.request.query,
-                           *p.request.plan));
+                           *p.request.plan, tapes));
       if (options_.enable_breaker) breaker_.RecordSuccess();
     };
 
@@ -355,7 +379,7 @@ void InferenceServer::ProcessBatch(std::vector<Pending>* batch) {
         refs.push_back({(*batch)[i].request.query, (*batch)[i].request.plan});
       }
       std::vector<model::MtmlfQo::Forward> fwds =
-          m.RunBatch(key.first, refs);
+          m.RunBatch(key.first, refs, tapes);
       if (fwds.size() != members.size()) {
         // Shape mismatch in the fused pass: serve the group scalar rather
         // than fail it.

@@ -23,6 +23,10 @@ namespace mtmlf::optimizer {
 class BaselineCardEstimator;
 }  // namespace mtmlf::optimizer
 
+namespace mtmlf::tensor {
+class TapeCache;
+}  // namespace mtmlf::tensor
+
 namespace mtmlf::serve {
 
 /// One CardEst/CostEst call from the optimizer's hot path. The query and
@@ -113,6 +117,17 @@ class InferenceServer {
     /// allocations per request. Predictions are bit-identical with the
     /// arena on or off — only memory placement changes.
     bool worker_workspace = true;
+    /// Static execution tapes: each worker records the post-encoding
+    /// forward of every (db_index, plan-shape bucket, model version) it
+    /// serves once, then replays the flat instruction tape on repeats —
+    /// zero graph construction, zero shared_ptr churn. Replays are
+    /// bit-identical to the eager path; unseen shapes and invalidated
+    /// tapes fall back to eager transparently. Requires worker_workspace
+    /// (tapes replay into the worker arena); ignored without it. Tapes
+    /// are keyed by model version, so a registry hot-swap / rollout
+    /// publish invalidates a worker's tapes on its next batch — a stale
+    /// tape never serves a new checkpoint.
+    bool execution_tape = true;
     /// Bounded admission queue: Submit() beyond this depth triggers
     /// `overload_policy` instead of growing the queue without limit. The
     /// optimizer's hot path must never stall behind an unbounded backlog.
@@ -168,7 +183,9 @@ class InferenceServer {
   };
 
   void WorkerLoop();
-  void ProcessBatch(std::vector<Pending>* batch);
+  /// `tapes` is the calling worker's private tape cache (null when the
+  /// execution-tape path is off for this worker).
+  void ProcessBatch(std::vector<Pending>* batch, tensor::TapeCache* tapes);
   const optimizer::BaselineCardEstimator* FallbackFor(int db_index) const;
 
   ModelRegistry* registry_;

@@ -1,0 +1,168 @@
+#ifndef MTMLF_TENSOR_KERNELS_H_
+#define MTMLF_TENSOR_KERNELS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace mtmlf::tensor::kernels {
+
+// Raw-pointer forward kernels shared by the eager ops (tensor.cc) and the
+// execution-tape replay engine (tape.cc). Replay must be bit-identical to
+// eager execution, so every kernel whose floating-point accumulation order
+// matters lives here exactly once; both paths call the same loop bodies.
+//
+// Every kernel takes its output through a __restrict pointer: all callers
+// write into freshly allocated (eager) or register-disjoint (replay)
+// buffers, never in place. Without the qualifier the compiler must assume
+// `out` may alias `a`/`b` and reloads the accumulator row from memory on
+// every inner iteration, which makes the MatMul several times slower.
+// __restrict only licenses keeping independent per-element accumulators in
+// registers / SIMD lanes — the per-element operation order is unchanged,
+// so results stay bit-identical.
+
+/// out[i*n .. i*n+n) += a(i, :) x b — the MatMul inner loops (i-k-j order
+/// with zero-skip). `out` must be zeroed (or hold a running sum) on entry;
+/// both MatMul and the per-slice BatchedMatMul forward reduce to this.
+///
+/// The j dimension is processed in stack-resident chunks: the chunk is
+/// loaded from `out` once, accumulated across the whole k sweep, and
+/// stored once. A plain i-k-j loop instead re-reads and re-writes the
+/// output row on every k iteration — k-times the output traffic — which
+/// dominates when the destination is a cold arena line. Each out[i][j]
+/// still starts from its prior value and receives the same products in
+/// the same ascending-k order, so the result is bit-identical to the
+/// naive loop.
+inline void MatMulAccumulate(const float* __restrict a,
+                             const float* __restrict b, float* __restrict out,
+                             int m, int k, int n) {
+  constexpr int kJChunk = 48;
+  for (int i = 0; i < m; ++i) {
+    const float* arow = &a[static_cast<size_t>(i) * k];
+    float* orow = &out[static_cast<size_t>(i) * n];
+    for (int j0 = 0; j0 < n; j0 += kJChunk) {
+      const int jl = std::min(kJChunk, n - j0);
+      float acc[kJChunk];
+      for (int j = 0; j < jl; ++j) acc[j] = orow[j0 + j];
+      for (int kk = 0; kk < k; ++kk) {
+        float av = arow[kk];
+        if (av == 0.0f) continue;
+        const float* brow = &b[static_cast<size_t>(kk) * n + j0];
+        for (int j = 0; j < jl; ++j) acc[j] += av * brow[j];
+      }
+      for (int j = 0; j < jl; ++j) orow[j0 + j] = acc[j];
+    }
+  }
+}
+
+/// One matrix product slice with a fused epilogue: out = epilogue(a x b).
+/// Used by the execution-tape replay engine for MatMul + Add/Scale/Relu
+/// chains whose intermediates were single-use. Bit-identity with the
+/// unfused ops holds because every out[i][j] sees the exact same operation
+/// sequence: products accumulated in ascending-k order with the same
+/// zero-skip (MatMulAccumulate's order, started from 0 like a fresh
+/// output), then the addend / scale / relu applied exactly as the separate
+/// eager ops would — including operand order for the add, since IEEE
+/// addition with two NaN operands is not commutative in payload.
+/// add_mode: 0 none, 1 acc + add[j] (row broadcast), 2 acc + add[i][j],
+/// 3 add[i][j] + acc. epilogue: 0 none, 1 relu, 2 multiply by s.
+inline void MatMulEpilogue(const float* __restrict a, const float* __restrict b,
+                           const float* __restrict add, float* __restrict out,
+                           int m, int k, int n, int add_mode, int epilogue,
+                           float s) {
+  constexpr int kJChunk = 48;
+  for (int i = 0; i < m; ++i) {
+    const float* arow = &a[static_cast<size_t>(i) * k];
+    float* orow = &out[static_cast<size_t>(i) * n];
+    for (int j0 = 0; j0 < n; j0 += kJChunk) {
+      const int jl = (n - j0 < kJChunk) ? n - j0 : kJChunk;
+      float acc[kJChunk];
+      for (int j = 0; j < jl; ++j) acc[j] = 0.0f;
+      for (int kk = 0; kk < k; ++kk) {
+        float av = arow[kk];
+        if (av == 0.0f) continue;
+        const float* brow = &b[static_cast<size_t>(kk) * n + j0];
+        for (int j = 0; j < jl; ++j) acc[j] += av * brow[j];
+      }
+      for (int j = 0; j < jl; ++j) {
+        float v = acc[j];
+        switch (add_mode) {
+          case 1: v = v + add[j0 + j]; break;
+          case 2: v = v + add[static_cast<size_t>(i) * n + j0 + j]; break;
+          case 3: v = add[static_cast<size_t>(i) * n + j0 + j] + v; break;
+          default: break;
+        }
+        if (epilogue == 1) {
+          v = v > 0.0f ? v : 0.0f;
+        } else if (epilogue == 2) {
+          v = v * s;
+        }
+        orow[j0 + j] = v;
+      }
+    }
+  }
+}
+
+/// (r, c) -> (c, r) transpose of one contiguous slice.
+inline void TransposeInto(const float* __restrict in, float* __restrict out,
+                          int r, int c) {
+  for (int i = 0; i < r; ++i) {
+    for (int j = 0; j < c; ++j) {
+      out[static_cast<size_t>(j) * r + i] = in[static_cast<size_t>(i) * c + j];
+    }
+  }
+}
+
+/// Softmax over the first `cols` entries of one row, with an optional
+/// additive mask row. Entries beyond `cols` are left untouched, which is
+/// how MaskedSoftmaxRows keeps its padding columns exactly zero.
+inline void SoftmaxRow(const float* __restrict in,
+                       const float* __restrict add_mask, float* __restrict o,
+                       int cols) {
+  float mx = -1e30f;
+  for (int c = 0; c < cols; ++c) {
+    float v = in[c];
+    if (add_mask != nullptr) v += add_mask[c];
+    o[c] = v;
+    mx = std::max(mx, v);
+  }
+  float denom = 0.0f;
+  for (int c = 0; c < cols; ++c) {
+    o[c] = std::exp(o[c] - mx);
+    denom += o[c];
+  }
+  float inv = 1.0f / std::max(denom, 1e-20f);
+  for (int c = 0; c < cols; ++c) o[c] *= inv;
+}
+
+/// Layer normalization of one row followed by gamma/beta scale-shift.
+/// mean_out/inv_std_out, when non-null, receive the row statistics (the
+/// training path caches them for backward; inference passes null).
+inline void LayerNormRow(const float* __restrict in,
+                         const float* __restrict gamma,
+                         const float* __restrict beta, float* __restrict o,
+                         int cols, float eps, float* mean_out,
+                         float* inv_std_out) {
+  float mean = 0.0f;
+  for (int c = 0; c < cols; ++c) mean += in[c];
+  mean /= static_cast<float>(cols);
+  float var = 0.0f;
+  for (int c = 0; c < cols; ++c) {
+    float d = in[c] - mean;
+    var += d * d;
+  }
+  var /= static_cast<float>(cols);
+  float inv_std = 1.0f / std::sqrt(var + eps);
+  if (mean_out != nullptr) {
+    *mean_out = mean;
+    *inv_std_out = inv_std;
+  }
+  for (int c = 0; c < cols; ++c) {
+    float xhat = (in[c] - mean) * inv_std;
+    o[c] = xhat * gamma[c] + beta[c];
+  }
+}
+
+}  // namespace mtmlf::tensor::kernels
+
+#endif  // MTMLF_TENSOR_KERNELS_H_

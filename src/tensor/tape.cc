@@ -1,0 +1,766 @@
+#include "tensor/tape.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "tensor/kernels.h"
+#include "tensor/workspace.h"
+
+namespace mtmlf::tensor {
+
+namespace {
+
+// One recorder per thread: serving workers record concurrently without
+// seeing each other's ops.
+thread_local TapeRecorder* g_recorder = nullptr;
+
+constexpr size_t kScratchAlignFloats = 16;
+
+size_t AlignUp(size_t v, size_t a) { return (v + a - 1) / a * a; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TapeRecorder
+// ---------------------------------------------------------------------------
+
+TapeRecorder::TapeRecorder(const Tensor& input) : tape_(new Tape()) {
+  MTMLF_CHECK(g_recorder == nullptr,
+              "TapeRecorder: a recorder is already live on this thread");
+  if (!NoGradGuard::enabled() || Workspace::Current() == nullptr) {
+    // Recording assumes the arena allocation discipline of the serving
+    // fast path; anywhere else the tape would capture heap intermediates.
+    failed_ = true;
+  }
+  const auto impl = input.impl();
+  MTMLF_CHECK(impl != nullptr, "TapeRecorder: undefined input");
+  TapeReg reg;
+  reg.kind = TapeReg::Kind::kInput;
+  reg.rows = impl->rows;
+  reg.cols = impl->cols;
+  tape_->input_reg_ = static_cast<int32_t>(tape_->regs_.size());
+  tape_->regs_.push_back(reg);
+  reg_of_.emplace(impl.get(), tape_->input_reg_);
+  keep_alive_.push_back(impl);
+  g_recorder = this;
+}
+
+TapeRecorder::~TapeRecorder() {
+  if (g_recorder == this) g_recorder = nullptr;
+}
+
+TapeRecorder* TapeRecorder::Active() { return g_recorder; }
+
+void TapeRecorder::MarkFailed(const char* reason) {
+  (void)reason;
+  failed_ = true;
+}
+
+int32_t TapeRecorder::InputReg(const Tensor& t) {
+  const auto impl = t.impl();
+  if (impl == nullptr) {
+    MarkFailed("undefined input tensor");
+    return -1;
+  }
+  auto it = reg_of_.find(impl.get());
+  if (it != reg_of_.end()) return it->second;
+  if (impl->data.arena_backed()) {
+    // An arena tensor we did not see being produced is request-dependent
+    // data entering the region sideways; freezing its bytes into the tape
+    // would replay stale values.
+    MarkFailed("arena-backed input from outside the recorded region");
+    return -1;
+  }
+  // Heap-backed outside input: a frozen parameter. The tape pins it so a
+  // model hot-swap can't free the weights under an in-flight replay.
+  TapeReg reg;
+  reg.kind = TapeReg::Kind::kParam;
+  reg.rows = impl->rows;
+  reg.cols = impl->cols;
+  reg.param = impl->data.data();
+  int32_t id = static_cast<int32_t>(tape_->regs_.size());
+  tape_->regs_.push_back(reg);
+  tape_->captured_.push_back(impl);
+  reg_of_.emplace(impl.get(), id);
+  return id;
+}
+
+int32_t TapeRecorder::OutputReg(const Tensor& t) {
+  const auto impl = t.impl();
+  TapeReg reg;
+  reg.kind = TapeReg::Kind::kScratch;
+  reg.rows = impl->rows;
+  reg.cols = impl->cols;
+  int32_t id = static_cast<int32_t>(tape_->regs_.size());
+  tape_->regs_.push_back(reg);
+  reg_of_.emplace(impl.get(), id);
+  keep_alive_.push_back(impl);
+  return id;
+}
+
+uint32_t TapeRecorder::InternInts(const int* begin, size_t n) {
+  uint32_t start = static_cast<uint32_t>(tape_->ints_.size());
+  for (size_t i = 0; i < n; ++i) {
+    tape_->ints_.push_back(static_cast<int32_t>(begin[i]));
+  }
+  return start;
+}
+
+TapeInstr* TapeRecorder::StartInstr(TapeOp op, const Tensor& out) {
+  ++ops_recorded_;
+  if (failed_) return nullptr;
+  TapeInstr instr;
+  instr.op = op;
+  instr.out = OutputReg(out);
+  tape_->instrs_.push_back(instr);
+  return &tape_->instrs_.back();
+}
+
+void TapeRecorder::RecordAdd(const Tensor& a, const Tensor& b,
+                             const Tensor& out) {
+  TapeInstr* in = StartInstr(TapeOp::kAdd, out);
+  if (in == nullptr) return;
+  in->a = InputReg(a);
+  in->b = InputReg(b);
+  in->i0 = (b.rows() == out.rows() && b.cols() == out.cols()) ? 0 : 1;
+}
+
+void TapeRecorder::RecordScale(const Tensor& a, const Tensor& out, float s) {
+  TapeInstr* in = StartInstr(TapeOp::kScale, out);
+  if (in == nullptr) return;
+  in->a = InputReg(a);
+  in->f0 = s;
+}
+
+void TapeRecorder::RecordRelu(const Tensor& a, const Tensor& out) {
+  TapeInstr* in = StartInstr(TapeOp::kRelu, out);
+  if (in == nullptr) return;
+  in->a = InputReg(a);
+}
+
+void TapeRecorder::RecordMatMul(const Tensor& a, const Tensor& b,
+                                const Tensor& out, int batch) {
+  TapeInstr* in = StartInstr(TapeOp::kMatMul, out);
+  if (in == nullptr) return;
+  in->a = InputReg(a);
+  in->b = InputReg(b);
+  in->batch = batch;
+}
+
+void TapeRecorder::RecordTranspose(const Tensor& a, const Tensor& out,
+                                   int batch) {
+  TapeInstr* in = StartInstr(TapeOp::kTranspose, out);
+  if (in == nullptr) return;
+  in->a = InputReg(a);
+  in->batch = batch;
+}
+
+void TapeRecorder::RecordSoftmaxRows(const Tensor& a, const Tensor& out,
+                                     bool has_mask) {
+  TapeInstr* in = StartInstr(TapeOp::kSoftmaxRows, out);
+  if (in == nullptr) return;
+  if (has_mask) {
+    // Additive masks are per-request data (causal masks are rebuilt each
+    // call); the serving encoder never passes one, so don't tape it.
+    MarkFailed("SoftmaxRows with additive mask");
+    return;
+  }
+  in->a = InputReg(a);
+}
+
+void TapeRecorder::RecordMaskedSoftmaxRows(const Tensor& a, const Tensor& out,
+                                           int batch,
+                                           const std::vector<int>& valid_cols) {
+  TapeInstr* in = StartInstr(TapeOp::kMaskedSoftmaxRows, out);
+  if (in == nullptr) return;
+  in->a = InputReg(a);
+  in->batch = batch;
+  in->aux = InternInts(valid_cols.data(), valid_cols.size());
+  in->aux_len = static_cast<uint32_t>(valid_cols.size());
+}
+
+void TapeRecorder::RecordLayerNormRows(const Tensor& x, const Tensor& gamma,
+                                       const Tensor& beta, const Tensor& out,
+                                       float eps) {
+  TapeInstr* in = StartInstr(TapeOp::kLayerNormRows, out);
+  if (in == nullptr) return;
+  in->a = InputReg(x);
+  in->b = InputReg(gamma);
+  in->c = InputReg(beta);
+  in->f0 = eps;
+}
+
+void TapeRecorder::RecordMaskedLayerNormRows(
+    const Tensor& x, const Tensor& gamma, const Tensor& beta,
+    const Tensor& out, int batch, const std::vector<int>& valid_rows,
+    float eps) {
+  TapeInstr* in = StartInstr(TapeOp::kMaskedLayerNormRows, out);
+  if (in == nullptr) return;
+  in->a = InputReg(x);
+  in->b = InputReg(gamma);
+  in->c = InputReg(beta);
+  in->batch = batch;
+  in->f0 = eps;
+  in->aux = InternInts(valid_rows.data(), valid_rows.size());
+  in->aux_len = static_cast<uint32_t>(valid_rows.size());
+}
+
+void TapeRecorder::RecordSlice(const Tensor& a, const Tensor& out, bool rows,
+                               int start, int len) {
+  TapeInstr* in =
+      StartInstr(rows ? TapeOp::kSliceRows : TapeOp::kSliceCols, out);
+  if (in == nullptr) return;
+  in->a = InputReg(a);
+  in->i0 = start;
+  in->i1 = len;
+}
+
+void TapeRecorder::RecordConcat(const std::vector<Tensor>& parts,
+                                const Tensor& out, bool rows) {
+  TapeInstr* in =
+      StartInstr(rows ? TapeOp::kConcatRows : TapeOp::kConcatCols, out);
+  if (in == nullptr) return;
+  std::vector<int> regs;
+  regs.reserve(parts.size());
+  for (const Tensor& p : parts) regs.push_back(InputReg(p));
+  in->aux = InternInts(regs.data(), regs.size());
+  in->aux_len = static_cast<uint32_t>(regs.size());
+}
+
+std::unique_ptr<Tape> TapeRecorder::Finish(const std::vector<Tensor>& outputs,
+                                           std::vector<int32_t> signature) {
+  MTMLF_CHECK(g_recorder == this, "TapeRecorder::Finish: not the live recorder");
+  g_recorder = nullptr;
+
+  if (ops_seen_ != ops_recorded_) {
+    // An op ran in the region without a recording hook (Sub, Tanh, a new
+    // op added later, ...). The tape is incomplete; never replay it.
+    failed_ = true;
+  }
+  for (const Tensor& out : outputs) {
+    auto it = out.impl() == nullptr ? reg_of_.end()
+                                    : reg_of_.find(out.impl().get());
+    if (it == reg_of_.end() ||
+        tape_->regs_[it->second].kind != TapeReg::Kind::kScratch) {
+      failed_ = true;
+      break;
+    }
+    TapeReg& reg = tape_->regs_[it->second];
+    reg.kind = TapeReg::Kind::kOutput;
+    reg.output_index = static_cast<int32_t>(tape_->output_regs_.size());
+    tape_->output_regs_.push_back(it->second);
+  }
+
+  if (!failed_) {
+    tape_->FuseAndCompact();
+    tape_->valid_ = true;
+  } else {
+    // Invalid tapes drop everything but stay insertable as negative
+    // entries, so repeated requests of this shape skip re-recording.
+    tape_->instrs_.clear();
+    tape_->regs_.clear();
+    tape_->ints_.clear();
+    tape_->captured_.clear();
+    tape_->output_regs_.clear();
+    tape_->valid_ = false;
+  }
+  tape_->signature_ = std::move(signature);
+  // Release every pinned intermediate BEFORE the caller's WorkspaceAudit
+  // fires: a recorded call must escape exactly as many arena nodes as an
+  // eager one.
+  keep_alive_.clear();
+  reg_of_.clear();
+  return std::move(tape_);
+}
+
+// ---------------------------------------------------------------------------
+// Tape::FuseAndCompact
+// ---------------------------------------------------------------------------
+
+void Tape::FuseAndCompact() {
+  // Uses of each register as an instruction input (a/b/c operands plus
+  // concat part lists). A MatMul result may only be folded into its
+  // consumer when that consumer is its sole reader and the value is pure
+  // scratch — never a tape output, which must exist as a real tensor.
+  auto count_uses = [this](std::vector<uint32_t>* uses) {
+    uses->assign(regs_.size(), 0);
+    for (const TapeInstr& in : instrs_) {
+      if (in.a >= 0) ++(*uses)[in.a];
+      if (in.b >= 0) ++(*uses)[in.b];
+      if (in.c >= 0) ++(*uses)[in.c];
+      if (in.op == TapeOp::kConcatRows || in.op == TapeOp::kConcatCols) {
+        for (uint32_t p = 0; p < in.aux_len; ++p) ++(*uses)[ints_[in.aux + p]];
+      }
+    }
+  };
+
+  std::vector<uint32_t> uses;
+  count_uses(&uses);
+  std::vector<TapeInstr> fused;
+  fused.reserve(instrs_.size());
+  for (const TapeInstr& in : instrs_) {
+    TapeInstr* prev = fused.empty() ? nullptr : &fused.back();
+    const bool prev_is_mm =
+        prev != nullptr && (prev->op == TapeOp::kMatMul ||
+                            prev->op == TapeOp::kFusedMatMul);
+    const bool chain_ok = prev_is_mm && in.a == prev->out &&
+                          uses[prev->out] == 1 &&
+                          regs_[prev->out].kind == TapeReg::Kind::kScratch;
+    const bool bcast_row_ok =
+        in.op == TapeOp::kAdd && in.i0 == 1 && in.b >= 0 &&
+        regs_[in.b].rows == 1 && in.out >= 0 &&
+        regs_[in.b].cols == regs_[in.out].cols;
+    if (chain_ok && in.op == TapeOp::kAdd && prev->i0 == 0 && prev->i1 == 0 &&
+        in.b != prev->out && (in.i0 == 0 || bcast_row_ok)) {
+      // MatMul + Add. The matmul result is operand `a`, so the fused
+      // epilogue computes acc + addend; i0 records whether the addend row
+      // broadcasts. (An Add with the matmul result on the `b` side is
+      // handled by the branch below to preserve operand order.)
+      prev->op = TapeOp::kFusedMatMul;
+      prev->c = in.b;
+      prev->i0 = in.i0 == 1 ? 1 : 2;
+      prev->out = in.out;
+      continue;
+    }
+    if (prev_is_mm && in.op == TapeOp::kAdd && in.i0 == 0 &&
+        in.b == prev->out && in.a != prev->out && uses[prev->out] == 1 &&
+        regs_[prev->out].kind == TapeReg::Kind::kScratch && prev->i0 == 0 &&
+        prev->i1 == 0) {
+      prev->op = TapeOp::kFusedMatMul;
+      prev->c = in.a;
+      prev->i0 = 3;  // addend + acc
+      prev->out = in.out;
+      continue;
+    }
+    if (chain_ok && in.op == TapeOp::kRelu && prev->i1 == 0) {
+      prev->op = TapeOp::kFusedMatMul;
+      prev->i1 = 1;
+      prev->out = in.out;
+      continue;
+    }
+    if (chain_ok && in.op == TapeOp::kScale && prev->i0 == 0 &&
+        prev->i1 == 0) {
+      prev->op = TapeOp::kFusedMatMul;
+      prev->i1 = 2;
+      prev->f0 = in.f0;
+      prev->out = in.out;
+      continue;
+    }
+    fused.push_back(in);
+  }
+  instrs_ = std::move(fused);
+
+  // Scratch offsets go only to registers an instruction still touches;
+  // registers orphaned by fusion would otherwise inflate every replay's
+  // arena block.
+  count_uses(&uses);
+  for (const TapeInstr& in : instrs_) {
+    if (in.out >= 0) ++uses[in.out];
+  }
+  size_t off = 0;
+  for (size_t i = 0; i < regs_.size(); ++i) {
+    TapeReg& reg = regs_[i];
+    if (reg.kind != TapeReg::Kind::kScratch || uses[i] == 0) continue;
+    off = AlignUp(off, kScratchAlignFloats);
+    reg.scratch_offset = off;
+    off += static_cast<size_t>(reg.rows) * reg.cols;
+  }
+  scratch_floats_ = off;
+}
+
+// ---------------------------------------------------------------------------
+// Tape::Replay
+// ---------------------------------------------------------------------------
+
+bool Tape::Replay(const Tensor& input, std::vector<Tensor>* outputs) const {
+  outputs->clear();
+  if (!valid_) return false;
+  if (!NoGradGuard::enabled()) return false;
+  Workspace* ws = Workspace::Current();
+  if (ws == nullptr) return false;
+  const auto in_impl = input.impl();
+  if (in_impl == nullptr) return false;
+  const TapeReg& in_reg = regs_[input_reg_];
+  if (in_impl->rows != in_reg.rows || in_impl->cols != in_reg.cols) {
+    return false;
+  }
+
+  // Pointer table and scratch block come from the arena: a replay performs
+  // zero heap allocations. The scratch is NOT zeroed; ops that rely on a
+  // zeroed destination (accumulating MatMul, the masked ops that leave
+  // padding at exactly 0) memset their own output below, matching the
+  // zeroed Storage the eager path allocates.
+  float** ptrs = static_cast<float**>(
+      ws->Allocate(regs_.size() * sizeof(float*), alignof(float*)));
+  float* scratch = nullptr;
+  if (scratch_floats_ > 0) {
+    scratch = static_cast<float*>(ws->Allocate(
+        scratch_floats_ * sizeof(float), kScratchAlignFloats * sizeof(float)));
+  }
+  outputs->reserve(output_regs_.size());
+  for (size_t i = 0; i < regs_.size(); ++i) {
+    const TapeReg& reg = regs_[i];
+    switch (reg.kind) {
+      case TapeReg::Kind::kInput:
+        ptrs[i] = const_cast<float*>(in_impl->data.data());
+        break;
+      case TapeReg::Kind::kParam:
+        ptrs[i] = const_cast<float*>(reg.param);
+        break;
+      case TapeReg::Kind::kScratch:
+        ptrs[i] = scratch + reg.scratch_offset;
+        break;
+      case TapeReg::Kind::kOutput: {
+        // Allocated up front (an output may feed later instructions, e.g.
+        // the shared representation feeding the heads). Zeros() zeroes the
+        // buffer exactly like the eager op's fresh Storage.
+        Tensor t = Tensor::Zeros(reg.rows, reg.cols);
+        ptrs[i] = t.data();
+        outputs->push_back(std::move(t));
+        break;
+      }
+    }
+  }
+
+  for (const TapeInstr& instr : instrs_) {
+    const TapeReg& ro = regs_[instr.out];
+    float* out = ptrs[instr.out];
+    const float* a = instr.a >= 0 ? ptrs[instr.a] : nullptr;
+    const float* b = instr.b >= 0 ? ptrs[instr.b] : nullptr;
+    const size_t out_n = static_cast<size_t>(ro.rows) * ro.cols;
+    switch (instr.op) {
+      case TapeOp::kAdd: {
+        if (instr.i0 == 0) {
+          for (size_t i = 0; i < out_n; ++i) out[i] = a[i] + b[i];
+        } else {
+          // Row broadcast of b: iterate (row, col) so the column index is
+          // a cheap counter — a per-element modulo dominates this op.
+          const size_t bc = static_cast<size_t>(regs_[instr.b].cols);
+          for (size_t r0 = 0; r0 < out_n; r0 += bc) {
+            for (size_t c0 = 0; c0 < bc; ++c0) {
+              out[r0 + c0] = a[r0 + c0] + b[c0];
+            }
+          }
+        }
+        break;
+      }
+      case TapeOp::kScale: {
+        const float s = instr.f0;
+        for (size_t i = 0; i < out_n; ++i) out[i] = a[i] * s;
+        break;
+      }
+      case TapeOp::kRelu: {
+        for (size_t i = 0; i < out_n; ++i) out[i] = a[i] > 0.0f ? a[i] : 0.0f;
+        break;
+      }
+      case TapeOp::kMatMul: {
+        // MatMulEpilogue with no addend / no epilogue is MatMulAccumulate
+        // over a fresh zero accumulator that stores every element — the
+        // same products in the same order — so skipping the eager path's
+        // zeroed-Storage + accumulate round trip costs no bits and saves
+        // two full passes over the output rows.
+        const int batch = instr.batch;
+        const int m = regs_[instr.a].rows / batch;
+        const int k = regs_[instr.a].cols;
+        const int n = regs_[instr.b].cols;
+        for (int bb = 0; bb < batch; ++bb) {
+          kernels::MatMulEpilogue(&a[static_cast<size_t>(bb) * m * k],
+                                  &b[static_cast<size_t>(bb) * k * n], nullptr,
+                                  &out[static_cast<size_t>(bb) * m * n], m, k,
+                                  n, /*add_mode=*/0, /*epilogue=*/0, 0.0f);
+        }
+        break;
+      }
+      case TapeOp::kFusedMatMul: {
+        // Fully overwrites its output (the fused epilogue stores every
+        // element), so no memset is needed.
+        const int batch = instr.batch;
+        const int m = regs_[instr.a].rows / batch;
+        const int k = regs_[instr.a].cols;
+        const int n = regs_[instr.b].cols;
+        const float* add = instr.c >= 0 ? ptrs[instr.c] : nullptr;
+        for (int bb = 0; bb < batch; ++bb) {
+          // A row-broadcast addend (mode 1) is one (1, n) row shared by
+          // every slice; an elementwise addend advances with the slice.
+          const float* add_bb = (add != nullptr && instr.i0 != 1)
+                                    ? &add[static_cast<size_t>(bb) * m * n]
+                                    : add;
+          kernels::MatMulEpilogue(&a[static_cast<size_t>(bb) * m * k],
+                                  &b[static_cast<size_t>(bb) * k * n], add_bb,
+                                  &out[static_cast<size_t>(bb) * m * n], m, k,
+                                  n, instr.i0, instr.i1, instr.f0);
+        }
+        break;
+      }
+      case TapeOp::kTranspose: {
+        const int batch = instr.batch;
+        const int r = regs_[instr.a].rows / batch;
+        const int c = regs_[instr.a].cols;
+        for (int bb = 0; bb < batch; ++bb) {
+          kernels::TransposeInto(&a[static_cast<size_t>(bb) * r * c],
+                                 &out[static_cast<size_t>(bb) * r * c], r, c);
+        }
+        break;
+      }
+      case TapeOp::kSoftmaxRows: {
+        const int rows = ro.rows, cols = ro.cols;
+        for (int r = 0; r < rows; ++r) {
+          kernels::SoftmaxRow(&a[static_cast<size_t>(r) * cols], nullptr,
+                              &out[static_cast<size_t>(r) * cols], cols);
+        }
+        break;
+      }
+      case TapeOp::kMaskedSoftmaxRows: {
+        std::memset(out, 0, out_n * sizeof(float));
+        const int rows = ro.rows, cols = ro.cols;
+        const int rpb = rows / instr.batch;
+        const int32_t* vcs = &ints_[instr.aux];
+        for (int r = 0; r < rows; ++r) {
+          const int vc = vcs[r / rpb];
+          if (vc == 0) continue;
+          kernels::SoftmaxRow(&a[static_cast<size_t>(r) * cols], nullptr,
+                              &out[static_cast<size_t>(r) * cols], vc);
+        }
+        break;
+      }
+      case TapeOp::kLayerNormRows: {
+        const int rows = ro.rows, cols = ro.cols;
+        const float* beta = ptrs[instr.c];
+        for (int r = 0; r < rows; ++r) {
+          kernels::LayerNormRow(&a[static_cast<size_t>(r) * cols], b, beta,
+                                &out[static_cast<size_t>(r) * cols], cols,
+                                instr.f0, nullptr, nullptr);
+        }
+        break;
+      }
+      case TapeOp::kMaskedLayerNormRows: {
+        std::memset(out, 0, out_n * sizeof(float));
+        const int rows = ro.rows, cols = ro.cols;
+        const int rpb = rows / instr.batch;
+        const int32_t* vrs = &ints_[instr.aux];
+        const float* beta = ptrs[instr.c];
+        for (int r = 0; r < rows; ++r) {
+          if (r % rpb >= vrs[r / rpb]) continue;
+          kernels::LayerNormRow(&a[static_cast<size_t>(r) * cols], b, beta,
+                                &out[static_cast<size_t>(r) * cols], cols,
+                                instr.f0, nullptr, nullptr);
+        }
+        break;
+      }
+      case TapeOp::kSliceRows: {
+        const int cols = regs_[instr.a].cols;
+        std::memcpy(out, &a[static_cast<size_t>(instr.i0) * cols],
+                    static_cast<size_t>(instr.i1) * cols * sizeof(float));
+        break;
+      }
+      case TapeOp::kSliceCols: {
+        const int acols = regs_[instr.a].cols;
+        const int rows = ro.rows, len = instr.i1;
+        for (int r = 0; r < rows; ++r) {
+          std::memcpy(&out[static_cast<size_t>(r) * len],
+                      &a[static_cast<size_t>(r) * acols + instr.i0],
+                      static_cast<size_t>(len) * sizeof(float));
+        }
+        break;
+      }
+      case TapeOp::kConcatRows: {
+        size_t off = 0;
+        for (uint32_t p = 0; p < instr.aux_len; ++p) {
+          const int32_t pr = ints_[instr.aux + p];
+          const size_t n =
+              static_cast<size_t>(regs_[pr].rows) * regs_[pr].cols;
+          std::memcpy(out + off, ptrs[pr], n * sizeof(float));
+          off += n;
+        }
+        break;
+      }
+      case TapeOp::kConcatCols: {
+        const int rows = ro.rows, cols = ro.cols;
+        int col_off = 0;
+        for (uint32_t p = 0; p < instr.aux_len; ++p) {
+          const int32_t pr = ints_[instr.aux + p];
+          const int pc = regs_[pr].cols;
+          const float* pd = ptrs[pr];
+          for (int r = 0; r < rows; ++r) {
+            std::memcpy(&out[static_cast<size_t>(r) * cols + col_off],
+                        &pd[static_cast<size_t>(r) * pc],
+                        static_cast<size_t>(pc) * sizeof(float));
+          }
+          col_off += pc;
+        }
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// TapeCache
+// ---------------------------------------------------------------------------
+
+size_t TapeKeyHash::operator()(const TapeKey& k) const {
+  uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ull;
+  };
+  mix(static_cast<uint64_t>(static_cast<uint32_t>(k.db_index)));
+  mix(static_cast<uint64_t>(static_cast<uint32_t>(k.bucket)));
+  mix(k.model_version);
+  mix(k.signature_hash);
+  mix(k.batched ? 1 : 0);
+  return static_cast<size_t>(h);
+}
+
+void TapeCache::SetModelVersion(uint64_t version) {
+  if (version == model_version_) return;
+  stats_.invalidations += tapes_.size() + consts_.size();
+  tapes_.clear();
+  consts_.clear();
+  model_version_ = version;
+}
+
+Tape* TapeCache::Find(const TapeKey& key,
+                      const std::vector<int32_t>& signature) {
+  auto it = tapes_.find(key);
+  if (it == tapes_.end()) return nullptr;
+  if (it->second->signature() != signature) return nullptr;  // hash collision
+  return it->second.get();
+}
+
+Tape* TapeCache::Insert(const TapeKey& key, std::unique_ptr<Tape> tape) {
+  auto it = tapes_.find(key);
+  if (it != tapes_.end()) {
+    it->second = std::move(tape);
+    return it->second.get();
+  }
+  if (tapes_.size() >= capacity_) {
+    ++stats_.overflows;
+    return nullptr;
+  }
+  return tapes_.emplace(key, std::move(tape)).first->second.get();
+}
+
+const std::vector<Tensor>* TapeCache::FindConst(
+    const TapeKey& key, const std::vector<int32_t>& signature) {
+  auto it = consts_.find(key);
+  if (it == consts_.end()) return nullptr;
+  if (it->second.signature != signature) return nullptr;  // hash collision
+  return &it->second.outputs;
+}
+
+void TapeCache::InsertConst(const TapeKey& key, std::vector<int32_t> signature,
+                            std::vector<Tensor> outputs) {
+  consts_[key] = ConstEntry{std::move(signature), std::move(outputs)};
+}
+
+void TapeCache::Clear() {
+  tapes_.clear();
+  consts_.clear();
+}
+
+uint64_t TapeCache::HashSignature(const std::vector<int32_t>& items) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (int32_t v : items) {
+    h ^= static_cast<uint64_t>(static_cast<uint32_t>(v));
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+int32_t TapeCache::NextPow2(int32_t v) {
+  if (v <= 1) return 1;
+  int32_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// tape_internal hooks
+// ---------------------------------------------------------------------------
+
+namespace tape_internal {
+
+void NoteOp() {
+  if (g_recorder != nullptr) g_recorder->NoteOpSeen();
+}
+
+void RecordAdd(const Tensor& a, const Tensor& b, const Tensor& out) {
+  if (g_recorder != nullptr) g_recorder->RecordAdd(a, b, out);
+}
+
+void RecordScale(const Tensor& a, const Tensor& out, float s) {
+  if (g_recorder != nullptr) g_recorder->RecordScale(a, out, s);
+}
+
+void RecordRelu(const Tensor& a, const Tensor& out) {
+  if (g_recorder != nullptr) g_recorder->RecordRelu(a, out);
+}
+
+void RecordMatMul(const Tensor& a, const Tensor& b, const Tensor& out,
+                  int batch) {
+  if (g_recorder != nullptr) g_recorder->RecordMatMul(a, b, out, batch);
+}
+
+void RecordTranspose(const Tensor& a, const Tensor& out, int batch) {
+  if (g_recorder != nullptr) g_recorder->RecordTranspose(a, out, batch);
+}
+
+void RecordSoftmaxRows(const Tensor& a, const Tensor& out, bool has_mask) {
+  if (g_recorder != nullptr) g_recorder->RecordSoftmaxRows(a, out, has_mask);
+}
+
+void RecordMaskedSoftmaxRows(const Tensor& a, const Tensor& out, int batch,
+                             const std::vector<int>& valid_cols) {
+  if (g_recorder != nullptr) {
+    g_recorder->RecordMaskedSoftmaxRows(a, out, batch, valid_cols);
+  }
+}
+
+void RecordLayerNormRows(const Tensor& x, const Tensor& gamma,
+                         const Tensor& beta, const Tensor& out, float eps) {
+  if (g_recorder != nullptr) {
+    g_recorder->RecordLayerNormRows(x, gamma, beta, out, eps);
+  }
+}
+
+void RecordMaskedLayerNormRows(const Tensor& x, const Tensor& gamma,
+                               const Tensor& beta, const Tensor& out,
+                               int batch, const std::vector<int>& valid_rows,
+                               float eps) {
+  if (g_recorder != nullptr) {
+    g_recorder->RecordMaskedLayerNormRows(x, gamma, beta, out, batch,
+                                          valid_rows, eps);
+  }
+}
+
+void RecordSliceRows(const Tensor& a, const Tensor& out, int start, int len) {
+  if (g_recorder != nullptr) {
+    g_recorder->RecordSlice(a, out, /*rows=*/true, start, len);
+  }
+}
+
+void RecordSliceCols(const Tensor& a, const Tensor& out, int start, int len) {
+  if (g_recorder != nullptr) {
+    g_recorder->RecordSlice(a, out, /*rows=*/false, start, len);
+  }
+}
+
+void RecordConcatRows(const std::vector<Tensor>& parts, const Tensor& out) {
+  if (g_recorder != nullptr) g_recorder->RecordConcat(parts, out, /*rows=*/true);
+}
+
+void RecordConcatCols(const std::vector<Tensor>& parts, const Tensor& out) {
+  if (g_recorder != nullptr) {
+    g_recorder->RecordConcat(parts, out, /*rows=*/false);
+  }
+}
+
+void RecordUnsupported(const char* what) {
+  if (g_recorder != nullptr) g_recorder->MarkFailed(what);
+}
+
+}  // namespace tape_internal
+
+}  // namespace mtmlf::tensor

@@ -1,0 +1,331 @@
+#ifndef MTMLF_TENSOR_TAPE_H_
+#define MTMLF_TENSOR_TAPE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mtmlf::tensor {
+
+// ---------------------------------------------------------------------------
+// Static execution tape: record-once / replay-fast forward path.
+//
+// Under NoGradGuard the define-by-run ops still pay pure dispatch overhead
+// on every request: one shared_ptr'd graph node per op, shape checks,
+// lambda setup. For a serving worker the op SEQUENCE is a function of the
+// plan shape only — the same (db, plan-shape) always executes the same ops
+// on the same parameter tensors with the same shapes. A TapeRecorder
+// captures one eager forward as a flat instruction list (op code, register
+// ids, shapes, raw parameter pointers); Tape::Replay then re-executes the
+// arithmetic with zero graph construction and zero shared_ptr churn,
+// bump-allocating one scratch block from the active Workspace. Replay
+// calls the exact same kernels (tensor/kernels.h) the eager ops use, so it
+// is bit-identical to the eager forward it recorded.
+//
+// Safety model: recording is only attempted under NoGradGuard with an
+// active Workspace. Every op result created while a recorder is live is
+// counted (tape_internal::NoteOp from MakeResult); if any op in the region
+// is not explicitly recorded, the counts disagree and the tape is marked
+// invalid — an op the tape doesn't know about can never be silently
+// skipped. Tensors that flow into the region from outside are captured as
+// parameters only when heap-backed (frozen model weights; the tape holds a
+// shared_ptr so they survive hot-swap); an arena-backed outside input is
+// request-dependent data and fails the recording. Invalid tapes are kept
+// in the cache as negative entries so the caller falls back to eager
+// without re-recording every request.
+// ---------------------------------------------------------------------------
+
+enum class TapeOp : uint8_t {
+  kAdd,                  // a + b, optional (1, cols) row broadcast of b
+  kScale,                // a * f0
+  kRelu,                 // max(a, 0)
+  kMatMul,               // per-batch-slice a x b (batch == 1: plain MatMul)
+  kTranspose,            // per-batch-slice transpose
+  kSoftmaxRows,          // row softmax, no additive mask
+  kMaskedSoftmaxRows,    // per-batch valid_cols in aux ints
+  kLayerNormRows,        // gamma = b, beta = c, eps = f0
+  kMaskedLayerNormRows,  // + per-batch valid_rows in aux ints
+  kSliceRows,            // rows [i0, i0 + i1)
+  kSliceCols,            // cols [i0, i0 + i1)
+  kConcatRows,           // parts = aux ints (register ids)
+  kConcatCols,
+  // Produced by the Finish-time peephole pass, never recorded directly:
+  // a MatMul whose single-use result fed an Add / Scale / Relu chain,
+  // collapsed into one instruction so the intermediate rows are never
+  // materialized. i0 = addend mode (0 none, 1 acc + row-broadcast c,
+  // 2 acc + c elementwise, 3 c + acc elementwise — operand order is kept
+  // so even NaN-payload propagation matches the unfused ops), i1 =
+  // epilogue (0 none, 1 relu, 2 scale by f0).
+  kFusedMatMul,
+};
+
+struct TapeInstr {
+  TapeOp op;
+  int32_t out = -1;
+  int32_t a = -1;
+  int32_t b = -1;
+  int32_t c = -1;
+  int32_t batch = 1;
+  int32_t i0 = 0;
+  int32_t i1 = 0;
+  float f0 = 0.0f;
+  uint32_t aux = 0;      // start index into Tape::ints_
+  uint32_t aux_len = 0;
+};
+
+/// A value slot of the tape. During replay every register resolves to a
+/// raw float pointer: the request input, a frozen parameter, a slot in the
+/// per-replay scratch block, or one of the freshly allocated output
+/// tensors.
+struct TapeReg {
+  enum class Kind : uint8_t { kInput, kParam, kScratch, kOutput };
+  Kind kind = Kind::kScratch;
+  int32_t rows = 0;
+  int32_t cols = 0;
+  size_t scratch_offset = 0;        // kScratch: float offset into scratch
+  const float* param = nullptr;     // kParam: frozen weight data
+  int32_t output_index = -1;        // kOutput: position in Replay outputs
+};
+
+class Tape {
+ public:
+  /// False when recording failed (unsupported op, request-dependent
+  /// outside input, op-count mismatch); such a tape is kept as a negative
+  /// cache entry and never replayed.
+  bool valid() const { return valid_; }
+
+  /// Exact shape signature of the request this tape was recorded for.
+  /// Cache hits compare it in full — the key hash alone is not trusted.
+  const std::vector<int32_t>& signature() const { return signature_; }
+
+  size_t num_instrs() const { return instrs_.size(); }
+  size_t scratch_floats() const { return scratch_floats_; }
+
+  /// Re-executes the recorded forward on `input`. Requires NoGradGuard
+  /// and an active Workspace (scratch and outputs are arena-allocated);
+  /// returns false — leaving `outputs` empty — when preconditions or the
+  /// input shape don't match, in which case the caller runs eager.
+  /// On success `outputs` holds the recorded output tensors in order,
+  /// bit-identical to the eager forward.
+  bool Replay(const Tensor& input, std::vector<Tensor>* outputs) const;
+
+ private:
+  friend class TapeRecorder;
+
+  // Finish-time optimization: peephole-fuse MatMul + Add/Scale/Relu
+  // chains (single-use intermediates only) into kFusedMatMul and assign
+  // scratch offsets to the registers that survive. Replay of a fused
+  // instruction performs the same per-element operations in the same
+  // order as the separate instructions — it only skips materializing the
+  // intermediate rows — so fusion never changes output bits.
+  void FuseAndCompact();
+
+  std::vector<TapeInstr> instrs_;
+  std::vector<TapeReg> regs_;
+  std::vector<int32_t> ints_;  // aux pool: valid_cols / valid_rows / parts
+  // Keeps captured parameter tensors alive: a tape may outlive a model
+  // hot-swap by one in-flight batch, and must never dangle.
+  std::vector<std::shared_ptr<Tensor::Impl>> captured_;
+  std::vector<int32_t> signature_;
+  int32_t input_reg_ = -1;
+  std::vector<int32_t> output_regs_;
+  size_t scratch_floats_ = 0;
+  bool valid_ = false;
+};
+
+/// Records one eager forward into a Tape. Construct with the region's
+/// input tensor, run the eager code, then Finish() with the tensors the
+/// region returns. Exactly one recorder may be live per thread; ops
+/// executed on this thread between construction and Finish() are captured.
+class TapeRecorder {
+ public:
+  explicit TapeRecorder(const Tensor& input);
+  ~TapeRecorder();
+  TapeRecorder(const TapeRecorder&) = delete;
+  TapeRecorder& operator=(const TapeRecorder&) = delete;
+
+  /// The recorder live on this thread, if any.
+  static TapeRecorder* Active();
+
+  /// Stops recording and builds the tape. The result is always non-null;
+  /// it is !valid() when the region contained anything unreplayable.
+  /// Releases all intermediate keep-alive references, so arena live-node
+  /// audits see the same escape count as an unrecorded eager call.
+  std::unique_ptr<Tape> Finish(const std::vector<Tensor>& outputs,
+                               std::vector<int32_t> signature);
+
+  void MarkFailed(const char* reason);
+
+  // Called from the tensor ops (via tape_internal hooks).
+  void NoteOpSeen() { ++ops_seen_; }
+  void RecordAdd(const Tensor& a, const Tensor& b, const Tensor& out);
+  void RecordScale(const Tensor& a, const Tensor& out, float s);
+  void RecordRelu(const Tensor& a, const Tensor& out);
+  void RecordMatMul(const Tensor& a, const Tensor& b, const Tensor& out,
+                    int batch);
+  void RecordTranspose(const Tensor& a, const Tensor& out, int batch);
+  void RecordSoftmaxRows(const Tensor& a, const Tensor& out, bool has_mask);
+  void RecordMaskedSoftmaxRows(const Tensor& a, const Tensor& out, int batch,
+                               const std::vector<int>& valid_cols);
+  void RecordLayerNormRows(const Tensor& x, const Tensor& gamma,
+                           const Tensor& beta, const Tensor& out, float eps);
+  void RecordMaskedLayerNormRows(const Tensor& x, const Tensor& gamma,
+                                 const Tensor& beta, const Tensor& out,
+                                 int batch, const std::vector<int>& valid_rows,
+                                 float eps);
+  void RecordSlice(const Tensor& a, const Tensor& out, bool rows, int start,
+                   int len);
+  void RecordConcat(const std::vector<Tensor>& parts, const Tensor& out,
+                    bool rows);
+
+ private:
+  // Register id of an op INPUT: a previously recorded value, the region
+  // input, or — when heap-backed — a frozen parameter captured on first
+  // use. Unknown arena-backed inputs fail the recording and return -1.
+  int32_t InputReg(const Tensor& t);
+  // Fresh scratch register for an op OUTPUT.
+  int32_t OutputReg(const Tensor& t);
+  uint32_t InternInts(const int* begin, size_t n);
+  TapeInstr* StartInstr(TapeOp op, const Tensor& out);
+
+  std::unique_ptr<Tape> tape_;
+  std::unordered_map<const Tensor::Impl*, int32_t> reg_of_;
+  // Pins every impl seen during recording: arena addresses stay unique for
+  // the map above, and op results can't be freed mid-record. Cleared by
+  // Finish() before the caller's escape audit runs.
+  std::vector<std::shared_ptr<Tensor::Impl>> keep_alive_;
+  uint64_t ops_seen_ = 0;
+  uint64_t ops_recorded_ = 0;
+  bool failed_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// TapeCache: per-worker tape store keyed by (db, shape bucket, model
+// version, signature hash). Single-threaded — each serving worker owns one.
+// ---------------------------------------------------------------------------
+
+struct TapeKey {
+  int32_t db_index = 0;
+  int32_t bucket = 0;          // next-pow2 of the padded plan length
+  uint64_t model_version = 0;  // stale tapes must never serve a new model
+  uint64_t signature_hash = 0;
+  bool batched = false;
+
+  bool operator==(const TapeKey& o) const {
+    return db_index == o.db_index && bucket == o.bucket &&
+           model_version == o.model_version &&
+           signature_hash == o.signature_hash && batched == o.batched;
+  }
+};
+
+struct TapeKeyHash {
+  size_t operator()(const TapeKey& k) const;
+};
+
+class TapeCache {
+ public:
+  struct Stats {
+    uint64_t replays = 0;          // forwards served by tape replay
+    uint64_t records = 0;          // recordings attempted
+    uint64_t invalid_tapes = 0;    // recordings that came back unreplayable
+    uint64_t eager_fallbacks = 0;  // hits on invalid tapes -> eager
+    uint64_t invalidations = 0;    // entries dropped by model-version swaps
+    uint64_t overflows = 0;        // inserts refused at capacity
+  };
+
+  explicit TapeCache(size_t capacity = 512) : capacity_(capacity) {}
+
+  /// Invalidation on hot-swap/rollout: changing the version drops every
+  /// tape, because their parameter pointers belong to the old checkpoint.
+  void SetModelVersion(uint64_t version);
+  uint64_t model_version() const { return model_version_; }
+
+  /// Lookup with full signature verification (hash collisions fall back
+  /// to a miss; the subsequent Insert overwrites the colliding entry).
+  Tape* Find(const TapeKey& key, const std::vector<int32_t>& signature);
+
+  /// Takes ownership; returns the stored tape, or null when refused at
+  /// capacity (counted in stats().overflows).
+  Tape* Insert(const TapeKey& key, std::unique_ptr<Tape> tape);
+
+  /// Constant-fold store for forwards with no request-dependent input at
+  /// all (e.g. the Enc_i encoding of a table the query does not filter):
+  /// instead of replaying an instruction tape, the worker serves detached
+  /// heap copies of the outputs computed once per model version. Hits and
+  /// misses count as stats().replays / records like tape entries, and
+  /// SetModelVersion drops const entries together with the tapes (their
+  /// values were produced by the old checkpoint's weights).
+  const std::vector<Tensor>* FindConst(const TapeKey& key,
+                                       const std::vector<int32_t>& signature);
+  /// `outputs` must be heap-backed (Tensor::Detach) — they outlive every
+  /// inference Workspace reset.
+  void InsertConst(const TapeKey& key, std::vector<int32_t> signature,
+                   std::vector<Tensor> outputs);
+  size_t const_entries() const { return consts_.size(); }
+
+  size_t size() const { return tapes_.size(); }
+  void Clear();
+
+  Stats& stats() { return stats_; }
+  const Stats& stats() const { return stats_; }
+
+  static uint64_t HashSignature(const std::vector<int32_t>& items);
+  static int32_t NextPow2(int32_t v);
+
+ private:
+  struct ConstEntry {
+    std::vector<int32_t> signature;
+    std::vector<Tensor> outputs;
+  };
+
+  std::unordered_map<TapeKey, std::unique_ptr<Tape>, TapeKeyHash> tapes_;
+  std::unordered_map<TapeKey, ConstEntry, TapeKeyHash> consts_;
+  uint64_t model_version_ = 0;
+  size_t capacity_;
+  Stats stats_;
+};
+
+// ---------------------------------------------------------------------------
+// Hooks called by the tensor ops (tensor.cc). No-ops (one thread-local
+// load) when no recorder is live on this thread.
+// ---------------------------------------------------------------------------
+
+namespace tape_internal {
+
+/// Counts every op result node created on this thread; the recorder
+/// cross-checks against the ops it captured so an unhooked op can never
+/// slip into a tape unnoticed.
+void NoteOp();
+
+void RecordAdd(const Tensor& a, const Tensor& b, const Tensor& out);
+void RecordScale(const Tensor& a, const Tensor& out, float s);
+void RecordRelu(const Tensor& a, const Tensor& out);
+void RecordMatMul(const Tensor& a, const Tensor& b, const Tensor& out,
+                  int batch);
+void RecordTranspose(const Tensor& a, const Tensor& out, int batch);
+void RecordSoftmaxRows(const Tensor& a, const Tensor& out, bool has_mask);
+void RecordMaskedSoftmaxRows(const Tensor& a, const Tensor& out, int batch,
+                             const std::vector<int>& valid_cols);
+void RecordLayerNormRows(const Tensor& x, const Tensor& gamma,
+                         const Tensor& beta, const Tensor& out, float eps);
+void RecordMaskedLayerNormRows(const Tensor& x, const Tensor& gamma,
+                               const Tensor& beta, const Tensor& out,
+                               int batch, const std::vector<int>& valid_rows,
+                               float eps);
+void RecordSliceRows(const Tensor& a, const Tensor& out, int start, int len);
+void RecordSliceCols(const Tensor& a, const Tensor& out, int start, int len);
+void RecordConcatRows(const std::vector<Tensor>& parts, const Tensor& out);
+void RecordConcatCols(const std::vector<Tensor>& parts, const Tensor& out);
+
+/// Marks the live recording (if any) failed — called by operations that
+/// can never be replayed (e.g. Tensor::Detach inside the region).
+void RecordUnsupported(const char* what);
+
+}  // namespace tape_internal
+
+}  // namespace mtmlf::tensor
+
+#endif  // MTMLF_TENSOR_TAPE_H_

@@ -6,6 +6,8 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "tensor/kernels.h"
+#include "tensor/tape.h"
 #include "tensor/workspace.h"
 
 namespace mtmlf::tensor {
@@ -72,6 +74,7 @@ std::shared_ptr<Impl> MakeImpl(int rows, int cols, bool force_heap = false) {
 std::shared_ptr<Impl> MakeResult(int rows, int cols,
                                  std::initializer_list<const Tensor*> parents) {
   internal::GlobalAllocCounters().ops.fetch_add(1, std::memory_order_relaxed);
+  tape_internal::NoteOp();
   auto impl = MakeImpl(rows, cols);
   if (g_no_grad) return impl;
   std::vector<std::shared_ptr<Impl>> ps;
@@ -89,6 +92,7 @@ std::shared_ptr<Impl> MakeResult(int rows, int cols,
 std::shared_ptr<Impl> MakeResult(int rows, int cols,
                                  const std::vector<Tensor>& parents) {
   internal::GlobalAllocCounters().ops.fetch_add(1, std::memory_order_relaxed);
+  tape_internal::NoteOp();
   auto impl = MakeImpl(rows, cols);
   if (g_no_grad) return impl;
   std::vector<std::shared_ptr<Impl>> ps;
@@ -166,6 +170,9 @@ Tensor Tensor::Randn(int rows, int cols, float stddev, Rng* rng,
 
 Tensor Tensor::Detach() const {
   MTMLF_CHECK(impl_ != nullptr, "Detach on undefined tensor");
+  // A detached copy inside a recorded region would freeze request data
+  // into the tape as if it were a constant parameter.
+  tape_internal::RecordUnsupported("Tensor::Detach");
   auto impl = MakeHeapImpl(impl_->rows, impl_->cols);
   std::copy(impl_->data.begin(), impl_->data.end(), impl->data.begin());
   return Tensor(std::move(impl));
@@ -278,7 +285,9 @@ Tensor BinaryOp(const Tensor& a, const Tensor& b, BinOpKind kind) {
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return BinaryOp(a, b, BinOpKind::kAdd);
+  Tensor out = BinaryOp(a, b, BinOpKind::kAdd);
+  tape_internal::RecordAdd(a, b, out);
+  return out;
 }
 Tensor Sub(const Tensor& a, const Tensor& b) {
   return BinaryOp(a, b, BinOpKind::kSub);
@@ -293,17 +302,10 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   MTMLF_CHECK(ai.cols == bi.rows, "MatMul: inner dimensions differ");
   auto out = MakeResult(ai.rows, bi.cols, {&a, &b});
   const int m = ai.rows, k = ai.cols, n = bi.cols;
-  // i-k-j loop order for streaming access to b and out.
-  for (int i = 0; i < m; ++i) {
-    const float* arow = &ai.data[static_cast<size_t>(i) * k];
-    float* orow = &out->data[static_cast<size_t>(i) * n];
-    for (int kk = 0; kk < k; ++kk) {
-      float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = &bi.data[static_cast<size_t>(kk) * n];
-      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
+  // i-k-j loop order for streaming access to b and out (kernels.h, shared
+  // with tape replay).
+  kernels::MatMulAccumulate(ai.data.data(), bi.data.data(), out->data.data(),
+                            m, k, n);
   if (out->requires_grad) {
     out->backward_fn = [m, k, n](Impl* node) {
       Impl* pa = node->parents[0].get();
@@ -327,18 +329,15 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       }
     };
   }
-  return Tensor(std::move(out));
+  Tensor result(std::move(out));
+  tape_internal::RecordMatMul(a, b, result, /*batch=*/1);
+  return result;
 }
 
 Tensor Transpose(const Tensor& a) {
   const auto& ai = *a.impl();
   auto out = MakeResult(ai.cols, ai.rows, {&a});
-  for (int i = 0; i < ai.rows; ++i) {
-    for (int j = 0; j < ai.cols; ++j) {
-      out->data[static_cast<size_t>(j) * ai.rows + i] =
-          ai.data[static_cast<size_t>(i) * ai.cols + j];
-    }
-  }
+  kernels::TransposeInto(ai.data.data(), out->data.data(), ai.rows, ai.cols);
   if (out->requires_grad) {
     int r = ai.rows, c = ai.cols;
     out->backward_fn = [r, c](Impl* node) {
@@ -351,7 +350,9 @@ Tensor Transpose(const Tensor& a) {
       }
     };
   }
-  return Tensor(std::move(out));
+  Tensor result(std::move(out));
+  tape_internal::RecordTranspose(a, result, /*batch=*/1);
+  return result;
 }
 
 namespace {
@@ -380,9 +381,11 @@ Tensor UnaryOp(const Tensor& a, Fwd fwd, Bwd bwd_from_in_out) {
 }  // namespace
 
 Tensor Scale(const Tensor& a, float s) {
-  return UnaryOp(
+  Tensor out = UnaryOp(
       a, [s](float x) { return x * s; },
       [s](float, float) { return s; });
+  tape_internal::RecordScale(a, out, s);
+  return out;
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
@@ -394,9 +397,11 @@ Tensor AddScalar(const Tensor& a, float s) {
 Tensor Neg(const Tensor& a) { return Scale(a, -1.0f); }
 
 Tensor Relu(const Tensor& a) {
-  return UnaryOp(
+  Tensor out = UnaryOp(
       a, [](float x) { return x > 0.0f ? x : 0.0f; },
       [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+  tape_internal::RecordRelu(a, out);
+  return out;
 }
 
 Tensor Tanh(const Tensor& a) {
@@ -438,22 +443,11 @@ Tensor SoftmaxRows(const Tensor& a, const std::vector<float>* additive_mask) {
   auto out = MakeResult(ai.rows, ai.cols, {&a});
   const int rows = ai.rows, cols = ai.cols;
   for (int r = 0; r < rows; ++r) {
-    const float* in = &ai.data[static_cast<size_t>(r) * cols];
-    float* o = &out->data[static_cast<size_t>(r) * cols];
-    float mx = -1e30f;
-    for (int c = 0; c < cols; ++c) {
-      float v = in[c];
-      if (additive_mask) v += (*additive_mask)[static_cast<size_t>(r) * cols + c];
-      o[c] = v;
-      mx = std::max(mx, v);
-    }
-    float denom = 0.0f;
-    for (int c = 0; c < cols; ++c) {
-      o[c] = std::exp(o[c] - mx);
-      denom += o[c];
-    }
-    float inv = 1.0f / std::max(denom, 1e-20f);
-    for (int c = 0; c < cols; ++c) o[c] *= inv;
+    kernels::SoftmaxRow(
+        &ai.data[static_cast<size_t>(r) * cols],
+        additive_mask ? &(*additive_mask)[static_cast<size_t>(r) * cols]
+                      : nullptr,
+        &out->data[static_cast<size_t>(r) * cols], cols);
   }
   if (out->requires_grad) {
     out->backward_fn = [rows, cols](Impl* node) {
@@ -468,7 +462,10 @@ Tensor SoftmaxRows(const Tensor& a, const std::vector<float>* additive_mask) {
       }
     };
   }
-  return Tensor(std::move(out));
+  Tensor result(std::move(out));
+  tape_internal::RecordSoftmaxRows(a, result,
+                                   /*has_mask=*/additive_mask != nullptr);
+  return result;
 }
 
 Tensor SumAll(const Tensor& a) {
@@ -539,7 +536,9 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
       }
     };
   }
-  return Tensor(std::move(out));
+  Tensor result(std::move(out));
+  tape_internal::RecordConcatRows(parts, result);
+  return result;
 }
 
 Tensor ConcatCols(const std::vector<Tensor>& parts) {
@@ -575,7 +574,9 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
       }
     };
   }
-  return Tensor(std::move(out));
+  Tensor result(std::move(out));
+  tape_internal::RecordConcatCols(parts, result);
+  return result;
 }
 
 Tensor SliceRows(const Tensor& a, int start, int len) {
@@ -594,7 +595,9 @@ Tensor SliceRows(const Tensor& a, int start, int len) {
       for (size_t i = 0; i < n; ++i) pa->grad[off + i] += node->grad[i];
     };
   }
-  return Tensor(std::move(out));
+  Tensor result(std::move(out));
+  tape_internal::RecordSliceRows(a, result, start, len);
+  return result;
 }
 
 Tensor SliceCols(const Tensor& a, int start, int len) {
@@ -618,7 +621,9 @@ Tensor SliceCols(const Tensor& a, int start, int len) {
       }
     };
   }
-  return Tensor(std::move(out));
+  Tensor result(std::move(out));
+  tape_internal::RecordSliceCols(a, result, start, len);
+  return result;
 }
 
 Tensor EmbedRows(const Tensor& table, const std::vector<int>& ids) {
@@ -666,26 +671,11 @@ Tensor LayerNormRows(const Tensor& x, const Tensor& gamma, const Tensor& beta,
   const auto& gi = *gamma.impl();
   const auto& bi = *beta.impl();
   for (int r = 0; r < rows; ++r) {
-    const float* in = &xi.data[static_cast<size_t>(r) * cols];
-    float* o = &out->data[static_cast<size_t>(r) * cols];
-    float mean = 0.0f;
-    for (int c = 0; c < cols; ++c) mean += in[c];
-    mean /= static_cast<float>(cols);
-    float var = 0.0f;
-    for (int c = 0; c < cols; ++c) {
-      float d = in[c] - mean;
-      var += d * d;
-    }
-    var /= static_cast<float>(cols);
-    float inv_std = 1.0f / std::sqrt(var + eps);
-    if (stats) {
-      (*stats)[static_cast<size_t>(r) * 2] = mean;
-      (*stats)[static_cast<size_t>(r) * 2 + 1] = inv_std;
-    }
-    for (int c = 0; c < cols; ++c) {
-      float xhat = (in[c] - mean) * inv_std;
-      o[c] = xhat * gi.data[c] + bi.data[c];
-    }
+    float* stat = stats ? &(*stats)[static_cast<size_t>(r) * 2] : nullptr;
+    kernels::LayerNormRow(&xi.data[static_cast<size_t>(r) * cols],
+                          gi.data.data(), bi.data.data(),
+                          &out->data[static_cast<size_t>(r) * cols], cols, eps,
+                          stat, stat ? stat + 1 : nullptr);
   }
   if (out->requires_grad) {
     out->backward_fn = [rows, cols, stats](Impl* node) {
@@ -718,7 +708,9 @@ Tensor LayerNormRows(const Tensor& x, const Tensor& gamma, const Tensor& beta,
       }
     };
   }
-  return Tensor(std::move(out));
+  Tensor result(std::move(out));
+  tape_internal::RecordLayerNormRows(x, gamma, beta, result, eps);
+  return result;
 }
 
 Tensor CrossEntropyWithLogits(const Tensor& logits,
@@ -778,26 +770,6 @@ Tensor CrossEntropyWithLogits(const Tensor& logits,
 // rely on batched == unbatched bit for bit.
 // ---------------------------------------------------------------------------
 
-namespace {
-
-// out[i*n .. i*n+n) += a(i, :) x b, the unbatched MatMul inner loops (i-k-j
-// order with the same zero-skip), shared by the batched forward.
-void MatMulAccumulate(const float* a, const float* b, float* out, int m,
-                      int k, int n) {
-  for (int i = 0; i < m; ++i) {
-    const float* arow = &a[static_cast<size_t>(i) * k];
-    float* orow = &out[static_cast<size_t>(i) * n];
-    for (int kk = 0; kk < k; ++kk) {
-      float av = arow[kk];
-      if (av == 0.0f) continue;
-      const float* brow = &b[static_cast<size_t>(kk) * n];
-      for (int j = 0; j < n; ++j) orow[j] += av * brow[j];
-    }
-  }
-}
-
-}  // namespace
-
 Tensor BatchedMatMul(const Tensor& a, const Tensor& b, int batch) {
   const auto& ai = *a.impl();
   const auto& bi = *b.impl();
@@ -809,9 +781,10 @@ Tensor BatchedMatMul(const Tensor& a, const Tensor& b, int batch) {
   MTMLF_CHECK(bi.rows / batch == k, "BatchedMatMul: inner dimensions differ");
   auto out = MakeResult(batch * m, n, {&a, &b});
   for (int bb = 0; bb < batch; ++bb) {
-    MatMulAccumulate(&ai.data[static_cast<size_t>(bb) * m * k],
-                     &bi.data[static_cast<size_t>(bb) * k * n],
-                     &out->data[static_cast<size_t>(bb) * m * n], m, k, n);
+    kernels::MatMulAccumulate(&ai.data[static_cast<size_t>(bb) * m * k],
+                              &bi.data[static_cast<size_t>(bb) * k * n],
+                              &out->data[static_cast<size_t>(bb) * m * n], m,
+                              k, n);
   }
   if (out->requires_grad) {
     out->backward_fn = [batch, m, k, n](Impl* node) {
@@ -844,7 +817,9 @@ Tensor BatchedMatMul(const Tensor& a, const Tensor& b, int batch) {
       }
     };
   }
-  return Tensor(std::move(out));
+  Tensor result(std::move(out));
+  tape_internal::RecordMatMul(a, b, result, batch);
+  return result;
 }
 
 Tensor BatchedTranspose(const Tensor& a, int batch) {
@@ -854,13 +829,8 @@ Tensor BatchedTranspose(const Tensor& a, int batch) {
   const int r = ai.rows / batch, c = ai.cols;
   auto out = MakeResult(batch * c, r, {&a});
   for (int bb = 0; bb < batch; ++bb) {
-    const float* in = &ai.data[static_cast<size_t>(bb) * r * c];
-    float* o = &out->data[static_cast<size_t>(bb) * r * c];
-    for (int i = 0; i < r; ++i) {
-      for (int j = 0; j < c; ++j) {
-        o[static_cast<size_t>(j) * r + i] = in[static_cast<size_t>(i) * c + j];
-      }
-    }
+    kernels::TransposeInto(&ai.data[static_cast<size_t>(bb) * r * c],
+                           &out->data[static_cast<size_t>(bb) * r * c], r, c);
   }
   if (out->requires_grad) {
     out->backward_fn = [batch, r, c](Impl* node) {
@@ -877,7 +847,9 @@ Tensor BatchedTranspose(const Tensor& a, int batch) {
       }
     };
   }
-  return Tensor(std::move(out));
+  Tensor result(std::move(out));
+  tape_internal::RecordTranspose(a, result, batch);
+  return result;
 }
 
 Tensor MaskedSoftmaxRows(const Tensor& a, int batch,
@@ -896,20 +868,8 @@ Tensor MaskedSoftmaxRows(const Tensor& a, int batch,
   for (int r = 0; r < rows; ++r) {
     const int vc = valid_cols[r / rows_per_batch];
     if (vc == 0) continue;  // fully masked row stays all-zero
-    const float* in = &ai.data[static_cast<size_t>(r) * cols];
-    float* o = &out->data[static_cast<size_t>(r) * cols];
-    float mx = -1e30f;
-    for (int c = 0; c < vc; ++c) {
-      o[c] = in[c];
-      mx = std::max(mx, in[c]);
-    }
-    float denom = 0.0f;
-    for (int c = 0; c < vc; ++c) {
-      o[c] = std::exp(o[c] - mx);
-      denom += o[c];
-    }
-    float inv = 1.0f / std::max(denom, 1e-20f);
-    for (int c = 0; c < vc; ++c) o[c] *= inv;
+    kernels::SoftmaxRow(&ai.data[static_cast<size_t>(r) * cols], nullptr,
+                        &out->data[static_cast<size_t>(r) * cols], vc);
   }
   if (out->requires_grad) {
     std::vector<int> vcs = valid_cols;
@@ -926,7 +886,9 @@ Tensor MaskedSoftmaxRows(const Tensor& a, int batch,
       }
     };
   }
-  return Tensor(std::move(out));
+  Tensor result(std::move(out));
+  tape_internal::RecordMaskedSoftmaxRows(a, result, batch, valid_cols);
+  return result;
 }
 
 Tensor MaskedLayerNormRows(const Tensor& x, const Tensor& gamma,
@@ -959,26 +921,11 @@ Tensor MaskedLayerNormRows(const Tensor& x, const Tensor& gamma,
   const auto& bi = *beta.impl();
   for (int r = 0; r < rows; ++r) {
     if (r % rows_per_batch >= valid_rows[r / rows_per_batch]) continue;
-    const float* in = &xi.data[static_cast<size_t>(r) * cols];
-    float* o = &out->data[static_cast<size_t>(r) * cols];
-    float mean = 0.0f;
-    for (int c = 0; c < cols; ++c) mean += in[c];
-    mean /= static_cast<float>(cols);
-    float var = 0.0f;
-    for (int c = 0; c < cols; ++c) {
-      float d = in[c] - mean;
-      var += d * d;
-    }
-    var /= static_cast<float>(cols);
-    float inv_std = 1.0f / std::sqrt(var + eps);
-    if (stats) {
-      (*stats)[static_cast<size_t>(r) * 2] = mean;
-      (*stats)[static_cast<size_t>(r) * 2 + 1] = inv_std;
-    }
-    for (int c = 0; c < cols; ++c) {
-      float xhat = (in[c] - mean) * inv_std;
-      o[c] = xhat * gi.data[c] + bi.data[c];
-    }
+    float* stat = stats ? &(*stats)[static_cast<size_t>(r) * 2] : nullptr;
+    kernels::LayerNormRow(&xi.data[static_cast<size_t>(r) * cols],
+                          gi.data.data(), bi.data.data(),
+                          &out->data[static_cast<size_t>(r) * cols], cols, eps,
+                          stat, stat ? stat + 1 : nullptr);
   }
   if (out->requires_grad) {
     std::vector<int> vrs = valid_rows;
@@ -1012,7 +959,10 @@ Tensor MaskedLayerNormRows(const Tensor& x, const Tensor& gamma,
       }
     };
   }
-  return Tensor(std::move(out));
+  Tensor result(std::move(out));
+  tape_internal::RecordMaskedLayerNormRows(x, gamma, beta, result, batch,
+                                           valid_rows, eps);
+  return result;
 }
 
 }  // namespace mtmlf::tensor

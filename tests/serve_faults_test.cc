@@ -109,6 +109,39 @@ struct Stack {
 // FaultInjector mechanics
 // --------------------------------------------------------------------------
 
+TEST(ServeFaultsTest, ParseFaultSeedRejectsMalformedValues) {
+  // Regression: the injector's MTMLF_FAULT_SEED parsing used bare
+  // strtoull, which accepted trailing garbage ("3abc" parsed as 3) and
+  // silently clamped out-of-range values to ULLONG_MAX. Either would make
+  // CI's seed matrix quietly collapse onto seeds nobody asked for — a
+  // malformed value must keep the default instead.
+  uint64_t seed = 99;
+  EXPECT_FALSE(ParseFaultSeed("3abc", &seed));
+  EXPECT_FALSE(ParseFaultSeed("abc", &seed));
+  EXPECT_FALSE(ParseFaultSeed("", &seed));
+  EXPECT_FALSE(ParseFaultSeed(nullptr, &seed));
+  EXPECT_FALSE(ParseFaultSeed("-1", &seed));
+  EXPECT_FALSE(ParseFaultSeed("+7", &seed));
+  EXPECT_FALSE(ParseFaultSeed(" 7", &seed));
+  EXPECT_FALSE(ParseFaultSeed("7 ", &seed));
+  EXPECT_FALSE(ParseFaultSeed("0x10", &seed));
+  EXPECT_FALSE(ParseFaultSeed("18446744073709551616", &seed));  // 2^64
+  EXPECT_FALSE(ParseFaultSeed("99999999999999999999999", &seed));
+  EXPECT_EQ(seed, 99u);  // rejected values never touch the output
+}
+
+TEST(ServeFaultsTest, ParseFaultSeedAcceptsTheFullUint64Range) {
+  uint64_t seed = 0;
+  ASSERT_TRUE(ParseFaultSeed("42", &seed));
+  EXPECT_EQ(seed, 42u);
+  ASSERT_TRUE(ParseFaultSeed("0", &seed));
+  EXPECT_EQ(seed, 0u);
+  ASSERT_TRUE(ParseFaultSeed("18446744073709551615", &seed));  // 2^64 - 1
+  EXPECT_EQ(seed, 18446744073709551615ull);
+  ASSERT_TRUE(ParseFaultSeed("007", &seed));  // leading zeros are digits
+  EXPECT_EQ(seed, 7u);
+}
+
 TEST(ServeFaultsTest, DisabledInjectorIsInvisible) {
   ScopedFaultClear clear;
   FaultInjector::Global().DisarmAll();

@@ -540,6 +540,52 @@ TEST(PredictionCacheTest, TotalResidencyNeverExceedsCapacity) {
 // Metrics
 // --------------------------------------------------------------------------
 
+TEST(LatencyHistogramTest, FirstOctaveMidpointsAreCentered) {
+  // Regression: octave-0 buckets (latencies under 16us, one bucket per
+  // microsecond) reported their LEFT EDGE as the midpoint while every
+  // other octave reported its center, biasing sub-16us percentiles low by
+  // half a microsecond. A value of 3 lands in bucket [3, 4), whose
+  // midpoint is 3.5 — and with every sample identical, every percentile
+  // must report exactly that.
+  LatencyHistogram h;
+  for (int i = 0; i < 100; ++i) h.Record(3);
+  EXPECT_EQ(h.PercentileUs(0.0), 3.5);
+  EXPECT_EQ(h.PercentileUs(0.50), 3.5);
+  EXPECT_EQ(h.PercentileUs(0.99), 3.5);
+  EXPECT_EQ(h.PercentileUs(1.0), 3.5);
+}
+
+TEST(LatencyHistogramTest, SubSixteenMicrosPercentilesAreExact) {
+  // One sample in each exact microsecond bucket 0..15: quantiles must hit
+  // the right bucket's center, and the histogram mean (exact, from the
+  // running sum) must agree with the bucketed median — they diverged when
+  // octave-0 midpoints were biased.
+  LatencyHistogram h;
+  for (uint64_t us = 0; us < 16; ++us) h.Record(us);
+  EXPECT_EQ(h.PercentileUs(0.0), 0.5);
+  EXPECT_EQ(h.PercentileUs(0.50), 7.5);
+  EXPECT_EQ(h.PercentileUs(1.0), 15.5);
+  EXPECT_EQ(h.MeanUs(), 7.5);
+}
+
+TEST(LatencyHistogramTest, PercentileNeverExceedsTopBucketUpperBound) {
+  // 1000us lands in octave 9 ([512, 1024)), sub-bucket [992, 1024): the
+  // reported p100 must stay inside that bucket — in particular, never
+  // above its upper bound.
+  LatencyHistogram h;
+  h.Record(1000);
+  double top = h.PercentileUs(1.0);
+  EXPECT_EQ(top, 1008.0);  // bucket midpoint: 992 + 32/2
+  EXPECT_LE(top, 1024.0);
+  EXPECT_GE(top, 992.0);
+  // Same property across a mixed recording: no quantile may exceed the
+  // upper bound of the largest recorded value's bucket.
+  for (uint64_t us : {3ull, 70ull, 400ull, 1000ull}) h.Record(us);
+  for (double p : {0.0, 0.25, 0.5, 0.75, 0.95, 1.0}) {
+    EXPECT_LE(h.PercentileUs(p), 1024.0) << "p=" << p;
+  }
+}
+
 TEST(LatencyHistogramTest, PercentilesApproximateTruth) {
   LatencyHistogram h;
   for (uint64_t us = 1; us <= 1000; ++us) h.Record(us);

@@ -1,0 +1,547 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "datagen/imdb_like.h"
+#include "model/mtmlf_qo.h"
+#include "optimizer/baseline_card_est.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "tensor/tape.h"
+#include "tensor/tensor.h"
+#include "tensor/workspace.h"
+#include "workload/dataset.h"
+
+namespace mtmlf {
+namespace {
+
+featurize::ModelConfig TinyConfig() {
+  featurize::ModelConfig c;
+  c.d_feat = 8;
+  c.d_model = 16;
+  c.d_ff = 32;
+  c.enc_layers = 1;
+  c.enc_heads = 2;
+  c.share_layers = 1;
+  c.share_heads = 2;
+  c.jo_layers = 1;
+  c.jo_heads = 2;
+  c.head_hidden = 16;
+  return c;
+}
+
+struct Env {
+  std::unique_ptr<storage::Database> db;
+  std::unique_ptr<optimizer::BaselineCardEstimator> baseline;
+  workload::Dataset dataset;
+  Env() {
+    SetLogLevel(0);
+    Rng rng(13);
+    db = datagen::BuildImdbLike({.scale = 0.05}, &rng).take();
+    baseline = std::make_unique<optimizer::BaselineCardEstimator>(db.get());
+    workload::DatasetOptions opts;
+    opts.num_queries = 24;
+    opts.single_table_queries_per_table = 2;
+    opts.generator.min_tables = 2;
+    opts.generator.max_tables = 5;
+    dataset = workload::BuildDataset(db.get(), baseline.get(), opts).take();
+  }
+};
+
+Env& GetEnv() {
+  static Env* env = new Env();
+  return *env;
+}
+
+std::unique_ptr<model::MtmlfQo> MakeModel(uint64_t seed) {
+  Env& env = GetEnv();
+  auto m = std::make_unique<model::MtmlfQo>(TinyConfig(), seed);
+  m->AddDatabase(env.db.get(), env.baseline.get());
+  return m;
+}
+
+std::vector<float> Snap(const tensor::Tensor& t) {
+  return std::vector<float>(t.data(), t.data() + t.size());
+}
+
+// Exact (bit-level) equality between a live tensor and a snapshot taken
+// from the eager reference run.
+void ExpectBitEqual(const tensor::Tensor& got, const std::vector<float>& want,
+                    const char* what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  EXPECT_EQ(std::memcmp(got.data(), want.data(), want.size() * sizeof(float)),
+            0)
+      << what << " differs from the eager forward";
+}
+
+// All four forward outputs of one plan, snapshotted for comparison across
+// Workspace::Reset() boundaries.
+struct ForwardSnap {
+  std::vector<float> shared, log_card, log_cost, jo_memory;
+  explicit ForwardSnap(const model::MtmlfQo::Forward& f)
+      : shared(Snap(f.shared)),
+        log_card(Snap(f.log_card)),
+        log_cost(Snap(f.log_cost)),
+        jo_memory(Snap(f.jo_memory)) {}
+};
+
+void ExpectForwardBitEqual(const model::MtmlfQo::Forward& got,
+                           const ForwardSnap& want) {
+  ExpectBitEqual(got.shared, want.shared, "shared");
+  ExpectBitEqual(got.log_card, want.log_card, "log_card");
+  ExpectBitEqual(got.log_cost, want.log_cost, "log_cost");
+  ExpectBitEqual(got.jo_memory, want.jo_memory, "jo_memory");
+}
+
+// --------------------------------------------------------------------------
+// Recorder mechanics (raw tensor ops, no model)
+// --------------------------------------------------------------------------
+
+TEST(ExecutionTapeTest, RecorderCapturesRegionAndReplaysBitExact) {
+  // Heap tensors created before the scope play the role of frozen model
+  // weights; the arena tensor is the request input.
+  tensor::Tensor w = tensor::Tensor::FromVector(
+      3, 4, {0.5f, -1.0f, 2.0f, 0.0f, 1.5f, 0.25f, -0.75f, 3.0f, -2.0f, 1.0f,
+             0.125f, -0.5f});
+  tensor::Tensor b =
+      tensor::Tensor::FromVector(1, 4, {0.1f, -0.2f, 0.3f, -0.4f});
+
+  tensor::NoGradGuard no_grad;
+  tensor::Workspace ws;
+  tensor::WorkspaceScope scope(&ws);
+  tensor::Tensor x = tensor::Tensor::FromVector(
+      2, 3, {1.0f, -2.0f, 0.5f, 0.0f, 3.0f, -1.25f});
+
+  tensor::Tensor eager = tensor::Relu(tensor::Add(tensor::MatMul(x, w), b));
+  std::vector<float> want = Snap(eager);
+
+  std::unique_ptr<tensor::Tape> tape;
+  {
+    tensor::TapeRecorder rec(x);
+    tensor::Tensor y = tensor::Relu(tensor::Add(tensor::MatMul(x, w), b));
+    tape = rec.Finish({y}, {2, 3});
+  }
+  ASSERT_TRUE(tape != nullptr);
+  ASSERT_TRUE(tape->valid());
+  // The Finish-time peephole pass folds the single-use matmul -> add ->
+  // relu chain into one fused instruction.
+  EXPECT_EQ(tape->num_instrs(), 1u);
+
+  std::vector<tensor::Tensor> outs;
+  ASSERT_TRUE(tape->Replay(x, &outs));
+  ASSERT_EQ(outs.size(), 1u);
+  ExpectBitEqual(outs[0], want, "replayed relu(x*w + b)");
+
+  // Shape-mismatched input must refuse to replay, not compute garbage.
+  tensor::Tensor other = tensor::Tensor::Zeros(4, 3);
+  std::vector<tensor::Tensor> refused;
+  EXPECT_FALSE(tape->Replay(other, &refused));
+  EXPECT_TRUE(refused.empty());
+}
+
+TEST(ExecutionTapeTest, UnsupportedOpInRegionInvalidatesTheTape) {
+  tensor::NoGradGuard no_grad;
+  tensor::Workspace ws;
+  tensor::WorkspaceScope scope(&ws);
+  tensor::Tensor x =
+      tensor::Tensor::FromVector(2, 2, {1.0f, 2.0f, 3.0f, 4.0f});
+
+  // Tanh has no tape hook: the op-count tripwire must catch it and mark
+  // the whole recording unreplayable rather than silently skipping it.
+  std::unique_ptr<tensor::Tape> tape;
+  {
+    tensor::TapeRecorder rec(x);
+    tensor::Tensor y = tensor::Tanh(tensor::Relu(x));
+    tape = rec.Finish({y}, {2, 2});
+  }
+  ASSERT_TRUE(tape != nullptr);
+  EXPECT_FALSE(tape->valid());
+  std::vector<tensor::Tensor> outs;
+  EXPECT_FALSE(tape->Replay(x, &outs));
+}
+
+TEST(ExecutionTapeTest, RequestDependentOutsideInputInvalidatesTheTape) {
+  tensor::NoGradGuard no_grad;
+  tensor::Workspace ws;
+  tensor::WorkspaceScope scope(&ws);
+  tensor::Tensor x =
+      tensor::Tensor::FromVector(2, 2, {1.0f, 2.0f, 3.0f, 4.0f});
+  // Arena-backed but NOT the recorder's input: request-dependent data the
+  // tape could never reproduce on the next request.
+  tensor::Tensor z =
+      tensor::Tensor::FromVector(2, 2, {5.0f, 6.0f, 7.0f, 8.0f});
+
+  std::unique_ptr<tensor::Tape> tape;
+  {
+    tensor::TapeRecorder rec(x);
+    tensor::Tensor y = tensor::Add(x, z);
+    tape = rec.Finish({y}, {2, 2});
+  }
+  ASSERT_TRUE(tape != nullptr);
+  EXPECT_FALSE(tape->valid());
+}
+
+TEST(ExecutionTapeTest, CacheKeysOnSignatureAndInvalidatesOnVersionSwap) {
+  tensor::TapeCache cache;
+  EXPECT_EQ(tensor::TapeCache::NextPow2(1), 1);
+  EXPECT_EQ(tensor::TapeCache::NextPow2(5), 8);
+  EXPECT_EQ(tensor::TapeCache::NextPow2(16), 16);
+
+  tensor::NoGradGuard no_grad;
+  tensor::Workspace ws;
+  tensor::WorkspaceScope scope(&ws);
+  tensor::Tensor x =
+      tensor::Tensor::FromVector(2, 2, {1.0f, 2.0f, 3.0f, 4.0f});
+  auto record_tape = [&]() {
+    tensor::TapeRecorder rec(x);
+    tensor::Tensor y = tensor::Relu(x);
+    return rec.Finish({y}, {2, 2});
+  };
+
+  tensor::TapeKey key;
+  key.db_index = 0;
+  key.bucket = 2;
+  key.model_version = cache.model_version();
+  key.signature_hash = tensor::TapeCache::HashSignature({2, 2});
+  ASSERT_NE(cache.Insert(key, record_tape()), nullptr);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_NE(cache.Find(key, {2, 2}), nullptr);
+  // Same key, different exact signature (hash collision stand-in): the
+  // full-signature check must turn it into a miss, never a wrong tape.
+  EXPECT_EQ(cache.Find(key, {2, 3}), nullptr);
+
+  // A model hot-swap drops everything: a tape recorded against the old
+  // checkpoint's parameter pointers must never serve the new one.
+  cache.SetModelVersion(7);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(cache.Find(key, {2, 2}), nullptr);
+}
+
+// --------------------------------------------------------------------------
+// Model-level record/replay (MtmlfQo::Run / RunBatch)
+// --------------------------------------------------------------------------
+
+TEST(ExecutionTapeTest, ScalarRunReplayIsBitIdenticalToEager) {
+  Env& env = GetEnv();
+  auto m = MakeModel(101);
+  tensor::NoGradGuard no_grad;
+  tensor::Workspace ws;
+  tensor::WorkspaceScope scope(&ws);
+  tensor::TapeCache tapes;
+
+  for (int qi = 0; qi < 6; ++qi) {
+    const auto& lq = env.dataset.queries[qi];
+    std::unique_ptr<ForwardSnap> want;
+    {
+      auto fwd = m->Run(0, lq.query, *lq.plan);
+      want = std::make_unique<ForwardSnap>(fwd);
+    }
+    ws.Reset();
+    {
+      // First tape call records; the result must already be bit-identical
+      // (recording observes the eager computation, it does not change it).
+      auto fwd = m->Run(0, lq.query, *lq.plan, &tapes);
+      ExpectForwardBitEqual(fwd, *want);
+    }
+    ws.Reset();
+    {
+      // Repeating the request must be pure replay: every tape the first
+      // call recorded (the model tail plus one Enc_i tape per distinct
+      // scanned table) is now cached, so no new recording may happen.
+      const uint64_t records_before = tapes.stats().records;
+      auto fwd = m->Run(0, lq.query, *lq.plan, &tapes);
+      ExpectForwardBitEqual(fwd, *want);
+      EXPECT_EQ(tapes.stats().records, records_before);
+    }
+    ws.Reset();
+  }
+  EXPECT_EQ(tapes.stats().invalid_tapes, 0u);
+  EXPECT_EQ(tapes.stats().eager_fallbacks, 0u);
+  // Every recording attempt lands one cache entry, and every recorded tape
+  // (tail and Enc_i alike) replays at least once when its request repeats.
+  EXPECT_EQ(tapes.stats().records,
+            static_cast<uint64_t>(tapes.size() + tapes.const_entries()));
+  EXPECT_GE(tapes.stats().replays, tapes.stats().records);
+  EXPECT_GT(tapes.stats().replays, 0u);
+}
+
+TEST(ExecutionTapeTest, BatchedRunReplayIsBitIdenticalAcrossBatchSizes) {
+  Env& env = GetEnv();
+  auto m = MakeModel(102);
+  tensor::NoGradGuard no_grad;
+  tensor::Workspace ws;
+  tensor::WorkspaceScope scope(&ws);
+  tensor::TapeCache tapes;
+
+  for (int batch : {1, 2, 7, 16}) {
+    std::vector<model::MtmlfQo::PlanRef> refs;
+    for (int i = 0; i < batch; ++i) {
+      const auto& lq = env.dataset.queries[i % env.dataset.queries.size()];
+      refs.push_back({&lq.query, lq.plan.get()});
+    }
+    std::vector<ForwardSnap> want;
+    {
+      auto fwds = m->RunBatch(0, refs);
+      ASSERT_EQ(fwds.size(), refs.size());
+      for (const auto& f : fwds) want.emplace_back(f);
+    }
+    ws.Reset();
+    // First tape call: records the batch-tail tape (+1 cache entry) and
+    // constant-folds each not-yet-seen unfiltered table; unfiltered
+    // tables folded by an earlier batch size already replay.
+    const uint64_t records_before = tapes.stats().records;
+    const uint64_t replays_before = tapes.stats().replays;
+    const uint64_t entries_before = tapes.size() + tapes.const_entries();
+    {
+      auto fwds = m->RunBatch(0, refs, &tapes);  // records this signature
+      ASSERT_EQ(fwds.size(), refs.size());
+      for (size_t p = 0; p < fwds.size(); ++p) {
+        ExpectForwardBitEqual(fwds[p], want[p]);
+      }
+    }
+    ws.Reset();
+    const uint64_t new_entries =
+        tapes.size() + tapes.const_entries() - entries_before;
+    EXPECT_EQ(tapes.stats().records, records_before + new_entries)
+        << "B=" << batch;
+    // The repeat makes the same cache decisions, all of them replays.
+    const uint64_t decisions = tapes.stats().records - records_before +
+                               tapes.stats().replays - replays_before;
+    const uint64_t records_mid = tapes.stats().records;
+    const uint64_t replays_mid = tapes.stats().replays;
+    {
+      auto fwds = m->RunBatch(0, refs, &tapes);  // replays it
+      ASSERT_EQ(fwds.size(), refs.size());
+      for (size_t p = 0; p < fwds.size(); ++p) {
+        ExpectForwardBitEqual(fwds[p], want[p]);
+      }
+    }
+    ws.Reset();
+    EXPECT_EQ(tapes.stats().records, records_mid) << "B=" << batch;
+    EXPECT_EQ(tapes.stats().replays, replays_mid + decisions) << "B=" << batch;
+  }
+  EXPECT_EQ(tapes.stats().invalid_tapes, 0u);
+  EXPECT_EQ(tapes.size(), 4u);  // one batch-tail tape per batch signature
+}
+
+TEST(ExecutionTapeTest, RecordAndReplayEscapeExactlyFourNodesPerPlan) {
+  // The arena discipline of the serving loop: a forward leaves exactly its
+  // four output tensors live, whether it ran eager, recording, or replay.
+  // (Recording pins intermediates while live, but must release them before
+  // returning, or Workspace::Reset() in the worker loop would abort.)
+  Env& env = GetEnv();
+  auto m = MakeModel(103);
+  const auto& lq = env.dataset.queries.front();
+  tensor::NoGradGuard no_grad;
+  tensor::Workspace ws;
+  tensor::WorkspaceScope scope(&ws);
+  tensor::TapeCache tapes;
+
+  {
+    tensor::WorkspaceAudit audit(4);
+    auto fwd = m->Run(0, lq.query, *lq.plan, &tapes);  // records
+    EXPECT_EQ(ws.live_nodes(), 4u);
+  }
+  EXPECT_EQ(ws.live_nodes(), 0u);
+  ws.Reset();
+  const uint64_t records_after_first = tapes.stats().records;
+  {
+    tensor::WorkspaceAudit audit(4);
+    auto fwd = m->Run(0, lq.query, *lq.plan, &tapes);  // replays
+    EXPECT_EQ(ws.live_nodes(), 4u);
+  }
+  EXPECT_EQ(ws.live_nodes(), 0u);
+  ws.Reset();
+  // The repeat served everything (tail + per-table Enc_i) from tape.
+  EXPECT_EQ(tapes.stats().records, records_after_first);
+  EXPECT_EQ(tapes.stats().replays, records_after_first);
+}
+
+TEST(ExecutionTapeTest, ReplayStaysCorrectAcrossWorkspaceRecycling) {
+  // The worker-loop steady state: record once, then replay into the same
+  // rewound arena over and over. Every iteration must land on the same
+  // bits even though scratch and outputs reuse recycled addresses.
+  Env& env = GetEnv();
+  auto m = MakeModel(104);
+  const auto& lq = env.dataset.queries[3];
+  tensor::NoGradGuard no_grad;
+  tensor::Workspace ws;
+  tensor::WorkspaceScope scope(&ws);
+  tensor::TapeCache tapes;
+
+  std::unique_ptr<ForwardSnap> want;
+  {
+    auto fwd = m->Run(0, lq.query, *lq.plan);
+    want = std::make_unique<ForwardSnap>(fwd);
+  }
+  ws.Reset();
+  for (int iter = 0; iter < 10; ++iter) {
+    {
+      auto fwd = m->Run(0, lq.query, *lq.plan, &tapes);
+      ExpectForwardBitEqual(fwd, *want);
+    }
+    ws.Reset();
+  }
+  // Iteration 1 records every tape the request needs (model tail + one
+  // Enc_i per distinct scanned table); iterations 2..10 replay exactly
+  // that set each time.
+  EXPECT_EQ(tapes.stats().records,
+            static_cast<uint64_t>(tapes.size() + tapes.const_entries()));
+  EXPECT_EQ(tapes.stats().replays, 9u * tapes.stats().records);
+}
+
+TEST(ExecutionTapeTest, UnseenShapeRecordsSeenShapeReplays) {
+  // Different plan shapes must never share a tape: each signature records
+  // its own on first sight and replays thereafter.
+  Env& env = GetEnv();
+  auto m = MakeModel(105);
+  tensor::NoGradGuard no_grad;
+  tensor::Workspace ws;
+  tensor::WorkspaceScope scope(&ws);
+  tensor::TapeCache tapes;
+
+  uint64_t round1_records = 0;
+  uint64_t round1_replays = 0;
+  for (int round = 0; round < 2; ++round) {
+    for (int qi = 0; qi < 8; ++qi) {
+      const auto& lq = env.dataset.queries[qi];
+      {
+        auto fwd = m->Run(0, lq.query, *lq.plan, &tapes);
+        // Compare against a fresh eager pass inside the same scope.
+        auto eager = m->Run(0, lq.query, *lq.plan);
+        ExpectForwardBitEqual(eager, ForwardSnap(fwd));
+      }
+      ws.Reset();
+    }
+    if (round == 0) {
+      round1_records = tapes.stats().records;
+      round1_replays = tapes.stats().replays;
+    }
+  }
+  // Round 2 saw only known signatures: it records nothing and replays one
+  // tape per round-1 cache decision (tail and Enc_i alike, whether that
+  // decision was itself a record or a replay).
+  EXPECT_EQ(tapes.stats().records, round1_records);
+  EXPECT_EQ(tapes.stats().records,
+            static_cast<uint64_t>(tapes.size() + tapes.const_entries()));
+  EXPECT_EQ(tapes.stats().replays,
+            2 * round1_replays + round1_records);
+}
+
+// --------------------------------------------------------------------------
+// Serving integration
+// --------------------------------------------------------------------------
+
+TEST(ExecutionTapeTest, ServerTapeOnMatchesTapeOffBitForBit) {
+  Env& env = GetEnv();
+  serve::ModelRegistry registry;
+  ASSERT_TRUE(registry.Register(1, MakeModel(106)).ok());
+  ASSERT_TRUE(registry.Publish(1).ok());
+
+  auto serve_all = [&](bool tape) {
+    serve::InferenceServer::Options opts;
+    opts.num_workers = 1;
+    opts.enable_cache = false;  // every request exercises the forward path
+    opts.execution_tape = tape;
+    serve::InferenceServer server(&registry, opts);
+    EXPECT_TRUE(server.Start().ok());
+    std::vector<serve::InferencePrediction> preds;
+    for (int round = 0; round < 3; ++round) {
+      for (int qi = 0; qi < 8; ++qi) {
+        const auto& lq = env.dataset.queries[qi];
+        auto r = server.Submit({0, &lq.query, lq.plan.get()}).get();
+        EXPECT_TRUE(r.ok()) << r.status().ToString();
+        if (r.ok()) preds.push_back(r.value());
+      }
+    }
+    serve::MetricsSnapshot snap = server.metrics().Snapshot();
+    server.Shutdown();
+    return std::make_pair(preds, snap);
+  };
+
+  auto [on, on_metrics] = serve_all(true);
+  auto [off, off_metrics] = serve_all(false);
+  ASSERT_EQ(on.size(), off.size());
+  for (size_t i = 0; i < on.size(); ++i) {
+    EXPECT_EQ(on[i].card, off[i].card) << "request " << i;
+    EXPECT_EQ(on[i].cost_ms, off[i].cost_ms) << "request " << i;
+  }
+  // The tape server actually served replays; the tape-off server never
+  // touched the tape path.
+  EXPECT_GT(on_metrics.tape_records, 0u);
+  EXPECT_GT(on_metrics.tape_replays, 0u);
+  EXPECT_GT(on_metrics.tape_entries, 0u);
+  EXPECT_EQ(off_metrics.tape_records, 0u);
+  EXPECT_EQ(off_metrics.tape_replays, 0u);
+}
+
+TEST(ExecutionTapeTest, HotSwapStormNeverServesAStaleTape) {
+  // Alternate publishes between two models while serving with tapes on.
+  // Every response must be bit-equal to the serving version's direct
+  // prediction — a stale tape would answer with the OLD model's bits under
+  // the NEW version number.
+  Env& env = GetEnv();
+  serve::ModelRegistry registry;
+  std::shared_ptr<const model::MtmlfQo> v1 = MakeModel(107);
+  std::shared_ptr<const model::MtmlfQo> v2 = MakeModel(108);
+  ASSERT_TRUE(registry.Register(1, v1).ok());
+  ASSERT_TRUE(registry.Register(2, v2).ok());
+  ASSERT_TRUE(registry.Publish(1).ok());
+
+  const int kNumQueries = 4;
+  std::vector<serve::Prediction> truth_v1, truth_v2;
+  for (int qi = 0; qi < kNumQueries; ++qi) {
+    const auto& lq = env.dataset.queries[qi];
+    tensor::NoGradGuard guard;
+    auto f1 = v1->Run(0, lq.query, *lq.plan);
+    truth_v1.push_back(
+        {v1->NodeCardPredictions(f1)[0], v1->NodeCostPredictions(f1)[0]});
+    auto f2 = v2->Run(0, lq.query, *lq.plan);
+    truth_v2.push_back(
+        {v2->NodeCardPredictions(f2)[0], v2->NodeCostPredictions(f2)[0]});
+  }
+
+  serve::InferenceServer::Options opts;
+  opts.num_workers = 1;
+  opts.enable_cache = false;
+  opts.execution_tape = true;
+  serve::InferenceServer server(&registry, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  for (int swap = 0; swap < 30; ++swap) {
+    uint64_t version = 1 + (swap % 2);
+    ASSERT_TRUE(registry.Publish(version).ok());
+    // Two passes over the queries per version: the first records fresh
+    // tapes for this checkpoint, the second replays them. Both must match
+    // the version's direct predictions exactly.
+    for (int pass = 0; pass < 2; ++pass) {
+      for (int qi = 0; qi < kNumQueries; ++qi) {
+        const auto& lq = env.dataset.queries[qi];
+        auto r = server.Submit({0, &lq.query, lq.plan.get()}).get();
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        ASSERT_EQ(r.value().model_version, version);
+        const serve::Prediction& want =
+            version == 1 ? truth_v1[qi] : truth_v2[qi];
+        EXPECT_EQ(r.value().card, want.card)
+            << "swap " << swap << " pass " << pass << " query " << qi;
+        EXPECT_EQ(r.value().cost_ms, want.cost_ms)
+            << "swap " << swap << " pass " << pass << " query " << qi;
+      }
+    }
+  }
+  serve::MetricsSnapshot snap = server.metrics().Snapshot();
+  server.Shutdown();
+  // The storm actually exercised the machinery: tapes were dropped on
+  // every version flip, re-recorded, and replayed in between.
+  EXPECT_GT(snap.tape_invalidations, 0u);
+  EXPECT_GT(snap.tape_records, 0u);
+  EXPECT_GT(snap.tape_replays, 0u);
+}
+
+}  // namespace
+}  // namespace mtmlf
